@@ -1,0 +1,291 @@
+//! IPv6/IPv4 address classification: the categories that drive router
+//! advertisements, RFC 6724 selection and the testbed's census logic.
+
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Address scope (RFC 4007 / RFC 6724 §3.1). Ordered so that smaller scopes
+/// compare less than larger ones, as rule 8 of destination selection needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Scope {
+    /// Node-local (loopback, interface-local multicast).
+    InterfaceLocal,
+    /// Link-local.
+    LinkLocal,
+    /// Admin-local multicast.
+    AdminLocal,
+    /// Site-local (deprecated fec0::/10 unicast, site multicast).
+    SiteLocal,
+    /// Organization-local multicast.
+    OrgLocal,
+    /// Global.
+    Global,
+}
+
+/// IPv6 address classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum V6Class {
+    /// `::`
+    Unspecified,
+    /// `::1`
+    Loopback,
+    /// `fe80::/10`
+    LinkLocal,
+    /// `fc00::/7` unique local addresses — like the 5G gateway's
+    /// `fd00:976a::` RDNSS values in the paper.
+    UniqueLocal,
+    /// `2000::/3` global unicast.
+    GlobalUnicast,
+    /// `ff00::/8` multicast (with scope).
+    Multicast(Scope),
+    /// `::ffff:a.b.c.d` IPv4-mapped.
+    V4Mapped(Ipv4Addr),
+    /// `64:ff9b::/96` — the NAT64 well-known prefix (RFC 6052/8215 treat it
+    /// specially; classified distinctly so the census can spot translated flows).
+    Nat64WellKnown(Ipv4Addr),
+    /// `2002::/16` 6to4 transition addresses.
+    SixToFour,
+    /// `2001::/32` Teredo transition addresses.
+    Teredo,
+    /// `fec0::/10` deprecated site-local unicast.
+    SiteLocal,
+    /// `2001:db8::/32` documentation.
+    Documentation,
+    /// Anything else (reserved space).
+    Reserved,
+}
+
+/// Classify an IPv6 address.
+pub fn v6_class(a: Ipv6Addr) -> V6Class {
+    let seg = a.segments();
+    let o = a.octets();
+    if a.is_unspecified() {
+        return V6Class::Unspecified;
+    }
+    if a.is_loopback() {
+        return V6Class::Loopback;
+    }
+    if seg[0] & 0xffc0 == 0xfe80 {
+        return V6Class::LinkLocal;
+    }
+    if seg[0] & 0xffc0 == 0xfec0 {
+        return V6Class::SiteLocal;
+    }
+    if seg[0] & 0xfe00 == 0xfc00 {
+        return V6Class::UniqueLocal;
+    }
+    if seg[0] == 0xff00 || seg[0] & 0xff00 == 0xff00 {
+        let scope = match seg[0] & 0x000f {
+            0x1 => Scope::InterfaceLocal,
+            0x2 => Scope::LinkLocal,
+            0x4 => Scope::AdminLocal,
+            0x5 => Scope::SiteLocal,
+            0x8 => Scope::OrgLocal,
+            _ => Scope::Global,
+        };
+        return V6Class::Multicast(scope);
+    }
+    if seg[0] == 0 && seg[1] == 0 && seg[2] == 0 && seg[3] == 0 && seg[4] == 0 && seg[5] == 0xffff
+    {
+        return V6Class::V4Mapped(Ipv4Addr::new(o[12], o[13], o[14], o[15]));
+    }
+    if seg[0] == 0x0064 && seg[1] == 0xff9b && seg[2] == 0 && seg[3] == 0 && seg[4] == 0 && seg[5] == 0
+    {
+        return V6Class::Nat64WellKnown(Ipv4Addr::new(o[12], o[13], o[14], o[15]));
+    }
+    if seg[0] == 0x2001 && seg[1] == 0x0db8 {
+        return V6Class::Documentation;
+    }
+    if seg[0] == 0x2002 {
+        return V6Class::SixToFour;
+    }
+    if seg[0] == 0x2001 && seg[1] == 0 {
+        return V6Class::Teredo;
+    }
+    if seg[0] & 0xe000 == 0x2000 {
+        return V6Class::GlobalUnicast;
+    }
+    V6Class::Reserved
+}
+
+impl V6Class {
+    /// RFC 6724 §3.1 scope of a unicast address of this class. Multicast
+    /// carries its own scope. ULAs are *global scope* per RFC 4193 §3.3 —
+    /// a detail RFC 6724's policy table then de-prioritizes via label.
+    pub fn scope(&self) -> Scope {
+        match self {
+            V6Class::Loopback | V6Class::Unspecified => Scope::InterfaceLocal,
+            V6Class::LinkLocal => Scope::LinkLocal,
+            V6Class::SiteLocal => Scope::SiteLocal,
+            V6Class::Multicast(s) => *s,
+            _ => Scope::Global,
+        }
+    }
+
+    /// Is this class usable as a source for globally routed traffic
+    /// (ignoring policy — just reachability semantics)?
+    pub fn is_global_unicast_like(&self) -> bool {
+        matches!(
+            self,
+            V6Class::GlobalUnicast
+                | V6Class::Nat64WellKnown(_)
+                | V6Class::SixToFour
+                | V6Class::Teredo
+        )
+    }
+}
+
+/// Scope of an IPv6 address (unicast or multicast).
+pub fn v6_scope(a: Ipv6Addr) -> Scope {
+    v6_class(a).scope()
+}
+
+/// IPv4 classification relevant to the testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum V4Class {
+    /// 0.0.0.0
+    Unspecified,
+    /// 127.0.0.0/8
+    Loopback,
+    /// RFC 1918 private space.
+    Private,
+    /// 169.254.0.0/16 link-local (APIPA — what a v4-only client falls back
+    /// to when DHCPv4 offers nothing).
+    LinkLocal,
+    /// 100.64.0.0/10 carrier-grade NAT space (RFC 6598) — the paper's IoT
+    /// motivation mentions CGN deployments.
+    SharedCgn,
+    /// Multicast 224.0.0.0/4.
+    Multicast,
+    /// Broadcast 255.255.255.255.
+    Broadcast,
+    /// Documentation ranges (192.0.2/24, 198.51.100/24, 203.0.113/24).
+    Documentation,
+    /// Everything else: public unicast.
+    Public,
+}
+
+/// Classify an IPv4 address.
+pub fn v4_class(a: Ipv4Addr) -> V4Class {
+    let o = a.octets();
+    if a.is_unspecified() {
+        V4Class::Unspecified
+    } else if o[0] == 127 {
+        V4Class::Loopback
+    } else if o[0] == 10
+        || (o[0] == 172 && (16..32).contains(&o[1]))
+        || (o[0] == 192 && o[1] == 168)
+    {
+        V4Class::Private
+    } else if o[0] == 169 && o[1] == 254 {
+        V4Class::LinkLocal
+    } else if o[0] == 100 && (64..128).contains(&o[1]) {
+        V4Class::SharedCgn
+    } else if o == [255, 255, 255, 255] {
+        V4Class::Broadcast
+    } else if o[0] >= 224 && o[0] < 240 {
+        V4Class::Multicast
+    } else if (o[0] == 192 && o[1] == 0 && o[2] == 2)
+        || (o[0] == 198 && o[1] == 51 && o[2] == 100)
+        || (o[0] == 203 && o[1] == 0 && o[2] == 113)
+    {
+        V4Class::Documentation
+    } else {
+        V4Class::Public
+    }
+}
+
+impl V4Class {
+    /// May this address appear as the *source* of globally routed traffic
+    /// without NAT? (RFC 6052 §3.1 uses this to forbid embedding non-global
+    /// v4 addresses under the NAT64 well-known prefix.)
+    pub fn is_global(&self) -> bool {
+        matches!(self, V4Class::Public)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(s: &str) -> V6Class {
+        v6_class(s.parse().unwrap())
+    }
+
+    #[test]
+    fn paper_addresses_classify() {
+        // The dead RDNSS ULAs from Fig. 3:
+        assert_eq!(c("fd00:976a::9"), V6Class::UniqueLocal);
+        assert_eq!(c("fd00:976a::10"), V6Class::UniqueLocal);
+        // The client's 5G GUA from Fig. 5 caption:
+        assert_eq!(
+            c("2607:fb90:9bda:a425:eccc:47e6:51a9:6090"),
+            V6Class::GlobalUnicast
+        );
+        // The NAT64-translated sc24.supercomputing.org from Fig. 7:
+        assert_eq!(
+            c("64:ff9b::be5c:9e04"),
+            V6Class::Nat64WellKnown("190.92.158.4".parse().unwrap())
+        );
+        // ip6.me's real v6 address:
+        assert_eq!(c("2001:4810:0:3::71"), V6Class::GlobalUnicast);
+    }
+
+    #[test]
+    fn special_classes() {
+        assert_eq!(c("::"), V6Class::Unspecified);
+        assert_eq!(c("::1"), V6Class::Loopback);
+        assert_eq!(c("fe80::1"), V6Class::LinkLocal);
+        assert_eq!(c("fec0::1"), V6Class::SiteLocal);
+        assert_eq!(c("2002:c000:204::1"), V6Class::SixToFour);
+        assert_eq!(c("2001::1"), V6Class::Teredo);
+        assert_eq!(c("2001:db8::1"), V6Class::Documentation);
+        assert_eq!(
+            c("::ffff:192.0.2.1"),
+            V6Class::V4Mapped("192.0.2.1".parse().unwrap())
+        );
+    }
+
+    #[test]
+    fn multicast_scopes() {
+        assert_eq!(c("ff02::1"), V6Class::Multicast(Scope::LinkLocal));
+        assert_eq!(c("ff05::2"), V6Class::Multicast(Scope::SiteLocal));
+        assert_eq!(c("ff0e::1"), V6Class::Multicast(Scope::Global));
+        assert_eq!(c("ff01::1"), V6Class::Multicast(Scope::InterfaceLocal));
+    }
+
+    #[test]
+    fn ula_scope_is_global_rfc4193() {
+        assert_eq!(v6_scope("fd00:976a::9".parse().unwrap()), Scope::Global);
+        assert_eq!(v6_scope("fe80::1".parse().unwrap()), Scope::LinkLocal);
+    }
+
+    #[test]
+    fn scope_ordering_for_rule8() {
+        assert!(Scope::LinkLocal < Scope::SiteLocal);
+        assert!(Scope::SiteLocal < Scope::Global);
+    }
+
+    #[test]
+    fn v4_classes() {
+        let f = |s: &str| v4_class(s.parse().unwrap());
+        assert_eq!(f("192.168.12.251"), V4Class::Private);
+        assert_eq!(f("10.0.0.1"), V4Class::Private);
+        assert_eq!(f("172.31.0.1"), V4Class::Private);
+        assert_eq!(f("172.32.0.1"), V4Class::Public);
+        assert_eq!(f("169.254.7.7"), V4Class::LinkLocal);
+        assert_eq!(f("100.64.0.1"), V4Class::SharedCgn);
+        assert_eq!(f("23.153.8.71"), V4Class::Public); // ip6.me
+        assert_eq!(f("130.202.36.253"), V4Class::Public); // Argonne resolver (Fig. 9)
+        assert_eq!(f("224.0.0.251"), V4Class::Multicast);
+        assert_eq!(f("255.255.255.255"), V4Class::Broadcast);
+        assert_eq!(f("198.51.100.7"), V4Class::Documentation);
+    }
+
+    #[test]
+    fn global_eligibility() {
+        assert!(v4_class("23.153.8.71".parse().unwrap()).is_global());
+        assert!(!v4_class("192.168.1.1".parse().unwrap()).is_global());
+        assert!(V6Class::GlobalUnicast.is_global_unicast_like());
+        assert!(!V6Class::UniqueLocal.is_global_unicast_like());
+    }
+}

@@ -1,0 +1,28 @@
+//! # v6addr — IPv6/IPv4 address machinery for the sc24v6 testbed
+//!
+//! Everything about *addresses* that the paper's testbed depends on:
+//!
+//! * prefix arithmetic for both families ([`prefix`])
+//! * address classification: link-local, ULA, GUA, multicast scopes,
+//!   IPv4-mapped, documentation ranges ([`class`])
+//! * RFC 6052 IPv4-embedded IPv6 addresses — the NAT64 well-known prefix
+//!   `64:ff9b::/96` and all network-specific prefix lengths ([`rfc6052`])
+//! * SLAAC interface identifiers: modified EUI-64 and RFC 7217
+//!   stable-private ([`slaac`])
+//! * RFC 6724 source and destination address selection, the mechanism the
+//!   paper leans on for "AAAA record answers will be preferred by modern
+//!   operating systems with IPv6 connectivity" ([`rfc6724`])
+
+#![warn(missing_docs)]
+
+pub mod class;
+pub mod prefix;
+pub mod rfc6052;
+pub mod rfc6724;
+pub mod slaac;
+
+pub use class::{v6_class, Scope, V6Class};
+pub use prefix::{Ipv4Prefix, Ipv6Prefix, PrefixError};
+pub use rfc6052::{Nat64Prefix, PrefixLen};
+pub use rfc6724::{select_source, sort_destinations, CandidateSource, PolicyTable};
+pub use slaac::{eui64_iid, stable_private_iid};

@@ -1,0 +1,315 @@
+//! CIDR prefix arithmetic for both IP families.
+
+use std::net::{Ipv4Addr, Ipv6Addr};
+use std::str::FromStr;
+
+/// Errors from prefix parsing/construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrefixError {
+    /// Prefix length exceeds the family's address width.
+    LengthOutOfRange {
+        /// Offending length.
+        len: u8,
+        /// Maximum for the family.
+        max: u8,
+    },
+    /// The string was not `addr/len`.
+    Malformed(String),
+}
+
+impl core::fmt::Display for PrefixError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PrefixError::LengthOutOfRange { len, max } => {
+                write!(f, "prefix length {len} exceeds {max}")
+            }
+            PrefixError::Malformed(s) => write!(f, "malformed prefix: {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for PrefixError {}
+
+/// An IPv6 CIDR prefix. The address is stored in canonical (masked) form.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ipv6Prefix {
+    addr: u128,
+    len: u8,
+}
+
+impl Ipv6Prefix {
+    /// Construct, masking `addr` down to `len` bits.
+    pub fn new(addr: Ipv6Addr, len: u8) -> Result<Self, PrefixError> {
+        if len > 128 {
+            return Err(PrefixError::LengthOutOfRange { len, max: 128 });
+        }
+        Ok(Ipv6Prefix {
+            addr: u128::from(addr) & Self::mask(len),
+            len,
+        })
+    }
+
+    fn mask(len: u8) -> u128 {
+        if len == 0 {
+            0
+        } else {
+            u128::MAX << (128 - u32::from(len))
+        }
+    }
+
+    /// The canonical network address.
+    pub fn network(&self) -> Ipv6Addr {
+        Ipv6Addr::from(self.addr)
+    }
+
+    /// Prefix length in bits.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// True only for the zero-length prefix `::/0`.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Does this prefix cover `addr`?
+    pub fn contains(&self, addr: Ipv6Addr) -> bool {
+        u128::from(addr) & Self::mask(self.len) == self.addr
+    }
+
+    /// Does this prefix fully cover `other`?
+    pub fn covers(&self, other: &Ipv6Prefix) -> bool {
+        other.len >= self.len && (other.addr & Self::mask(self.len)) == self.addr
+    }
+
+    /// The address formed by putting `iid` (host bits) under this prefix.
+    /// Bits of `iid` that overlap the prefix are discarded.
+    pub fn with_iid(&self, iid: u128) -> Ipv6Addr {
+        Ipv6Addr::from(self.addr | (iid & !Self::mask(self.len)))
+    }
+
+    /// The `n`-th /64 subnet of this prefix (panics if `len > 64`).
+    pub fn subnet64(&self, n: u64) -> Ipv6Prefix {
+        assert!(self.len <= 64, "subnet64 requires a prefix of /64 or shorter");
+        let shifted = u128::from(n) << 64;
+        Ipv6Prefix {
+            addr: self.addr | (shifted & !Self::mask(self.len) & Self::mask(64)),
+            len: 64,
+        }
+    }
+
+    /// Number of leading bits shared between `a` and `b` (RFC 6724's
+    /// `CommonPrefixLen`, clamped to 64 bits by its callers, not here).
+    pub fn common_prefix_len(a: Ipv6Addr, b: Ipv6Addr) -> u8 {
+        (u128::from(a) ^ u128::from(b)).leading_zeros() as u8
+    }
+}
+
+impl core::fmt::Debug for Ipv6Prefix {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+impl core::fmt::Display for Ipv6Prefix {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        core::fmt::Debug::fmt(self, f)
+    }
+}
+
+impl FromStr for Ipv6Prefix {
+    type Err = PrefixError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s
+            .split_once('/')
+            .ok_or_else(|| PrefixError::Malformed(s.into()))?;
+        let addr: Ipv6Addr = addr
+            .parse()
+            .map_err(|_| PrefixError::Malformed(s.into()))?;
+        let len: u8 = len.parse().map_err(|_| PrefixError::Malformed(s.into()))?;
+        Ipv6Prefix::new(addr, len)
+    }
+}
+
+/// An IPv4 CIDR prefix, canonical form.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ipv4Prefix {
+    addr: u32,
+    len: u8,
+}
+
+impl Ipv4Prefix {
+    /// Construct, masking `addr` down to `len` bits.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Result<Self, PrefixError> {
+        if len > 32 {
+            return Err(PrefixError::LengthOutOfRange { len, max: 32 });
+        }
+        Ok(Ipv4Prefix {
+            addr: u32::from(addr) & Self::mask(len),
+            len,
+        })
+    }
+
+    fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - u32::from(len))
+        }
+    }
+
+    /// The canonical network address.
+    pub fn network(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.addr)
+    }
+
+    /// Prefix length in bits.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// True only for `0.0.0.0/0`.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Does this prefix cover `addr`?
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        u32::from(addr) & Self::mask(self.len) == self.addr
+    }
+
+    /// The `n`-th host address in the prefix (n=0 is the network address).
+    pub fn host(&self, n: u32) -> Ipv4Addr {
+        Ipv4Addr::from(self.addr | (n & !Self::mask(self.len)))
+    }
+
+    /// Count of addresses covered (saturating at `u32::MAX` for /0).
+    pub fn size(&self) -> u32 {
+        if self.len == 0 {
+            u32::MAX
+        } else {
+            1u32 << (32 - u32::from(self.len))
+        }
+    }
+}
+
+impl core::fmt::Debug for Ipv4Prefix {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+impl core::fmt::Display for Ipv4Prefix {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        core::fmt::Debug::fmt(self, f)
+    }
+}
+
+impl FromStr for Ipv4Prefix {
+    type Err = PrefixError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s
+            .split_once('/')
+            .ok_or_else(|| PrefixError::Malformed(s.into()))?;
+        let addr: Ipv4Addr = addr
+            .parse()
+            .map_err(|_| PrefixError::Malformed(s.into()))?;
+        let len: u8 = len.parse().map_err(|_| PrefixError::Malformed(s.into()))?;
+        Ipv4Prefix::new(addr, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v6_parse_and_contains() {
+        let p: Ipv6Prefix = "fd00:976a::/64".parse().unwrap();
+        assert!(p.contains("fd00:976a::9".parse().unwrap()));
+        assert!(p.contains("fd00:976a::eccc:47e6:51a9:6090".parse().unwrap()));
+        assert!(!p.contains("fd00:976b::1".parse().unwrap()));
+        assert_eq!(p.to_string(), "fd00:976a::/64");
+    }
+
+    #[test]
+    fn v6_canonicalizes() {
+        let p = Ipv6Prefix::new("2001:db8::dead:beef".parse().unwrap(), 32).unwrap();
+        assert_eq!(p.network(), "2001:db8::".parse::<Ipv6Addr>().unwrap());
+    }
+
+    #[test]
+    fn v6_with_iid() {
+        let p: Ipv6Prefix = "2607:fb90:9bda:a425::/64".parse().unwrap();
+        let a = p.with_iid(0xeccc_47e6_51a9_6090);
+        assert_eq!(
+            a,
+            "2607:fb90:9bda:a425:eccc:47e6:51a9:6090"
+                .parse::<Ipv6Addr>()
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn v6_subnets_of_argonne_32() {
+        // A /32 contains ~64k /48s, each with ~64k /64s (paper §II.A).
+        let p: Ipv6Prefix = "2620:10f::/32".parse().unwrap();
+        let s0 = p.subnet64(0);
+        let s1 = p.subnet64(1);
+        assert_eq!(s0.len(), 64);
+        assert_ne!(s0, s1);
+        assert!(p.covers(&s1));
+    }
+
+    #[test]
+    fn v6_covers() {
+        let p32: Ipv6Prefix = "2620:10f::/32".parse().unwrap();
+        let p48: Ipv6Prefix = "2620:10f:d000::/48".parse().unwrap();
+        assert!(p32.covers(&p48));
+        assert!(!p48.covers(&p32));
+    }
+
+    #[test]
+    fn v6_common_prefix_len() {
+        let a: Ipv6Addr = "2001:db8::1".parse().unwrap();
+        let b: Ipv6Addr = "2001:db8::2".parse().unwrap();
+        assert_eq!(Ipv6Prefix::common_prefix_len(a, b), 126);
+        assert_eq!(Ipv6Prefix::common_prefix_len(a, a), 128);
+    }
+
+    #[test]
+    fn v6_len_range_checked() {
+        assert!(Ipv6Prefix::new(Ipv6Addr::UNSPECIFIED, 129).is_err());
+        assert!("::/129".parse::<Ipv6Prefix>().is_err());
+        assert!("nonsense".parse::<Ipv6Prefix>().is_err());
+    }
+
+    #[test]
+    fn v4_parse_contains_host() {
+        let p: Ipv4Prefix = "192.168.12.0/24".parse().unwrap();
+        assert!(p.contains("192.168.12.251".parse().unwrap()));
+        assert!(!p.contains("192.168.13.1".parse().unwrap()));
+        assert_eq!(p.host(251), "192.168.12.251".parse::<Ipv4Addr>().unwrap());
+        assert_eq!(p.size(), 256);
+    }
+
+    #[test]
+    fn v4_single_24_motivates_exhaustion() {
+        // Paper §II: "a single /24 address space (around 250 usable addresses)".
+        let p: Ipv4Prefix = "10.10.10.0/24".parse().unwrap();
+        let usable = p.size() - 2; // network + broadcast
+        assert_eq!(usable, 254);
+    }
+
+    #[test]
+    fn zero_length_prefixes() {
+        let v6: Ipv6Prefix = "::/0".parse().unwrap();
+        assert!(v6.is_empty());
+        assert!(v6.contains("2001:db8::1".parse().unwrap()));
+        let v4: Ipv4Prefix = "0.0.0.0/0".parse().unwrap();
+        assert!(v4.is_empty());
+        assert!(v4.contains("8.8.8.8".parse().unwrap()));
+    }
+}

@@ -1,0 +1,307 @@
+//! RFC 6052 — IPv4-embedded IPv6 addresses.
+//!
+//! NAT64 and DNS64 agree on a translation prefix; the IPv4 address is
+//! embedded at a position that depends on the prefix length, skipping bits
+//! 64..71 ("u" octet, must be zero). The testbed uses the well-known prefix
+//! `64:ff9b::/96` (paper §IV.A), but network-specific prefixes of length
+//! 32/40/48/56/64/96 are all implemented and tested against the RFC's
+//! examples.
+
+use crate::class::{v4_class, V4Class};
+use crate::prefix::Ipv6Prefix;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Legal NAT64/DNS64 prefix lengths (RFC 6052 §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefixLen {
+    /// /32 — IPv4 in bits 32..63.
+    L32,
+    /// /40 — bits 40..63 + 72..79.
+    L40,
+    /// /48 — bits 48..63 + 72..87.
+    L48,
+    /// /56 — bits 56..63 + 72..95.
+    L56,
+    /// /64 — bits 72..103.
+    L64,
+    /// /96 — bits 96..127 (the well-known prefix's length).
+    L96,
+}
+
+impl PrefixLen {
+    /// Numeric length.
+    pub fn bits(self) -> u8 {
+        match self {
+            PrefixLen::L32 => 32,
+            PrefixLen::L40 => 40,
+            PrefixLen::L48 => 48,
+            PrefixLen::L56 => 56,
+            PrefixLen::L64 => 64,
+            PrefixLen::L96 => 96,
+        }
+    }
+
+    /// Validate a numeric length.
+    pub fn from_bits(bits: u8) -> Option<PrefixLen> {
+        Some(match bits {
+            32 => PrefixLen::L32,
+            40 => PrefixLen::L40,
+            48 => PrefixLen::L48,
+            56 => PrefixLen::L56,
+            64 => PrefixLen::L64,
+            96 => PrefixLen::L96,
+            _ => return None,
+        })
+    }
+}
+
+/// Errors from NAT64 prefix construction and embedding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rfc6052Error {
+    /// The prefix length is not one of the six legal values.
+    IllegalLength(u8),
+    /// Embedding a non-global IPv4 address under the well-known prefix
+    /// (forbidden by RFC 6052 §3.1).
+    NonGlobalUnderWkp(Ipv4Addr),
+    /// The address does not belong to this translation prefix.
+    NotInPrefix(Ipv6Addr),
+}
+
+impl core::fmt::Display for Rfc6052Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Rfc6052Error::IllegalLength(l) => write!(f, "illegal NAT64 prefix length /{l}"),
+            Rfc6052Error::NonGlobalUnderWkp(a) =>
+
+                write!(f, "cannot embed non-global {a} under 64:ff9b::/96"),
+            Rfc6052Error::NotInPrefix(a) => write!(f, "{a} is not in this NAT64 prefix"),
+        }
+    }
+}
+
+impl std::error::Error for Rfc6052Error {}
+
+/// A NAT64/DNS64 translation prefix.
+///
+/// ```
+/// use v6addr::rfc6052::Nat64Prefix;
+/// use std::net::{Ipv4Addr, Ipv6Addr};
+///
+/// let wkp = Nat64Prefix::well_known();
+/// let v6 = wkp.embed("190.92.158.4".parse().unwrap()).unwrap();
+/// assert_eq!(v6, "64:ff9b::be5c:9e04".parse::<Ipv6Addr>().unwrap());
+/// assert_eq!(wkp.extract(v6).unwrap(), "190.92.158.4".parse::<Ipv4Addr>().unwrap());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Nat64Prefix {
+    prefix: Ipv6Prefix,
+    len: PrefixLen,
+}
+
+impl Nat64Prefix {
+    /// The well-known prefix `64:ff9b::/96` (RFC 6052 §2.1).
+    pub fn well_known() -> Nat64Prefix {
+        Nat64Prefix {
+            prefix: "64:ff9b::/96".parse().expect("static WKP"),
+            len: PrefixLen::L96,
+        }
+    }
+
+    /// A network-specific prefix.
+    pub fn new(prefix: Ipv6Prefix) -> Result<Nat64Prefix, Rfc6052Error> {
+        let len = PrefixLen::from_bits(prefix.len())
+            .ok_or(Rfc6052Error::IllegalLength(prefix.len()))?;
+        Ok(Nat64Prefix { prefix, len })
+    }
+
+    /// Is this the well-known prefix?
+    pub fn is_well_known(&self) -> bool {
+        *self == Self::well_known()
+    }
+
+    /// The underlying IPv6 prefix.
+    pub fn prefix(&self) -> Ipv6Prefix {
+        self.prefix
+    }
+
+    /// Embed `v4` per RFC 6052 §2.2. Fails for non-global v4 addresses when
+    /// this is the well-known prefix (§3.1).
+    pub fn embed(&self, v4: Ipv4Addr) -> Result<Ipv6Addr, Rfc6052Error> {
+        if self.is_well_known() && !matches!(v4_class(v4), V4Class::Public) {
+            return Err(Rfc6052Error::NonGlobalUnderWkp(v4));
+        }
+        Ok(self.embed_unchecked(v4))
+    }
+
+    /// Embed without the §3.1 well-known-prefix check — the testbed uses
+    /// this knowingly for lab-local IPv4 space behind the 5G gateway.
+    pub fn embed_unchecked(&self, v4: Ipv4Addr) -> Ipv6Addr {
+        let p = u128::from(self.prefix.network());
+        let v = u128::from(u32::from(v4));
+        let combined = match self.len {
+            // Bits counted from the top of the 128-bit address.
+            PrefixLen::L32 => p | (v << 64),
+            PrefixLen::L40 => p | ((v >> 8) << 64) | ((v & 0xff) << 48),
+            PrefixLen::L48 => p | ((v >> 16) << 64) | ((v & 0xffff) << 40),
+            PrefixLen::L56 => p | ((v >> 24) << 64) | ((v & 0xff_ffff) << 32),
+            PrefixLen::L64 => p | (v << 24),
+            PrefixLen::L96 => p | v,
+        };
+        Ipv6Addr::from(combined)
+    }
+
+    /// Extract the embedded IPv4 address (RFC 6052 §2.3), verifying prefix
+    /// membership.
+    pub fn extract(&self, v6: Ipv6Addr) -> Result<Ipv4Addr, Rfc6052Error> {
+        if !self.prefix.contains(v6) {
+            return Err(Rfc6052Error::NotInPrefix(v6));
+        }
+        let bits = u128::from(v6);
+        let v: u32 = match self.len {
+            PrefixLen::L32 => (bits >> 64) as u32,
+            PrefixLen::L40 => ((((bits >> 64) & 0xff_ffff) << 8) | ((bits >> 48) & 0xff)) as u32,
+            PrefixLen::L48 => ((((bits >> 64) & 0xffff) << 16) | ((bits >> 40) & 0xffff)) as u32,
+            PrefixLen::L56 => ((((bits >> 64) & 0xff) << 24) | ((bits >> 32) & 0xff_ffff)) as u32,
+            PrefixLen::L64 => ((bits >> 24) & 0xffff_ffff) as u32,
+            PrefixLen::L96 => bits as u32,
+        };
+        Ok(Ipv4Addr::from(v))
+    }
+
+    /// Does this prefix cover `v6` (i.e. is it a translated address)?
+    pub fn matches(&self, v6: Ipv6Addr) -> bool {
+        self.prefix.contains(v6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 6052 §2.4 gives a worked table for 192.0.2.33 under 2001:db8::
+    /// at every legal length.
+    #[test]
+    fn rfc6052_section_2_4_table() {
+        let v4: Ipv4Addr = "192.0.2.33".parse().unwrap();
+        let cases = [
+            (32, "2001:db8:c000:221::"),
+            (40, "2001:db8:1c0:2:21::"),
+            (48, "2001:db8:122:c000:2:2100::"),
+            (56, "2001:db8:122:3c0:0:221::"),
+            (64, "2001:db8:122:344:c0:2:2100:0"),
+            (96, "2001:db8:122:344::192.0.2.33"),
+        ];
+        for (len, expect) in cases {
+            let base = match len {
+                32 => "2001:db8::/32",
+                40 => "2001:db8:100::/40",
+                48 => "2001:db8:122::/48",
+                56 => "2001:db8:122:300::/56",
+                64 => "2001:db8:122:344::/64",
+                96 => "2001:db8:122:344::/96",
+                _ => unreachable!(),
+            };
+            let p = Nat64Prefix::new(base.parse().unwrap()).unwrap();
+            let embedded = p.embed(v4).unwrap();
+            assert_eq!(
+                embedded,
+                expect.parse::<Ipv6Addr>().unwrap(),
+                "embed at /{len}"
+            );
+            assert_eq!(p.extract(embedded).unwrap(), v4, "extract at /{len}");
+        }
+    }
+
+    #[test]
+    fn paper_fig7_address() {
+        // Fig. 7: sc24.supercomputing.org resolved to 64:ff9b::be5c:9e04,
+        // i.e. 190.92.158.4 behind the WKP.
+        let wkp = Nat64Prefix::well_known();
+        let v6: Ipv6Addr = "64:ff9b::be5c:9e04".parse().unwrap();
+        assert_eq!(wkp.extract(v6).unwrap(), "190.92.158.4".parse::<Ipv4Addr>().unwrap());
+        assert_eq!(wkp.embed("190.92.158.4".parse().unwrap()).unwrap(), v6);
+    }
+
+    #[test]
+    fn paper_fig9_address() {
+        // Fig. 9: vpn.anl.gov pinged as 64:ff9b::82ca:e4fd = 130.202.228.253.
+        let wkp = Nat64Prefix::well_known();
+        assert_eq!(
+            wkp.extract("64:ff9b::82ca:e4fd".parse().unwrap()).unwrap(),
+            "130.202.228.253".parse::<Ipv4Addr>().unwrap()
+        );
+    }
+
+    #[test]
+    fn wkp_rejects_private_v4() {
+        let wkp = Nat64Prefix::well_known();
+        assert!(matches!(
+            wkp.embed("192.168.12.251".parse().unwrap()),
+            Err(Rfc6052Error::NonGlobalUnderWkp(_))
+        ));
+        // ...but the testbed may choose to do it anyway.
+        let forced = wkp.embed_unchecked("192.168.12.251".parse().unwrap());
+        assert_eq!(wkp.extract(forced).unwrap(), "192.168.12.251".parse::<Ipv4Addr>().unwrap());
+    }
+
+    #[test]
+    fn illegal_lengths_rejected() {
+        for len in [0u8, 1, 31, 33, 65, 95, 97, 128] {
+            let p = Ipv6Prefix::new("2001:db8::".parse().unwrap(), len).unwrap();
+            assert!(
+                matches!(Nat64Prefix::new(p), Err(Rfc6052Error::IllegalLength(_))),
+                "length {len} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn extract_requires_membership() {
+        let wkp = Nat64Prefix::well_known();
+        assert!(matches!(
+            wkp.extract("2001:db8::1".parse().unwrap()),
+            Err(Rfc6052Error::NotInPrefix(_))
+        ));
+    }
+
+    #[test]
+    fn u_octet_is_zero_at_all_lengths() {
+        // RFC 6052 §2.2: bits 64..71 must be zero in every embedded address.
+        let v4: Ipv4Addr = "203.0.113.77".parse().unwrap();
+        for (base, _len) in [
+            ("2001:db8::/32", 32u8),
+            ("2001:db8:100::/40", 40),
+            ("2001:db8:122::/48", 48),
+            ("2001:db8:122:300::/56", 56),
+            ("2001:db8:122:344::/64", 64),
+            ("2001:db8:122:344::/96", 96),
+        ] {
+            let p = Nat64Prefix::new(base.parse().unwrap()).unwrap();
+            let e = p.embed(v4).unwrap();
+            assert_eq!(e.octets()[8], 0, "u octet at {base}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_lengths_exhaustive_octets() {
+        // Round-trip a spread of addresses at each length.
+        for (base, _) in [
+            ("2001:db8::/32", 0),
+            ("2001:db8:100::/40", 0),
+            ("2001:db8:122::/48", 0),
+            ("2001:db8:122:300::/56", 0),
+            ("2001:db8:122:344::/64", 0),
+            ("2001:db8:122:344::/96", 0),
+        ] {
+            let p = Nat64Prefix::new(base.parse().unwrap()).unwrap();
+            for a in [
+                Ipv4Addr::new(1, 2, 3, 4),
+                Ipv4Addr::new(255, 255, 255, 255),
+                Ipv4Addr::new(128, 0, 0, 1),
+                Ipv4Addr::new(23, 153, 8, 71),
+            ] {
+                assert_eq!(p.extract(p.embed_unchecked(a)).unwrap(), a, "{base} {a}");
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! SLAAC interface-identifier generation.
+//!
+//! Two schemes the testbed's clients use:
+//!
+//! * **Modified EUI-64** (RFC 4291 App. A) — what Windows XP and embedded
+//!   devices derive from the MAC (visible in the paper's Fig. 7 `ipconfig`
+//!   output: `fd00:976a::200:59ff:feaa:c6a3` embeds `00-00-59-AA-C6-A3`).
+//! * **Stable, semantically opaque IIDs** (RFC 7217) — what modern OSes use.
+//!   RFC 7217 calls for a PRF such as SHA-1; with no crypto dependency we
+//!   substitute a 128-bit xor/multiply mixer (documented in DESIGN.md). The
+//!   properties the testbed relies on — stability per (prefix, interface,
+//!   key) and change across prefixes — hold identically.
+
+use crate::prefix::Ipv6Prefix;
+use std::net::Ipv6Addr;
+
+/// Modified EUI-64 interface identifier from a MAC address: flip the U/L bit
+/// and insert `ff:fe`.
+pub fn eui64_iid(mac: [u8; 6]) -> u64 {
+    u64::from_be_bytes([
+        mac[0] ^ 0x02,
+        mac[1],
+        mac[2],
+        0xff,
+        0xfe,
+        mac[3],
+        mac[4],
+        mac[5],
+    ])
+}
+
+/// The SLAAC address for `prefix` using the modified EUI-64 of `mac`.
+pub fn eui64_address(prefix: Ipv6Prefix, mac: [u8; 6]) -> Ipv6Addr {
+    prefix.with_iid(u128::from(eui64_iid(mac)))
+}
+
+/// A deterministic 128→64 bit mixer standing in for RFC 7217's PRF.
+/// (splitmix64-style finalization over the concatenated inputs.)
+fn mix(state: &mut u64, chunk: u64) {
+    *state ^= chunk.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    *state = (*state ^ (*state >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    *state = (*state ^ (*state >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    *state ^= *state >> 31;
+}
+
+/// RFC 7217 stable-private interface identifier:
+/// `F(prefix, net_iface, network_id, dad_counter, secret_key)`.
+///
+/// * `prefix` — the SLAAC prefix being configured.
+/// * `net_iface` — an interface index (stable per interface).
+/// * `dad_counter` — bumped when duplicate-address-detection fails.
+/// * `secret_key` — per-host secret; differing keys give unrelated IIDs.
+pub fn stable_private_iid(
+    prefix: Ipv6Prefix,
+    net_iface: u32,
+    dad_counter: u8,
+    secret_key: u64,
+) -> u64 {
+    let p = u128::from(prefix.network());
+    let mut state = secret_key;
+    mix(&mut state, (p >> 64) as u64);
+    mix(&mut state, p as u64);
+    mix(&mut state, u64::from(prefix.len()));
+    mix(&mut state, u64::from(net_iface));
+    mix(&mut state, u64::from(dad_counter));
+    // Clear the universal/local bit so the IID reads as locally generated.
+    state & !(0x0200_0000_0000_0000u64 << 1)
+}
+
+/// The SLAAC address for `prefix` using an RFC 7217 stable-private IID.
+pub fn stable_private_address(
+    prefix: Ipv6Prefix,
+    net_iface: u32,
+    dad_counter: u8,
+    secret_key: u64,
+) -> Ipv6Addr {
+    prefix.with_iid(u128::from(stable_private_iid(
+        prefix,
+        net_iface,
+        dad_counter,
+        secret_key,
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv6Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn fig7_winxp_eui64_address() {
+        // Paper Fig. 7: MAC 00-00-59-AA-C6-A3 on fd00:976a::/64 yields
+        // fd00:976a::200:59ff:feaa:c6a3.
+        let addr = eui64_address(p("fd00:976a::/64"), [0x00, 0x00, 0x59, 0xaa, 0xc6, 0xa3]);
+        assert_eq!(
+            addr,
+            "fd00:976a::200:59ff:feaa:c6a3".parse::<Ipv6Addr>().unwrap()
+        );
+    }
+
+    #[test]
+    fn stable_iid_is_stable() {
+        let a = stable_private_iid(p("2607:fb90:9bda:a425::/64"), 1, 0, 42);
+        let b = stable_private_iid(p("2607:fb90:9bda:a425::/64"), 1, 0, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stable_iid_changes_with_prefix() {
+        // The 5G gateway hands out a different /64 every reboot (paper §IV.A);
+        // RFC 7217 clients then derive a *different* IID per prefix.
+        let a = stable_private_iid(p("2607:fb90:9bda:a425::/64"), 1, 0, 42);
+        let b = stable_private_iid(p("2607:fb90:9bda:b001::/64"), 1, 0, 42);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn stable_iid_changes_with_key_iface_dad() {
+        let base = stable_private_iid(p("fd00:976a::/64"), 1, 0, 42);
+        assert_ne!(base, stable_private_iid(p("fd00:976a::/64"), 2, 0, 42));
+        assert_ne!(base, stable_private_iid(p("fd00:976a::/64"), 1, 1, 42));
+        assert_ne!(base, stable_private_iid(p("fd00:976a::/64"), 1, 0, 43));
+    }
+
+    #[test]
+    fn addresses_fall_under_prefix() {
+        let pre = p("fd00:976a::/64");
+        let a = stable_private_address(pre, 1, 0, 7);
+        assert!(pre.contains(a));
+        let e = eui64_address(pre, [2, 0, 0, 0, 0, 1]);
+        assert!(pre.contains(e));
+    }
+
+    #[test]
+    fn eui64_distinct_macs_distinct_iids() {
+        assert_ne!(
+            eui64_iid([0, 0, 0, 0, 0, 1]),
+            eui64_iid([0, 0, 0, 0, 0, 2])
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! Property-based tests for the address machinery: RFC 6052 round-trips at
+//! every legal prefix length, prefix algebra laws, and RFC 6724 ordering
+//! invariants.
+
+use proptest::prelude::*;
+use std::net::{Ipv4Addr, Ipv6Addr};
+use v6addr::prefix::{Ipv4Prefix, Ipv6Prefix};
+use v6addr::rfc6052::{Nat64Prefix, PrefixLen};
+use v6addr::rfc6724::{
+    mapped, select_source, sort_destinations, CandidateSource, DestCandidate, PolicyTable,
+};
+use v6addr::slaac;
+
+fn arb_v4() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+fn arb_v6() -> impl Strategy<Value = Ipv6Addr> {
+    any::<u128>().prop_map(Ipv6Addr::from)
+}
+
+fn arb_len() -> impl Strategy<Value = PrefixLen> {
+    prop::sample::select(vec![
+        PrefixLen::L32,
+        PrefixLen::L40,
+        PrefixLen::L48,
+        PrefixLen::L56,
+        PrefixLen::L64,
+        PrefixLen::L96,
+    ])
+}
+
+proptest! {
+    #[test]
+    fn rfc6052_roundtrip_every_length(v4 in arb_v4(), base in arb_v6(), len in arb_len()) {
+        let prefix = Ipv6Prefix::new(base, len.bits()).unwrap();
+        let p = Nat64Prefix::new(prefix).unwrap();
+        let embedded = p.embed_unchecked(v4);
+        prop_assert!(p.matches(embedded));
+        prop_assert_eq!(p.extract(embedded).unwrap(), v4);
+        // The u octet (bits 64..71) must be zero wherever the *translator*
+        // writes it; at /96 that octet belongs to the prefix itself (RFC
+        // 6052 §2.2 constrains prefix selection there, not embedding).
+        if len.bits() < 96 {
+            prop_assert_eq!(embedded.octets()[8], 0);
+        } else {
+            prop_assert_eq!(embedded.octets()[8], prefix.network().octets()[8]);
+        }
+    }
+
+    #[test]
+    fn rfc6052_embedding_is_injective(a in arb_v4(), b in arb_v4(), len in arb_len()) {
+        let prefix = Ipv6Prefix::new("2001:db8::".parse().unwrap(), len.bits()).unwrap();
+        let p = Nat64Prefix::new(prefix).unwrap();
+        if a != b {
+            prop_assert_ne!(p.embed_unchecked(a), p.embed_unchecked(b));
+        }
+    }
+
+    #[test]
+    fn v6_prefix_contains_its_network(addr in arb_v6(), len in 0u8..=128) {
+        let p = Ipv6Prefix::new(addr, len).unwrap();
+        prop_assert!(p.contains(p.network()));
+        // Canonicalization is idempotent.
+        let q = Ipv6Prefix::new(p.network(), len).unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn v6_prefix_cover_is_transitive(addr in arb_v6(), l1 in 0u8..=64, extra in 0u8..=32, extra2 in 0u8..=32) {
+        let a = Ipv6Prefix::new(addr, l1).unwrap();
+        let b = Ipv6Prefix::new(addr, l1 + extra).unwrap();
+        let c = Ipv6Prefix::new(addr, l1 + extra + extra2).unwrap();
+        prop_assert!(a.covers(&b));
+        prop_assert!(b.covers(&c));
+        prop_assert!(a.covers(&c));
+    }
+
+    #[test]
+    fn common_prefix_len_symmetric(a in arb_v6(), b in arb_v6()) {
+        prop_assert_eq!(
+            Ipv6Prefix::common_prefix_len(a, b),
+            Ipv6Prefix::common_prefix_len(b, a)
+        );
+        prop_assert_eq!(Ipv6Prefix::common_prefix_len(a, a), 128);
+    }
+
+    #[test]
+    fn v4_prefix_host_stays_inside(addr in arb_v4(), len in 8u8..=32, n in any::<u32>()) {
+        let p = Ipv4Prefix::new(addr, len).unwrap();
+        prop_assert!(p.contains(p.host(n)));
+    }
+
+    #[test]
+    fn eui64_iid_deterministic_and_distinct(mac in any::<[u8; 6]>(), other in any::<[u8; 6]>()) {
+        prop_assert_eq!(slaac::eui64_iid(mac), slaac::eui64_iid(mac));
+        if mac != other {
+            prop_assert_ne!(slaac::eui64_iid(mac), slaac::eui64_iid(other));
+        }
+    }
+
+    #[test]
+    fn stable_iid_uncorrelated_across_prefixes(base in arb_v6(), secret in any::<u64>()) {
+        let p1 = Ipv6Prefix::new(base, 64).unwrap();
+        let p2 = p1.subnet64(1).network();
+        let p2 = Ipv6Prefix::new(p2, 64).unwrap();
+        if p1 != p2 {
+            prop_assert_ne!(
+                slaac::stable_private_iid(p1, 1, 0, secret),
+                slaac::stable_private_iid(p2, 1, 0, secret)
+            );
+        }
+    }
+
+    /// Ordering destinations is a permutation: nothing lost, nothing added.
+    #[test]
+    fn rfc6724_sort_is_permutation(
+        v6dests in proptest::collection::vec(arb_v6(), 0..8),
+        v4dests in proptest::collection::vec(arb_v4(), 0..8),
+    ) {
+        let table = PolicyTable::default();
+        let sources = [
+            CandidateSource::plain("2607:fb90:9bda:a425::50".parse().unwrap(), 1, 64),
+            CandidateSource::plain(mapped("192.168.12.50".parse().unwrap()), 1, 128),
+        ];
+        let dests: Vec<DestCandidate> = v6dests
+            .iter()
+            .map(|a| DestCandidate::plain(*a))
+            .chain(v4dests.iter().map(|a| DestCandidate::v4(*a)))
+            .collect();
+        let sorted = sort_destinations(&dests, &sources, 1, &table);
+        prop_assert_eq!(sorted.len(), dests.len());
+        let mut a: Vec<_> = dests.iter().map(|d| d.addr).collect();
+        let mut b: Vec<_> = sorted.iter().map(|d| d.addr).collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Unusable destinations (no source of the family) never outrank usable
+    /// ones.
+    #[test]
+    fn rfc6724_usable_first(
+        v6dests in proptest::collection::vec(arb_v6(), 1..6),
+        v4dests in proptest::collection::vec(arb_v4(), 1..6),
+    ) {
+        let table = PolicyTable::default();
+        // v6-only host: every v4 destination is unusable.
+        let sources = [CandidateSource::plain(
+            "2607:fb90:9bda:a425::50".parse().unwrap(), 1, 64,
+        )];
+        let dests: Vec<DestCandidate> = v6dests
+            .iter()
+            .map(|a| DestCandidate::plain(*a))
+            .chain(v4dests.iter().map(|a| DestCandidate::v4(*a)))
+            .collect();
+        let sorted = sort_destinations(&dests, &sources, 1, &table);
+        let first_unusable = sorted
+            .iter()
+            .position(|d| select_source(d.addr, &sources, 1, &table).is_none());
+        if let Some(i) = first_unusable {
+            for d in &sorted[i..] {
+                prop_assert!(
+                    select_source(d.addr, &sources, 1, &table).is_none(),
+                    "usable destination after an unusable one"
+                );
+            }
+        }
+    }
+
+    /// Sorting is deterministic (same inputs → same order).
+    #[test]
+    fn rfc6724_sort_deterministic(v6dests in proptest::collection::vec(arb_v6(), 0..10)) {
+        let table = PolicyTable::default();
+        let sources = [CandidateSource::plain(
+            "2607:fb90:9bda:a425::50".parse().unwrap(), 1, 64,
+        )];
+        let dests: Vec<DestCandidate> =
+            v6dests.iter().map(|a| DestCandidate::plain(*a)).collect();
+        let s1 = sort_destinations(&dests, &sources, 1, &table);
+        let s2 = sort_destinations(&dests, &sources, 1, &table);
+        prop_assert_eq!(s1, s2);
+    }
+
+    /// select_source always returns one of the candidates (of the right
+    /// family), or None when no family-compatible candidate exists.
+    #[test]
+    fn select_source_membership(dst in arb_v6(), n in 1usize..6, seed in any::<u64>()) {
+        let table = PolicyTable::default();
+        let cands: Vec<CandidateSource> = (0..n)
+            .map(|i| {
+                CandidateSource::plain(
+                    Ipv6Addr::from((seed as u128) << 64 | (0x2600u128 << 112) | i as u128),
+                    1,
+                    64,
+                )
+            })
+            .collect();
+        match select_source(dst, &cands, 1, &table) {
+            Some(picked) => prop_assert!(cands.iter().any(|c| c.addr == picked.addr)),
+            None => {
+                // Only possible for v4-mapped destinations here.
+                prop_assert!(matches!(
+                    v6addr::class::v6_class(dst),
+                    v6addr::class::V6Class::V4Mapped(_)
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! ABL-1 and ABL-2: the two design-choice ablations DESIGN.md calls out.
+//!
+//! * ABL-1 — poisoning policy: dnsmasq wildcard-A answers instantly from
+//!   thin air; BIND9-style RPZ must consult the upstream first. We measure
+//!   both on existing-name and non-existent-name workloads and print the
+//!   NXDOMAIN-fidelity comparison.
+//! * ABL-2 — scoring logic: legacy vs RFC 8925-aware across the full client
+//!   matrix (printed once; the scoring computation itself is also timed).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use v6dns::codec::{Question, RType, Rcode};
+use v6dns::dns64::Dns64;
+use v6dns::name::DnsName;
+use v6dns::poison::{PoisonPolicy, PoisonedResolver};
+use v6dns::server::Resolver;
+use v6host::profiles::OsProfile;
+use v6portal::scoring::{score_legacy, score_rfc8925_aware};
+use v6testbed::experiments::run_mirror_test;
+use v6testbed::zones::internet_dns;
+
+fn policies() -> [(&'static str, PoisonPolicy); 2] {
+    [
+        (
+            "wildcard-a",
+            PoisonPolicy::WildcardA {
+                answer: "23.153.8.71".parse().unwrap(),
+                ttl: 60,
+            },
+        ),
+        (
+            "rpz",
+            PoisonPolicy::ResponsePolicyZone {
+                answer: "23.153.8.71".parse().unwrap(),
+                ttl: 60,
+            },
+        ),
+    ]
+}
+
+fn print_abl1_fidelity() {
+    println!("=============== ABL-1: NXDOMAIN fidelity ===============");
+    for (name, policy) in policies() {
+        let mut r = PoisonedResolver::new(Dns64::well_known(internet_dns()), policy);
+        let exists = r.resolve(
+            &Question::new("vpn.anl.gov".parse::<DnsName>().unwrap(), RType::A),
+            0,
+        );
+        let ghost = r.resolve(
+            &Question::new(
+                "vpn.anl.gov.rfc8925.com".parse::<DnsName>().unwrap(),
+                RType::A,
+            ),
+            0,
+        );
+        println!(
+            "ABL1 {name:<12} existing-name=answered({}) nonexistent-name={}",
+            !exists.records.is_empty(),
+            if ghost.rcode == Rcode::NxDomain {
+                "NXDOMAIN (faithful)"
+            } else {
+                "answered (the Fig. 9 defect)"
+            }
+        );
+    }
+    println!("=========================================================");
+}
+
+fn print_abl2_matrix() {
+    println!("=============== ABL-2: scoring across clients ===========");
+    for profile in [
+        OsProfile::macos(),
+        OsProfile::windows_10(),
+        OsProfile::windows_10_v6_disabled(),
+        OsProfile::nintendo_switch(),
+    ] {
+        let r = run_mirror_test(profile, policies()[0].1);
+        println!("{}", r.render());
+    }
+    println!("=========================================================");
+}
+
+fn bench_abl1(c: &mut Criterion) {
+    print_abl1_fidelity();
+    let mut g = c.benchmark_group("abl1_poison_policy");
+    for (name, policy) in policies() {
+        g.bench_function(format!("{name}_existing"), |b| {
+            let mut r = PoisonedResolver::new(Dns64::well_known(internet_dns()), policy);
+            let q = Question::new("vpn.anl.gov".parse::<DnsName>().unwrap(), RType::A);
+            b.iter(|| black_box(r.resolve(&q, 0)))
+        });
+        g.bench_function(format!("{name}_nonexistent"), |b| {
+            let mut r = PoisonedResolver::new(Dns64::well_known(internet_dns()), policy);
+            let q = Question::new(
+                "ghost.rfc8925.com".parse::<DnsName>().unwrap(),
+                RType::A,
+            );
+            b.iter(|| black_box(r.resolve(&q, 0)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_abl2(c: &mut Criterion) {
+    print_abl2_matrix();
+    let mut g = c.benchmark_group("abl2_scoring");
+    // Time the pure scoring computations over the Fig. 5 input.
+    let r = run_mirror_test(OsProfile::windows_10_v6_disabled(), policies()[0].1);
+    g.bench_function("score_legacy", |b| {
+        b.iter(|| black_box(score_legacy(&r.subtests)))
+    });
+    g.bench_function("score_rfc8925_aware", |b| {
+        b.iter(|| black_box(score_rfc8925_aware(&r.subtests)))
+    });
+    g.finish();
+}
+
+fn bench_abl3_happy_eyeballs(c: &mut Criterion) {
+    use v6dns::codec::RData;
+    use v6dns::zone::Zone;
+    use v6host::tasks::AppTask;
+    use v6testbed::Testbed;
+
+    // ABL-3: RFC 8305 fallback latency with a black-holed AAAA.
+    let run = |he: bool| -> u64 {
+        let mut tb = Testbed::paper_default();
+        let mut profile = OsProfile::windows_10();
+        profile.happy_eyeballs = he;
+        let id = tb.add_host(profile);
+        let mut z = Zone::new("brokenv6.test".parse().unwrap(), 60);
+        z.add_str("@", 60, RData::Aaaa("2602:dead::1".parse().unwrap()));
+        z.add_str("@", 60, RData::A("190.92.158.4".parse().unwrap()));
+        tb.pi_server().healthy.upstream_mut().upstream_mut().add_zone(z);
+        tb.boot();
+        let start = tb.net.now();
+        let _ = tb.run_task(
+            id,
+            AppTask::Browse {
+                name: "brokenv6.test".parse().unwrap(),
+                path: "/".into(),
+            },
+            25,
+        );
+        (tb.net.now() - start).as_millis()
+    };
+    println!("=============== ABL-3: Happy Eyeballs fallback ==========");
+    println!(
+        "ABL3 serial-fallback={} ms  happy-eyeballs={} ms (simulated user-perceived latency)",
+        run(false),
+        run(true)
+    );
+    println!("=========================================================");
+    let mut g = c.benchmark_group("abl3_happy_eyeballs");
+    g.sample_size(10);
+    g.bench_function("serial_fallback", |b| b.iter(|| black_box(run(false))));
+    g.bench_function("happy_eyeballs", |b| b.iter(|| black_box(run(true))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_abl1, bench_abl2, bench_abl3_happy_eyeballs);
+criterion_main!(benches);

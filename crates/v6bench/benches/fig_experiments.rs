@@ -1,0 +1,114 @@
+//! Regenerates every figure/table of the paper (DESIGN.md §3) and times the
+//! full packet-level reproduction of each.
+//!
+//! Run `cargo bench -p v6bench --bench fig_experiments`. Before timing, each
+//! experiment's paper-style rows are printed once, so a bench run doubles as
+//! the results table generator for EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use v6dns::poison::PoisonPolicy;
+use v6testbed::experiments as exp;
+
+fn print_rows_once() {
+    println!("================ paper rows (regenerated) ================");
+    println!("{}", exp::fig2_literal_v4_census().render());
+    println!("{}", exp::fig3_ra_workaround(false).render());
+    println!("{}", exp::fig3_ra_workaround(true).render());
+    for row in exp::fig4_topology_matrix() {
+        println!("{}", row.render());
+    }
+    println!("{}", exp::fig5_erroneous_score().render());
+    println!("{}", exp::fig6_switch_intervention().render());
+    println!("{}", exp::fig7_winxp_nat64().render());
+    println!("{}", exp::fig8_vpn_split_tunnel(false).render());
+    println!("{}", exp::fig8_vpn_split_tunnel(true).render());
+    for policy in [
+        PoisonPolicy::WildcardA {
+            answer: "23.153.8.71".parse().unwrap(),
+            ttl: 60,
+        },
+        PoisonPolicy::ResponsePolicyZone {
+            answer: "23.153.8.71".parse().unwrap(),
+            ttl: 60,
+        },
+    ] {
+        println!("{}", exp::fig9_poisoned_nxdomain(policy).render());
+    }
+    for row in exp::fig10_resolver_preference() {
+        println!("{}", row.render());
+    }
+    println!("{}", exp::fig11_vpn_zero_score().render());
+    for row in exp::tbl_a_device_matrix() {
+        println!("{}", row.render());
+    }
+    println!("{}", exp::tbl_b_census().render());
+    println!("==========================================================");
+}
+
+fn bench_figures(c: &mut Criterion) {
+    print_rows_once();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig2_literal_v4_census", |b| {
+        b.iter(|| black_box(exp::fig2_literal_v4_census()))
+    });
+    g.bench_function("fig3_raw_gateway", |b| {
+        b.iter(|| black_box(exp::fig3_ra_workaround(false)))
+    });
+    g.bench_function("fig3_managed_switch", |b| {
+        b.iter(|| black_box(exp::fig3_ra_workaround(true)))
+    });
+    g.bench_function("fig4_topology_matrix", |b| {
+        b.iter(|| black_box(exp::fig4_topology_matrix()))
+    });
+    g.bench_function("fig5_scoring", |b| {
+        b.iter(|| black_box(exp::fig5_erroneous_score()))
+    });
+    g.bench_function("fig6_switch_intervention", |b| {
+        b.iter(|| black_box(exp::fig6_switch_intervention()))
+    });
+    g.bench_function("fig7_winxp_nat64", |b| {
+        b.iter(|| black_box(exp::fig7_winxp_nat64()))
+    });
+    g.bench_function("fig8_vpn_open", |b| {
+        b.iter(|| black_box(exp::fig8_vpn_split_tunnel(false)))
+    });
+    g.bench_function("fig8_vpn_blocked", |b| {
+        b.iter(|| black_box(exp::fig8_vpn_split_tunnel(true)))
+    });
+    g.bench_function("fig9_wildcard", |b| {
+        b.iter(|| {
+            black_box(exp::fig9_poisoned_nxdomain(PoisonPolicy::WildcardA {
+                answer: "23.153.8.71".parse().unwrap(),
+                ttl: 60,
+            }))
+        })
+    });
+    g.bench_function("fig9_rpz", |b| {
+        b.iter(|| {
+            black_box(exp::fig9_poisoned_nxdomain(
+                PoisonPolicy::ResponsePolicyZone {
+                    answer: "23.153.8.71".parse().unwrap(),
+                    ttl: 60,
+                },
+            ))
+        })
+    });
+    g.bench_function("fig10_resolver_preference", |b| {
+        b.iter(|| black_box(exp::fig10_resolver_preference()))
+    });
+    g.bench_function("fig11_vpn_score", |b| {
+        b.iter(|| black_box(exp::fig11_vpn_zero_score()))
+    });
+    g.bench_function("tbl_a_device_matrix", |b| {
+        b.iter(|| black_box(exp::tbl_a_device_matrix()))
+    });
+    g.bench_function("tbl_b_census", |b| {
+        b.iter(|| black_box(exp::tbl_b_census()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

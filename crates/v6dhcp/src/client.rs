@@ -1,0 +1,370 @@
+//! The DHCPv4 client state machine, including RFC 8925 §3.2: a client that
+//! sent option 108 and receives it back MUST NOT configure IPv4 and instead
+//! waits `V6ONLY_WAIT` seconds before trying DHCPv4 again.
+
+use crate::codec::{DhcpMessage, DhcpMessageType, DhcpOption};
+use std::net::Ipv4Addr;
+use v6wire::mac::MacAddr;
+
+/// RFC 8925 §3.4: minimum wait a client may honour.
+pub const MIN_V6ONLY_WAIT: u32 = 300;
+
+/// Client state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientState {
+    /// Not started.
+    Init,
+    /// DISCOVER sent, waiting for OFFER.
+    Selecting,
+    /// REQUEST sent, waiting for ACK.
+    Requesting {
+        /// Address being requested.
+        offered: Ipv4Addr,
+    },
+    /// Lease held.
+    Bound {
+        /// Assigned address.
+        ip: Ipv4Addr,
+        /// Lease expiry (absolute seconds).
+        expires: u64,
+    },
+    /// RFC 8925: IPv4 disabled until the wait expires.
+    V6OnlyWait {
+        /// When DHCPv4 may be retried (absolute seconds).
+        until: u64,
+    },
+}
+
+/// What the state machine wants the host to do next.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientEvent {
+    /// Transmit this message (broadcast).
+    Send(DhcpMessage),
+    /// IPv4 is configured: address + mask + router + DNS + search domain.
+    Configured {
+        /// Leased address.
+        ip: Ipv4Addr,
+        /// Subnet mask.
+        mask: Ipv4Addr,
+        /// Default router, if offered.
+        router: Option<Ipv4Addr>,
+        /// DNS resolvers from option 6.
+        dns: Vec<Ipv4Addr>,
+        /// Domain suffix from option 15.
+        domain: Option<String>,
+        /// Captive-portal URI from option 114.
+        captive_portal: Option<String>,
+    },
+    /// RFC 8925 honoured: IPv4 stays off for this many seconds.
+    V6OnlyMode {
+        /// The wait the client will honour.
+        wait: u32,
+    },
+    /// Nothing to do.
+    Idle,
+}
+
+/// A DHCPv4 client.
+#[derive(Debug)]
+pub struct DhcpClient {
+    /// Client MAC.
+    pub mac: MacAddr,
+    /// Does this OS implement RFC 8925 (macOS/iOS/Android do; Windows 10 and
+    /// the Nintendo Switch do not)?
+    pub supports_rfc8925: bool,
+    /// Current state.
+    pub state: ClientState,
+    xid: u32,
+}
+
+impl DhcpClient {
+    /// New client in `Init`.
+    pub fn new(mac: MacAddr, supports_rfc8925: bool) -> DhcpClient {
+        DhcpClient {
+            mac,
+            supports_rfc8925,
+            state: ClientState::Init,
+            xid: u32::from_be_bytes([mac.0[2], mac.0[3], mac.0[4], mac.0[5]]) ^ 0x5c24_0601,
+        }
+    }
+
+    fn prl(&self) -> DhcpOption {
+        let mut codes = vec![1, 3, 6, 15, 51, 114];
+        if self.supports_rfc8925 {
+            codes.push(108);
+        }
+        DhcpOption::ParameterRequestList(codes)
+    }
+
+    /// Kick off (or retry) configuration: emits DISCOVER.
+    pub fn start(&mut self, now: u64) -> ClientEvent {
+        if let ClientState::V6OnlyWait { until } = self.state {
+            if now < until {
+                return ClientEvent::Idle; // still honouring V6ONLY_WAIT
+            }
+        }
+        self.xid = self.xid.wrapping_add(1);
+        let mut d = DhcpMessage::client(DhcpMessageType::Discover, self.xid, self.mac);
+        d.options.push(self.prl());
+        self.state = ClientState::Selecting;
+        ClientEvent::Send(d)
+    }
+
+    /// Feed a server reply into the state machine.
+    pub fn receive(&mut self, msg: &DhcpMessage, now: u64) -> ClientEvent {
+        if msg.xid != self.xid || msg.chaddr != self.mac {
+            return ClientEvent::Idle;
+        }
+        match (msg.message_type(), &self.state) {
+            (Some(DhcpMessageType::Offer), ClientState::Selecting) => {
+                // RFC 8925 §3.2: an option-108-bearing OFFER tells a capable
+                // client to abandon DHCPv4 entirely.
+                if self.supports_rfc8925 {
+                    if let Some(wait) = msg.v6only_wait() {
+                        let wait = wait.max(MIN_V6ONLY_WAIT);
+                        self.state = ClientState::V6OnlyWait {
+                            until: now + u64::from(wait),
+                        };
+                        return ClientEvent::V6OnlyMode { wait };
+                    }
+                }
+                let mut req = DhcpMessage::client(DhcpMessageType::Request, self.xid, self.mac);
+                req.options.push(DhcpOption::RequestedIp(msg.yiaddr));
+                if let Some(DhcpOption::ServerId(sid)) = msg.option(54) {
+                    req.options.push(DhcpOption::ServerId(*sid));
+                }
+                req.options.push(self.prl());
+                self.state = ClientState::Requesting {
+                    offered: msg.yiaddr,
+                };
+                ClientEvent::Send(req)
+            }
+            (Some(DhcpMessageType::Ack), ClientState::Requesting { offered }) => {
+                let ip = if msg.yiaddr.is_unspecified() {
+                    *offered
+                } else {
+                    msg.yiaddr
+                };
+                // A capable client double-checks the ACK too (servers may
+                // only include 108 in the ACK).
+                if self.supports_rfc8925 {
+                    if let Some(wait) = msg.v6only_wait() {
+                        let wait = wait.max(MIN_V6ONLY_WAIT);
+                        self.state = ClientState::V6OnlyWait {
+                            until: now + u64::from(wait),
+                        };
+                        return ClientEvent::V6OnlyMode { wait };
+                    }
+                }
+                let lease = msg
+                    .option(51)
+                    .and_then(|o| match o {
+                        DhcpOption::LeaseTime(t) => Some(*t),
+                        _ => None,
+                    })
+                    .unwrap_or(3600);
+                self.state = ClientState::Bound {
+                    ip,
+                    expires: now + u64::from(lease),
+                };
+                let mask = msg
+                    .option(1)
+                    .and_then(|o| match o {
+                        DhcpOption::SubnetMask(m) => Some(*m),
+                        _ => None,
+                    })
+                    .unwrap_or(Ipv4Addr::new(255, 255, 255, 0));
+                let router = msg.option(3).and_then(|o| match o {
+                    DhcpOption::Router(rs) => rs.first().copied(),
+                    _ => None,
+                });
+                let domain = msg.option(15).and_then(|o| match o {
+                    DhcpOption::DomainName(d) => Some(d.clone()),
+                    _ => None,
+                });
+                let captive_portal = msg.option(114).and_then(|o| match o {
+                    DhcpOption::CaptivePortal(u) => Some(u.clone()),
+                    _ => None,
+                });
+                ClientEvent::Configured {
+                    ip,
+                    mask,
+                    router,
+                    dns: msg.dns_servers(),
+                    domain,
+                    captive_portal,
+                }
+            }
+            (Some(DhcpMessageType::Nak), _) => {
+                self.state = ClientState::Init;
+                self.start(now)
+            }
+            _ => ClientEvent::Idle,
+        }
+    }
+
+    /// Has the lease (if any) expired?
+    pub fn lease_expired(&self, now: u64) -> bool {
+        matches!(self.state, ClientState::Bound { expires, .. } if expires <= now)
+    }
+
+    /// Is IPv4 currently disabled by RFC 8925?
+    pub fn in_v6only_mode(&self, now: u64) -> bool {
+        matches!(self.state, ClientState::V6OnlyWait { until } if now < until)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{DhcpServer, ServerConfig};
+
+    fn mac(n: u8) -> MacAddr {
+        MacAddr::new([2, 0, 0, 0, 1, n])
+    }
+
+    fn run_exchange(
+        client: &mut DhcpClient,
+        server: &mut DhcpServer,
+        now: u64,
+    ) -> Vec<ClientEvent> {
+        let mut events = Vec::new();
+        let mut ev = client.start(now);
+        for _ in 0..8 {
+            match ev {
+                ClientEvent::Send(msg) => {
+                    events.push(ClientEvent::Send(msg.clone()));
+                    match server.handle(&msg, now) {
+                        Some(reply) => ev = client.receive(&reply, now),
+                        None => break,
+                    }
+                }
+                other => {
+                    events.push(other);
+                    break;
+                }
+            }
+        }
+        events
+    }
+
+    #[test]
+    fn rfc8925_client_enters_v6only_mode() {
+        let mut s = DhcpServer::new(ServerConfig::testbed("192.168.12.250".parse().unwrap()));
+        let mut c = DhcpClient::new(mac(1), true);
+        let events = run_exchange(&mut c, &mut s, 100);
+        assert!(
+            matches!(events.last(), Some(ClientEvent::V6OnlyMode { wait: 1800 })),
+            "capable client must shut IPv4 off: {events:?}"
+        );
+        assert!(c.in_v6only_mode(101));
+        assert!(c.in_v6only_mode(1899));
+        assert!(!c.in_v6only_mode(100 + 1800));
+        // No lease was consumed.
+        assert_eq!(s.live_leases(101), 0);
+    }
+
+    #[test]
+    fn legacy_client_configures_ipv4() {
+        let mut s = DhcpServer::new(ServerConfig::testbed("192.168.12.250".parse().unwrap()));
+        let mut c = DhcpClient::new(mac(2), false);
+        let events = run_exchange(&mut c, &mut s, 0);
+        match events.last() {
+            Some(ClientEvent::Configured {
+                ip, dns, domain, ..
+            }) => {
+                assert!(format!("{ip}").starts_with("192.168.12."));
+                assert_eq!(dns, &vec!["192.168.12.250".parse::<Ipv4Addr>().unwrap()]);
+                assert_eq!(domain.as_deref(), Some("rfc8925.com"));
+            }
+            other => panic!("expected configuration, got {other:?}"),
+        }
+        assert_eq!(s.live_leases(1), 1);
+    }
+
+    #[test]
+    fn capable_client_on_legacy_server_configures_ipv4() {
+        // Dual-stack operation when the network doesn't do RFC 8925.
+        let mut cfg = ServerConfig::testbed("192.168.12.250".parse().unwrap());
+        cfg.v6only_wait = None;
+        let mut s = DhcpServer::new(cfg);
+        let mut c = DhcpClient::new(mac(3), true);
+        let events = run_exchange(&mut c, &mut s, 0);
+        assert!(matches!(events.last(), Some(ClientEvent::Configured { .. })));
+    }
+
+    #[test]
+    fn v6only_wait_honours_minimum() {
+        // RFC 8925 §3.4: waits below MIN_V6ONLY_WAIT are raised to it.
+        let mut cfg = ServerConfig::testbed("192.168.12.250".parse().unwrap());
+        cfg.v6only_wait = Some(10);
+        let mut s = DhcpServer::new(cfg);
+        let mut c = DhcpClient::new(mac(4), true);
+        let events = run_exchange(&mut c, &mut s, 0);
+        assert!(matches!(
+            events.last(),
+            Some(ClientEvent::V6OnlyMode { wait }) if *wait == MIN_V6ONLY_WAIT
+        ));
+    }
+
+    #[test]
+    fn start_during_wait_is_idle_then_retries() {
+        let mut s = DhcpServer::new(ServerConfig::testbed("192.168.12.250".parse().unwrap()));
+        let mut c = DhcpClient::new(mac(5), true);
+        run_exchange(&mut c, &mut s, 0);
+        assert_eq!(c.start(100), ClientEvent::Idle, "still in V6ONLY_WAIT");
+        assert!(
+            matches!(c.start(1800), ClientEvent::Send(_)),
+            "wait expired, DHCPv4 retried"
+        );
+    }
+
+    #[test]
+    fn nak_restarts_discovery() {
+        let mut s = DhcpServer::new(ServerConfig::testbed("192.168.12.250".parse().unwrap()));
+        let mut c = DhcpClient::new(mac(6), false);
+        // Get an offer manually, then request a conflicting address.
+        let ev = c.start(0);
+        let ClientEvent::Send(discover) = ev else {
+            panic!("expected discover")
+        };
+        let offer = s.handle(&discover, 0).unwrap();
+        // Another client grabs that address first.
+        let mut other = DhcpClient::new(mac(7), false);
+        run_exchange(&mut other, &mut s, 0);
+        let _ = c.receive(&offer, 0); // sends REQUEST internally
+        // Craft a NAK as the server would.
+        let nak = DhcpMessage::reply(DhcpMessageType::Nak, &discover);
+        let ev = c.receive(&nak, 1);
+        assert!(matches!(ev, ClientEvent::Send(m) if m.message_type() == Some(DhcpMessageType::Discover)));
+    }
+
+    #[test]
+    fn stray_replies_ignored() {
+        let mut c = DhcpClient::new(mac(8), true);
+        c.start(0);
+        // Wrong xid.
+        let mut bogus = DhcpMessage::reply(
+            DhcpMessageType::Offer,
+            &DhcpMessage::client(DhcpMessageType::Discover, 0x9999, mac(8)),
+        );
+        bogus.yiaddr = "192.168.12.77".parse().unwrap();
+        assert_eq!(c.receive(&bogus, 0), ClientEvent::Idle);
+        // Wrong MAC.
+        let mut bogus2 = DhcpMessage::reply(
+            DhcpMessageType::Offer,
+            &DhcpMessage::client(DhcpMessageType::Discover, c.xid, mac(9)),
+        );
+        bogus2.yiaddr = "192.168.12.78".parse().unwrap();
+        assert_eq!(c.receive(&bogus2, 0), ClientEvent::Idle);
+    }
+
+    #[test]
+    fn lease_expiry_detected() {
+        let mut s = DhcpServer::new(ServerConfig::testbed("192.168.12.250".parse().unwrap()));
+        let mut c = DhcpClient::new(mac(10), false);
+        run_exchange(&mut c, &mut s, 0);
+        assert!(!c.lease_expired(1000));
+        assert!(c.lease_expired(3600));
+    }
+}

@@ -1,0 +1,23 @@
+//! # v6dhcp — DHCPv4 with RFC 8925 for the sc24v6 testbed
+//!
+//! * RFC 2131 message codec with the option set the testbed uses, most
+//!   importantly **option 108, IPv6-Only Preferred** (RFC 8925) — the
+//!   mechanism that lets capable clients shut their IPv4 stack off ([`codec`])
+//! * a DHCPv4 server with a lease pool and per-pool option configuration
+//!   ([`server`])
+//! * a DHCPv4 client state machine including the RFC 8925 `V6ONLY_WAIT`
+//!   behaviour ([`client`])
+//! * the managed switch's DHCPv4 snooping filter, used in the paper to block
+//!   the 5G gateway's unkillable built-in pool ([`snoop`])
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod codec;
+pub mod server;
+pub mod snoop;
+
+pub use client::{ClientEvent, ClientState, DhcpClient};
+pub use codec::{DhcpMessage, DhcpMessageType, DhcpOption};
+pub use server::{DhcpServer, ServerConfig};
+pub use snoop::DhcpSnoop;

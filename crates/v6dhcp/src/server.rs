@@ -1,0 +1,364 @@
+//! A DHCPv4 server: address pool, lease database, and RFC 8925 option 108
+//! handling ("the built-in DHCPv4 server was not capable of defining option
+//! 108" is exactly the 5G-gateway defect the Raspberry Pi server fixes).
+
+use crate::codec::{DhcpMessage, DhcpMessageType, DhcpOption};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use v6addr::prefix::Ipv4Prefix;
+use v6wire::mac::MacAddr;
+
+/// Static configuration of a DHCPv4 server.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Server identifier (its own address).
+    pub server_id: Ipv4Addr,
+    /// Subnet being served.
+    pub subnet: Ipv4Prefix,
+    /// First..=last host numbers handed out.
+    pub range: (u32, u32),
+    /// Default router (option 3).
+    pub router: Option<Ipv4Addr>,
+    /// DNS resolvers (option 6) — point this at the poisoned server to arm
+    /// the intervention.
+    pub dns: Vec<Ipv4Addr>,
+    /// Domain name (option 15).
+    pub domain: Option<String>,
+    /// Lease duration in seconds (option 51).
+    pub lease_time: u32,
+    /// RFC 8925: `Some(V6ONLY_WAIT)` enables option 108 for clients that
+    /// request it; `None` disables (the 5G gateway's limitation).
+    pub v6only_wait: Option<u32>,
+    /// Service-account MACs that must retain IPv4 (paper §IV: "Service
+    /// accounts will be created and tightly controlled for devices which
+    /// must retain IPv4-only support on Argonne-Auth"). Exempt devices
+    /// never receive option 108 even when they request it.
+    pub v6only_exempt: std::collections::HashSet<MacAddr>,
+    /// RFC 8910 captive-portal URI (option 114).
+    pub captive_portal: Option<String>,
+}
+
+impl ServerConfig {
+    /// The testbed's Raspberry Pi DHCP server from Fig. 4:
+    /// 192.168.12.0/24, option 108 enabled, DNS pointed at the poisoned
+    /// resolver.
+    pub fn testbed(poisoned_dns: Ipv4Addr) -> ServerConfig {
+        ServerConfig {
+            server_id: "192.168.12.251".parse().expect("static ip"),
+            subnet: "192.168.12.0/24".parse().expect("static prefix"),
+            range: (20, 240),
+            router: Some("192.168.12.1".parse().expect("static ip")),
+            dns: vec![poisoned_dns],
+            domain: Some("rfc8925.com".into()),
+            lease_time: 3600,
+            v6only_wait: Some(1800),
+            v6only_exempt: std::collections::HashSet::new(),
+            captive_portal: None,
+        }
+    }
+}
+
+/// A live lease.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lease {
+    /// Assigned address.
+    pub ip: Ipv4Addr,
+    /// Absolute expiry (simulation seconds).
+    pub expires: u64,
+}
+
+/// The server.
+#[derive(Debug)]
+pub struct DhcpServer {
+    /// Configuration (mutable so experiments can flip option 108 on/off).
+    pub config: ServerConfig,
+    leases: HashMap<MacAddr, Lease>,
+    /// Count of OFFERs carrying option 108, for the census.
+    pub offers_with_108: u64,
+    /// Count of OFFERs without option 108.
+    pub offers_plain: u64,
+}
+
+impl DhcpServer {
+    /// Create from config.
+    pub fn new(config: ServerConfig) -> DhcpServer {
+        DhcpServer {
+            config,
+            leases: HashMap::new(),
+            offers_with_108: 0,
+            offers_plain: 0,
+        }
+    }
+
+    /// Current lease for `mac`, if unexpired.
+    pub fn lease_for(&self, mac: MacAddr, now: u64) -> Option<Lease> {
+        self.leases.get(&mac).copied().filter(|l| l.expires > now)
+    }
+
+    /// Number of live leases.
+    pub fn live_leases(&self, now: u64) -> usize {
+        self.leases.values().filter(|l| l.expires > now).count()
+    }
+
+    fn pick_address(&mut self, mac: MacAddr, now: u64) -> Option<Ipv4Addr> {
+        if let Some(l) = self.lease_for(mac, now) {
+            return Some(l.ip);
+        }
+        let in_use: std::collections::HashSet<Ipv4Addr> = self
+            .leases
+            .values()
+            .filter(|l| l.expires > now)
+            .map(|l| l.ip)
+            .collect();
+        let (lo, hi) = self.config.range;
+        (lo..=hi)
+            .map(|n| self.config.subnet.host(n))
+            .find(|ip| !in_use.contains(ip) && *ip != self.config.server_id)
+    }
+
+    fn common_options(&self, reply: &mut DhcpMessage, client_gets_108: bool) {
+        reply
+            .options
+            .push(DhcpOption::ServerId(self.config.server_id));
+        reply
+            .options
+            .push(DhcpOption::LeaseTime(self.config.lease_time));
+        let mask_bits = self.config.subnet.len();
+        let mask = if mask_bits == 0 {
+            Ipv4Addr::UNSPECIFIED
+        } else {
+            Ipv4Addr::from(u32::MAX << (32 - u32::from(mask_bits)))
+        };
+        reply.options.push(DhcpOption::SubnetMask(mask));
+        if let Some(r) = self.config.router {
+            reply.options.push(DhcpOption::Router(vec![r]));
+        }
+        if !self.config.dns.is_empty() {
+            reply
+                .options
+                .push(DhcpOption::DnsServers(self.config.dns.clone()));
+        }
+        if let Some(d) = &self.config.domain {
+            reply.options.push(DhcpOption::DomainName(d.clone()));
+        }
+        if let Some(url) = &self.config.captive_portal {
+            reply.options.push(DhcpOption::CaptivePortal(url.clone()));
+        }
+        if client_gets_108 {
+            if let Some(wait) = self.config.v6only_wait {
+                reply.options.push(DhcpOption::V6OnlyPreferred(wait));
+            }
+        }
+    }
+
+    /// Process one client message; `now` in simulation seconds. Returns the
+    /// reply to transmit, if any.
+    pub fn handle(&mut self, msg: &DhcpMessage, now: u64) -> Option<DhcpMessage> {
+        let mt = msg.message_type()?;
+        // RFC 8925 §3.3: the server sends option 108 only when the client
+        // listed it in its parameter request list — and AAA-exempt service
+        // accounts never get it (paper §IV).
+        let client_gets_108 = msg.requests_v6only()
+            && self.config.v6only_wait.is_some()
+            && !self.config.v6only_exempt.contains(&msg.chaddr);
+        match mt {
+            DhcpMessageType::Discover => {
+                let ip = self.pick_address(msg.chaddr, now)?; // pool exhausted → silence
+                let mut offer = DhcpMessage::reply(DhcpMessageType::Offer, msg);
+                offer.yiaddr = ip;
+                self.common_options(&mut offer, client_gets_108);
+                if client_gets_108 {
+                    self.offers_with_108 += 1;
+                } else {
+                    self.offers_plain += 1;
+                }
+                Some(offer)
+            }
+            DhcpMessageType::Request => {
+                let requested = msg
+                    .option(50)
+                    .and_then(|o| match o {
+                        DhcpOption::RequestedIp(ip) => Some(*ip),
+                        _ => None,
+                    })
+                    .or_else(|| {
+                        if msg.ciaddr.is_unspecified() {
+                            None
+                        } else {
+                            Some(msg.ciaddr)
+                        }
+                    })?;
+                // Verify the address is ours and either free or already his.
+                let ours = self.config.subnet.contains(requested);
+                let owner_ok = self
+                    .leases
+                    .iter()
+                    .all(|(m, l)| *m == msg.chaddr || l.ip != requested || l.expires <= now);
+                if !ours || !owner_ok {
+                    return Some(DhcpMessage::reply(DhcpMessageType::Nak, msg));
+                }
+                self.leases.insert(
+                    msg.chaddr,
+                    Lease {
+                        ip: requested,
+                        expires: now + u64::from(self.config.lease_time),
+                    },
+                );
+                let mut ack = DhcpMessage::reply(DhcpMessageType::Ack, msg);
+                ack.yiaddr = requested;
+                self.common_options(&mut ack, client_gets_108);
+                Some(ack)
+            }
+            DhcpMessageType::Release | DhcpMessageType::Decline => {
+                self.leases.remove(&msg.chaddr);
+                None
+            }
+            DhcpMessageType::Inform => {
+                let mut ack = DhcpMessage::reply(DhcpMessageType::Ack, msg);
+                self.common_options(&mut ack, client_gets_108);
+                Some(ack)
+            }
+            // Server-originated types arriving here are bogus.
+            DhcpMessageType::Offer | DhcpMessageType::Ack | DhcpMessageType::Nak => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac(n: u8) -> MacAddr {
+        MacAddr::new([2, 0, 0, 0, 0, n])
+    }
+
+    fn server() -> DhcpServer {
+        DhcpServer::new(ServerConfig::testbed("192.168.12.250".parse().unwrap()))
+    }
+
+    fn discover(m: MacAddr, with_108: bool) -> DhcpMessage {
+        let mut d = DhcpMessage::client(DhcpMessageType::Discover, 7, m);
+        let mut prl = vec![1, 3, 6, 15];
+        if with_108 {
+            prl.push(108);
+        }
+        d.options.push(DhcpOption::ParameterRequestList(prl));
+        d
+    }
+
+    fn request_for(m: MacAddr, ip: Ipv4Addr) -> DhcpMessage {
+        let mut r = DhcpMessage::client(DhcpMessageType::Request, 8, m);
+        r.options.push(DhcpOption::RequestedIp(ip));
+        r
+    }
+
+    fn request_for_108(m: MacAddr, ip: Ipv4Addr) -> DhcpMessage {
+        let mut r = request_for(m, ip);
+        r.options
+            .push(DhcpOption::ParameterRequestList(vec![1, 3, 6, 15, 108]));
+        r
+    }
+
+    #[test]
+    fn dora_with_option_108() {
+        let mut s = server();
+        let offer = s.handle(&discover(mac(1), true), 0).unwrap();
+        assert_eq!(offer.message_type(), Some(DhcpMessageType::Offer));
+        assert_eq!(offer.v6only_wait(), Some(1800), "RFC8925 client gets 108");
+        let ack = s.handle(&request_for_108(mac(1), offer.yiaddr), 1).unwrap();
+        assert_eq!(ack.message_type(), Some(DhcpMessageType::Ack));
+        assert_eq!(ack.v6only_wait(), Some(1800));
+        assert_eq!(s.lease_for(mac(1), 2).unwrap().ip, offer.yiaddr);
+    }
+
+    #[test]
+    fn legacy_client_gets_no_108() {
+        // RFC 8925 §3.3: never volunteer option 108 to clients that didn't ask.
+        let mut s = server();
+        let offer = s.handle(&discover(mac(2), false), 0).unwrap();
+        assert_eq!(offer.v6only_wait(), None);
+        assert_eq!(offer.dns_servers(), vec!["192.168.12.250".parse::<Ipv4Addr>().unwrap()]);
+        assert_eq!((s.offers_with_108, s.offers_plain), (0, 1));
+    }
+
+    #[test]
+    fn server_without_108_support_never_sends_it() {
+        // The 5G gateway's built-in server.
+        let mut cfg = ServerConfig::testbed("192.168.12.250".parse().unwrap());
+        cfg.v6only_wait = None;
+        let mut s = DhcpServer::new(cfg);
+        let offer = s.handle(&discover(mac(3), true), 0).unwrap();
+        assert_eq!(offer.v6only_wait(), None);
+    }
+
+    #[test]
+    fn stable_reoffer_same_address() {
+        let mut s = server();
+        let o1 = s.handle(&discover(mac(4), true), 0).unwrap();
+        let _ = s.handle(&request_for(mac(4), o1.yiaddr), 1).unwrap();
+        let o2 = s.handle(&discover(mac(4), true), 100).unwrap();
+        assert_eq!(o1.yiaddr, o2.yiaddr, "existing lease reoffered");
+    }
+
+    #[test]
+    fn conflicting_request_nakked() {
+        let mut s = server();
+        let o1 = s.handle(&discover(mac(5), true), 0).unwrap();
+        s.handle(&request_for(mac(5), o1.yiaddr), 0).unwrap();
+        let nak = s.handle(&request_for(mac(6), o1.yiaddr), 1).unwrap();
+        assert_eq!(nak.message_type(), Some(DhcpMessageType::Nak));
+        // Off-subnet request also NAKked.
+        let nak2 = s
+            .handle(&request_for(mac(7), "10.9.9.9".parse().unwrap()), 1)
+            .unwrap();
+        assert_eq!(nak2.message_type(), Some(DhcpMessageType::Nak));
+    }
+
+    #[test]
+    fn pool_exhaustion_goes_silent() {
+        // Paper §II: divisions exhaust their /24 wireless pools.
+        let mut cfg = ServerConfig::testbed("192.168.12.250".parse().unwrap());
+        cfg.range = (20, 22); // three addresses
+        let mut s = DhcpServer::new(cfg);
+        for i in 0..3u8 {
+            let o = s.handle(&discover(mac(10 + i), false), 0).unwrap();
+            s.handle(&request_for(mac(10 + i), o.yiaddr), 0).unwrap();
+        }
+        assert!(s.handle(&discover(mac(99), false), 0).is_none());
+        // After expiry the pool frees up.
+        assert!(s.handle(&discover(mac(99), false), 4000).is_some());
+    }
+
+    #[test]
+    fn release_frees_address() {
+        let mut s = server();
+        let o = s.handle(&discover(mac(20), false), 0).unwrap();
+        s.handle(&request_for(mac(20), o.yiaddr), 0).unwrap();
+        assert_eq!(s.live_leases(1), 1);
+        let rel = DhcpMessage::client(DhcpMessageType::Release, 9, mac(20));
+        assert!(s.handle(&rel, 2).is_none());
+        assert_eq!(s.live_leases(3), 0);
+    }
+
+    #[test]
+    fn captive_portal_option_delivered() {
+        let mut cfg = ServerConfig::testbed("192.168.12.250".parse().unwrap());
+        cfg.captive_portal = Some("https://portal.rfc8925.com/explain".into());
+        let mut s = DhcpServer::new(cfg);
+        let offer = s.handle(&discover(mac(30), false), 0).unwrap();
+        assert!(matches!(
+            offer.option(114),
+            Some(DhcpOption::CaptivePortal(u)) if u.contains("explain")
+        ));
+    }
+
+    #[test]
+    fn inform_gets_config_without_lease() {
+        let mut s = server();
+        let inform = DhcpMessage::client(DhcpMessageType::Inform, 5, mac(40));
+        let ack = s.handle(&inform, 0).unwrap();
+        assert_eq!(ack.message_type(), Some(DhcpMessageType::Ack));
+        assert!(ack.yiaddr.is_unspecified());
+        assert_eq!(s.live_leases(1), 0);
+    }
+}

@@ -1,0 +1,285 @@
+//! RFC 6147 — DNS64: synthesize AAAA records from A records so IPv6-only
+//! clients can reach IPv4-only services through NAT64.
+//!
+//! The testbed ran "a Raspberry Pi server running BIND9 DNS64 services …
+//! with an address of fd00:976a::9" (paper §IV.A). This module is that
+//! server's resolution logic; the poisoned variant layers
+//! [`crate::poison::PoisonedResolver`] in front of the same engine.
+
+use crate::codec::{Question, RData, RType, Rcode, Record};
+use crate::server::{Answer, Resolver};
+use v6addr::prefix::Ipv6Prefix;
+use v6addr::rfc6052::Nat64Prefix;
+use std::net::Ipv6Addr;
+
+/// A DNS64 resolver wrapping an upstream.
+///
+/// ```
+/// use v6dns::codec::{Question, RData, RType};
+/// use v6dns::dns64::Dns64;
+/// use v6dns::server::{GlobalDns, Resolver};
+/// use v6dns::zone::Zone;
+///
+/// let mut zone = Zone::new("supercomputing.org".parse().unwrap(), 300);
+/// zone.add_str("sc24", 120, RData::A("190.92.158.4".parse().unwrap()));
+/// let mut g = GlobalDns::new();
+/// g.add_zone(zone);
+///
+/// let mut dns64 = Dns64::well_known(g);
+/// let ans = dns64.resolve(
+///     &Question::new("sc24.supercomputing.org".parse().unwrap(), RType::Aaaa), 0);
+/// assert_eq!(ans.records[0].data, RData::Aaaa("64:ff9b::be5c:9e04".parse().unwrap()));
+/// ```
+#[derive(Debug)]
+pub struct Dns64<R> {
+    upstream: R,
+    prefix: Nat64Prefix,
+    /// AAAA answers falling in these prefixes are treated as unusable and
+    /// trigger synthesis anyway (RFC 6147 §5.1.4). Default: `::ffff:0:0/96`.
+    pub exclude: Vec<Ipv6Prefix>,
+    /// Count of synthesized responses, for the census.
+    pub synthesized: u64,
+}
+
+impl<R: Resolver> Dns64<R> {
+    /// DNS64 with the given translation prefix.
+    pub fn new(upstream: R, prefix: Nat64Prefix) -> Dns64<R> {
+        Dns64 {
+            upstream,
+            prefix,
+            exclude: vec!["::ffff:0:0/96".parse().expect("static prefix")],
+            synthesized: 0,
+        }
+    }
+
+    /// DNS64 with the well-known prefix `64:ff9b::/96`.
+    pub fn well_known(upstream: R) -> Dns64<R> {
+        Self::new(upstream, Nat64Prefix::well_known())
+    }
+
+    /// The translation prefix in use.
+    pub fn prefix(&self) -> Nat64Prefix {
+        self.prefix
+    }
+
+    /// Access the upstream resolver.
+    pub fn upstream_mut(&mut self) -> &mut R {
+        &mut self.upstream
+    }
+
+    fn usable(&self, a: Ipv6Addr) -> bool {
+        !self.exclude.iter().any(|p| p.contains(a))
+    }
+
+    /// Synthesize an AAAA record set from an A answer (RFC 6147 §5.1.7):
+    /// CNAME chain preserved, each A mapped through the prefix. The
+    /// well-known prefix's global-only restriction is deliberately bypassed
+    /// (`embed_unchecked`): the testbed translates lab-local space too.
+    fn synthesize(&mut self, a_answer: &Answer) -> Answer {
+        let mut records = Vec::with_capacity(a_answer.records.len());
+        for r in &a_answer.records {
+            match &r.data {
+                RData::A(v4) => {
+                    records.push(Record::new(
+                        r.name.clone(),
+                        r.ttl,
+                        RData::Aaaa(self.prefix.embed_unchecked(*v4)),
+                    ));
+                }
+                other => records.push(Record::new(r.name.clone(), r.ttl, other.clone())),
+            }
+        }
+        self.synthesized += 1;
+        Answer::positive(records)
+    }
+}
+
+impl<R: Resolver> Resolver for Dns64<R> {
+    fn resolve(&mut self, q: &Question, now: u64) -> Answer {
+        // RFC 6147 §5.3: PTR queries for addresses under the translation
+        // prefix are rewritten to the embedded IPv4 address's in-addr.arpa
+        // name; the answer's owner stays the queried ip6.arpa name.
+        if q.rtype == RType::Ptr {
+            if let Some(addr) = crate::reverse::parse_ip6_arpa(&q.name) {
+                if self.prefix.matches(addr) {
+                    if let Ok(v4) = self.prefix.extract(addr) {
+                        let rev = crate::reverse::in_addr_arpa_name(v4);
+                        let mut ans = self.upstream.resolve(&Question::new(rev, RType::Ptr), now);
+                        for r in &mut ans.records {
+                            if matches!(r.data, RData::Ptr(_)) {
+                                r.name = q.name.clone();
+                            }
+                        }
+                        return ans;
+                    }
+                }
+            }
+            return self.upstream.resolve(q, now);
+        }
+        if q.rtype != RType::Aaaa {
+            return self.upstream.resolve(q, now);
+        }
+        let native = self.upstream.resolve(q, now);
+        let usable_aaaa = native.rcode == Rcode::NoError
+            && native.records.iter().any(|r| match r.data {
+                RData::Aaaa(a) => self.usable(a),
+                _ => false,
+            });
+        if usable_aaaa {
+            return native;
+        }
+        // No usable AAAA — try the A path. RFC 6147 synthesizes both on
+        // NODATA and (configurably) on NXDOMAIN-with-A-somewhere; querying A
+        // resolves the distinction naturally.
+        let a_answer = self
+            .upstream
+            .resolve(&Question::new(q.name.clone(), RType::A), now);
+        if a_answer.is_positive() && a_answer.records.iter().any(|r| matches!(r.data, RData::A(_)))
+        {
+            return self.synthesize(&a_answer);
+        }
+        native
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::DnsName;
+    use crate::server::GlobalDns;
+    use crate::zone::Zone;
+
+    fn n(s: &str) -> DnsName {
+        s.parse().unwrap()
+    }
+
+    fn internet() -> GlobalDns {
+        let mut g = GlobalDns::new();
+        // IPv4-only service (like sc24.supercomputing.org in the paper).
+        let mut sc = Zone::new(n("supercomputing.org"), 300);
+        sc.add_str("sc24", 120, RData::A("190.92.158.4".parse().unwrap()));
+        sc.add_str("www.sc24", 120, RData::Cname(n("sc24.supercomputing.org")));
+        g.add_zone(sc);
+        // Dual-stack service.
+        let mut me = Zone::new(n("ip6.me"), 60);
+        me.add_str("@", 60, RData::A("23.153.8.71".parse().unwrap()));
+        me.add_str("@", 60, RData::Aaaa("2001:4810:0:3::71".parse().unwrap()));
+        g.add_zone(me);
+        // Service publishing only an unusable v4-mapped AAAA.
+        let mut weird = Zone::new(n("weird.test"), 60);
+        weird.add_str("@", 60, RData::Aaaa("::ffff:198.51.100.9".parse().unwrap()));
+        weird.add_str("@", 60, RData::A("198.51.100.9".parse().unwrap()));
+        g.add_zone(weird);
+        g
+    }
+
+    #[test]
+    fn synthesizes_for_v4_only_name() {
+        // The paper's Fig. 7: sc24.supercomputing.org → 64:ff9b::be5c:9e04.
+        let mut d = Dns64::well_known(internet());
+        let a = d.resolve(&Question::new(n("sc24.supercomputing.org"), RType::Aaaa), 0);
+        assert!(a.is_positive());
+        assert_eq!(
+            a.records[0].data,
+            RData::Aaaa("64:ff9b::be5c:9e04".parse().unwrap())
+        );
+        assert_eq!(d.synthesized, 1);
+    }
+
+    #[test]
+    fn native_aaaa_passes_through_untouched() {
+        let mut d = Dns64::well_known(internet());
+        let a = d.resolve(&Question::new(n("ip6.me"), RType::Aaaa), 0);
+        assert!(a.is_positive());
+        assert_eq!(
+            a.records[0].data,
+            RData::Aaaa("2001:4810:0:3::71".parse().unwrap())
+        );
+        assert_eq!(d.synthesized, 0);
+    }
+
+    #[test]
+    fn a_queries_pass_through() {
+        // DNS64 only synthesizes AAAA; the A path is untouched, which is why
+        // the healthy DNS64 still "accepts IPv4 clients" (paper Fig. 7).
+        let mut d = Dns64::well_known(internet());
+        let a = d.resolve(&Question::new(n("ip6.me"), RType::A), 0);
+        assert_eq!(a.records[0].data, RData::A("23.153.8.71".parse().unwrap()));
+    }
+
+    #[test]
+    fn cname_chain_preserved_in_synthesis() {
+        let mut d = Dns64::well_known(internet());
+        let a = d.resolve(&Question::new(n("www.sc24.supercomputing.org"), RType::Aaaa), 0);
+        assert!(a.is_positive());
+        assert!(matches!(a.records[0].data, RData::Cname(_)));
+        assert_eq!(
+            a.records[1].data,
+            RData::Aaaa("64:ff9b::be5c:9e04".parse().unwrap())
+        );
+    }
+
+    #[test]
+    fn excluded_aaaa_triggers_synthesis() {
+        // RFC 6147 §5.1.4: v4-mapped AAAA answers are unusable.
+        let mut d = Dns64::well_known(internet());
+        let a = d.resolve(&Question::new(n("weird.test"), RType::Aaaa), 0);
+        assert!(a.is_positive());
+        assert_eq!(
+            a.records.iter().filter(|r| matches!(r.data, RData::Aaaa(x) if x == "64:ff9b::c633:6409".parse::<Ipv6Addr>().unwrap())).count(),
+            1,
+            "synthesized from the A record, not the mapped AAAA"
+        );
+    }
+
+    #[test]
+    fn nxdomain_stays_negative() {
+        let mut d = Dns64::well_known(internet());
+        let a = d.resolve(&Question::new(n("missing.ip6.me"), RType::Aaaa), 0);
+        assert_eq!(a.rcode, Rcode::NxDomain);
+        assert_eq!(d.synthesized, 0);
+    }
+
+    #[test]
+    fn custom_prefix_synthesis() {
+        let p = Nat64Prefix::new("2001:db8:64::/96".parse().unwrap()).unwrap();
+        let mut d = Dns64::new(internet(), p);
+        let a = d.resolve(&Question::new(n("sc24.supercomputing.org"), RType::Aaaa), 0);
+        assert_eq!(
+            a.records[0].data,
+            RData::Aaaa("2001:db8:64::be5c:9e04".parse().unwrap())
+        );
+    }
+
+    #[test]
+    fn ptr_of_translated_address_resolves_via_in_addr_arpa() {
+        // RFC 6147 §5.3: reverse lookup of 64:ff9b::be5c:9e04 answers with
+        // the IPv4 service's PTR, owner rewritten to the queried name.
+        let mut g = internet();
+        let mut rev = Zone::new(n("158.92.190.in-addr.arpa"), 300);
+        rev.add_str("4", 300, RData::Ptr(n("sc24.supercomputing.org")));
+        g.add_zone(rev);
+        let mut d = Dns64::well_known(g);
+        let qname = crate::reverse::ip6_arpa_name("64:ff9b::be5c:9e04".parse().unwrap());
+        let ans = d.resolve(&Question::new(qname.clone(), RType::Ptr), 0);
+        assert!(ans.is_positive(), "{ans:?}");
+        assert_eq!(ans.records[0].name, qname, "owner is the queried name");
+        assert_eq!(ans.records[0].data, RData::Ptr(n("sc24.supercomputing.org")));
+    }
+
+    #[test]
+    fn ptr_outside_prefix_passes_through() {
+        let mut d = Dns64::well_known(internet());
+        let qname = crate::reverse::ip6_arpa_name("2001:4810:0:3::71".parse().unwrap());
+        let ans = d.resolve(&Question::new(qname, RType::Ptr), 0);
+        // No reverse zone exists for it: plain negative pass-through.
+        assert!(!ans.is_positive());
+    }
+
+    #[test]
+    fn ttl_of_synthesized_follows_a_record() {
+        let mut d = Dns64::well_known(internet());
+        let a = d.resolve(&Question::new(n("sc24.supercomputing.org"), RType::Aaaa), 0);
+        assert_eq!(a.records[0].ttl, 120);
+    }
+}

@@ -1,0 +1,34 @@
+//! # v6dns — DNS engine for the sc24v6 testbed
+//!
+//! A from-scratch DNS implementation covering everything the paper's
+//! interventions need:
+//!
+//! * RFC 1035 wire codec with name compression ([`codec`], [`name`])
+//! * authoritative zone storage with CNAME chasing and correct
+//!   NXDOMAIN/NODATA distinction ([`zone`])
+//! * a resolver engine with TTL caching and RFC 2308 negative caching
+//!   ([`server`])
+//! * RFC 6147 DNS64 AAAA synthesis ([`dns64`])
+//! * the paper's IPv4 DNS interventions: dnsmasq-style wildcard A poisoning
+//!   (`address=/#/23.153.8.71`) and the proposed BIND9 RPZ refinement
+//!   ([`poison`])
+//! * stub-resolver helpers: the DNS suffix search list behaviour that
+//!   produces the paper's Figure 9 artefact ([`stub`])
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod dns64;
+pub mod name;
+pub mod poison;
+pub mod reverse;
+pub mod server;
+pub mod stub;
+pub mod zone;
+
+pub use codec::{Message, Question, RData, RType, Rcode, Record};
+pub use dns64::Dns64;
+pub use name::DnsName;
+pub use poison::{PoisonPolicy, PoisonedResolver};
+pub use server::{CachingResolver, GlobalDns, Resolver};
+pub use zone::{Zone, ZoneLookup};

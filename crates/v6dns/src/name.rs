@@ -1,0 +1,213 @@
+//! Domain names: case-insensitive label sequences with suffix arithmetic.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A fully-qualified domain name, stored as lower-cased labels.
+///
+/// DNS comparisons are case-insensitive (RFC 1035 §2.3.3); we canonicalize to
+/// lower case at construction so `Eq`/`Hash`/`Ord` are cheap.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DnsName {
+    labels: Vec<String>,
+}
+
+/// Errors from name construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NameError {
+    /// A label was empty or longer than 63 octets.
+    BadLabel(String),
+    /// Total encoded length would exceed 255 octets.
+    TooLong(usize),
+}
+
+impl fmt::Display for NameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NameError::BadLabel(l) => write!(f, "bad DNS label {l:?}"),
+            NameError::TooLong(n) => write!(f, "DNS name too long ({n} octets)"),
+        }
+    }
+}
+
+impl std::error::Error for NameError {}
+
+impl DnsName {
+    /// The DNS root (empty name).
+    pub fn root() -> DnsName {
+        DnsName { labels: Vec::new() }
+    }
+
+    /// Build from labels, validating lengths.
+    pub fn from_labels<I, S>(labels: I) -> Result<DnsName, NameError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut out = Vec::new();
+        let mut total = 1; // trailing root byte
+        for l in labels {
+            let l = l.as_ref();
+            if l.is_empty() || l.len() > 63 {
+                return Err(NameError::BadLabel(l.into()));
+            }
+            total += l.len() + 1;
+            out.push(l.to_ascii_lowercase());
+        }
+        if total > 255 {
+            return Err(NameError::TooLong(total));
+        }
+        Ok(DnsName { labels: out })
+    }
+
+    /// The labels, most-specific first.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Number of labels.
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Is this the root name?
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Is `self` equal to or a subdomain of `ancestor`?
+    pub fn is_subdomain_of(&self, ancestor: &DnsName) -> bool {
+        self.labels.len() >= ancestor.labels.len()
+            && self.labels[self.labels.len() - ancestor.labels.len()..] == ancestor.labels[..]
+    }
+
+    /// The parent name (one label removed), or `None` at the root.
+    pub fn parent(&self) -> Option<DnsName> {
+        if self.labels.is_empty() {
+            None
+        } else {
+            Some(DnsName {
+                labels: self.labels[1..].to_vec(),
+            })
+        }
+    }
+
+    /// `self` with `suffix` appended — how a stub resolver applies its
+    /// search list: `vpn.anl.gov` + `rfc8925.com` = `vpn.anl.gov.rfc8925.com`
+    /// (the exact artefact in the paper's Figure 9).
+    pub fn with_suffix(&self, suffix: &DnsName) -> Result<DnsName, NameError> {
+        Self::from_labels(self.labels.iter().chain(suffix.labels.iter()))
+    }
+
+    /// Number of dots in the presentation form — the classic `ndots`
+    /// heuristic deciding whether the search list applies first.
+    pub fn ndots(&self) -> usize {
+        self.labels.len().saturating_sub(1)
+    }
+}
+
+impl FromStr for DnsName {
+    type Err = NameError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let trimmed = s.strip_suffix('.').unwrap_or(s);
+        if trimmed.is_empty() {
+            return Ok(DnsName::root());
+        }
+        DnsName::from_labels(trimmed.split('.'))
+    }
+}
+
+impl fmt::Display for DnsName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return write!(f, ".");
+        }
+        write!(f, "{}", self.labels.join("."))
+    }
+}
+
+impl fmt::Debug for DnsName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_display_roundtrip() {
+        let n: DnsName = "ip6.me".parse().unwrap();
+        assert_eq!(n.to_string(), "ip6.me");
+        let fqdn: DnsName = "sc24.supercomputing.org.".parse().unwrap();
+        assert_eq!(fqdn.to_string(), "sc24.supercomputing.org");
+        assert_eq!(fqdn.label_count(), 3);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let a: DnsName = "IP6.Me".parse().unwrap();
+        let b: DnsName = "ip6.me".parse().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn root_parses() {
+        assert!(".".parse::<DnsName>().unwrap().is_root());
+        assert!("".parse::<DnsName>().unwrap().is_root());
+        assert_eq!(DnsName::root().to_string(), ".");
+    }
+
+    #[test]
+    fn subdomain_relation() {
+        let zone: DnsName = "anl.gov".parse().unwrap();
+        let host: DnsName = "vpn.anl.gov".parse().unwrap();
+        assert!(host.is_subdomain_of(&zone));
+        assert!(host.is_subdomain_of(&host));
+        assert!(!zone.is_subdomain_of(&host));
+        assert!(host.is_subdomain_of(&DnsName::root()));
+        let evil: DnsName = "notanl.gov".parse().unwrap();
+        assert!(!evil.is_subdomain_of(&zone), "label boundaries respected");
+    }
+
+    #[test]
+    fn fig9_suffix_append() {
+        // nslookup applied the search list: vpn.anl.gov.rfc8925.com.
+        let q: DnsName = "vpn.anl.gov".parse().unwrap();
+        let suffix: DnsName = "rfc8925.com".parse().unwrap();
+        assert_eq!(
+            q.with_suffix(&suffix).unwrap().to_string(),
+            "vpn.anl.gov.rfc8925.com"
+        );
+    }
+
+    #[test]
+    fn validation() {
+        assert!("a..b".parse::<DnsName>().is_err());
+        let long = "x".repeat(64);
+        assert!(long.parse::<DnsName>().is_err());
+        let ok = "x".repeat(63);
+        assert!(ok.parse::<DnsName>().is_ok());
+        // 255-octet total limit.
+        let many = vec!["abcdefgh"; 32].join(".");
+        assert!(many.parse::<DnsName>().is_err());
+    }
+
+    #[test]
+    fn parent_walk() {
+        let n: DnsName = "a.b.c".parse().unwrap();
+        let p = n.parent().unwrap();
+        assert_eq!(p.to_string(), "b.c");
+        assert_eq!(p.parent().unwrap().to_string(), "c");
+        assert!(p.parent().unwrap().parent().unwrap().is_root());
+        assert!(DnsName::root().parent().is_none());
+    }
+
+    #[test]
+    fn ndots_heuristic() {
+        assert_eq!("printer".parse::<DnsName>().unwrap().ndots(), 0);
+        assert_eq!("vpn.anl.gov".parse::<DnsName>().unwrap().ndots(), 2);
+    }
+}

@@ -1,0 +1,258 @@
+//! The paper's IPv4 DNS interventions.
+//!
+//! Section VI: "To facilitate the DNS A record poisoning, dnsmasq was used
+//! with a two line configuration: one line of `address=/#/23.153.8.71` to
+//! return any A record query with an answer of ip6.me's IPv4 address, and
+//! another line of `server=192.168.12.251` to forward all other requests
+//! (including AAAA queries) to the testbed's healthy DNS64 server."
+//!
+//! [`PoisonPolicy::WildcardA`] reproduces that dnsmasq behaviour faithfully —
+//! including its documented defect: "Since dnsmasq has no logic to determine
+//! if a real-world A record exists, it will answer A record queries even for
+//! non-existent fully qualified domain names" (the Figure 9 artefact).
+//!
+//! [`PoisonPolicy::ResponsePolicyZone`] implements the conclusion's proposed
+//! mitigation ("replacing the dnsmasq configuration … with a BIND9 Response
+//! Policy Zone"): the upstream is consulted first and only *existing* names
+//! have their A answers rewritten, so NXDOMAIN stays NXDOMAIN.
+
+use crate::codec::{Question, RData, RType, Rcode, Record};
+use crate::server::{Answer, Resolver};
+use std::net::Ipv4Addr;
+
+/// How A queries are intercepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoisonPolicy {
+    /// dnsmasq `address=/#/<answer>`: every A query is answered locally with
+    /// `answer`, existence never checked, nothing forwarded.
+    WildcardA {
+        /// The intervention address (ip6.me's 23.153.8.71 in the paper).
+        answer: Ipv4Addr,
+        /// TTL for the forged records.
+        ttl: u32,
+    },
+    /// BIND9 RPZ-style rewrite: forward the A query upstream; rewrite only
+    /// positive answers, pass negatives through unchanged.
+    ResponsePolicyZone {
+        /// The intervention address.
+        answer: Ipv4Addr,
+        /// TTL for the rewritten records.
+        ttl: u32,
+    },
+    /// No intervention (control condition / Ansible-playbook rollback the
+    /// conclusion mentions).
+    Off,
+}
+
+/// A resolver applying an IPv4 intervention in front of `upstream` (the
+/// healthy DNS64 in the paper's topology).
+///
+/// ```
+/// use v6dns::codec::{Question, RData, RType};
+/// use v6dns::poison::PoisonedResolver;
+/// use v6dns::server::{GlobalDns, Resolver};
+///
+/// // dnsmasq semantics: every A query — even for names that don't exist —
+/// // is answered with ip6.me's address.
+/// let mut dns = PoisonedResolver::dnsmasq_ip6me(GlobalDns::new());
+/// let a = dns.resolve(&Question::new("anything.example".parse().unwrap(), RType::A), 0);
+/// assert_eq!(a.records[0].data, RData::A("23.153.8.71".parse().unwrap()));
+/// ```
+#[derive(Debug)]
+pub struct PoisonedResolver<R> {
+    upstream: R,
+    /// Active policy (mutable so an experiment can flip it mid-run).
+    pub policy: PoisonPolicy,
+    /// A queries intercepted.
+    pub poisoned_count: u64,
+    /// Queries forwarded untouched.
+    pub forwarded_count: u64,
+}
+
+impl<R: Resolver> PoisonedResolver<R> {
+    /// Apply `policy` in front of `upstream`.
+    pub fn new(upstream: R, policy: PoisonPolicy) -> PoisonedResolver<R> {
+        PoisonedResolver {
+            upstream,
+            policy,
+            poisoned_count: 0,
+            forwarded_count: 0,
+        }
+    }
+
+    /// The testbed's production configuration: wildcard-A to ip6.me.
+    pub fn dnsmasq_ip6me(upstream: R) -> PoisonedResolver<R> {
+        Self::new(
+            upstream,
+            PoisonPolicy::WildcardA {
+                answer: Ipv4Addr::new(23, 153, 8, 71),
+                ttl: 60,
+            },
+        )
+    }
+
+    /// Access the wrapped upstream.
+    pub fn upstream_mut(&mut self) -> &mut R {
+        &mut self.upstream
+    }
+}
+
+impl<R: Resolver> Resolver for PoisonedResolver<R> {
+    fn resolve(&mut self, q: &Question, now: u64) -> Answer {
+        if q.rtype != RType::A {
+            self.forwarded_count += 1;
+            return self.upstream.resolve(q, now);
+        }
+        match self.policy {
+            PoisonPolicy::Off => {
+                self.forwarded_count += 1;
+                self.upstream.resolve(q, now)
+            }
+            PoisonPolicy::WildcardA { answer, ttl } => {
+                self.poisoned_count += 1;
+                Answer::positive(vec![Record::new(q.name.clone(), ttl, RData::A(answer))])
+            }
+            PoisonPolicy::ResponsePolicyZone { answer, ttl } => {
+                let real = self.upstream.resolve(q, now);
+                if real.rcode == Rcode::NoError
+                    && real.records.iter().any(|r| matches!(r.data, RData::A(_)))
+                {
+                    self.poisoned_count += 1;
+                    let records = real
+                        .records
+                        .iter()
+                        .map(|r| match r.data {
+                            RData::A(_) => Record::new(r.name.clone(), ttl, RData::A(answer)),
+                            _ => r.clone(),
+                        })
+                        .collect();
+                    Answer::positive(records)
+                } else {
+                    self.forwarded_count += 1;
+                    real
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dns64::Dns64;
+    use crate::name::DnsName;
+    use crate::server::GlobalDns;
+    use crate::zone::Zone;
+
+    fn n(s: &str) -> DnsName {
+        s.parse().unwrap()
+    }
+
+    fn upstream() -> Dns64<GlobalDns> {
+        let mut g = GlobalDns::new();
+        let mut sc = Zone::new(n("supercomputing.org"), 300);
+        sc.add_str("sc24", 120, RData::A("190.92.158.4".parse().unwrap()));
+        g.add_zone(sc);
+        let mut anl = Zone::new(n("anl.gov"), 300);
+        anl.add_str("vpn", 120, RData::A("130.202.228.253".parse().unwrap()));
+        g.add_zone(anl);
+        let mut me = Zone::new(n("ip6.me"), 60);
+        me.add_str("@", 60, RData::A("23.153.8.71".parse().unwrap()));
+        me.add_str("@", 60, RData::Aaaa("2001:4810:0:3::71".parse().unwrap()));
+        g.add_zone(me);
+        Dns64::well_known(g)
+    }
+
+    #[test]
+    fn wildcard_poisons_every_a_query() {
+        let mut p = PoisonedResolver::dnsmasq_ip6me(upstream());
+        for name in ["vpn.anl.gov", "sc24.supercomputing.org", "example.org"] {
+            let a = p.resolve(&Question::new(n(name), RType::A), 0);
+            assert_eq!(
+                a.records[0].data,
+                RData::A("23.153.8.71".parse().unwrap()),
+                "{name} must be redirected"
+            );
+        }
+        assert_eq!(p.poisoned_count, 3);
+    }
+
+    #[test]
+    fn wildcard_answers_nonexistent_names_fig9() {
+        // Fig. 9: vpn.anl.gov.rfc8925.com does not exist, yet dnsmasq answers.
+        let mut p = PoisonedResolver::dnsmasq_ip6me(upstream());
+        let a = p.resolve(&Question::new(n("vpn.anl.gov.rfc8925.com"), RType::A), 0);
+        assert_eq!(a.rcode, Rcode::NoError);
+        assert_eq!(a.records[0].data, RData::A("23.153.8.71".parse().unwrap()));
+    }
+
+    #[test]
+    fn aaaa_forwarded_to_healthy_dns64() {
+        // Fig. 9's other half: ping got the valid AAAA via NAT64 synthesis.
+        let mut p = PoisonedResolver::dnsmasq_ip6me(upstream());
+        let a = p.resolve(&Question::new(n("vpn.anl.gov"), RType::Aaaa), 0);
+        assert!(a.is_positive());
+        assert_eq!(
+            a.records[0].data,
+            RData::Aaaa("64:ff9b::82ca:e4fd".parse().unwrap())
+        );
+        assert_eq!(p.poisoned_count, 0);
+        assert_eq!(p.forwarded_count, 1);
+    }
+
+    #[test]
+    fn rpz_rewrites_existing_names() {
+        let mut p = PoisonedResolver::new(
+            upstream(),
+            PoisonPolicy::ResponsePolicyZone {
+                answer: "23.153.8.71".parse().unwrap(),
+                ttl: 30,
+            },
+        );
+        let a = p.resolve(&Question::new(n("vpn.anl.gov"), RType::A), 0);
+        assert_eq!(a.records[0].data, RData::A("23.153.8.71".parse().unwrap()));
+        assert_eq!(a.records[0].ttl, 30);
+    }
+
+    #[test]
+    fn rpz_preserves_nxdomain() {
+        // The conclusion's proposed fix: non-existent FQDNs stay NXDOMAIN.
+        let mut p = PoisonedResolver::new(
+            upstream(),
+            PoisonPolicy::ResponsePolicyZone {
+                answer: "23.153.8.71".parse().unwrap(),
+                ttl: 30,
+            },
+        );
+        let a = p.resolve(&Question::new(n("vpn.anl.gov.rfc8925.com"), RType::A), 0);
+        assert_eq!(a.rcode, Rcode::NxDomain);
+        assert!(a.records.is_empty());
+        assert_eq!(p.poisoned_count, 0);
+    }
+
+    #[test]
+    fn off_policy_is_transparent() {
+        let mut p = PoisonedResolver::new(upstream(), PoisonPolicy::Off);
+        let a = p.resolve(&Question::new(n("vpn.anl.gov"), RType::A), 0);
+        assert_eq!(
+            a.records[0].data,
+            RData::A("130.202.228.253".parse().unwrap())
+        );
+        assert_eq!(p.poisoned_count, 0);
+    }
+
+    #[test]
+    fn policy_flip_mid_run() {
+        // The conclusion mentions "an Ansible playbook to remove the IPv4 DNS
+        // interventions should major issues be reported".
+        let mut p = PoisonedResolver::dnsmasq_ip6me(upstream());
+        let before = p.resolve(&Question::new(n("vpn.anl.gov"), RType::A), 0);
+        assert_eq!(before.records[0].data, RData::A("23.153.8.71".parse().unwrap()));
+        p.policy = PoisonPolicy::Off;
+        let after = p.resolve(&Question::new(n("vpn.anl.gov"), RType::A), 1);
+        assert_eq!(
+            after.records[0].data,
+            RData::A("130.202.228.253".parse().unwrap())
+        );
+    }
+}

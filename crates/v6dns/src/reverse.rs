@@ -1,0 +1,88 @@
+//! Reverse-DNS name arithmetic: `ip6.arpa` and `in-addr.arpa` forms, used
+//! by DNS64's PTR handling (RFC 6147 §5.3) so that `ptr` lookups of
+//! NAT64-synthesized addresses resolve to the real IPv4 service's name.
+
+use crate::name::DnsName;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// The `ip6.arpa` reverse name of an IPv6 address
+/// (32 nibbles, least-significant first).
+pub fn ip6_arpa_name(addr: Ipv6Addr) -> DnsName {
+    let octets = addr.octets();
+    let mut labels = Vec::with_capacity(34);
+    for o in octets.iter().rev() {
+        labels.push(format!("{:x}", o & 0x0f));
+        labels.push(format!("{:x}", o >> 4));
+    }
+    labels.push("ip6".to_string());
+    labels.push("arpa".to_string());
+    DnsName::from_labels(labels).expect("nibble labels are valid")
+}
+
+/// Parse an `ip6.arpa` name back into an address; `None` if the name is not
+/// a full 32-nibble reverse name.
+pub fn parse_ip6_arpa(name: &DnsName) -> Option<Ipv6Addr> {
+    let labels = name.labels();
+    if labels.len() != 34 || labels[32] != "ip6" || labels[33] != "arpa" {
+        return None;
+    }
+    let mut octets = [0u8; 16];
+    for (i, pair) in labels[..32].chunks(2).enumerate() {
+        let lo = u8::from_str_radix(&pair[0], 16).ok()?;
+        let hi = u8::from_str_radix(&pair[1], 16).ok()?;
+        if pair[0].len() != 1 || pair[1].len() != 1 {
+            return None;
+        }
+        // Labels run least-significant nibble first.
+        octets[15 - i] = (hi << 4) | lo;
+    }
+    Some(Ipv6Addr::from(octets))
+}
+
+/// The `in-addr.arpa` reverse name of an IPv4 address.
+pub fn in_addr_arpa_name(addr: Ipv4Addr) -> DnsName {
+    let o = addr.octets();
+    format!("{}.{}.{}.{}.in-addr.arpa", o[3], o[2], o[1], o[0])
+        .parse()
+        .expect("octet labels are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ip6_arpa_roundtrip() {
+        let a: Ipv6Addr = "64:ff9b::be5c:9e04".parse().unwrap();
+        let name = ip6_arpa_name(a);
+        assert!(name.to_string().ends_with("ip6.arpa"));
+        assert_eq!(name.label_count(), 34);
+        assert_eq!(parse_ip6_arpa(&name), Some(a));
+    }
+
+    #[test]
+    fn ip6_arpa_known_form() {
+        let a: Ipv6Addr = "2001:db8::1".parse().unwrap();
+        assert_eq!(
+            ip6_arpa_name(a).to_string(),
+            "1.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.8.b.d.0.1.0.0.2.ip6.arpa"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(parse_ip6_arpa(&"ip6.arpa".parse().unwrap()).is_none());
+        assert!(parse_ip6_arpa(&"1.2.3.in-addr.arpa".parse().unwrap()).is_none());
+        // 33 nibbles (one short).
+        let short: DnsName = format!("{}ip6.arpa", "0.".repeat(31)).parse().unwrap();
+        assert!(parse_ip6_arpa(&short).is_none());
+    }
+
+    #[test]
+    fn in_addr_arpa_form() {
+        assert_eq!(
+            in_addr_arpa_name("190.92.158.4".parse().unwrap()).to_string(),
+            "4.158.92.190.in-addr.arpa"
+        );
+    }
+}

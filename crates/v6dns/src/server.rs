@@ -1,0 +1,469 @@
+//! Resolver engines: the simulated global DNS, and a TTL cache with RFC 2308
+//! negative caching that any server in the testbed can layer on top.
+
+use crate::codec::{Question, RData, RType, Rcode, Record};
+use crate::name::DnsName;
+use crate::zone::{Zone, ZoneLookup};
+use std::collections::HashMap;
+
+/// The outcome of a resolution: an rcode, answer records, and the SOA that
+/// authorizes negative caching when the answer set is empty.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Answer {
+    /// Response code.
+    pub rcode: Rcode,
+    /// Answer-section records (CNAME chains included).
+    pub records: Vec<Record>,
+    /// SOA for negative answers.
+    pub soa: Option<Record>,
+}
+
+impl Answer {
+    /// A positive answer.
+    pub fn positive(records: Vec<Record>) -> Answer {
+        Answer {
+            rcode: Rcode::NoError,
+            records,
+            soa: None,
+        }
+    }
+
+    /// NXDOMAIN with authority SOA.
+    pub fn nxdomain(soa: Record) -> Answer {
+        Answer {
+            rcode: Rcode::NxDomain,
+            records: Vec::new(),
+            soa: Some(soa),
+        }
+    }
+
+    /// NOERROR/NODATA with authority SOA.
+    pub fn nodata(soa: Record) -> Answer {
+        Answer {
+            rcode: Rcode::NoError,
+            records: Vec::new(),
+            soa: Some(soa),
+        }
+    }
+
+    /// Server failure.
+    pub fn servfail() -> Answer {
+        Answer {
+            rcode: Rcode::ServFail,
+            records: Vec::new(),
+            soa: None,
+        }
+    }
+
+    /// Is this a usable positive answer?
+    pub fn is_positive(&self) -> bool {
+        self.rcode == Rcode::NoError && !self.records.is_empty()
+    }
+}
+
+/// Anything that can answer DNS questions. `now` is simulation time in
+/// seconds, used for TTL bookkeeping.
+pub trait Resolver {
+    /// Resolve one question.
+    fn resolve(&mut self, q: &Question, now: u64) -> Answer;
+}
+
+impl<T: Resolver + ?Sized> Resolver for Box<T> {
+    fn resolve(&mut self, q: &Question, now: u64) -> Answer {
+        (**self).resolve(q, now)
+    }
+}
+
+/// The simulated "rest of the internet's" DNS: a set of authoritative zones
+/// resolved recursively, with cross-zone CNAME chasing.
+///
+/// This stands in for the real DNS hierarchy the testbed's Raspberry Pi
+/// BIND9 forwarded to via the 5G uplink.
+#[derive(Debug, Default)]
+pub struct GlobalDns {
+    zones: Vec<Zone>,
+    /// Query counter for observability.
+    pub queries: u64,
+}
+
+impl GlobalDns {
+    /// Empty database.
+    pub fn new() -> GlobalDns {
+        GlobalDns::default()
+    }
+
+    /// Add an authoritative zone.
+    pub fn add_zone(&mut self, zone: Zone) -> &mut Self {
+        self.zones.push(zone);
+        self
+    }
+
+    /// Longest-match zone for `name`.
+    fn zone_for(&self, name: &DnsName) -> Option<&Zone> {
+        self.zones
+            .iter()
+            .filter(|z| name.is_subdomain_of(z.origin()))
+            .max_by_key(|z| z.origin().label_count())
+    }
+
+    fn root_soa() -> Record {
+        Record::new(
+            DnsName::root(),
+            900,
+            RData::Soa {
+                mname: "a.root-servers.net".parse().expect("static name"),
+                rname: "nstld.verisign-grs.com".parse().expect("static name"),
+                serial: 20_240_815,
+                refresh: 1800,
+                retry: 900,
+                expire: 604_800,
+                minimum: 86_400,
+            },
+        )
+    }
+}
+
+impl Resolver for GlobalDns {
+    fn resolve(&mut self, q: &Question, _now: u64) -> Answer {
+        self.queries += 1;
+        let mut chain: Vec<Record> = Vec::new();
+        let mut current = q.name.clone();
+        for _hop in 0..8 {
+            let Some(zone) = self.zone_for(&current) else {
+                // No delegation anywhere: the root says NXDOMAIN.
+                return if chain.is_empty() {
+                    Answer::nxdomain(Self::root_soa())
+                } else {
+                    // Dangling out-of-zone CNAME target.
+                    Answer {
+                        rcode: Rcode::NxDomain,
+                        records: chain,
+                        soa: Some(Self::root_soa()),
+                    }
+                };
+            };
+            match zone.lookup(&current, q.rtype) {
+                ZoneLookup::Answer(mut rs) => {
+                    // If the chain ends in an out-of-zone CNAME, keep chasing.
+                    let last_is_cname = matches!(
+                        rs.last().map(|r| &r.data),
+                        Some(RData::Cname(_))
+                    );
+                    if last_is_cname && q.rtype != RType::Cname && q.rtype != RType::Any {
+                        let target = match &rs.last().expect("nonempty").data {
+                            RData::Cname(t) => t.clone(),
+                            _ => unreachable!("checked CNAME"),
+                        };
+                        chain.append(&mut rs);
+                        current = target;
+                        continue;
+                    }
+                    chain.append(&mut rs);
+                    return Answer::positive(chain);
+                }
+                ZoneLookup::NoData { soa } => {
+                    return Answer {
+                        rcode: Rcode::NoError,
+                        records: chain,
+                        soa: Some(soa),
+                    }
+                }
+                ZoneLookup::NxDomain { soa } => {
+                    return Answer {
+                        rcode: Rcode::NxDomain,
+                        records: chain,
+                        soa: Some(soa),
+                    }
+                }
+                ZoneLookup::NotInZone => unreachable!("zone_for guarantees membership"),
+            }
+        }
+        Answer::servfail()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum CacheEntry {
+    Positive {
+        records: Vec<Record>,
+        expires: u64,
+    },
+    Negative {
+        rcode: Rcode,
+        soa: Record,
+        expires: u64,
+    },
+}
+
+/// A caching resolver (RFC 1035 TTL cache + RFC 2308 negative cache) in
+/// front of any upstream.
+#[derive(Debug)]
+pub struct CachingResolver<R> {
+    upstream: R,
+    cache: HashMap<Question, CacheEntry>,
+    /// Cache hits for observability.
+    pub hits: u64,
+    /// Cache misses for observability.
+    pub misses: u64,
+    /// Cap on positive TTLs (operators commonly clamp; 0 = no cap).
+    pub max_ttl: u32,
+}
+
+impl<R: Resolver> CachingResolver<R> {
+    /// Wrap `upstream`.
+    pub fn new(upstream: R) -> CachingResolver<R> {
+        CachingResolver {
+            upstream,
+            cache: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            max_ttl: 0,
+        }
+    }
+
+    /// Access the wrapped upstream.
+    pub fn upstream_mut(&mut self) -> &mut R {
+        &mut self.upstream
+    }
+
+    /// Number of live cache entries at `now`.
+    pub fn live_entries(&self, now: u64) -> usize {
+        self.cache
+            .values()
+            .filter(|e| match e {
+                CacheEntry::Positive { expires, .. } => *expires > now,
+                CacheEntry::Negative { expires, .. } => *expires > now,
+            })
+            .count()
+    }
+
+    /// Drop expired entries.
+    pub fn evict_expired(&mut self, now: u64) {
+        self.cache.retain(|_, e| match e {
+            CacheEntry::Positive { expires, .. } => *expires > now,
+            CacheEntry::Negative { expires, .. } => *expires > now,
+        });
+    }
+
+    fn effective_ttl(&self, ttl: u32) -> u32 {
+        if self.max_ttl == 0 {
+            ttl
+        } else {
+            ttl.min(self.max_ttl)
+        }
+    }
+}
+
+impl<R: Resolver> Resolver for CachingResolver<R> {
+    fn resolve(&mut self, q: &Question, now: u64) -> Answer {
+        if let Some(entry) = self.cache.get(q) {
+            match entry {
+                CacheEntry::Positive { records, expires } if *expires > now => {
+                    self.hits += 1;
+                    let remaining = (*expires - now) as u32;
+                    let records = records
+                        .iter()
+                        .map(|r| Record::new(r.name.clone(), r.ttl.min(remaining), r.data.clone()))
+                        .collect();
+                    return Answer::positive(records);
+                }
+                CacheEntry::Negative {
+                    rcode,
+                    soa,
+                    expires,
+                } if *expires > now => {
+                    self.hits += 1;
+                    return Answer {
+                        rcode: *rcode,
+                        records: Vec::new(),
+                        soa: Some(soa.clone()),
+                    };
+                }
+                _ => {}
+            }
+        }
+        self.misses += 1;
+        let answer = self.upstream.resolve(q, now);
+        match (&answer.rcode, answer.records.is_empty(), &answer.soa) {
+            (Rcode::NoError, false, _) => {
+                let min_ttl = answer
+                    .records
+                    .iter()
+                    .map(|r| r.ttl)
+                    .min()
+                    .unwrap_or(0);
+                let ttl = self.effective_ttl(min_ttl);
+                if ttl > 0 {
+                    self.cache.insert(
+                        q.clone(),
+                        CacheEntry::Positive {
+                            records: answer.records.clone(),
+                            expires: now + u64::from(ttl),
+                        },
+                    );
+                }
+            }
+            (Rcode::NoError | Rcode::NxDomain, true, Some(soa)) => {
+                // RFC 2308 §5: negative TTL = min(SOA TTL, SOA.minimum).
+                let neg_ttl = match &soa.data {
+                    RData::Soa { minimum, .. } => soa.ttl.min(*minimum),
+                    _ => soa.ttl,
+                };
+                if neg_ttl > 0 {
+                    self.cache.insert(
+                        q.clone(),
+                        CacheEntry::Negative {
+                            rcode: answer.rcode,
+                            soa: soa.clone(),
+                            expires: now + u64::from(neg_ttl),
+                        },
+                    );
+                }
+            }
+            _ => {}
+        }
+        answer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn n(s: &str) -> DnsName {
+        s.parse().unwrap()
+    }
+
+    fn internet() -> GlobalDns {
+        let mut g = GlobalDns::new();
+        let mut sc = Zone::new(n("supercomputing.org"), 300);
+        sc.add_str("sc24", 120, RData::A("190.92.158.4".parse().unwrap()));
+        sc.add_str("www.sc24", 120, RData::Cname(n("sc24.supercomputing.org")));
+        g.add_zone(sc);
+        let mut me = Zone::new(n("ip6.me"), 60);
+        me.add_str("@", 60, RData::A("23.153.8.71".parse().unwrap()));
+        me.add_str("@", 60, RData::Aaaa("2001:4810:0:3::71".parse().unwrap()));
+        g.add_zone(me);
+        let mut alias = Zone::new(n("alias.test"), 60);
+        alias.add_str("portal", 60, RData::Cname(n("ip6.me")));
+        alias.add_str("dangling", 60, RData::Cname(n("gone.nowhere.test")));
+        g.add_zone(alias);
+        g
+    }
+
+    #[test]
+    fn global_resolves_direct() {
+        let mut g = internet();
+        let a = g.resolve(&Question::new(n("sc24.supercomputing.org"), RType::A), 0);
+        assert!(a.is_positive());
+        assert_eq!(a.records[0].data, RData::A("190.92.158.4".parse().unwrap()));
+    }
+
+    #[test]
+    fn global_chases_cname_across_zones() {
+        let mut g = internet();
+        let a = g.resolve(&Question::new(n("portal.alias.test"), RType::A), 0);
+        assert!(a.is_positive());
+        assert_eq!(a.records.len(), 2);
+        assert!(matches!(a.records[0].data, RData::Cname(_)));
+        assert_eq!(a.records[1].data, RData::A("23.153.8.71".parse().unwrap()));
+    }
+
+    #[test]
+    fn global_dangling_cname_is_nxdomain_with_chain() {
+        let mut g = internet();
+        let a = g.resolve(&Question::new(n("dangling.alias.test"), RType::A), 0);
+        assert_eq!(a.rcode, Rcode::NxDomain);
+        assert_eq!(a.records.len(), 1);
+    }
+
+    #[test]
+    fn global_unknown_tld_is_nxdomain() {
+        let mut g = internet();
+        let a = g.resolve(&Question::new(n("echolink.example.net"), RType::A), 0);
+        assert_eq!(a.rcode, Rcode::NxDomain);
+        assert!(a.soa.is_some());
+    }
+
+    #[test]
+    fn cache_hits_within_ttl() {
+        let mut c = CachingResolver::new(internet());
+        let q = Question::new(n("ip6.me"), RType::A);
+        let first = c.resolve(&q, 1000);
+        assert!(first.is_positive());
+        assert_eq!((c.hits, c.misses), (0, 1));
+        let second = c.resolve(&q, 1030);
+        assert!(second.is_positive());
+        assert_eq!((c.hits, c.misses), (1, 1));
+        // TTL decremented by elapsed time.
+        assert_eq!(second.records[0].ttl, 30);
+        // Expired at +61s: re-fetch.
+        let third = c.resolve(&q, 1061);
+        assert!(third.is_positive());
+        assert_eq!((c.hits, c.misses), (1, 2));
+        assert_eq!(third.records[0].ttl, 60);
+    }
+
+    #[test]
+    fn negative_cache_rfc2308() {
+        let mut c = CachingResolver::new(internet());
+        let q = Question::new(n("missing.ip6.me"), RType::A);
+        let a = c.resolve(&q, 0);
+        assert_eq!(a.rcode, Rcode::NxDomain);
+        assert_eq!(c.upstream_mut().queries, 1);
+        // Negative TTL = min(SOA ttl, minimum) = 60.
+        let a2 = c.resolve(&q, 59);
+        assert_eq!(a2.rcode, Rcode::NxDomain);
+        assert_eq!(c.upstream_mut().queries, 1, "served from negative cache");
+        let _a3 = c.resolve(&q, 61);
+        assert_eq!(c.upstream_mut().queries, 2, "negative entry expired");
+    }
+
+    #[test]
+    fn nodata_cached_separately_from_nxdomain() {
+        let mut c = CachingResolver::new(internet());
+        // sc24 has A but no AAAA → NODATA, cacheable.
+        let q = Question::new(n("sc24.supercomputing.org"), RType::Aaaa);
+        let a = c.resolve(&q, 0);
+        assert_eq!(a.rcode, Rcode::NoError);
+        assert!(a.records.is_empty());
+        c.resolve(&q, 10);
+        assert_eq!(c.hits, 1);
+        // The A query is a different cache key.
+        let a2 = c.resolve(&Question::new(n("sc24.supercomputing.org"), RType::A), 10);
+        assert!(a2.is_positive());
+    }
+
+    #[test]
+    fn max_ttl_clamps() {
+        let mut c = CachingResolver::new(internet());
+        c.max_ttl = 10;
+        let q = Question::new(n("ip6.me"), RType::A);
+        c.resolve(&q, 0);
+        c.resolve(&q, 11); // past the clamped TTL
+        assert_eq!(c.misses, 2);
+    }
+
+    #[test]
+    fn eviction_and_live_count() {
+        let mut c = CachingResolver::new(internet());
+        c.resolve(&Question::new(n("ip6.me"), RType::A), 0);
+        c.resolve(&Question::new(n("ip6.me"), RType::Aaaa), 0);
+        assert_eq!(c.live_entries(30), 2);
+        assert_eq!(c.live_entries(61), 0);
+        c.evict_expired(61);
+        assert_eq!(c.live_entries(0), 0);
+    }
+
+    #[test]
+    fn answer_constructors() {
+        assert!(Answer::positive(vec![Record::new(
+            n("x.test"),
+            1,
+            RData::A(Ipv4Addr::LOCALHOST)
+        )])
+        .is_positive());
+        assert!(!Answer::servfail().is_positive());
+    }
+}

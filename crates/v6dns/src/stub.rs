@@ -1,0 +1,143 @@
+//! Stub-resolver behaviours: DNS suffix search lists and query candidate
+//! ordering. Different operating systems apply the search list differently;
+//! the combination of "suffix-first" clients with the wildcard-A poisoner is
+//! exactly what produced the paper's Figure 9.
+
+use crate::name::DnsName;
+
+/// When the search list is applied relative to the literal name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchOrder {
+    /// Try the name as-is first, then with each suffix (glibc with
+    /// `ndots`-satisfied names, `ping` on Windows).
+    AsIsFirst,
+    /// Try suffixed names first, then as-is (Windows `nslookup` devolution —
+    /// the Figure 9 behaviour).
+    SuffixFirst,
+    /// Never apply the search list (FQDN given with trailing dot).
+    Never,
+}
+
+/// A stub resolver configuration: search list + ndots threshold.
+#[derive(Debug, Clone)]
+pub struct SearchList {
+    /// Suffixes, in configuration order (e.g. `rfc8925.com` from DHCPv4
+    /// option 15 or the RA DNSSL).
+    pub suffixes: Vec<DnsName>,
+    /// Names with at least this many dots skip suffixing in `AsIsFirst`
+    /// mode's first pass (glibc default 1).
+    pub ndots: usize,
+}
+
+impl SearchList {
+    /// A search list with glibc's default `ndots: 1`.
+    pub fn new(suffixes: Vec<DnsName>) -> SearchList {
+        SearchList { suffixes, ndots: 1 }
+    }
+
+    /// An empty search list.
+    pub fn empty() -> SearchList {
+        SearchList::new(Vec::new())
+    }
+
+    /// The candidate FQDNs to try, in order, for a user-typed `name`.
+    ///
+    /// `was_fqdn` marks a trailing-dot input which disables searching
+    /// entirely.
+    pub fn candidates(&self, name: &DnsName, was_fqdn: bool, order: SearchOrder) -> Vec<DnsName> {
+        if was_fqdn || matches!(order, SearchOrder::Never) || self.suffixes.is_empty() {
+            return vec![name.clone()];
+        }
+        let suffixed: Vec<DnsName> = self
+            .suffixes
+            .iter()
+            .filter_map(|s| name.with_suffix(s).ok())
+            .collect();
+        match order {
+            SearchOrder::AsIsFirst => {
+                if name.ndots() >= self.ndots {
+                    std::iter::once(name.clone()).chain(suffixed).collect()
+                } else {
+                    suffixed.into_iter().chain(Some(name.clone())).collect()
+                }
+            }
+            SearchOrder::SuffixFirst => {
+                suffixed.into_iter().chain(Some(name.clone())).collect()
+            }
+            SearchOrder::Never => unreachable!("handled above"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> DnsName {
+        s.parse().unwrap()
+    }
+
+    fn testbed_list() -> SearchList {
+        SearchList::new(vec![n("rfc8925.com")])
+    }
+
+    #[test]
+    fn fig9_nslookup_tries_suffixed_first() {
+        let list = testbed_list();
+        let c = list.candidates(&n("vpn.anl.gov"), false, SearchOrder::SuffixFirst);
+        assert_eq!(
+            c,
+            vec![n("vpn.anl.gov.rfc8925.com"), n("vpn.anl.gov")],
+            "Windows nslookup devolution order"
+        );
+    }
+
+    #[test]
+    fn multi_dot_name_goes_as_is_first_under_glibc() {
+        let list = testbed_list();
+        let c = list.candidates(&n("vpn.anl.gov"), false, SearchOrder::AsIsFirst);
+        assert_eq!(c, vec![n("vpn.anl.gov"), n("vpn.anl.gov.rfc8925.com")]);
+    }
+
+    #[test]
+    fn single_label_searches_first_under_glibc() {
+        let list = testbed_list();
+        let c = list.candidates(&n("printer"), false, SearchOrder::AsIsFirst);
+        assert_eq!(c, vec![n("printer.rfc8925.com"), n("printer")]);
+    }
+
+    #[test]
+    fn fqdn_disables_search() {
+        let list = testbed_list();
+        let c = list.candidates(&n("vpn.anl.gov"), true, SearchOrder::SuffixFirst);
+        assert_eq!(c, vec![n("vpn.anl.gov")]);
+    }
+
+    #[test]
+    fn empty_list_is_identity() {
+        let list = SearchList::empty();
+        let c = list.candidates(&n("host"), false, SearchOrder::SuffixFirst);
+        assert_eq!(c, vec![n("host")]);
+    }
+
+    #[test]
+    fn multiple_suffixes_in_order() {
+        let list = SearchList::new(vec![n("scinet.sc24"), n("rfc8925.com")]);
+        let c = list.candidates(&n("portal"), false, SearchOrder::SuffixFirst);
+        assert_eq!(
+            c,
+            vec![
+                n("portal.scinet.sc24"),
+                n("portal.rfc8925.com"),
+                n("portal")
+            ]
+        );
+    }
+
+    #[test]
+    fn never_order() {
+        let list = testbed_list();
+        let c = list.candidates(&n("printer"), false, SearchOrder::Never);
+        assert_eq!(c, vec![n("printer")]);
+    }
+}

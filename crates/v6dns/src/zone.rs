@@ -1,0 +1,370 @@
+//! Authoritative zone storage: exact and wildcard owners, CNAME chasing and
+//! the NXDOMAIN / NODATA distinction that the poisoning ablation (wildcard-A
+//! vs RPZ) hinges on.
+
+use crate::codec::{RData, RType, Record};
+use crate::name::DnsName;
+use std::collections::BTreeMap;
+
+/// Result of an authoritative lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZoneLookup {
+    /// Records found (any CNAME chain is included, target records last).
+    Answer(Vec<Record>),
+    /// The name exists but has no records of the requested type.
+    NoData {
+        /// The zone SOA for negative caching.
+        soa: Record,
+    },
+    /// The name does not exist at all.
+    NxDomain {
+        /// The zone SOA for negative caching.
+        soa: Record,
+    },
+    /// The name is not within this zone's cut.
+    NotInZone,
+}
+
+/// An authoritative zone.
+#[derive(Debug, Clone)]
+pub struct Zone {
+    origin: DnsName,
+    soa: Record,
+    /// Owner → records at that owner. Wildcard owners are stored with their
+    /// literal `*` label.
+    records: BTreeMap<DnsName, Vec<Record>>,
+}
+
+impl Zone {
+    /// Create a zone with a generated SOA (serial 1, negative TTL
+    /// `negative_ttl`).
+    pub fn new(origin: DnsName, negative_ttl: u32) -> Zone {
+        let soa = Record::new(
+            origin.clone(),
+            negative_ttl,
+            RData::Soa {
+                mname: DnsName::from_labels(
+                    ["ns1"].iter().map(|s| s.to_string()).chain(
+                        origin.labels().iter().cloned(),
+                    ),
+                )
+                .expect("origin + ns1 label valid"),
+                rname: DnsName::from_labels(
+                    ["hostmaster"].iter().map(|s| s.to_string()).chain(
+                        origin.labels().iter().cloned(),
+                    ),
+                )
+                .expect("origin + hostmaster label valid"),
+                serial: 1,
+                refresh: 7200,
+                retry: 900,
+                expire: 1_209_600,
+                minimum: negative_ttl,
+            },
+        );
+        let mut records = BTreeMap::new();
+        records.insert(origin.clone(), vec![soa.clone()]);
+        Zone {
+            origin,
+            soa,
+            records,
+        }
+    }
+
+    /// The zone origin.
+    pub fn origin(&self) -> &DnsName {
+        &self.origin
+    }
+
+    /// The SOA record.
+    pub fn soa(&self) -> &Record {
+        &self.soa
+    }
+
+    /// Add a record. The owner must be within the zone.
+    pub fn add(&mut self, name: &DnsName, ttl: u32, data: RData) -> &mut Self {
+        assert!(
+            name.is_subdomain_of(&self.origin),
+            "{name} is outside zone {}",
+            self.origin
+        );
+        self.records
+            .entry(name.clone())
+            .or_default()
+            .push(Record::new(name.clone(), ttl, data));
+        self
+    }
+
+    /// Convenience: add by relative or absolute string owner.
+    pub fn add_str(&mut self, owner: &str, ttl: u32, data: RData) -> &mut Self {
+        let name: DnsName = if owner == "@" {
+            self.origin.clone()
+        } else {
+            let abs: DnsName = owner.parse().expect("valid owner");
+            if abs.is_subdomain_of(&self.origin) {
+                abs
+            } else {
+                abs.with_suffix(&self.origin).expect("joined name valid")
+            }
+        };
+        self.add(&name, ttl, data)
+    }
+
+    /// Does any record exist at `name` (or under it, making it an empty
+    /// non-terminal)?
+    fn name_exists(&self, name: &DnsName) -> bool {
+        if self.records.contains_key(name) {
+            return true;
+        }
+        // Empty non-terminal: some stored owner is a subdomain of `name`.
+        self.records.keys().any(|k| k.is_subdomain_of(name))
+    }
+
+    fn wildcard_for(&self, name: &DnsName) -> Option<&Vec<Record>> {
+        // Walk up: for a.b.origin try *.b.origin, *.origin.
+        let mut candidate = name.parent();
+        while let Some(parent) = candidate {
+            if !parent.is_subdomain_of(&self.origin) {
+                break;
+            }
+            let wc = DnsName::from_labels(
+                ["*"].iter().map(|s| s.to_string()).chain(
+                    parent.labels().iter().cloned(),
+                ),
+            )
+            .expect("wildcard name valid");
+            if let Some(rs) = self.records.get(&wc) {
+                return Some(rs);
+            }
+            candidate = parent.parent();
+        }
+        None
+    }
+
+    /// Authoritative lookup with CNAME chasing (bounded to 8 hops).
+    pub fn lookup(&self, name: &DnsName, rtype: RType) -> ZoneLookup {
+        if !name.is_subdomain_of(&self.origin) {
+            return ZoneLookup::NotInZone;
+        }
+        let mut chain: Vec<Record> = Vec::new();
+        let mut current = name.clone();
+        for _hop in 0..8 {
+            let direct = self.records.get(&current);
+            let (records, synth_owner) = match direct {
+                Some(rs) => (Some(rs), None),
+                None => (self.wildcard_for(&current), Some(current.clone())),
+            };
+            match records {
+                Some(rs) => {
+                    let matching: Vec<Record> = rs
+                        .iter()
+                        .filter(|r| {
+                            rtype == RType::Any
+                                || r.data.rtype() == rtype
+                                // SOA only answers explicit SOA/ANY queries.
+                                && !(matches!(r.data, RData::Soa { .. }) && rtype != RType::Soa)
+                        })
+                        .map(|r| synthesize(r, synth_owner.as_ref()))
+                        .collect();
+                    if !matching.is_empty() {
+                        chain.extend(matching);
+                        return ZoneLookup::Answer(chain);
+                    }
+                    // CNAME redirection applies to any type except CNAME itself.
+                    if rtype != RType::Cname {
+                        if let Some(c) = rs.iter().find(|r| matches!(r.data, RData::Cname(_))) {
+                            let c = synthesize(c, synth_owner.as_ref());
+                            let target = match &c.data {
+                                RData::Cname(t) => t.clone(),
+                                _ => unreachable!("filtered to CNAME"),
+                            };
+                            chain.push(c);
+                            if !target.is_subdomain_of(&self.origin) {
+                                // Out-of-zone target: return the partial chain;
+                                // the resolver continues elsewhere.
+                                return ZoneLookup::Answer(chain);
+                            }
+                            current = target;
+                            continue;
+                        }
+                    }
+                    return ZoneLookup::NoData {
+                        soa: self.soa.clone(),
+                    };
+                }
+                None => {
+                    return if self.name_exists(&current) {
+                        ZoneLookup::NoData {
+                            soa: self.soa.clone(),
+                        }
+                    } else {
+                        ZoneLookup::NxDomain {
+                            soa: self.soa.clone(),
+                        }
+                    };
+                }
+            }
+        }
+        // CNAME loop: answer with what we have (resolvers treat as ServFail).
+        ZoneLookup::Answer(chain)
+    }
+}
+
+/// Rewrite a wildcard record's owner to the queried name (RFC 1034 §4.3.3).
+fn synthesize(r: &Record, owner: Option<&DnsName>) -> Record {
+    match owner {
+        Some(o) => Record::new(o.clone(), r.ttl, r.data.clone()),
+        None => r.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> DnsName {
+        s.parse().unwrap()
+    }
+
+    fn test_zone() -> Zone {
+        let mut z = Zone::new(n("supercomputing.org"), 300);
+        z.add_str("sc24", 300, RData::A("190.92.158.4".parse().unwrap()));
+        z.add_str("www.sc24", 300, RData::Cname(n("sc24.supercomputing.org")));
+        z.add_str(
+            "mail",
+            300,
+            RData::Mx {
+                preference: 10,
+                exchange: n("mx1.supercomputing.org"),
+            },
+        );
+        z.add_str("mx1", 300, RData::A("198.51.100.25".parse().unwrap()));
+        z.add_str("*.pages", 60, RData::A("203.0.113.80".parse().unwrap()));
+        z
+    }
+
+    #[test]
+    fn direct_answer() {
+        let z = test_zone();
+        match z.lookup(&n("sc24.supercomputing.org"), RType::A) {
+            ZoneLookup::Answer(rs) => {
+                assert_eq!(rs.len(), 1);
+                assert_eq!(rs[0].data, RData::A("190.92.158.4".parse().unwrap()));
+            }
+            other => panic!("expected answer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cname_chased_in_zone() {
+        let z = test_zone();
+        match z.lookup(&n("www.sc24.supercomputing.org"), RType::A) {
+            ZoneLookup::Answer(rs) => {
+                assert_eq!(rs.len(), 2);
+                assert!(matches!(rs[0].data, RData::Cname(_)));
+                assert!(matches!(rs[1].data, RData::A(_)));
+            }
+            other => panic!("expected chained answer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cname_query_returns_cname_itself() {
+        let z = test_zone();
+        match z.lookup(&n("www.sc24.supercomputing.org"), RType::Cname) {
+            ZoneLookup::Answer(rs) => {
+                assert_eq!(rs.len(), 1);
+                assert!(matches!(rs[0].data, RData::Cname(_)));
+            }
+            other => panic!("expected CNAME, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nodata_vs_nxdomain() {
+        let z = test_zone();
+        // sc24 exists but has no AAAA → NODATA.
+        assert!(matches!(
+            z.lookup(&n("sc24.supercomputing.org"), RType::Aaaa),
+            ZoneLookup::NoData { .. }
+        ));
+        // nothing.supercomputing.org doesn't exist → NXDOMAIN.
+        assert!(matches!(
+            z.lookup(&n("nothing.supercomputing.org"), RType::A),
+            ZoneLookup::NxDomain { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_non_terminal_is_nodata() {
+        let z = test_zone();
+        // www.sc24 exists ⇒ sc24 exists; but "pages" itself holds no records
+        // while *.pages does ⇒ pages is an empty non-terminal, NODATA not
+        // NXDOMAIN.
+        assert!(matches!(
+            z.lookup(&n("pages.supercomputing.org"), RType::A),
+            ZoneLookup::NoData { .. }
+        ));
+    }
+
+    #[test]
+    fn wildcard_synthesis() {
+        let z = test_zone();
+        match z.lookup(&n("team7.pages.supercomputing.org"), RType::A) {
+            ZoneLookup::Answer(rs) => {
+                assert_eq!(rs[0].name, n("team7.pages.supercomputing.org"));
+                assert_eq!(rs[0].data, RData::A("203.0.113.80".parse().unwrap()));
+            }
+            other => panic!("expected wildcard answer, got {other:?}"),
+        }
+        // Wildcard does not cover the owner itself at a different type.
+        assert!(matches!(
+            z.lookup(&n("team7.pages.supercomputing.org"), RType::Aaaa),
+            ZoneLookup::NoData { .. }
+        ));
+    }
+
+    #[test]
+    fn out_of_zone() {
+        let z = test_zone();
+        assert_eq!(z.lookup(&n("ip6.me"), RType::A), ZoneLookup::NotInZone);
+    }
+
+    #[test]
+    fn apex_soa_not_leaked_into_a_queries() {
+        let z = test_zone();
+        assert!(matches!(
+            z.lookup(&n("supercomputing.org"), RType::A),
+            ZoneLookup::NoData { .. }
+        ));
+        match z.lookup(&n("supercomputing.org"), RType::Soa) {
+            ZoneLookup::Answer(rs) => assert!(matches!(rs[0].data, RData::Soa { .. })),
+            other => panic!("expected SOA, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cname_loop_terminates() {
+        let mut z = Zone::new(n("loop.test"), 60);
+        z.add_str("a", 60, RData::Cname(n("b.loop.test")));
+        z.add_str("b", 60, RData::Cname(n("a.loop.test")));
+        // Must not hang; returns the partial chain.
+        match z.lookup(&n("a.loop.test"), RType::A) {
+            ZoneLookup::Answer(rs) => assert!(rs.len() <= 16),
+            other => panic!("expected bounded answer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_zone_cname_returns_partial_chain() {
+        let mut z = Zone::new(n("rfc8925.com"), 60);
+        z.add_str("portal", 60, RData::Cname(n("ip6.me")));
+        match z.lookup(&n("portal.rfc8925.com"), RType::A) {
+            ZoneLookup::Answer(rs) => {
+                assert_eq!(rs.len(), 1);
+                assert_eq!(rs[0].data, RData::Cname(n("ip6.me")));
+            }
+            other => panic!("expected partial chain, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # v6host — client operating-system models for the sc24v6 testbed
+//!
+//! The paper's Section V results are determined entirely by how different
+//! client operating systems configure themselves and resolve names. This
+//! crate models those behaviours as a packet-level host stack
+//! ([`stack::Host`]) parameterized by an [`profiles::OsProfile`]:
+//!
+//! * SLAAC (EUI-64 or RFC 7217 IIDs), default-router selection by RFC 4191
+//!   preference, RDNSS collection
+//! * DHCPv4 with RFC 8925 option 108 — capable clients disable IPv4 and
+//!   activate their CLAT
+//! * resolver preference: RDNSS-first (Windows 10 / Linux), DHCPv4-first
+//!   (some Windows 11), IPv4-resolver-only (Windows XP)
+//! * application tasks: browse (HTTP over the mini TCP), ping, nslookup
+//!   with suffix search list, IPv4-literal apps (Echolink, Fig. 2)
+//! * split-tunnel VPN behaviour ([`vpn`], Figs. 8 and 11)
+
+#![warn(missing_docs)]
+
+pub mod profiles;
+pub mod stack;
+pub mod tasks;
+pub mod vpn;
+
+pub use profiles::{IidScheme, OsProfile, ResolverPreference};
+pub use stack::Host;
+pub use tasks::{AppTask, TaskOutcome};
+pub use vpn::VpnConfig;

@@ -1,0 +1,237 @@
+//! Operating-system behaviour profiles, as documented in the paper.
+
+use v6dns::stub::SearchOrder;
+
+/// Which resolver a host prefers when it has both an RA-learned IPv6 RDNSS
+/// and a DHCPv4-learned IPv4 resolver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolverPreference {
+    /// Prefer the IPv6 RDNSS resolver (paper §VI: "most Linux operating
+    /// systems … along with Windows 10 will prefer the IPv6 RDNSS resolver
+    /// received via RA instead of the DHCPv4 provided DNS resolver").
+    RdnssFirst,
+    /// Prefer the DHCPv4-provided resolver (paper §VI: "some versions of
+    /// Windows 11 will prefer the IPv4 DNS server received via DHCPv4").
+    Dhcpv4First,
+    /// Only an IPv4 resolver transport exists (paper §V: "Windows XP,
+    /// released in 2001 without support for IPv6 DNS resolvers").
+    V4Only,
+}
+
+/// SLAAC interface-identifier scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IidScheme {
+    /// Modified EUI-64 from the MAC (Windows XP, embedded devices).
+    Eui64,
+    /// RFC 7217 stable-private (modern OSes).
+    StablePrivate,
+}
+
+/// A client operating system's network behaviour.
+#[derive(Debug, Clone)]
+pub struct OsProfile {
+    /// Display name ("Windows 10", "Nintendo Switch", ...).
+    pub name: String,
+    /// IPv6 stack present and enabled.
+    pub ipv6_enabled: bool,
+    /// IPv4 stack present and enabled.
+    pub ipv4_enabled: bool,
+    /// Implements RFC 8925 (requests and honours option 108).
+    pub supports_rfc8925: bool,
+    /// Ships a CLAT to activate when IPv6-only (464XLAT).
+    pub has_clat: bool,
+    /// Resolver transport/ordering behaviour.
+    pub resolver_preference: ResolverPreference,
+    /// Whether the OS configures resolvers from RA RDNSS at all.
+    pub honors_rdnss: bool,
+    /// SLAAC IID scheme.
+    pub iid_scheme: IidScheme,
+    /// Search-list behaviour of its lookup tools (`nslookup` devolution on
+    /// Windows vs. glibc ndots).
+    pub search_order: SearchOrder,
+    /// RFC 8305 Happy Eyeballs: stagger-launch the next address family
+    /// 250 ms after the first attempt instead of waiting for its timeout.
+    pub happy_eyeballs: bool,
+}
+
+impl OsProfile {
+    fn base(name: &str) -> OsProfile {
+        OsProfile {
+            name: name.into(),
+            ipv6_enabled: true,
+            ipv4_enabled: true,
+            supports_rfc8925: false,
+            has_clat: false,
+            resolver_preference: ResolverPreference::RdnssFirst,
+            honors_rdnss: true,
+            iid_scheme: IidScheme::StablePrivate,
+            search_order: SearchOrder::AsIsFirst,
+            happy_eyeballs: false,
+        }
+    }
+
+    /// Windows XP (Fig. 7): IPv6 stack on, but DNS only over IPv4; EUI-64.
+    pub fn windows_xp() -> OsProfile {
+        OsProfile {
+            resolver_preference: ResolverPreference::V4Only,
+            honors_rdnss: false,
+            iid_scheme: IidScheme::Eui64,
+            search_order: SearchOrder::SuffixFirst,
+            ..Self::base("Windows XP")
+        }
+    }
+
+    /// Windows 10 (Fig. 10): dual-stack, prefers RDNSS, no RFC 8925.
+    pub fn windows_10() -> OsProfile {
+        OsProfile {
+            search_order: SearchOrder::SuffixFirst,
+            ..Self::base("Windows 10")
+        }
+    }
+
+    /// Windows 10 with IPv6 disabled by the user (the Fig. 5 client).
+    pub fn windows_10_v6_disabled() -> OsProfile {
+        OsProfile {
+            ipv6_enabled: false,
+            name: "Windows 10 (IPv6 disabled)".into(),
+            ..Self::windows_10()
+        }
+    }
+
+    /// Windows 11 as observed in §VI: prefers the DHCPv4 resolver; RFC 8925
+    /// "upcoming", so not yet enabled.
+    pub fn windows_11() -> OsProfile {
+        OsProfile {
+            resolver_preference: ResolverPreference::Dhcpv4First,
+            search_order: SearchOrder::SuffixFirst,
+            ..Self::base("Windows 11")
+        }
+    }
+
+    /// The anticipated Windows 11 with RFC 8925 + CLAT (paper reference 29):
+    /// "Once a version of Windows 11 with RFC8925 support is released, it is
+    /// presumed that only the IPv6 DNS server received via RDNSS will be
+    /// used."
+    pub fn windows_11_rfc8925() -> OsProfile {
+        OsProfile {
+            supports_rfc8925: true,
+            has_clat: true,
+            resolver_preference: ResolverPreference::RdnssFirst,
+            name: "Windows 11 (RFC8925)".into(),
+            ..Self::windows_11()
+        }
+    }
+
+    /// A stock Linux distribution: RDNSS-first, no RFC 8925 yet (§VI).
+    pub fn linux() -> OsProfile {
+        Self::base("Linux")
+    }
+
+    /// macOS: RFC 8925 + CLAT (paper §I: Apple adopted option 108).
+    pub fn macos() -> OsProfile {
+        OsProfile {
+            supports_rfc8925: true,
+            has_clat: true,
+            ..Self::base("macOS")
+        }
+    }
+
+    /// iOS: RFC 8925 + CLAT.
+    pub fn ios() -> OsProfile {
+        OsProfile {
+            supports_rfc8925: true,
+            has_clat: true,
+            ..Self::base("iOS")
+        }
+    }
+
+    /// Android: RFC 8925 + CLAT (Google adopted option 108).
+    pub fn android() -> OsProfile {
+        OsProfile {
+            supports_rfc8925: true,
+            has_clat: true,
+            ..Self::base("Android")
+        }
+    }
+
+    /// Nintendo Switch (Fig. 6): IPv4 only.
+    pub fn nintendo_switch() -> OsProfile {
+        OsProfile {
+            ipv6_enabled: false,
+            resolver_preference: ResolverPreference::V4Only,
+            honors_rdnss: false,
+            ..Self::base("Nintendo Switch")
+        }
+    }
+
+    /// A legacy IPv4-only embedded device (printer/IoT class).
+    pub fn legacy_printer() -> OsProfile {
+        OsProfile {
+            ipv6_enabled: false,
+            resolver_preference: ResolverPreference::V4Only,
+            honors_rdnss: false,
+            iid_scheme: IidScheme::Eui64,
+            ..Self::base("Legacy printer")
+        }
+    }
+
+    /// Is this an IPv4-only device as shipped?
+    pub fn is_v4_only(&self) -> bool {
+        !self.ipv6_enabled && self.ipv4_enabled
+    }
+
+    /// The complete cast of Section V, for the device-compatibility matrix
+    /// (TBL-A in DESIGN.md).
+    pub fn all_paper_profiles() -> Vec<OsProfile> {
+        vec![
+            Self::windows_xp(),
+            Self::windows_10(),
+            Self::windows_10_v6_disabled(),
+            Self::windows_11(),
+            Self::windows_11_rfc8925(),
+            Self::linux(),
+            Self::macos(),
+            Self::ios(),
+            Self::android(),
+            Self::nintendo_switch(),
+            Self::legacy_printer(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_documented_behaviours() {
+        assert_eq!(
+            OsProfile::windows_xp().resolver_preference,
+            ResolverPreference::V4Only
+        );
+        assert_eq!(OsProfile::windows_xp().iid_scheme, IidScheme::Eui64);
+        assert_eq!(
+            OsProfile::windows_10().resolver_preference,
+            ResolverPreference::RdnssFirst
+        );
+        assert_eq!(
+            OsProfile::windows_11().resolver_preference,
+            ResolverPreference::Dhcpv4First
+        );
+        assert!(!OsProfile::windows_11().supports_rfc8925);
+        assert!(OsProfile::windows_11_rfc8925().supports_rfc8925);
+        assert!(OsProfile::macos().supports_rfc8925 && OsProfile::macos().has_clat);
+        assert!(OsProfile::nintendo_switch().is_v4_only());
+        assert!(!OsProfile::linux().supports_rfc8925);
+    }
+
+    #[test]
+    fn cast_is_complete() {
+        let all = OsProfile::all_paper_profiles();
+        assert_eq!(all.len(), 11);
+        let v4_only = all.iter().filter(|p| p.is_v4_only()).count();
+        assert_eq!(v4_only, 3, "v6-disabled Win10, Switch, printer");
+        let rfc8925 = all.iter().filter(|p| p.supports_rfc8925).count();
+        assert_eq!(rfc8925, 4, "macOS, iOS, Android, future Win11");
+    }
+}

@@ -1,0 +1,1945 @@
+//! The packet-level host network stack, parameterized by an
+//! [`OsProfile`] — see [`crate::profiles`] for the cast.
+//!
+//! One `Host` is one client device on the testbed: it autoconfigures over
+//! SLAAC and DHCPv4 (honouring RFC 8925 when its OS does), resolves names
+//! through the resolver its OS prefers, orders destinations with RFC 6724,
+//! and runs user-level [`AppTask`]s whose [`TaskOutcome`]s the experiments
+//! assert on.
+
+use crate::profiles::{IidScheme, OsProfile, ResolverPreference};
+use crate::tasks::{AppTask, TaskOutcome};
+use crate::vpn::VpnConfig;
+use std::any::Any;
+use std::collections::HashMap;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+use v6addr::class::{v6_class, V6Class};
+use v6addr::prefix::{Ipv4Prefix, Ipv6Prefix};
+use v6addr::rfc6052::Nat64Prefix;
+use v6addr::rfc6724::{
+    mapped, select_source, sort_destinations, CandidateSource, DestCandidate, PolicyTable,
+};
+use v6addr::slaac;
+use v6dhcp::client::{ClientEvent, DhcpClient};
+use v6dns::codec::{Message as DnsMessage, Question, RData, RType, Rcode, Record};
+use v6dns::name::DnsName;
+use v6dns::stub::SearchList;
+use v6sim::engine::{Ctx, Node};
+use v6sim::tcp::TcpEndpoint;
+use v6sim::time::SimTime;
+use v6wire::arp::{ArpOp, ArpPacket};
+use v6wire::ethernet::{EtherType, EthernetFrame};
+use v6wire::icmpv4::Icmpv4Message;
+use v6wire::icmpv6::{all_routers, solicited_node, Icmpv6Message};
+use v6wire::ipv4::{proto, Ipv4Packet};
+use v6wire::ipv6::Ipv6Packet;
+use v6wire::mac::MacAddr;
+use v6wire::ndp::{NdpOption, NeighborAdvertisement, NeighborSolicitation, RouterPreference};
+use v6wire::packet::{build_arp, build_icmpv6, ParsedFrame, L3, L4};
+use v6wire::tcp::TcpSegment;
+use v6wire::udp::{port, UdpDatagram};
+use v6xlat::clat::Clat;
+
+const PORT_FLOOR: u16 = 49152;
+const DNS_TIMEOUT: SimTime = SimTime::from_millis(800);
+const ATTEMPT_TIMEOUT: SimTime = SimTime::from_millis(500);
+const TASK_DEADLINE: SimTime = SimTime::from_secs(8);
+
+// Timer token layout: kind << 48 | a << 16 | b.
+const TK_DHCP: u64 = 1;
+const TK_RS: u64 = 2;
+const TK_DNS: u64 = 3;
+const TK_ATTEMPT: u64 = 4;
+const TK_DEADLINE: u64 = 5;
+const TK_PING: u64 = 6;
+const TK_HE: u64 = 7;
+
+/// RFC 8305 §5: Connection Attempt Delay between staggered attempts.
+const HE_DELAY: SimTime = SimTime::from_millis(250);
+
+fn token(kind: u64, a: u64, b: u64) -> u64 {
+    (kind << 48) | (a << 16) | b
+}
+
+fn untoken(t: u64) -> (u64, u64, u64) {
+    (t >> 48, (t >> 16) & 0xffff_ffff, t & 0xffff)
+}
+
+/// A router learned from RAs.
+#[derive(Debug, Clone, Copy)]
+struct RouterEntry {
+    ll: Ipv6Addr,
+    mac: MacAddr,
+    pref: RouterPreference,
+}
+
+/// IPv4 configuration from DHCP.
+#[derive(Debug, Clone)]
+struct V4Config {
+    addr: Ipv4Addr,
+    prefix: Ipv4Prefix,
+    router: Option<Ipv4Addr>,
+    dns: Vec<Ipv4Addr>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum FlowKey {
+    V6 {
+        local: (Ipv6Addr, u16),
+        remote: (Ipv6Addr, u16),
+    },
+    V4 {
+        local: (Ipv4Addr, u16),
+        remote: (Ipv4Addr, u16),
+    },
+    /// An IPv4 application flow carried through the CLAT.
+    ClatV4 {
+        local: (Ipv4Addr, u16),
+        remote: (Ipv4Addr, u16),
+    },
+}
+
+struct Flow {
+    ep: TcpEndpoint,
+    task: u64,
+    /// Which candidate (by index) this flow is trying.
+    attempt: usize,
+    request_sent: bool,
+}
+
+#[derive(Debug)]
+enum Phase {
+    Resolving {
+        a: Option<Vec<Record>>,
+        aaaa: Option<Vec<Record>>,
+        resolver_idx: usize,
+    },
+    NslookupTrying {
+        candidates: Vec<DnsName>,
+        name_idx: usize,
+        resolver_idx: usize,
+    },
+    Connecting {
+        candidates: Vec<IpAddr>,
+        /// How many candidates have been launched so far.
+        launched: usize,
+    },
+    AwaitingPing {
+        ident: u16,
+    },
+    Done,
+}
+
+struct TaskState {
+    task: AppTask,
+    phase: Phase,
+}
+
+struct DnsWait {
+    task: u64,
+    rtype: RType,
+}
+
+/// A client device.
+pub struct Host {
+    name: String,
+    /// The OS behaviour model.
+    pub profile: OsProfile,
+    /// The NIC MAC address.
+    pub mac: MacAddr,
+    secret: u64,
+    /// Link-local address (always configured when IPv6 is on).
+    pub link_local: Ipv6Addr,
+    /// SLAAC addresses with their prefixes.
+    pub v6_addrs: Vec<(Ipv6Addr, Ipv6Prefix)>,
+    onlink6: Vec<Ipv6Prefix>,
+    routers6: Vec<RouterEntry>,
+    /// Resolvers learned from RA RDNSS.
+    pub rdnss: Vec<Ipv6Addr>,
+    /// Search domains (RA DNSSL + DHCP option 15).
+    pub search_domains: Vec<DnsName>,
+    dhcp: DhcpClient,
+    dhcp_tries: u32,
+    v4: Option<V4Config>,
+    /// RFC 8925 engaged: IPv4 is administratively off.
+    pub v6only_mode: bool,
+    /// Active CLAT, when the OS has one and RFC 8925 engaged.
+    pub clat: Option<Clat>,
+    /// User-configured resolver override (the Fig. 6 escape hatch).
+    pub dns_override: Option<IpAddr>,
+    /// NAT64 prefix learned from an RA PREF64 option (RFC 8781); the CLAT
+    /// uses it instead of assuming the well-known prefix.
+    pub pref64: Option<Ipv6Prefix>,
+    /// Captive-portal URI delivered by DHCP option 114 (RFC 8910).
+    pub captive_portal: Option<String>,
+    /// VPN policy, when this device runs the VPN client (Figs. 8/11).
+    pub vpn: Option<VpnConfig>,
+    neigh6: HashMap<Ipv6Addr, MacAddr>,
+    arp4: HashMap<Ipv4Addr, MacAddr>,
+    pend6: HashMap<Ipv6Addr, Vec<Ipv6Packet>>,
+    pend4: HashMap<Ipv4Addr, Vec<Ipv4Packet>>,
+    dns_wait: HashMap<u16, DnsWait>,
+    next_dns_id: u16,
+    next_port: u16,
+    flows: HashMap<FlowKey, Flow>,
+    tasks: HashMap<u64, TaskState>,
+    next_task: u64,
+    /// Completed task outcomes, in completion order.
+    pub results: Vec<(u64, TaskOutcome)>,
+    policy: PolicyTable,
+    /// Queries the stack answered from an RDNSS resolver (census aid).
+    pub dns_via_v6: u64,
+    /// Queries sent to an IPv4 resolver.
+    pub dns_via_v4: u64,
+}
+
+impl Host {
+    /// A host with the given OS profile. `seed` diversifies MAC/IIDs.
+    pub fn new(name: impl Into<String>, profile: OsProfile, seed: u64) -> Host {
+        let name = name.into();
+        let mac = MacAddr::new([
+            0x02,
+            0x10,
+            (seed >> 24) as u8,
+            (seed >> 16) as u8,
+            (seed >> 8) as u8,
+            seed as u8,
+        ]);
+        let supports_8925 = profile.supports_rfc8925;
+        let iid = u128::from(slaac::eui64_iid(mac.0));
+        Host {
+            link_local: Ipv6Prefix::new("fe80::".parse().expect("static"), 64)
+                .expect("static")
+                .with_iid(iid),
+            profile,
+            mac,
+            secret: seed ^ SECRET_SALT,
+            v6_addrs: Vec::new(),
+            onlink6: Vec::new(),
+            routers6: Vec::new(),
+            rdnss: Vec::new(),
+            search_domains: Vec::new(),
+            dhcp: DhcpClient::new(mac, supports_8925),
+            dhcp_tries: 0,
+            v4: None,
+            v6only_mode: false,
+            clat: None,
+            dns_override: None,
+            pref64: None,
+            captive_portal: None,
+            vpn: None,
+            neigh6: HashMap::new(),
+            arp4: HashMap::new(),
+            pend6: HashMap::new(),
+            pend4: HashMap::new(),
+            dns_wait: HashMap::new(),
+            next_dns_id: (seed as u16) | 1,
+            next_port: PORT_FLOOR,
+            flows: HashMap::new(),
+            tasks: HashMap::new(),
+            next_task: 1,
+            results: Vec::new(),
+            policy: PolicyTable::default(),
+            dns_via_v6: 0,
+            dns_via_v4: 0,
+            name,
+        }
+    }
+
+    /// Does the host currently have a usable IPv4 data path (own stack)?
+    pub fn v4_active(&self) -> bool {
+        self.profile.ipv4_enabled && !self.v6only_mode && self.v4.is_some()
+    }
+
+    /// Does the host have a global-scope IPv6 address?
+    pub fn v6_global_active(&self) -> bool {
+        self.profile.ipv6_enabled
+            && self
+                .v6_addrs
+                .iter()
+                .any(|(a, _)| v6_class(*a).is_global_unicast_like() || matches!(v6_class(*a), V6Class::UniqueLocal))
+    }
+
+    /// Queue an application task; returns its id. Outcomes appear in
+    /// [`Host::results`]. Must be called through
+    /// [`v6sim::engine::Network::with_node`] so actions flush.
+    pub fn run_task(&mut self, task: AppTask, ctx: &mut Ctx) -> u64 {
+        let id = self.next_task;
+        self.next_task += 1;
+        ctx.timer_in(TASK_DEADLINE, token(TK_DEADLINE, id, 0));
+        let state = TaskState {
+            task: task.clone(),
+            phase: Phase::Done, // placeholder, set below
+        };
+        self.tasks.insert(id, state);
+        self.start_task(id, ctx);
+        id
+    }
+
+    /// The outcome of task `id`, if finished.
+    pub fn outcome(&self, id: u64) -> Option<&TaskOutcome> {
+        self.results.iter().find(|(t, _)| *t == id).map(|(_, o)| o)
+    }
+
+    // ------------------------------------------------------------------
+    // Address & routing helpers
+    // ------------------------------------------------------------------
+
+    fn sources(&self) -> Vec<CandidateSource> {
+        let mut out = Vec::new();
+        if self.profile.ipv6_enabled {
+            for (a, p) in &self.v6_addrs {
+                out.push(CandidateSource::plain(*a, 1, p.len()));
+            }
+        }
+        if self.v4_active() {
+            let v4 = self.v4.as_ref().expect("v4_active checked");
+            out.push(CandidateSource::plain(mapped(v4.addr), 1, 128));
+        }
+        out
+    }
+
+    fn pick_v6_source(&self, dst: Ipv6Addr) -> Option<Ipv6Addr> {
+        if v6_class(dst).scope() == v6addr::class::Scope::LinkLocal {
+            return Some(self.link_local);
+        }
+        let cands: Vec<CandidateSource> = self
+            .v6_addrs
+            .iter()
+            .map(|(a, p)| CandidateSource::plain(*a, 1, p.len()))
+            .collect();
+        select_source(dst, &cands, 1, &self.policy)
+            .map(|c| c.addr)
+            .or(Some(self.link_local))
+    }
+
+    fn default_router(&self) -> Option<RouterEntry> {
+        self.routers6.iter().copied().max_by_key(|r| r.pref)
+    }
+
+    fn alloc_port(&mut self) -> u16 {
+        let p = self.next_port;
+        self.next_port = self.next_port.checked_add(1).unwrap_or(PORT_FLOOR);
+        p
+    }
+
+    fn alloc_dns_id(&mut self) -> u16 {
+        self.next_dns_id = self.next_dns_id.wrapping_add(1).max(1);
+        self.next_dns_id
+    }
+
+    fn send_v6(&mut self, pkt: Ipv6Packet, ctx: &mut Ctx) {
+        let dst = pkt.dst;
+        if dst.is_multicast() {
+            let frame = EthernetFrame::new(
+                MacAddr::for_ipv6_multicast(dst),
+                self.mac,
+                EtherType::Ipv6,
+                pkt.encode(),
+            );
+            ctx.send(0, frame.encode());
+            return;
+        }
+        let on_link = v6_class(dst).scope() == v6addr::class::Scope::LinkLocal
+            || self.onlink6.iter().any(|p| p.contains(dst));
+        let next_hop = if on_link {
+            dst
+        } else {
+            match self.default_router() {
+                Some(r) => r.ll,
+                None => return, // no route
+            }
+        };
+        if let Some(&mac) = self.neigh6.get(&next_hop) {
+            let frame = EthernetFrame::new(mac, self.mac, EtherType::Ipv6, pkt.encode());
+            ctx.send(0, frame.encode());
+        } else {
+            self.pend6.entry(next_hop).or_default().push(pkt);
+            let src = self.pick_v6_source(next_hop).unwrap_or(self.link_local);
+            let ns = Icmpv6Message::NeighborSolicitation(NeighborSolicitation {
+                target: next_hop,
+                options: vec![NdpOption::SourceLinkLayer(self.mac)],
+            });
+            let group = solicited_node(next_hop);
+            let frame = build_icmpv6(
+                self.mac,
+                MacAddr::for_ipv6_multicast(group),
+                src,
+                group,
+                &ns,
+            );
+            ctx.send(0, frame);
+        }
+    }
+
+    fn send_v4(&mut self, pkt: Ipv4Packet, ctx: &mut Ctx) {
+        let Some(v4) = self.v4.clone() else { return };
+        let dst = pkt.dst;
+        if dst == Ipv4Addr::BROADCAST {
+            let frame =
+                EthernetFrame::new(MacAddr::BROADCAST, self.mac, EtherType::Ipv4, pkt.encode());
+            ctx.send(0, frame.encode());
+            return;
+        }
+        let next_hop = if v4.prefix.contains(dst) {
+            dst
+        } else {
+            match v4.router {
+                Some(r) => r,
+                None => return,
+            }
+        };
+        if let Some(&mac) = self.arp4.get(&next_hop) {
+            let frame = EthernetFrame::new(mac, self.mac, EtherType::Ipv4, pkt.encode());
+            ctx.send(0, frame.encode());
+        } else {
+            self.pend4.entry(next_hop).or_default().push(pkt);
+            let req = ArpPacket::request(self.mac, v4.addr, next_hop);
+            ctx.send(0, build_arp(self.mac, MacAddr::BROADCAST, &req));
+        }
+    }
+
+    /// Send a TCP segment for a flow.
+    fn send_segment(&mut self, key: FlowKey, seg: TcpSegment, ctx: &mut Ctx) {
+        match key {
+            FlowKey::V6 { local, remote } => {
+                let pkt = Ipv6Packet::new(
+                    local.0,
+                    remote.0,
+                    proto::TCP,
+                    seg.encode_v6(local.0, remote.0),
+                );
+                self.send_v6(pkt, ctx);
+            }
+            FlowKey::V4 { local, remote } => {
+                let pkt = Ipv4Packet::new(
+                    local.0,
+                    remote.0,
+                    proto::TCP,
+                    seg.encode_v4(local.0, remote.0),
+                );
+                self.send_v4(pkt, ctx);
+            }
+            FlowKey::ClatV4 { local, remote } => {
+                let v4pkt = Ipv4Packet::new(
+                    local.0,
+                    remote.0,
+                    proto::TCP,
+                    seg.encode_v4(local.0, remote.0),
+                );
+                if let Some(clat) = &self.clat {
+                    if let Ok(v6pkt) = clat.v4_out(&v4pkt) {
+                        self.send_v6(v6pkt, ctx);
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Autoconfiguration
+    // ------------------------------------------------------------------
+
+    fn send_rs(&mut self, ctx: &mut Ctx) {
+        let rs = Icmpv6Message::RouterSolicitation(v6wire::ndp::RouterSolicitation {
+            options: vec![NdpOption::SourceLinkLayer(self.mac)],
+        });
+        let frame = build_icmpv6(
+            self.mac,
+            MacAddr::for_ipv6_multicast(all_routers()),
+            self.link_local,
+            all_routers(),
+            &rs,
+        );
+        ctx.send(0, frame);
+    }
+
+    fn start_dhcp(&mut self, ctx: &mut Ctx) {
+        let now = ctx.now.as_secs();
+        if let ClientEvent::Send(msg) = self.dhcp.start(now) {
+            let dgram = UdpDatagram::new(port::DHCP_CLIENT, port::DHCP_SERVER, msg.encode());
+            let frame = v6wire::packet::build_udp_v4(
+                self.mac,
+                MacAddr::BROADCAST,
+                Ipv4Addr::UNSPECIFIED,
+                Ipv4Addr::BROADCAST,
+                &dgram,
+            );
+            ctx.send(0, frame);
+            self.dhcp_tries += 1;
+            if self.dhcp_tries < 5 {
+                ctx.timer_in(SimTime::from_secs(2), token(TK_DHCP, self.dhcp_tries as u64, 0));
+            }
+        }
+    }
+
+    fn on_ra(&mut self, src_ll: Ipv6Addr, src_mac: MacAddr, ra: &v6wire::ndp::RouterAdvertisement) {
+        if !self.profile.ipv6_enabled {
+            return;
+        }
+        self.neigh6.insert(src_ll, src_mac);
+        if ra.router_lifetime > 0 {
+            match self.routers6.iter_mut().find(|r| r.ll == src_ll) {
+                Some(r) => {
+                    r.pref = ra.preference;
+                    r.mac = src_mac;
+                }
+                None => self.routers6.push(RouterEntry {
+                    ll: src_ll,
+                    mac: src_mac,
+                    pref: ra.preference,
+                }),
+            }
+        }
+        for opt in &ra.options {
+            match opt {
+                NdpOption::PrefixInformation {
+                    prefix,
+                    prefix_len,
+                    on_link,
+                    autonomous,
+                    ..
+                } => {
+                    let Ok(p) = Ipv6Prefix::new(*prefix, *prefix_len) else {
+                        continue;
+                    };
+                    if *on_link && !self.onlink6.contains(&p) {
+                        self.onlink6.push(p);
+                    }
+                    if *autonomous && *prefix_len == 64 {
+                        let addr = match self.profile.iid_scheme {
+                            IidScheme::Eui64 => slaac::eui64_address(p, self.mac.0),
+                            IidScheme::StablePrivate => {
+                                slaac::stable_private_address(p, 1, 0, self.secret)
+                            }
+                        };
+                        if !self.v6_addrs.iter().any(|(a, _)| *a == addr) {
+                            self.v6_addrs.push((addr, p));
+                            self.maybe_activate_clat();
+                        }
+                    }
+                }
+                NdpOption::Rdnss { servers, .. } => {
+                    for s in servers {
+                        if !self.rdnss.contains(s) {
+                            self.rdnss.push(*s);
+                        }
+                    }
+                }
+                NdpOption::Dnssl { domains, .. } => {
+                    for d in domains {
+                        if let Ok(n) = d.parse::<DnsName>() {
+                            if !self.search_domains.contains(&n) {
+                                self.search_domains.push(n);
+                            }
+                        }
+                    }
+                }
+                NdpOption::Pref64 {
+                    prefix, prefix_len, ..
+                } => {
+                    if let Ok(p) = Ipv6Prefix::new(*prefix, *prefix_len) {
+                        self.pref64 = Some(p);
+                        self.maybe_activate_clat();
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn maybe_activate_clat(&mut self) {
+        if self.v6only_mode && self.profile.has_clat && self.clat.is_none() {
+            if let Some((addr, prefix)) = self.v6_addrs.first() {
+                // Dedicated CLAT address: a distinct IID under the same /64.
+                let clat_v6 = prefix.with_iid(u128::from(addr.octets()[15]) << 64 | 0xc1a7);
+                // PLAT prefix: PREF64 when the RA provided one (RFC 8781),
+                // the well-known prefix otherwise (the paper's testbed).
+                let plat = self
+                    .pref64
+                    .and_then(|p| Nat64Prefix::new(p).ok())
+                    .unwrap_or_else(Nat64Prefix::well_known);
+                self.clat = Some(Clat::new(clat_v6, plat));
+            }
+        }
+    }
+
+    fn on_dhcp_reply(&mut self, msg: &v6dhcp::codec::DhcpMessage, ctx: &mut Ctx) {
+        let now = ctx.now.as_secs();
+        match self.dhcp.receive(msg, now) {
+            ClientEvent::Send(reply) => {
+                let dgram = UdpDatagram::new(port::DHCP_CLIENT, port::DHCP_SERVER, reply.encode());
+                let frame = v6wire::packet::build_udp_v4(
+                    self.mac,
+                    MacAddr::BROADCAST,
+                    Ipv4Addr::UNSPECIFIED,
+                    Ipv4Addr::BROADCAST,
+                    &dgram,
+                );
+                ctx.send(0, frame);
+            }
+            ClientEvent::Configured {
+                ip,
+                mask,
+                router,
+                dns,
+                domain,
+                captive_portal,
+            } => {
+                if captive_portal.is_some() {
+                    self.captive_portal = captive_portal;
+                }
+                let plen = u32::from(mask).leading_ones() as u8;
+                self.v4 = Some(V4Config {
+                    addr: ip,
+                    prefix: Ipv4Prefix::new(ip, plen).unwrap_or_else(|_| {
+                        Ipv4Prefix::new(ip, 24).expect("fallback /24 valid")
+                    }),
+                    router,
+                    dns,
+                });
+                if let Some(d) = domain {
+                    if let Ok(n) = d.parse::<DnsName>() {
+                        if !self.search_domains.contains(&n) {
+                            self.search_domains.push(n);
+                        }
+                    }
+                }
+            }
+            ClientEvent::V6OnlyMode { .. } => {
+                self.v6only_mode = true;
+                self.v4 = None;
+                self.maybe_activate_clat();
+            }
+            ClientEvent::Idle => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // DNS stub resolver
+    // ------------------------------------------------------------------
+
+    /// Resolver addresses in the order this OS tries them.
+    pub fn resolver_chain(&self) -> Vec<IpAddr> {
+        if let Some(o) = self.dns_override {
+            return vec![o];
+        }
+        let v6: Vec<IpAddr> = if self.profile.honors_rdnss && self.profile.ipv6_enabled {
+            self.rdnss.iter().map(|a| IpAddr::V6(*a)).collect()
+        } else {
+            Vec::new()
+        };
+        let v4: Vec<IpAddr> = if self.v4_active() {
+            self.v4
+                .as_ref()
+                .map(|c| c.dns.iter().map(|a| IpAddr::V4(*a)).collect())
+                .unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        match self.profile.resolver_preference {
+            ResolverPreference::RdnssFirst => v6.into_iter().chain(v4).collect(),
+            ResolverPreference::Dhcpv4First => v4.into_iter().chain(v6).collect(),
+            ResolverPreference::V4Only => v4,
+        }
+    }
+
+    fn send_dns_query(
+        &mut self,
+        task: u64,
+        name: &DnsName,
+        rtype: RType,
+        resolver: IpAddr,
+        ctx: &mut Ctx,
+    ) {
+        let id = self.alloc_dns_id();
+        let sport = self.alloc_port();
+        self.dns_wait.insert(id, DnsWait { task, rtype });
+        let query = DnsMessage::query(id, Question::new(name.clone(), rtype));
+        let dgram = UdpDatagram::new(sport, port::DNS, query.encode());
+        match resolver {
+            IpAddr::V6(dst) => {
+                self.dns_via_v6 += 1;
+                let src = self.pick_v6_source(dst).unwrap_or(self.link_local);
+                let pkt = Ipv6Packet::new(src, dst, proto::UDP, dgram.encode_v6(src, dst));
+                self.send_v6(pkt, ctx);
+            }
+            IpAddr::V4(dst) => {
+                self.dns_via_v4 += 1;
+                let Some(v4) = &self.v4 else { return };
+                let src = v4.addr;
+                let pkt = Ipv4Packet::new(src, dst, proto::UDP, dgram.encode_v4(src, dst));
+                self.send_v4(pkt, ctx);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Task engine
+    // ------------------------------------------------------------------
+
+    fn finish(&mut self, id: u64, outcome: TaskOutcome) {
+        if let Some(state) = self.tasks.get_mut(&id) {
+            if matches!(state.phase, Phase::Done) && self.results.iter().any(|(t, _)| *t == id) {
+                return;
+            }
+            state.phase = Phase::Done;
+            self.results.push((id, outcome));
+        }
+    }
+
+    fn start_task(&mut self, id: u64, ctx: &mut Ctx) {
+        let task = match self.tasks.get(&id) {
+            Some(s) => s.task.clone(),
+            None => return,
+        };
+        match task {
+            AppTask::Browse { ref name, .. } | AppTask::Ping { ref name } => {
+                let name = name.clone();
+                self.begin_resolving(id, &name, 0, ctx);
+            }
+            AppTask::Nslookup { ref name, rtype } => {
+                let list = SearchList::new(self.search_domains.clone());
+                let candidates = list.candidates(name, false, self.profile.search_order);
+                if let Some(state) = self.tasks.get_mut(&id) {
+                    state.phase = Phase::NslookupTrying {
+                        candidates: candidates.clone(),
+                        name_idx: 0,
+                        resolver_idx: 0,
+                    };
+                }
+                self.try_nslookup(id, rtype, ctx);
+            }
+            AppTask::LiteralV4 { addr, port } => {
+                self.connect_v4_literal(id, addr, port, ctx);
+            }
+            AppTask::VpnReach { addr, port } => {
+                let Some(vpn) = self.vpn.clone() else {
+                    self.finish(id, TaskOutcome::NoRoute);
+                    return;
+                };
+                let target = if vpn.goes_direct(addr) {
+                    addr
+                } else {
+                    vpn.concentrator
+                };
+                let target_port = if vpn.goes_direct(addr) { port } else { 443 };
+                self.connect_v4_literal(id, target, target_port, ctx);
+            }
+        }
+    }
+
+    fn begin_resolving(&mut self, id: u64, name: &DnsName, resolver_idx: usize, ctx: &mut Ctx) {
+        let chain = self.resolver_chain();
+        if resolver_idx >= chain.len() {
+            self.finish(id, TaskOutcome::DnsFailed);
+            return;
+        }
+        if let Some(state) = self.tasks.get_mut(&id) {
+            state.phase = Phase::Resolving {
+                a: None,
+                aaaa: None,
+                resolver_idx,
+            };
+        }
+        let resolver = chain[resolver_idx];
+        let name = name.clone();
+        // Query AAAA only when the host could use it; A only when a v4 or
+        // CLAT path exists. Always at least one.
+        let want_aaaa = self.profile.ipv6_enabled;
+        let want_a = true; // A answers are consumed even by v6-only hosts? No —
+                           // but querying A is what real stacks do; sorting drops it.
+        if want_aaaa {
+            self.send_dns_query(id, &name, RType::Aaaa, resolver, ctx);
+        } else if let Some(state) = self.tasks.get_mut(&id) {
+            if let Phase::Resolving { aaaa, .. } = &mut state.phase {
+                *aaaa = Some(Vec::new());
+            }
+        }
+        if want_a {
+            self.send_dns_query(id, &name, RType::A, resolver, ctx);
+        }
+        ctx.timer_in(DNS_TIMEOUT, token(TK_DNS, id, resolver_idx as u64));
+    }
+
+    fn try_nslookup(&mut self, id: u64, rtype: RType, ctx: &mut Ctx) {
+        let (name, resolver_idx) = match self.tasks.get(&id) {
+            Some(TaskState {
+                phase:
+                    Phase::NslookupTrying {
+                        candidates,
+                        name_idx,
+                        resolver_idx,
+                    },
+                ..
+            }) => {
+                if *name_idx >= candidates.len() {
+                    self.finish(id, TaskOutcome::DnsFailed);
+                    return;
+                }
+                (candidates[*name_idx].clone(), *resolver_idx)
+            }
+            _ => return,
+        };
+        let chain = self.resolver_chain();
+        if resolver_idx >= chain.len() {
+            self.finish(id, TaskOutcome::DnsFailed);
+            return;
+        }
+        let resolver = chain[resolver_idx];
+        self.send_dns_query(id, &name, rtype, resolver, ctx);
+        ctx.timer_in(DNS_TIMEOUT, token(TK_DNS, id, resolver_idx as u64));
+    }
+
+    fn on_dns_response(&mut self, msg: &DnsMessage, ctx: &mut Ctx) {
+        let Some(wait) = self.dns_wait.remove(&msg.id) else {
+            return;
+        };
+        let id = wait.task;
+        let Some(state) = self.tasks.get_mut(&id) else {
+            return;
+        };
+        match &mut state.phase {
+            Phase::Resolving { a, aaaa, .. } => {
+                let records: Vec<Record> = if msg.rcode == Rcode::NoError {
+                    msg.answers.clone()
+                } else {
+                    Vec::new()
+                };
+                match wait.rtype {
+                    RType::A => *a = Some(records),
+                    RType::Aaaa => *aaaa = Some(records),
+                    _ => {}
+                }
+                if let (Some(_), Some(_)) = (&a, &aaaa) {
+                    self.proceed_after_resolution(id, ctx);
+                }
+            }
+            Phase::NslookupTrying {
+                candidates,
+                name_idx,
+                resolver_idx: _,
+            } => {
+                if msg.rcode == Rcode::NoError && !msg.answers.is_empty() {
+                    let answered = candidates[*name_idx].clone();
+                    let records = msg.answers.clone();
+                    self.finish(
+                        id,
+                        TaskOutcome::DnsAnswer {
+                            records,
+                            answered_name: answered,
+                        },
+                    );
+                } else {
+                    *name_idx += 1;
+                    let rtype = wait.rtype;
+                    self.try_nslookup(id, rtype, ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn proceed_after_resolution(&mut self, id: u64, ctx: &mut Ctx) {
+        let (a, aaaa, task) = match self.tasks.get(&id) {
+            Some(TaskState {
+                phase: Phase::Resolving { a, aaaa, .. },
+                task,
+            }) => (
+                a.clone().unwrap_or_default(),
+                aaaa.clone().unwrap_or_default(),
+                task.clone(),
+            ),
+            _ => return,
+        };
+        let mut dests: Vec<DestCandidate> = Vec::new();
+        for r in aaaa.iter().chain(a.iter()) {
+            match r.data {
+                RData::Aaaa(addr) => dests.push(DestCandidate::plain(addr)),
+                RData::A(addr) => dests.push(DestCandidate::v4(addr)),
+                _ => {}
+            }
+        }
+        if dests.is_empty() {
+            self.finish(id, TaskOutcome::DnsFailed);
+            return;
+        }
+        let sources = self.sources();
+        let ordered = sort_destinations(&dests, &sources, 1, &self.policy);
+        // Keep only destinations with a usable source.
+        let usable: Vec<IpAddr> = ordered
+            .iter()
+            .filter(|d| select_source(d.addr, &sources, 1, &self.policy).is_some())
+            .map(|d| match v6_class(d.addr) {
+                V6Class::V4Mapped(v4) => IpAddr::V4(v4),
+                _ => IpAddr::V6(d.addr),
+            })
+            .collect();
+        if usable.is_empty() {
+            self.finish(id, TaskOutcome::Unreachable);
+            return;
+        }
+        match task {
+            AppTask::Browse { .. } => {
+                if let Some(state) = self.tasks.get_mut(&id) {
+                    state.phase = Phase::Connecting {
+                        candidates: usable.clone(),
+                        launched: 0,
+                    };
+                }
+                self.launch_next(id, ctx);
+            }
+            AppTask::Ping { .. } => {
+                let dst = usable[0];
+                let ident = (id as u16) | 0x4000;
+                if let Some(state) = self.tasks.get_mut(&id) {
+                    state.phase = Phase::AwaitingPing { ident };
+                }
+                self.send_ping(ident, dst, ctx);
+                ctx.timer_in(ATTEMPT_TIMEOUT, token(TK_PING, id, 0));
+            }
+            _ => {}
+        }
+    }
+
+    fn send_ping(&mut self, ident: u16, dst: IpAddr, ctx: &mut Ctx) {
+        match dst {
+            IpAddr::V6(d) => {
+                let src = self.pick_v6_source(d).unwrap_or(self.link_local);
+                let msg = Icmpv6Message::EchoRequest {
+                    ident,
+                    seq: 1,
+                    payload: vec![0x61; 32],
+                };
+                let pkt = Ipv6Packet::new(src, d, proto::ICMPV6, msg.encode(src, d));
+                self.send_v6(pkt, ctx);
+            }
+            IpAddr::V4(d) => {
+                let Some(v4) = &self.v4 else { return };
+                let msg = Icmpv4Message::EchoRequest {
+                    ident,
+                    seq: 1,
+                    payload: vec![0x61; 32],
+                };
+                let pkt = Ipv4Packet::new(v4.addr, d, proto::ICMP, msg.encode());
+                self.send_v4(pkt, ctx);
+            }
+        }
+    }
+
+    /// Launch the next unlaunched candidate for a Connecting task
+    /// (RFC 8305-style: with Happy Eyeballs enabled, later candidates start
+    /// after `HE_DELAY` without waiting for earlier ones to fail).
+    fn launch_next(&mut self, id: u64, ctx: &mut Ctx) {
+        let (dst, attempt, more_after) = match self.tasks.get_mut(&id) {
+            Some(TaskState {
+                phase: Phase::Connecting { candidates, launched },
+                ..
+            }) => {
+                if *launched >= candidates.len() {
+                    // Nothing left to launch; if no flow is in flight the
+                    // task is dead.
+                    if !self.flows.values().any(|f| f.task == id) {
+                        self.finish(id, TaskOutcome::Unreachable);
+                    }
+                    return;
+                }
+                let attempt = *launched;
+                *launched += 1;
+                (candidates[attempt], attempt, *launched < candidates.len())
+            }
+            _ => return,
+        };
+        let lport = self.alloc_port();
+        let iss = (id as u32) << 8 | attempt as u32;
+        let key = match dst {
+            IpAddr::V6(remote) => match self.pick_v6_source(remote) {
+                Some(local) => Some(FlowKey::V6 {
+                    local: (local, lport),
+                    remote: (remote, 80),
+                }),
+                None => None,
+            },
+            IpAddr::V4(remote) => {
+                if self.v4_active() {
+                    let local = self.v4.as_ref().expect("active").addr;
+                    Some(FlowKey::V4 {
+                        local: (local, lport),
+                        remote: (remote, 80),
+                    })
+                } else if self.clat.is_some() {
+                    let local = self.clat.as_ref().expect("checked").host_v4;
+                    Some(FlowKey::ClatV4 {
+                        local: (local, lport),
+                        remote: (remote, 80),
+                    })
+                } else {
+                    None
+                }
+            }
+        };
+        let Some(key) = key else {
+            // Unusable candidate: try the next immediately.
+            self.launch_next(id, ctx);
+            return;
+        };
+        let (ep, syn) = TcpEndpoint::connect(lport, 80, iss);
+        self.flows.insert(
+            key,
+            Flow {
+                ep,
+                task: id,
+                attempt,
+                request_sent: false,
+            },
+        );
+        self.send_segment(key, syn, ctx);
+        ctx.timer_in(ATTEMPT_TIMEOUT, token(TK_ATTEMPT, id, attempt as u64));
+        if more_after && self.profile.happy_eyeballs {
+            // Stagger the next family without waiting for this one to fail.
+            ctx.timer_in(HE_DELAY, token(TK_HE, id, attempt as u64 + 1));
+        }
+    }
+
+    /// A flow for `id` went away (RST or timeout): decide what happens next.
+    fn after_flow_gone(&mut self, id: u64, ctx: &mut Ctx) {
+        if self.flows.values().any(|f| f.task == id) {
+            return; // a sibling attempt is still in flight
+        }
+        match self.tasks.get(&id) {
+            Some(TaskState {
+                phase: Phase::Connecting { candidates, launched },
+                ..
+            }) => {
+                if *launched < candidates.len() {
+                    self.launch_next(id, ctx);
+                } else {
+                    self.finish(id, TaskOutcome::Unreachable);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Direct v4 TCP connect used by LiteralV4/VpnReach (no DNS involved).
+    fn connect_v4_literal(&mut self, id: u64, addr: Ipv4Addr, dport: u16, ctx: &mut Ctx) {
+        if let Some(state) = self.tasks.get_mut(&id) {
+            state.phase = Phase::Connecting {
+                candidates: vec![IpAddr::V4(addr)],
+                launched: 1,
+            };
+        }
+        let lport = self.alloc_port();
+        let iss = (id as u32) << 8;
+        if self.v4_active() {
+            let local = self.v4.as_ref().expect("active").addr;
+            let (ep, syn) = TcpEndpoint::connect(lport, dport, iss);
+            let key = FlowKey::V4 {
+                local: (local, lport),
+                remote: (addr, dport),
+            };
+            self.flows.insert(
+                key,
+                Flow {
+                    ep,
+                    task: id,
+                    attempt: 0,
+                    request_sent: false,
+                },
+            );
+            self.send_segment(key, syn, ctx);
+            ctx.timer_in(ATTEMPT_TIMEOUT, token(TK_ATTEMPT, id, 0));
+        } else if self.clat.is_some() {
+            let local = self.clat.as_ref().expect("checked").host_v4;
+            let (ep, syn) = TcpEndpoint::connect(lport, dport, iss);
+            let key = FlowKey::ClatV4 {
+                local: (local, lport),
+                remote: (addr, dport),
+            };
+            self.flows.insert(
+                key,
+                Flow {
+                    ep,
+                    task: id,
+                    attempt: 0,
+                    request_sent: false,
+                },
+            );
+            self.send_segment(key, syn, ctx);
+            ctx.timer_in(ATTEMPT_TIMEOUT, token(TK_ATTEMPT, id, 0));
+        } else {
+            self.finish(id, TaskOutcome::NoRoute);
+        }
+    }
+
+    fn drive_flow(&mut self, key: FlowKey, ctx: &mut Ctx) {
+        let Some(flow) = self.flows.get_mut(&key) else {
+            return;
+        };
+        let id = flow.task;
+        let established = flow.ep.is_established();
+        let closed_by_rst = flow.ep.is_closed() && !flow.ep.peer_closed && flow.ep.received.is_empty();
+        let task = self.tasks.get(&id).map(|s| s.task.clone());
+        if closed_by_rst {
+            self.flows.remove(&key);
+            match task {
+                Some(AppTask::Browse { .. }) => self.after_flow_gone(id, ctx),
+                _ => self.finish(id, TaskOutcome::Unreachable),
+            }
+            return;
+        }
+        if established {
+            // Happy Eyeballs: the winner cancels the sibling attempts.
+            let siblings: Vec<FlowKey> = self
+                .flows
+                .iter()
+                .filter(|(k, f)| f.task == id && **k != key)
+                .map(|(k, _)| *k)
+                .collect();
+            for k in siblings {
+                self.flows.remove(&k);
+            }
+            let peer = match key {
+                FlowKey::V6 { remote, .. } => IpAddr::V6(remote.0),
+                FlowKey::V4 { remote, .. } | FlowKey::ClatV4 { remote, .. } => {
+                    IpAddr::V4(remote.0)
+                }
+            };
+            match &task {
+                Some(AppTask::Browse { name, path }) => {
+                    let flow = self.flows.get_mut(&key).expect("present");
+                    if !flow.request_sent {
+                        flow.request_sent = true;
+                        let req = format!("GET {path} HTTP/1.1\r\nHost: {name}\r\n\r\n");
+                        let segs = flow.ep.send(req.as_bytes());
+                        for s in segs {
+                            self.send_segment(key, s, ctx);
+                        }
+                    }
+                }
+                Some(AppTask::LiteralV4 { .. }) | Some(AppTask::VpnReach { .. }) => {
+                    self.flows.remove(&key);
+                    self.finish(id, TaskOutcome::HttpOk {
+                        status: 0,
+                        body: String::new(),
+                        peer,
+                    });
+                    return;
+                }
+                _ => {}
+            }
+        }
+        // Completed HTTP response? (Server closes after responding.)
+        let flow = self.flows.get_mut(&key).expect("present");
+        if flow.ep.peer_closed && !flow.ep.received.is_empty() {
+            let raw = String::from_utf8_lossy(&flow.ep.received).into_owned();
+            let fins = flow.ep.close();
+            if let Some(fin) = fins.into_iter().next() {
+                self.send_segment(key, fin, ctx);
+            }
+            let peer = match key {
+                FlowKey::V6 { remote, .. } => IpAddr::V6(remote.0),
+                FlowKey::V4 { remote, .. } | FlowKey::ClatV4 { remote, .. } => {
+                    IpAddr::V4(remote.0)
+                }
+            };
+            self.flows.remove(&key);
+            let (status, body) = parse_http_response(&raw);
+            self.finish(id, TaskOutcome::HttpOk { status, body, peer });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Frame ingestion
+    // ------------------------------------------------------------------
+
+    fn my_v6_addr(&self, a: Ipv6Addr) -> bool {
+        a == self.link_local
+            || self.v6_addrs.iter().any(|(x, _)| *x == a)
+            || self.clat.as_ref().map(|c| c.clat_v6 == a).unwrap_or(false)
+    }
+
+    fn handle_v6(&mut self, parsed: &ParsedFrame, ip: &Ipv6Packet, ctx: &mut Ctx) {
+        if !self.profile.ipv6_enabled {
+            return;
+        }
+        // CLAT return traffic.
+        if let Some(clat) = self.clat.clone() {
+            if ip.dst == clat.clat_v6 {
+                // NDP for the CLAT address is handled below like any other
+                // local address; data packets are translated back to v4.
+                if !matches!(parsed.l4, L4::Icmp6(Icmpv6Message::NeighborSolicitation(_))) {
+                    if let Ok(v4pkt) = clat.v6_in(ip) {
+                        self.handle_clat_v4(&v4pkt, ctx);
+                    }
+                    return;
+                }
+            }
+        }
+        let unicast_to_us = self.my_v6_addr(ip.dst);
+        let multicast = ip.dst.is_multicast();
+        if !unicast_to_us && !multicast {
+            return;
+        }
+        match &parsed.l4 {
+            L4::Icmp6(Icmpv6Message::RouterAdvertisement(ra)) => {
+                self.on_ra(ip.src, parsed.eth.src, ra);
+            }
+            L4::Icmp6(Icmpv6Message::NeighborSolicitation(ns))
+                if self.my_v6_addr(ns.target) => {
+                    self.neigh6.insert(ip.src, parsed.eth.src);
+                    let na = Icmpv6Message::NeighborAdvertisement(NeighborAdvertisement {
+                        router: false,
+                        solicited: true,
+                        override_flag: true,
+                        target: ns.target,
+                        options: vec![NdpOption::TargetLinkLayer(self.mac)],
+                    });
+                    let frame = build_icmpv6(self.mac, parsed.eth.src, ns.target, ip.src, &na);
+                    ctx.send(0, frame);
+                }
+            L4::Icmp6(Icmpv6Message::NeighborAdvertisement(na)) => {
+                let mac = na
+                    .options
+                    .iter()
+                    .find_map(|o| match o {
+                        NdpOption::TargetLinkLayer(m) => Some(*m),
+                        _ => None,
+                    })
+                    .unwrap_or(parsed.eth.src);
+                self.neigh6.insert(na.target, mac);
+                if let Some(pending) = self.pend6.remove(&na.target) {
+                    for pkt in pending {
+                        self.send_v6(pkt, ctx);
+                    }
+                }
+            }
+            L4::Icmp6(Icmpv6Message::EchoRequest { ident, seq, payload }) if unicast_to_us => {
+                let reply = Icmpv6Message::EchoReply {
+                    ident: *ident,
+                    seq: *seq,
+                    payload: payload.clone(),
+                };
+                let frame = build_icmpv6(self.mac, parsed.eth.src, ip.dst, ip.src, &reply);
+                ctx.send(0, frame);
+            }
+            L4::Icmp6(Icmpv6Message::EchoReply { ident, .. }) if unicast_to_us => {
+                self.on_ping_reply(*ident, IpAddr::V6(ip.src));
+            }
+            L4::Udp(udp) if unicast_to_us
+                && udp.src_port == port::DNS => {
+                    if let Ok(msg) = DnsMessage::decode(&udp.payload) {
+                        self.on_dns_response(&msg, ctx);
+                    }
+                }
+            L4::Tcp(seg) if unicast_to_us => {
+                let key = FlowKey::V6 {
+                    local: (ip.dst, seg.dst_port),
+                    remote: (ip.src, seg.src_port),
+                };
+                self.on_tcp(key, seg.clone(), ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_tcp(&mut self, key: FlowKey, seg: TcpSegment, ctx: &mut Ctx) {
+        let Some(flow) = self.flows.get_mut(&key) else {
+            return;
+        };
+        let replies = flow.ep.on_segment(&seg);
+        for r in replies {
+            self.send_segment(key, r, ctx);
+        }
+        self.drive_flow(key, ctx);
+    }
+
+    fn on_ping_reply(&mut self, ident: u16, from: IpAddr) {
+        let matching: Vec<u64> = self
+            .tasks
+            .iter()
+            .filter_map(|(id, s)| match &s.phase {
+                Phase::AwaitingPing { ident: i, .. } if *i == ident => Some(*id),
+                _ => None,
+            })
+            .collect();
+        for id in matching {
+            self.finish(id, TaskOutcome::PingReply { peer: from });
+        }
+    }
+
+    fn handle_clat_v4(&mut self, pkt: &Ipv4Packet, ctx: &mut Ctx) {
+        match pkt.protocol {
+            proto::TCP => {
+                if let Ok(seg) = TcpSegment::decode_v4(&pkt.payload, pkt.src, pkt.dst) {
+                    let key = FlowKey::ClatV4 {
+                        local: (pkt.dst, seg.dst_port),
+                        remote: (pkt.src, seg.src_port),
+                    };
+                    self.on_tcp(key, seg, ctx);
+                }
+            }
+            proto::ICMP => {
+                if let Ok(Icmpv4Message::EchoReply { ident, .. }) =
+                    Icmpv4Message::decode(&pkt.payload)
+                {
+                    self.on_ping_reply(ident, IpAddr::V4(pkt.src));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_v4(&mut self, parsed: &ParsedFrame, ip: &Ipv4Packet, ctx: &mut Ctx) {
+        if !self.profile.ipv4_enabled {
+            return;
+        }
+        // DHCP replies are accepted before we have an address.
+        if let L4::Udp(udp) = &parsed.l4 {
+            if udp.dst_port == port::DHCP_CLIENT && udp.src_port == port::DHCP_SERVER {
+                if let Ok(msg) = v6dhcp::codec::DhcpMessage::decode(&udp.payload) {
+                    if msg.chaddr == self.mac {
+                        self.on_dhcp_reply(&msg, ctx);
+                    }
+                }
+                return;
+            }
+        }
+        let Some(my) = self.v4.as_ref().map(|c| c.addr) else {
+            return;
+        };
+        if ip.dst != my {
+            return;
+        }
+        match &parsed.l4 {
+            L4::Udp(udp) if udp.src_port == port::DNS => {
+                if let Ok(msg) = DnsMessage::decode(&udp.payload) {
+                    self.on_dns_response(&msg, ctx);
+                }
+            }
+            L4::Tcp(seg) => {
+                let key = FlowKey::V4 {
+                    local: (ip.dst, seg.dst_port),
+                    remote: (ip.src, seg.src_port),
+                };
+                self.on_tcp(key, seg.clone(), ctx);
+            }
+            L4::Icmp4(Icmpv4Message::EchoRequest { ident, seq, payload }) => {
+                let reply = Icmpv4Message::EchoReply {
+                    ident: *ident,
+                    seq: *seq,
+                    payload: payload.clone(),
+                };
+                let frame = v6wire::packet::build_icmpv4(
+                    self.mac,
+                    parsed.eth.src,
+                    my,
+                    ip.src,
+                    &reply,
+                );
+                ctx.send(0, frame);
+            }
+            L4::Icmp4(Icmpv4Message::EchoReply { ident, .. }) => {
+                self.on_ping_reply(*ident, IpAddr::V4(ip.src));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Parse a minimal HTTP/1.1 response into (status, body).
+fn parse_http_response(raw: &str) -> (u16, String) {
+    let mut status = 0u16;
+    if let Some(line) = raw.lines().next() {
+        let mut parts = line.split_whitespace();
+        if parts.next().map(|p| p.starts_with("HTTP/")).unwrap_or(false) {
+            status = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+        }
+    }
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+impl Node for Host {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn start(&mut self, ctx: &mut Ctx) {
+        if self.profile.ipv6_enabled {
+            self.send_rs(ctx);
+            ctx.timer_in(SimTime::from_secs(1), token(TK_RS, 0, 0));
+        }
+        if self.profile.ipv4_enabled {
+            self.start_dhcp(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, t: u64, ctx: &mut Ctx) {
+        let (kind, a, b) = untoken(t);
+        match kind {
+            TK_RS
+                if self.routers6.is_empty() && self.profile.ipv6_enabled => {
+                    self.send_rs(ctx);
+                    ctx.timer_in(SimTime::from_secs(2), token(TK_RS, 0, 0));
+                }
+            TK_DHCP
+                if self.v4.is_none() && !self.v6only_mode && self.profile.ipv4_enabled => {
+                    self.start_dhcp(ctx);
+                }
+            TK_DNS => {
+                let id = a;
+                // Resolver attempt `b` timed out; try the next resolver.
+                let next_action = match self.tasks.get(&id) {
+                    Some(TaskState {
+                        phase: Phase::Resolving { a, aaaa, resolver_idx },
+                        task,
+                    }) if *resolver_idx == b as usize => {
+                        // Partial answers count; only retry if nothing usable.
+                        let have_any = a.as_ref().map(|v| !v.is_empty()).unwrap_or(false)
+                            || aaaa.as_ref().map(|v| !v.is_empty()).unwrap_or(false);
+                        if have_any {
+                            Some(None)
+                        } else {
+                            Some(Some((task.clone(), *resolver_idx + 1)))
+                        }
+                    }
+                    Some(TaskState {
+                        phase: Phase::NslookupTrying { resolver_idx, .. },
+                        ..
+                    }) if *resolver_idx == b as usize => {
+                        // Bump resolver for nslookup.
+                        Some(Some((self.tasks[&id].task.clone(), *resolver_idx + 1)))
+                    }
+                    _ => None,
+                };
+                match next_action {
+                    Some(Some((task, next_idx))) => {
+                        let chain = self.resolver_chain();
+                        if next_idx >= chain.len() {
+                            self.finish(id, TaskOutcome::DnsFailed);
+                        } else {
+                            match task {
+                                AppTask::Browse { name, .. } | AppTask::Ping { name } => {
+                                    self.begin_resolving(id, &name, next_idx, ctx);
+                                }
+                                AppTask::Nslookup { rtype, .. } => {
+                                    if let Some(TaskState {
+                                        phase: Phase::NslookupTrying { resolver_idx, .. },
+                                        ..
+                                    }) = self.tasks.get_mut(&id)
+                                    {
+                                        *resolver_idx = next_idx;
+                                    }
+                                    self.try_nslookup(id, rtype, ctx);
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                    Some(None) => {
+                        // We had partial answers; proceed with them.
+                        self.force_resolution_complete(id, ctx);
+                    }
+                    None => {}
+                }
+            }
+            TK_ATTEMPT => {
+                let id = a;
+                // If the flow for attempt `b` is still unestablished, give up
+                // on that candidate (siblings launched by Happy Eyeballs keep
+                // running).
+                let flow_key = self
+                    .flows
+                    .iter()
+                    .find(|(_, f)| {
+                        f.task == id && f.attempt == b as usize && !f.ep.is_established()
+                    })
+                    .map(|(k, _)| *k);
+                if let Some(k) = flow_key {
+                    self.flows.remove(&k);
+                    match self.tasks.get(&id).map(|s| s.task.clone()) {
+                        Some(AppTask::Browse { .. }) => self.after_flow_gone(id, ctx),
+                        _ => self.finish(id, TaskOutcome::Unreachable),
+                    }
+                }
+            }
+            TK_HE => {
+                let id = a;
+                // Time to stagger-launch candidate `b` if nothing has
+                // established yet.
+                let established = self
+                    .flows
+                    .values()
+                    .any(|f| f.task == id && f.ep.is_established());
+                let due = matches!(
+                    self.tasks.get(&id),
+                    Some(TaskState {
+                        phase: Phase::Connecting { launched, .. },
+                        ..
+                    }) if *launched == b as usize
+                );
+                if !established && due {
+                    self.launch_next(id, ctx);
+                }
+            }
+            TK_PING => {
+                let id = a;
+                if matches!(
+                    self.tasks.get(&id),
+                    Some(TaskState {
+                        phase: Phase::AwaitingPing { .. },
+                        ..
+                    })
+                ) {
+                    self.finish(id, TaskOutcome::Unreachable);
+                }
+            }
+            TK_DEADLINE => {
+                let id = a;
+                if let Some(state) = self.tasks.get(&id) {
+                    if !matches!(state.phase, Phase::Done) {
+                        let outcome = match state.phase {
+                            Phase::Resolving { .. } | Phase::NslookupTrying { .. } => {
+                                TaskOutcome::DnsFailed
+                            }
+                            _ => TaskOutcome::Unreachable,
+                        };
+                        self.finish(id, outcome);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_frame(&mut self, _port: u32, raw: &[u8], ctx: &mut Ctx) {
+        let Ok(parsed) = ParsedFrame::parse(raw) else {
+            return;
+        };
+        if !parsed.eth.accepts(self.mac) {
+            return;
+        }
+        match &parsed.l3 {
+            L3::Arp(arp) => {
+                if !self.profile.ipv4_enabled {
+                    return;
+                }
+                self.arp4.insert(arp.sender_ip, arp.sender_mac);
+                if let Some(pending) = self.pend4.remove(&arp.sender_ip) {
+                    for pkt in pending {
+                        self.send_v4(pkt, ctx);
+                    }
+                }
+                if arp.op == ArpOp::Request {
+                    if let Some(my) = self.v4.as_ref().map(|c| c.addr) {
+                        if arp.target_ip == my {
+                            let reply = ArpPacket::reply_to(arp, self.mac);
+                            ctx.send(0, build_arp(self.mac, arp.sender_mac, &reply));
+                        }
+                    }
+                }
+            }
+            L3::V6(ip) => {
+                let ip = ip.clone();
+                self.handle_v6(&parsed, &ip, ctx);
+            }
+            L3::V4(ip) => {
+                let ip = ip.clone();
+                self.handle_v4(&parsed, &ip, ctx);
+            }
+            L3::Other(..) => {}
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+impl Host {
+    /// Complete a `Resolving` phase with whatever answers arrived (used on
+    /// partial timeout).
+    fn force_resolution_complete(&mut self, id: u64, ctx: &mut Ctx) {
+        if let Some(TaskState {
+            phase: Phase::Resolving { a, aaaa, .. },
+            ..
+        }) = self.tasks.get_mut(&id)
+        {
+            if a.is_none() {
+                *a = Some(Vec::new());
+            }
+            if aaaa.is_none() {
+                *aaaa = Some(Vec::new());
+            }
+        }
+        self.proceed_after_resolution(id, ctx);
+    }
+}
+
+/// Salt mixed into per-host RFC 7217 secrets so seeds and secrets differ.
+const SECRET_SALT: u64 = 0x5c24_0000_0006_0001;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::OsProfile;
+    use v6dns::poison::PoisonedResolver;
+    use v6dns::server::{GlobalDns, Resolver};
+    use v6dns::zone::Zone;
+    use v6dns::dns64::Dns64;
+    use v6sim::engine::Network;
+    use v6sim::gateway::{FiveGGateway, LAN, WAN};
+    use v6sim::l2::Switch;
+    use v6dhcp::server::{DhcpServer, ServerConfig};
+
+    /// A Raspberry-Pi-like test node: answers NDP, serves DNS (over v6 and
+    /// v4) from an embedded resolver, and runs a DHCPv4 server with option
+    /// 108. This is a local double; the production node lives in v6testbed.
+    struct PiNode {
+        name: String,
+        mac: MacAddr,
+        v6: Ipv6Addr,
+        v4: Ipv4Addr,
+        resolver: Box<dyn Resolver>,
+        dhcp: Option<DhcpServer>,
+    }
+
+    impl PiNode {
+        fn answer(&mut self, q: &Question, now: u64) -> DnsMessage {
+            let ans = self.resolver.resolve(q, now);
+            let query = DnsMessage::query(0, q.clone());
+            let mut resp = DnsMessage::response_to(&query, ans.rcode);
+            resp.answers = ans.records;
+            resp
+        }
+    }
+
+    impl Node for PiNode {
+        fn name(&self) -> &str {
+            &self.name
+        }
+
+        fn on_frame(&mut self, _port: u32, raw: &[u8], ctx: &mut Ctx) {
+            let Ok(parsed) = ParsedFrame::parse(raw) else { return };
+            match (&parsed.l3, &parsed.l4) {
+                (L3::V6(ip), L4::Icmp6(Icmpv6Message::NeighborSolicitation(ns)))
+                    if ns.target == self.v6 =>
+                {
+                    let na = Icmpv6Message::NeighborAdvertisement(NeighborAdvertisement {
+                        router: false,
+                        solicited: true,
+                        override_flag: true,
+                        target: ns.target,
+                        options: vec![NdpOption::TargetLinkLayer(self.mac)],
+                    });
+                    ctx.send(0, build_icmpv6(self.mac, parsed.eth.src, ns.target, ip.src, &na));
+                }
+                (L3::V6(ip), L4::Udp(udp)) if ip.dst == self.v6 && udp.dst_port == port::DNS => {
+                    if let Ok(mut msg) = DnsMessage::decode(&udp.payload) {
+                        let q = msg.questions[0].clone();
+                        let mut resp = self.answer(&q, ctx.now.as_secs());
+                        resp.id = msg.id;
+                        msg.is_response = true;
+                        let d = UdpDatagram::new(port::DNS, udp.src_port, resp.encode());
+                        let frame = v6wire::packet::build_udp_v6(
+                            self.mac, parsed.eth.src, self.v6, ip.src, &d,
+                        );
+                        ctx.send(0, frame);
+                    }
+                }
+                (L3::V4(ip), L4::Udp(udp)) if ip.dst == self.v4 && udp.dst_port == port::DNS => {
+                    if let Ok(msg) = DnsMessage::decode(&udp.payload) {
+                        let q = msg.questions[0].clone();
+                        let mut resp = self.answer(&q, ctx.now.as_secs());
+                        resp.id = msg.id;
+                        let d = UdpDatagram::new(port::DNS, udp.src_port, resp.encode());
+                        let frame = v6wire::packet::build_udp_v4(
+                            self.mac, parsed.eth.src, self.v4, ip.src, &d,
+                        );
+                        ctx.send(0, frame);
+                    }
+                }
+                (L3::V4(_), L4::Udp(udp)) if udp.dst_port == port::DHCP_SERVER => {
+                    if let Some(dhcp) = &mut self.dhcp {
+                        if let Ok(msg) = v6dhcp::codec::DhcpMessage::decode(&udp.payload) {
+                            if let Some(reply) = dhcp.handle(&msg, ctx.now.as_secs()) {
+                                let d = UdpDatagram::new(
+                                    port::DHCP_SERVER,
+                                    port::DHCP_CLIENT,
+                                    reply.encode(),
+                                );
+                                let frame = v6wire::packet::build_udp_v4(
+                                    self.mac,
+                                    msg.chaddr,
+                                    dhcp.config.server_id,
+                                    Ipv4Addr::BROADCAST,
+                                    &d,
+                                );
+                                ctx.send(0, frame);
+                            }
+                        }
+                    }
+                }
+                (L3::Arp(arp), _)
+                    if arp.op == ArpOp::Request && arp.target_ip == self.v4 => {
+                        let reply = ArpPacket::reply_to(arp, self.mac);
+                        ctx.send(0, build_arp(self.mac, arp.sender_mac, &reply));
+                    }
+                _ => {}
+            }
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn internet_dns() -> GlobalDns {
+        let mut g = GlobalDns::new();
+        let mut me = Zone::new("ip6.me".parse().unwrap(), 60);
+        me.add_str("@", 60, RData::A("23.153.8.71".parse().unwrap()));
+        me.add_str("@", 60, RData::Aaaa("2001:4810:0:3::71".parse().unwrap()));
+        g.add_zone(me);
+        let mut anl = Zone::new("anl.gov".parse().unwrap(), 300);
+        anl.add_str("vpn", 120, RData::A("130.202.228.253".parse().unwrap()));
+        g.add_zone(anl);
+        g
+    }
+
+    fn pi(poisoned: bool, with_dhcp: bool) -> Box<PiNode> {
+        let dns64 = Dns64::well_known(internet_dns());
+        let resolver: Box<dyn Resolver> = if poisoned {
+            Box::new(PoisonedResolver::dnsmasq_ip6me(dns64))
+        } else {
+            Box::new(dns64)
+        };
+        Box::new(PiNode {
+            name: "pi".into(),
+            mac: MacAddr::new([2, 0x91, 0, 0, 0, 9]),
+            v6: "fd00:976a::9".parse().unwrap(),
+            v4: "192.168.12.250".parse().unwrap(),
+            resolver,
+            dhcp: with_dhcp.then(|| {
+                DhcpServer::new(ServerConfig::testbed("192.168.12.250".parse().unwrap()))
+            }),
+        })
+    }
+
+    /// Full testbed: gateway + managed switch (snooping, trusting the Pi
+    /// port 0) + Pi (DNS64, optionally poisoned, DHCP w/ 108) + one host.
+    fn testbed(profile: OsProfile, poisoned: bool) -> (Network, usize) {
+        let mut net = Network::new();
+        let gw = net.add_node(Box::new(FiveGGateway::new("5g-gw")));
+        let sw = net.add_node(Box::new(Switch::managed("msw", 4, 0)));
+        let pi_node = net.add_node(pi(poisoned, true));
+        let host = net.add_node(Box::new(Host::new("client", profile, 0x31)));
+        let internet = net.add_node(Box::new(Switch::new("wan-stub", 1)));
+        net.link(sw, 0, pi_node, 0, SimTime::from_micros(50));
+        net.link(sw, 1, gw, LAN, SimTime::from_micros(50));
+        net.link(sw, 2, host, 0, SimTime::from_micros(50));
+        net.link(gw, WAN, internet, 0, SimTime::from_millis(20));
+        (net, host)
+    }
+
+    #[test]
+    fn dual_stack_autoconfig_on_full_testbed() {
+        let (mut net, host) = testbed(OsProfile::windows_10(), true);
+        net.run_until(SimTime::from_secs(12));
+        let h = net.node_mut::<Host>(host);
+        // Two SLAAC prefixes: the gateway GUA and the switch ULA.
+        assert_eq!(h.v6_addrs.len(), 2, "addrs: {:?}", h.v6_addrs);
+        assert!(h.v6_addrs.iter().any(|(_, p)| p.to_string() == "fd00:976a::/64"));
+        // DHCP came from the Pi (gateway snooped): DNS = poisoned Pi.
+        assert!(h.v4_active());
+        let chain = h.resolver_chain();
+        assert_eq!(
+            chain.first(),
+            Some(&IpAddr::V6("fd00:976a::9".parse().unwrap())),
+            "Win10 prefers RDNSS; chain {chain:?}"
+        );
+        // Search domain from the switch DNSSL / DHCP option 15.
+        assert!(h.search_domains.iter().any(|d| d.to_string() == "rfc8925.com"));
+    }
+
+    #[test]
+    fn rfc8925_host_disables_v4_and_starts_clat() {
+        let (mut net, host) = testbed(OsProfile::macos(), true);
+        net.run_until(SimTime::from_secs(12));
+        let h = net.node_mut::<Host>(host);
+        assert!(h.v6only_mode, "option 108 honoured");
+        assert!(!h.v4_active());
+        assert!(h.clat.is_some(), "CLAT activated");
+        assert_eq!(h.v6_addrs.len(), 2);
+    }
+
+    #[test]
+    fn win11_prefers_dhcp_resolver() {
+        let (mut net, host) = testbed(OsProfile::windows_11(), true);
+        net.run_until(SimTime::from_secs(12));
+        let h = net.node_mut::<Host>(host);
+        let chain = h.resolver_chain();
+        assert_eq!(
+            chain.first(),
+            Some(&IpAddr::V4("192.168.12.250".parse().unwrap())),
+            "Win11 uses the DHCPv4 resolver first: {chain:?}"
+        );
+    }
+
+    #[test]
+    fn v4_only_host_gets_only_poisoned_resolver() {
+        let (mut net, host) = testbed(OsProfile::nintendo_switch(), true);
+        net.run_until(SimTime::from_secs(12));
+        let h = net.node_mut::<Host>(host);
+        assert!(h.v6_addrs.is_empty());
+        assert!(h.v4_active());
+        assert_eq!(
+            h.resolver_chain(),
+            vec![IpAddr::V4("192.168.12.250".parse().unwrap())]
+        );
+    }
+
+    #[test]
+    fn winxp_uses_v4_resolver_but_keeps_v6_addresses() {
+        let (mut net, host) = testbed(OsProfile::windows_xp(), true);
+        net.run_until(SimTime::from_secs(12));
+        let h = net.node_mut::<Host>(host);
+        assert_eq!(h.v6_addrs.len(), 2, "XP's v6 stack works");
+        // EUI-64 IID visible in the address (Fig. 7 style).
+        assert!(h
+            .v6_addrs
+            .iter()
+            .any(|(a, _)| a.octets()[11] == 0xff && a.octets()[12] == 0xfe));
+        let chain = h.resolver_chain();
+        assert!(chain.iter().all(|r| matches!(r, IpAddr::V4(_))), "{chain:?}");
+    }
+
+    #[test]
+    fn nslookup_poisoned_suffix_first_fig9() {
+        // Windows nslookup (suffix-first) against the poisoned resolver
+        // answers the *suffixed* non-existent name — the Fig. 9 artefact.
+        let (mut net, host) = testbed(OsProfile::windows_11(), true);
+        net.run_until(SimTime::from_secs(12));
+        let id = net.with_node::<Host, _>(host, |h, ctx| {
+            h.run_task(
+                AppTask::Nslookup {
+                    name: "vpn.anl.gov".parse().unwrap(),
+                    rtype: RType::A,
+                },
+                ctx,
+            )
+        });
+        net.run_for(SimTime::from_secs(5));
+        let h = net.node_mut::<Host>(host);
+        match h.outcome(id) {
+            Some(TaskOutcome::DnsAnswer { records, answered_name }) => {
+                assert_eq!(
+                    answered_name.to_string(),
+                    "vpn.anl.gov.rfc8925.com",
+                    "suffix applied and wildcard-poisoned"
+                );
+                assert_eq!(records[0].data, RData::A("23.153.8.71".parse().unwrap()));
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ping_via_dns64_uses_aaaa_fig9() {
+        // The same host's ping resolves AAAA through the healthy DNS64 path
+        // and reaches the NAT64-translated address.
+        let (mut net, host) = testbed(OsProfile::windows_10(), true);
+        net.run_until(SimTime::from_secs(12));
+        let id = net.with_node::<Host, _>(host, |h, ctx| {
+            h.run_task(
+                AppTask::Ping {
+                    name: "vpn.anl.gov".parse().unwrap(),
+                },
+                ctx,
+            )
+        });
+        net.run_for(SimTime::from_secs(9));
+        let h = net.node_mut::<Host>(host);
+        match h.outcome(id) {
+            // vpn.anl.gov is v4-only: DNS64 synthesizes 64:ff9b::82ca:e4fd.
+            // There's no live server behind it in this minimal net, so the
+            // ping times out — but the *resolution and destination choice*
+            // must have preferred the v6 path: dns_via_v6 > 0.
+            Some(TaskOutcome::Unreachable) | Some(TaskOutcome::PingReply { .. }) => {
+                assert!(h.dns_via_v6 > 0, "queried over the RDNSS resolver");
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn literal_v4_task_noroute_when_v6only_without_clat() {
+        // An RFC8925-honouring host *without* CLAT cannot run v4-literal apps.
+        let mut profile = OsProfile::macos();
+        profile.has_clat = false;
+        profile.name = "macOS (no CLAT)".into();
+        let (mut net, host) = testbed(profile, true);
+        net.run_until(SimTime::from_secs(12));
+        let id = net.with_node::<Host, _>(host, |h, ctx| {
+            h.run_task(
+                AppTask::LiteralV4 {
+                    addr: "44.12.7.9".parse().unwrap(),
+                    port: 5198,
+                },
+                ctx,
+            )
+        });
+        net.run_for(SimTime::from_millis(100));
+        let h = net.node_mut::<Host>(host);
+        assert_eq!(h.outcome(id), Some(&TaskOutcome::NoRoute));
+    }
+
+    #[test]
+    fn raw_gateway_fig3_dead_rdnss() {
+        // Without the managed switch: RDNSS points at dead ULAs; a Win10
+        // host falls back to the gateway's DHCP DNS (v4). An RFC8925-ignorant
+        // host still has working DNS via v4; the *v6-only resolver path* is
+        // dead.
+        let mut net = Network::new();
+        let gw = net.add_node(Box::new(FiveGGateway::new("5g-gw")));
+        let host = net.add_node(Box::new(Host::new(
+            "client",
+            OsProfile::windows_10(),
+            0x99,
+        )));
+        let sw = net.add_node(Box::new(Switch::new("dumb-sw", 2)));
+        net.link(sw, 0, gw, LAN, SimTime::from_micros(50));
+        net.link(sw, 1, host, 0, SimTime::from_micros(50));
+        net.run_until(SimTime::from_secs(12));
+        let h = net.node_mut::<Host>(host);
+        assert_eq!(h.v6_addrs.len(), 1, "only the gateway GUA prefix");
+        assert_eq!(
+            h.rdnss,
+            vec![
+                "fd00:976a::9".parse::<Ipv6Addr>().unwrap(),
+                "fd00:976a::10".parse::<Ipv6Addr>().unwrap()
+            ],
+            "dead resolvers advertised (Fig. 3)"
+        );
+        // The chain tries the dead ULAs first, then the gateway's v4 DNS.
+        let chain = h.resolver_chain();
+        assert_eq!(chain.len(), 3);
+        assert!(matches!(chain[2], IpAddr::V4(_)));
+    }
+
+    #[test]
+    fn dns_override_escape_hatch() {
+        let (mut net, host) = testbed(OsProfile::nintendo_switch(), true);
+        net.run_until(SimTime::from_secs(12));
+        let h = net.node_mut::<Host>(host);
+        h.dns_override = Some(IpAddr::V4("9.9.9.9".parse().unwrap()));
+        assert_eq!(
+            h.resolver_chain(),
+            vec![IpAddr::V4("9.9.9.9".parse().unwrap())],
+            "user-set resolver wins (Fig. 6 escape hatch)"
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Application-level tasks a host can run, and their observable outcomes.
+//! The paper's figures are reproduced by running these tasks on hosts with
+//! different OS profiles and asserting on the outcomes.
+
+use std::net::{IpAddr, Ipv4Addr};
+use v6dns::codec::{RType, Record};
+use v6dns::name::DnsName;
+
+/// Something the "user" does on a client device.
+#[derive(Debug, Clone)]
+pub enum AppTask {
+    /// Open `http://name/path` in a browser: DNS (A+AAAA) → RFC 6724
+    /// ordering → sequential connection attempts → HTTP GET.
+    Browse {
+        /// Host name to resolve.
+        name: DnsName,
+        /// Request path.
+        path: String,
+    },
+    /// `ping name`: resolve (AAAA preferred when usable, like the OS ping
+    /// in Fig. 7/9) and send one ICMP echo.
+    Ping {
+        /// Host name to resolve.
+        name: DnsName,
+    },
+    /// `nslookup name`: a raw lookup applying the OS search-list behaviour
+    /// (Fig. 9) for one record type.
+    Nslookup {
+        /// Name as typed.
+        name: DnsName,
+        /// Query type.
+        rtype: RType,
+    },
+    /// An application hard-coded to an IPv4 literal (Echolink, Fig. 2):
+    /// a TCP connect to `addr:port`.
+    LiteralV4 {
+        /// The literal address.
+        addr: Ipv4Addr,
+        /// Destination port.
+        port: u16,
+    },
+    /// Reach a host through the VPN policy table (Figs. 8/11); see
+    /// [`crate::vpn::VpnConfig`].
+    VpnReach {
+        /// The (IPv4-literal) service being contacted, e.g. the VTC
+        /// provider.
+        addr: Ipv4Addr,
+        /// Destination port.
+        port: u16,
+    },
+}
+
+/// What happened when a task ran.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskOutcome {
+    /// An HTTP exchange completed.
+    HttpOk {
+        /// Status code.
+        status: u16,
+        /// Response body.
+        body: String,
+        /// The address actually connected to (shows whether the poisoned A
+        /// or the genuine AAAA won).
+        peer: IpAddr,
+    },
+    /// DNS produced answers (nslookup-style; includes the owner name that
+    /// finally answered, exposing search-list artefacts).
+    DnsAnswer {
+        /// Answer records.
+        records: Vec<Record>,
+        /// The queried name that was answered.
+        answered_name: DnsName,
+    },
+    /// DNS produced no usable answer (NXDOMAIN across all candidates, or
+    /// no reachable resolver).
+    DnsFailed,
+    /// A ping got its echo reply.
+    PingReply {
+        /// Peer that answered.
+        peer: IpAddr,
+    },
+    /// All connection attempts failed or timed out.
+    Unreachable,
+    /// The task could not even start (e.g. IPv4 literal app on a host whose
+    /// IPv4 stack is off and that has no CLAT).
+    NoRoute,
+}
+
+impl TaskOutcome {
+    /// Did the user get working access to the thing they asked for?
+    pub fn is_success(&self) -> bool {
+        matches!(
+            self,
+            TaskOutcome::HttpOk { .. } | TaskOutcome::PingReply { .. } | TaskOutcome::DnsAnswer { .. }
+        )
+    }
+
+    /// The peer address, if the task reached one.
+    pub fn peer(&self) -> Option<IpAddr> {
+        match self {
+            TaskOutcome::HttpOk { peer, .. } | TaskOutcome::PingReply { peer } => Some(*peer),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_classification() {
+        assert!(TaskOutcome::HttpOk {
+            status: 200,
+            body: String::new(),
+            peer: "23.153.8.71".parse().unwrap()
+        }
+        .is_success());
+        assert!(!TaskOutcome::Unreachable.is_success());
+        assert!(!TaskOutcome::NoRoute.is_success());
+        assert_eq!(TaskOutcome::DnsFailed.peer(), None);
+    }
+}

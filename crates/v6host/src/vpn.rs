@@ -1,0 +1,64 @@
+//! The split-tunnel VPN client model (paper Figs. 8 and 11).
+//!
+//! The paper's VPN clients are configured with **IPv4 literals** in their
+//! split-tunnel tables: traffic to the approved VTC provider goes *direct*
+//! over IPv4, everything else is hauled through the (IPv4-only) tunnel to
+//! the concentrator. Two failure modes follow:
+//!
+//! * **Fig. 8** — if the testbed further restricts IPv4 internet access, the
+//!   direct (split-tunnelled) VTC traffic breaks even though the tunnel
+//!   itself might still work.
+//! * **Fig. 11** — on SC23v6, a full(er)-tunnel client scored 0/10 on the
+//!   test-ipv6.com mirror because all test traffic rode the IPv4-only
+//!   tunnel.
+
+use std::net::Ipv4Addr;
+use v6addr::prefix::Ipv4Prefix;
+
+/// A VPN client's routing policy.
+#[derive(Debug, Clone)]
+pub struct VpnConfig {
+    /// The concentrator's IPv4 literal.
+    pub concentrator: Ipv4Addr,
+    /// Destinations that bypass the tunnel (IPv4 literals/prefixes —
+    /// "approved VTC platforms").
+    pub split_direct: Vec<Ipv4Prefix>,
+    /// Does the tunnel carry IPv6? (Argonne's does not, per §VII —
+    /// "a large amount of work remains to better support IPv6 on the
+    /// Argonne VPN".)
+    pub tunnel_carries_v6: bool,
+}
+
+impl VpnConfig {
+    /// The paper's Argonne-style client: v4-only tunnel, VTC provider
+    /// split-tunnelled by literal.
+    pub fn argonne(concentrator: Ipv4Addr, vtc: Ipv4Prefix) -> VpnConfig {
+        VpnConfig {
+            concentrator,
+            split_direct: vec![vtc],
+            tunnel_carries_v6: false,
+        }
+    }
+
+    /// Does `dst` bypass the tunnel?
+    pub fn goes_direct(&self, dst: Ipv4Addr) -> bool {
+        dst == self.concentrator || self.split_direct.iter().any(|p| p.contains(dst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_table_matches_literals() {
+        let cfg = VpnConfig::argonne(
+            "130.202.228.253".parse().unwrap(),
+            "198.51.100.0/24".parse().unwrap(),
+        );
+        assert!(cfg.goes_direct("198.51.100.14".parse().unwrap()), "VTC");
+        assert!(cfg.goes_direct("130.202.228.253".parse().unwrap()), "conc");
+        assert!(!cfg.goes_direct("23.153.8.71".parse().unwrap()), "tunneled");
+        assert!(!cfg.tunnel_carries_v6);
+    }
+}

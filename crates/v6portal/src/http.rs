@@ -1,0 +1,87 @@
+//! A minimal HTTP/1.1 subset: one request, one response, server closes.
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Method (only GET is used).
+    pub method: String,
+    /// Request path including any query string.
+    pub path: String,
+    /// `Host:` header (virtual-host routing key).
+    pub host: String,
+}
+
+impl HttpRequest {
+    /// Parse a request out of raw bytes. Returns `None` until the header
+    /// block is complete.
+    pub fn parse(raw: &[u8]) -> Option<HttpRequest> {
+        let text = core::str::from_utf8(raw).ok()?;
+        let head = text.split_once("\r\n\r\n")?.0;
+        let mut lines = head.lines();
+        let request_line = lines.next()?;
+        let mut parts = request_line.split_whitespace();
+        let method = parts.next()?.to_string();
+        let path = parts.next()?.to_string();
+        let mut host = String::new();
+        for line in lines {
+            if let Some((k, v)) = line.split_once(':') {
+                if k.eq_ignore_ascii_case("host") {
+                    host = v.trim().to_string();
+                }
+            }
+        }
+        Some(HttpRequest { method, path, host })
+    }
+
+    /// Format the wire form of a GET.
+    pub fn format_get(host: &str, path: &str) -> String {
+        format!("GET {path} HTTP/1.1\r\nHost: {host}\r\n\r\n")
+    }
+}
+
+/// Format a response (server closes the connection afterwards).
+pub fn format_response(status: u16, body: &str) -> String {
+    let reason = match status {
+        200 => "OK",
+        302 => "Found",
+        404 => "Not Found",
+        _ => "Status",
+    };
+    format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let wire = HttpRequest::format_get("ip6.me", "/");
+        let req = HttpRequest::parse(wire.as_bytes()).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/");
+        assert_eq!(req.host, "ip6.me");
+    }
+
+    #[test]
+    fn incomplete_request_waits() {
+        assert!(HttpRequest::parse(b"GET / HTTP/1.1\r\nHost: x").is_none());
+    }
+
+    #[test]
+    fn response_format() {
+        let r = format_response(200, "hello");
+        assert!(r.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(r.ends_with("\r\n\r\nhello"));
+        assert!(r.contains("Content-Length: 5"));
+    }
+
+    #[test]
+    fn host_header_case_insensitive() {
+        let req = HttpRequest::parse(b"GET /x HTTP/1.1\r\nhOsT:  mirror.sc24\r\n\r\n").unwrap();
+        assert_eq!(req.host, "mirror.sc24");
+    }
+}

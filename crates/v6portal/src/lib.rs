@@ -1,0 +1,21 @@
+//! # v6portal — intervention services for the sc24v6 testbed
+//!
+//! The web destinations the paper's DNS interventions point at, plus the
+//! test-ipv6.com-style readiness scoring:
+//!
+//! * [`http`] — the minimal HTTP/1.1 used across the simulator
+//! * [`server`] — a virtual-hosting portal server node: the ip6.me-style
+//!   "what is my IP" page with the IPv6-only explanation for legacy
+//!   clients, and the test mirror's subtest vhosts
+//! * [`scoring`] — the 10-point readiness score: the legacy logic that
+//!   produced the erroneous Fig. 5 result, and the paper's proposed
+//!   RFC 8925-aware revision
+
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod scoring;
+pub mod server;
+
+pub use scoring::{score_legacy, score_rfc8925_aware, Score, SubtestResults};
+pub use server::PortalServer;

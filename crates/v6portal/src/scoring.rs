@@ -1,0 +1,286 @@
+//! The test-ipv6.com-style 10-point IPv6 readiness score.
+//!
+//! Two scoring policies:
+//!
+//! * [`score_legacy`] — the stock mirror logic from SC23. It counts a
+//!   subtest as passed when its HTTP fetch completed, **without checking
+//!   which address family actually served it**. Combined with wildcard-A
+//!   DNS poisoning this produces the paper's Figure 5 defect: an IPv4-only
+//!   client whose every hostname resolves to the mirror's IPv4 address
+//!   fetches all subtests successfully and is told 10/10.
+//!
+//! * [`score_rfc8925_aware`] — the paper's §VI proposal: verify the family
+//!   that served each subtest, and only award a perfect score to clients
+//!   whose IPv4 stack is actually off (RFC 8925 engaged). "Properly
+//!   configured dual-stack clients will also receive a 10/10 score under
+//!   default test-ipv6.com testing logic" — the revision caps them at 9
+//!   and labels the remaining step.
+
+use std::net::IpAddr;
+
+/// The observable result of one subtest fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnInfo {
+    /// Address actually connected to.
+    pub peer: IpAddr,
+    /// HTTP status (0 when the fetch never completed).
+    pub status: u16,
+}
+
+impl ConnInfo {
+    /// Did the fetch complete with success?
+    pub fn ok(&self) -> bool {
+        self.status == 200
+    }
+
+    /// Was it served over IPv6?
+    pub fn via_v6(&self) -> bool {
+        matches!(self.peer, IpAddr::V6(_))
+    }
+}
+
+/// Results the client-side test harness gathered.
+#[derive(Debug, Clone, Default)]
+pub struct SubtestResults {
+    /// Fetch of the dual-stack test hostname.
+    pub dual_stack: Option<ConnInfo>,
+    /// Fetch of the IPv4-only (A-record) test hostname.
+    pub v4_only: Option<ConnInfo>,
+    /// Fetch of the IPv6-only (AAAA-record) test hostname.
+    pub v6_only: Option<ConnInfo>,
+    /// Fetch of the large-packet IPv6 hostname (MTU subtest).
+    pub v6_mtu: Option<ConnInfo>,
+    /// Client's own report: is its IPv4 stack administratively off
+    /// (RFC 8925 honoured)? The revised mirror's client script reads this
+    /// from the OS; the legacy mirror ignores it.
+    pub client_v4_stack_off: bool,
+}
+
+/// A readiness score out of 10, with the mirror's verdict text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Score {
+    /// Points out of 10.
+    pub points: u8,
+    /// The headline the user sees.
+    pub verdict: String,
+}
+
+fn fetched(c: &Option<ConnInfo>) -> bool {
+    c.map(|c| c.ok()).unwrap_or(false)
+}
+
+fn fetched_v6(c: &Option<ConnInfo>) -> bool {
+    c.map(|c| c.ok() && c.via_v6()).unwrap_or(false)
+}
+
+fn fetched_v4(c: &Option<ConnInfo>) -> bool {
+    c.map(|c| c.ok() && !c.via_v6()).unwrap_or(false)
+}
+
+/// SC23-era scoring: family-blind.
+///
+/// * dual-stack fetch: 2 points
+/// * v4-only fetch: 2 points
+/// * v6-only fetch: 4 points
+/// * v6 MTU fetch: 2 points
+pub fn score_legacy(r: &SubtestResults) -> Score {
+    let mut points = 0u8;
+    if fetched(&r.dual_stack) {
+        points += 2;
+    }
+    if fetched(&r.v4_only) {
+        points += 2;
+    }
+    if fetched(&r.v6_only) {
+        points += 4;
+    }
+    if fetched(&r.v6_mtu) {
+        points += 2;
+    }
+    let verdict = match points {
+        10 => "10/10: your IPv6 connectivity appears perfect".to_string(),
+        0 => "0/10: no connectivity detected".to_string(),
+        p => format!("{p}/10: partial IPv6 readiness"),
+    };
+    Score { points, verdict }
+}
+
+/// The paper's proposed revision: verify families, explain failures, and
+/// reserve 10/10 for RFC 8925 (IPv6-only-preferred) clients.
+pub fn score_rfc8925_aware(r: &SubtestResults) -> Score {
+    // The v6 subtests only count when genuinely served over IPv6.
+    let v6_ok = fetched_v6(&r.v6_only);
+    let mtu_ok = fetched_v6(&r.v6_mtu);
+    let ds_ok = fetched(&r.dual_stack);
+    let ds_via_v6 = fetched_v6(&r.dual_stack);
+    let v4_reachable = fetched_v4(&r.v4_only) || fetched_v4(&r.dual_stack);
+
+    if !v6_ok {
+        // The Fig. 5/Fig. 6 population: no real IPv6 service.
+        let verdict = if v4_reachable || fetched(&r.v6_only) {
+            "0/10: your device only used legacy IPv4 on this IPv6-only \
+             network — please visit the SCinet helpdesk"
+                .to_string()
+        } else {
+            "0/10: no connectivity detected".to_string()
+        };
+        return Score { points: 0, verdict };
+    }
+    let mut points = 0u8;
+    if ds_ok {
+        points += 2;
+    }
+    if fetched(&r.v4_only) {
+        points += 2;
+    }
+    points += 4; // v6_ok checked above
+    if mtu_ok {
+        points += 2;
+    }
+    if ds_ok && !ds_via_v6 {
+        // Dual-stack name fetched over v4: source selection is off.
+        points = points.saturating_sub(3);
+        return Score {
+            points,
+            verdict: format!(
+                "{points}/10: IPv6 works but your device preferred IPv4 for \
+                 dual-stack destinations"
+            ),
+        };
+    }
+    if !r.client_v4_stack_off {
+        // Everything works, but the IPv4 stack is still on: cap at 9.
+        let points = points.min(9);
+        return Score {
+            points,
+            verdict: format!(
+                "{points}/10: dual-stack works — enable IPv6-only (RFC 8925 \
+                 option 108) for a perfect score"
+            ),
+        };
+    }
+    Score {
+        points,
+        verdict: format!("{points}/10: IPv6-only operation confirmed"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v6(status: u16) -> Option<ConnInfo> {
+        Some(ConnInfo {
+            peer: "64:ff9b::be5c:9e04".parse().unwrap(),
+            status,
+        })
+    }
+
+    fn v4(status: u16) -> Option<ConnInfo> {
+        Some(ConnInfo {
+            peer: "23.153.8.71".parse().unwrap(),
+            status,
+        })
+    }
+
+    /// Fig. 5: IPv4-only client, poisoned DNS redirects every hostname to
+    /// the mirror's v4 address — everything "fetches", legacy says 10/10.
+    #[test]
+    fn fig5_legacy_scores_erroneous_10() {
+        let r = SubtestResults {
+            dual_stack: v4(200),
+            v4_only: v4(200),
+            v6_only: v4(200), // the AAAA-only hostname, hijacked to v4!
+            v6_mtu: v4(200),
+            client_v4_stack_off: false,
+        };
+        assert_eq!(score_legacy(&r).points, 10, "the documented defect");
+        // The revised logic catches it.
+        let fixed = score_rfc8925_aware(&r);
+        assert_eq!(fixed.points, 0);
+        assert!(fixed.verdict.contains("helpdesk"));
+    }
+
+    /// A healthy RFC 8925 client (v6-only + NAT64): both logics give 10.
+    #[test]
+    fn rfc8925_client_scores_10_under_both() {
+        let r = SubtestResults {
+            dual_stack: v6(200),
+            v4_only: v6(200), // reached via NAT64 — still served, via v6
+            v6_only: v6(200),
+            v6_mtu: v6(200),
+            client_v4_stack_off: true,
+        };
+        assert_eq!(score_legacy(&r).points, 10);
+        let fixed = score_rfc8925_aware(&r);
+        assert_eq!(fixed.points, 10);
+        assert!(fixed.verdict.contains("IPv6-only operation confirmed"));
+    }
+
+    /// §VI: "properly configured dual-stack clients will also receive a
+    /// 10/10 score under default test-ipv6.com testing logic" — the
+    /// revision caps them at 9.
+    #[test]
+    fn dual_stack_capped_at_9_by_revision() {
+        let r = SubtestResults {
+            dual_stack: v6(200),
+            v4_only: v4(200),
+            v6_only: v6(200),
+            v6_mtu: v6(200),
+            client_v4_stack_off: false,
+        };
+        assert_eq!(score_legacy(&r).points, 10);
+        let fixed = score_rfc8925_aware(&r);
+        assert_eq!(fixed.points, 9);
+        assert!(fixed.verdict.contains("option 108"));
+    }
+
+    /// Fig. 11: VPN client — nothing reachable: 0/10 under both.
+    #[test]
+    fn fig11_vpn_zero() {
+        let r = SubtestResults::default();
+        assert_eq!(score_legacy(&r).points, 0);
+        assert_eq!(score_rfc8925_aware(&r).points, 0);
+    }
+
+    #[test]
+    fn partial_v6_failure_modes() {
+        // v6 works but MTU subtest fails (tunnel MTU issue).
+        let r = SubtestResults {
+            dual_stack: v6(200),
+            v4_only: v6(200),
+            v6_only: v6(200),
+            v6_mtu: None,
+            client_v4_stack_off: true,
+        };
+        assert_eq!(score_legacy(&r).points, 8);
+        assert_eq!(score_rfc8925_aware(&r).points, 8);
+    }
+
+    #[test]
+    fn wrong_family_preference_detected() {
+        // Dual-stack name fetched over v4 while v6 works: rule fires.
+        let r = SubtestResults {
+            dual_stack: v4(200),
+            v4_only: v4(200),
+            v6_only: v6(200),
+            v6_mtu: v6(200),
+            client_v4_stack_off: false,
+        };
+        let fixed = score_rfc8925_aware(&r);
+        assert!(fixed.points < 9);
+        assert!(fixed.verdict.contains("preferred IPv4"));
+    }
+
+    #[test]
+    fn failed_fetches_do_not_count() {
+        let r = SubtestResults {
+            dual_stack: v6(500),
+            v4_only: None,
+            v6_only: v6(200),
+            v6_mtu: None,
+            client_v4_stack_off: true,
+        };
+        assert_eq!(score_legacy(&r).points, 4);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the mirror scoring engines.
+
+use proptest::prelude::*;
+use std::net::IpAddr;
+use v6portal::scoring::{score_legacy, score_rfc8925_aware, ConnInfo, SubtestResults};
+
+fn arb_conn() -> impl Strategy<Value = Option<ConnInfo>> {
+    proptest::option::of((any::<bool>(), any::<u32>(), prop::sample::select(vec![0u16, 200, 404, 500])).prop_map(
+        |(v6, addr, status)| ConnInfo {
+            peer: if v6 {
+                IpAddr::V6(std::net::Ipv6Addr::from(u128::from(addr) | (0x2600u128 << 112)))
+            } else {
+                IpAddr::V4(std::net::Ipv4Addr::from(addr | 0x0100_0000))
+            },
+            status,
+        },
+    ))
+}
+
+fn arb_results() -> impl Strategy<Value = SubtestResults> {
+    (arb_conn(), arb_conn(), arb_conn(), arb_conn(), any::<bool>()).prop_map(
+        |(dual_stack, v4_only, v6_only, v6_mtu, client_v4_stack_off)| SubtestResults {
+            dual_stack,
+            v4_only,
+            v6_only,
+            v6_mtu,
+            client_v4_stack_off,
+        },
+    )
+}
+
+proptest! {
+    /// Both scores stay in range and are deterministic.
+    #[test]
+    fn scores_bounded_and_deterministic(r in arb_results()) {
+        let l1 = score_legacy(&r);
+        let l2 = score_legacy(&r);
+        let f1 = score_rfc8925_aware(&r);
+        let f2 = score_rfc8925_aware(&r);
+        prop_assert!(l1.points <= 10);
+        prop_assert!(f1.points <= 10);
+        prop_assert_eq!(l1, l2);
+        prop_assert_eq!(f1, f2);
+    }
+
+    /// The revised logic never awards *more* points than the legacy logic:
+    /// it only verifies harder.
+    #[test]
+    fn revised_never_exceeds_legacy(r in arb_results()) {
+        prop_assert!(score_rfc8925_aware(&r).points <= score_legacy(&r).points);
+    }
+
+    /// A perfect revised score requires a genuinely v6-served v6 subtest AND
+    /// the IPv4 stack reported off — the §VI requirement, as an invariant.
+    #[test]
+    fn revised_10_requires_rfc8925(r in arb_results()) {
+        let f = score_rfc8925_aware(&r);
+        if f.points == 10 {
+            prop_assert!(r.client_v4_stack_off, "10/10 without option 108: {r:?}");
+            let v6ok = r.v6_only.map(|c| c.ok() && c.via_v6()).unwrap_or(false);
+            prop_assert!(v6ok, "10/10 without genuine v6: {r:?}");
+        }
+    }
+
+    /// A client with zero completed fetches scores zero under both.
+    #[test]
+    fn no_fetches_scores_zero(off in any::<bool>()) {
+        let r = SubtestResults {
+            client_v4_stack_off: off,
+            ..Default::default()
+        };
+        prop_assert_eq!(score_legacy(&r).points, 0);
+        prop_assert_eq!(score_rfc8925_aware(&r).points, 0);
+    }
+
+    /// The revised verdict always carries actionable text for imperfect
+    /// scores (the paper's §VI usability goal).
+    #[test]
+    fn verdicts_are_actionable(r in arb_results()) {
+        let f = score_rfc8925_aware(&r);
+        prop_assert!(!f.verdict.is_empty());
+        if f.points == 0 {
+            prop_assert!(
+                f.verdict.contains("helpdesk") || f.verdict.contains("no connectivity"),
+                "{}", f.verdict
+            );
+        }
+    }
+}

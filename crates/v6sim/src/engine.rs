@@ -1,0 +1,542 @@
+//! The event engine: nodes, links, timers, and a frame trace.
+//!
+//! Nodes are `Box<dyn Node>` objects with numbered ports; links join two
+//! `(node, port)` endpoints with a fixed latency. Everything is driven by a
+//! binary-heap event queue keyed on `(time, sequence)` so runs are exactly
+//! reproducible.
+
+use crate::time::SimTime;
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Index of a node within a [`Network`].
+pub type NodeId = usize;
+
+/// What a node asks the engine to do.
+#[derive(Debug)]
+enum Action {
+    /// Transmit a frame out of a local port.
+    Send { port: u32, frame: Vec<u8> },
+    /// Fire `on_timer(token)` after `delay`.
+    Timer { delay: SimTime, token: u64 },
+}
+
+/// The per-callback context handed to nodes.
+pub struct Ctx {
+    /// Current simulation time.
+    pub now: SimTime,
+    actions: Vec<Action>,
+}
+
+impl Ctx {
+    /// Transmit `frame` out of `port`.
+    pub fn send(&mut self, port: u32, frame: Vec<u8>) {
+        self.actions.push(Action::Send { port, frame });
+    }
+
+    /// Request `on_timer(token)` after `delay`.
+    pub fn timer_in(&mut self, delay: SimTime, token: u64) {
+        self.actions.push(Action::Timer { delay, token });
+    }
+}
+
+/// A simulated device.
+pub trait Node {
+    /// Human-readable name for traces.
+    fn name(&self) -> &str;
+
+    /// Called once when the simulation starts.
+    fn start(&mut self, _ctx: &mut Ctx) {}
+
+    /// A frame arrived on `port`.
+    fn on_frame(&mut self, port: u32, frame: &[u8], ctx: &mut Ctx);
+
+    /// A timer requested via [`Ctx::timer_in`] fired.
+    fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx) {}
+
+    /// Downcast support so scenarios can inspect and drive concrete devices.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    Start,
+    Frame { port: u32, frame: Vec<u8> },
+    Timer { token: u64 },
+}
+
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    at: SimTime,
+    seq: u64,
+    node: NodeId,
+    kind: EventKind,
+}
+
+/// One hop recorded in the frame trace.
+#[derive(Debug, Clone)]
+pub struct TraceEntry {
+    /// Delivery time.
+    pub at: SimTime,
+    /// Transmitting node name.
+    pub from: String,
+    /// Receiving node name.
+    pub to: String,
+    /// One-line summary (layer classification from `v6wire`).
+    pub summary: String,
+    /// Frame length in bytes.
+    pub len: usize,
+}
+
+/// The simulated network.
+pub struct Network {
+    nodes: Vec<Box<dyn Node>>,
+    links: HashMap<(NodeId, u32), (NodeId, u32, SimTime)>,
+    queue: BinaryHeap<Reverse<Event>>,
+    now: SimTime,
+    seq: u64,
+    started: bool,
+    /// Captured frame hops (cleared with [`Network::clear_trace`]).
+    pub trace: Vec<TraceEntry>,
+    /// Cap on trace length to bound memory in long runs.
+    pub trace_limit: usize,
+    /// Total frames delivered.
+    pub frames_delivered: u64,
+    /// When true, raw frame bytes are captured into [`Network::captured`]
+    /// for pcap export (off by default — it copies every frame).
+    pub capture_frames: bool,
+    /// Raw frames captured while [`Network::capture_frames`] was on.
+    pub captured: Vec<crate::pcap::CapturedFrame>,
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Network::new()
+    }
+}
+
+impl Network {
+    /// An empty network.
+    pub fn new() -> Network {
+        Network {
+            nodes: Vec::new(),
+            links: HashMap::new(),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            started: false,
+            trace: Vec::new(),
+            trace_limit: 100_000,
+            frames_delivered: 0,
+            capture_frames: false,
+            captured: Vec::new(),
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Add a node, returning its id.
+    pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Join `(a, a_port)` and `(b, b_port)` with `latency` in each direction.
+    pub fn link(&mut self, a: NodeId, a_port: u32, b: NodeId, b_port: u32, latency: SimTime) {
+        assert!(
+            !self.links.contains_key(&(a, a_port)) && !self.links.contains_key(&(b, b_port)),
+            "port already linked"
+        );
+        self.links.insert((a, a_port), (b, b_port, latency));
+        self.links.insert((b, b_port), (a, a_port, latency));
+    }
+
+    /// Mutable access to a concrete node type.
+    ///
+    /// # Panics
+    /// If the id is out of range or the node is not a `T`.
+    pub fn node_mut<T: Node + 'static>(&mut self, id: NodeId) -> &mut T {
+        self.nodes[id]
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("node type mismatch")
+    }
+
+    fn push(&mut self, at: SimTime, node: NodeId, kind: EventKind) {
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            at,
+            seq: self.seq,
+            node,
+            kind,
+        }));
+    }
+
+    /// Queue `start` callbacks for every node (idempotent).
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for id in 0..self.nodes.len() {
+            self.push(self.now, id, EventKind::Start);
+        }
+    }
+
+    /// Let a scenario invoke a node directly (e.g. "user clicks browse") via
+    /// a closure receiving the node and a context; the resulting actions are
+    /// applied as if the node acted spontaneously now.
+    pub fn with_node<T: Node + 'static, R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut T, &mut Ctx) -> R,
+    ) -> R {
+        let mut ctx = Ctx {
+            now: self.now,
+            actions: Vec::new(),
+        };
+        let r = {
+            let node = self.nodes[id]
+                .as_any_mut()
+                .downcast_mut::<T>()
+                .expect("node type mismatch");
+            f(node, &mut ctx)
+        };
+        self.apply_actions(id, ctx.actions);
+        r
+    }
+
+    fn apply_actions(&mut self, node: NodeId, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Send { port, frame } => {
+                    if let Some(&(dst, dst_port, latency)) = self.links.get(&(node, port)) {
+                        if self.capture_frames && self.captured.len() < self.trace_limit {
+                            self.captured.push(crate::pcap::CapturedFrame {
+                                at: self.now + latency,
+                                bytes: frame.clone(),
+                            });
+                        }
+                        let summary = v6wire::packet::summarize(&frame);
+                        if self.trace.len() < self.trace_limit {
+                            self.trace.push(TraceEntry {
+                                at: self.now + latency,
+                                from: self.nodes[node].name().to_string(),
+                                to: self.nodes[dst].name().to_string(),
+                                summary,
+                                len: frame.len(),
+                            });
+                        }
+                        self.push(
+                            self.now + latency,
+                            dst,
+                            EventKind::Frame {
+                                port: dst_port,
+                                frame,
+                            },
+                        );
+                    }
+                    // Unlinked port: frame silently dropped (cable unplugged).
+                }
+                Action::Timer { delay, token } => {
+                    self.push(self.now + delay, node, EventKind::Timer { token });
+                }
+            }
+        }
+    }
+
+    /// Process events until the queue is empty or `deadline` passes.
+    /// Returns the number of events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        self.start();
+        let mut processed = 0;
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked");
+            self.now = ev.at;
+            let mut ctx = Ctx {
+                now: self.now,
+                actions: Vec::new(),
+            };
+            match ev.kind {
+                EventKind::Start => self.nodes[ev.node].start(&mut ctx),
+                EventKind::Frame { port, frame } => {
+                    self.frames_delivered += 1;
+                    self.nodes[ev.node].on_frame(port, &frame, &mut ctx)
+                }
+                EventKind::Timer { token } => self.nodes[ev.node].on_timer(token, &mut ctx),
+            }
+            self.apply_actions(ev.node, ctx.actions);
+            processed += 1;
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        processed
+    }
+
+    /// Run for `span` beyond the current time.
+    pub fn run_for(&mut self, span: SimTime) -> u64 {
+        let deadline = self.now + span;
+        self.run_until(deadline)
+    }
+
+    /// Discard the captured trace.
+    pub fn clear_trace(&mut self) {
+        self.trace.clear();
+        self.captured.clear();
+    }
+
+    /// Write everything captured so far to a pcap file (requires
+    /// [`Network::capture_frames`] to have been on during the run).
+    pub fn write_pcap(&self, path: &std::path::Path) -> std::io::Result<()> {
+        crate::pcap::write_pcap(path, &self.captured)
+    }
+
+    /// Render the trace as text (for examples and debugging).
+    pub fn format_trace(&self) -> String {
+        let mut out = String::new();
+        for e in &self.trace {
+            out.push_str(&format!(
+                "{} {} -> {} [{} bytes] {}\n",
+                e.at, e.from, e.to, e.len, e.summary
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A node that echoes every frame back out the same port after 1 ms,
+    /// counting what it saw.
+    struct Echo {
+        name: String,
+        seen: Vec<Vec<u8>>,
+        echo: bool,
+    }
+
+    impl Node for Echo {
+        fn name(&self) -> &str {
+            &self.name
+        }
+
+        fn on_frame(&mut self, port: u32, frame: &[u8], ctx: &mut Ctx) {
+            self.seen.push(frame.to_vec());
+            if self.echo {
+                ctx.send(port, frame.to_vec());
+            }
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// A node that emits one frame at start and one on each timer tick.
+    struct Beacon {
+        name: String,
+        ticks: u32,
+    }
+
+    impl Node for Beacon {
+        fn name(&self) -> &str {
+            &self.name
+        }
+
+        fn start(&mut self, ctx: &mut Ctx) {
+            ctx.send(0, vec![0xbe]);
+            ctx.timer_in(SimTime::from_secs(1), 1);
+        }
+
+        fn on_frame(&mut self, _port: u32, _frame: &[u8], _ctx: &mut Ctx) {}
+
+        fn on_timer(&mut self, token: u64, ctx: &mut Ctx) {
+            self.ticks += 1;
+            ctx.send(0, vec![0xbe, self.ticks as u8]);
+            if self.ticks < 3 {
+                ctx.timer_in(SimTime::from_secs(1), token);
+            }
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn frames_flow_with_latency() {
+        let mut net = Network::new();
+        let a = net.add_node(Box::new(Beacon {
+            name: "beacon".into(),
+            ticks: 0,
+        }));
+        let b = net.add_node(Box::new(Echo {
+            name: "sink".into(),
+            seen: Vec::new(),
+            echo: false,
+        }));
+        net.link(a, 0, b, 0, SimTime::from_millis(2));
+        net.run_until(SimTime::from_millis(100));
+        let sink = net.node_mut::<Echo>(b);
+        assert_eq!(sink.seen.len(), 1, "only the start beacon by t=100ms");
+        net.run_until(SimTime::from_secs(10));
+        let sink = net.node_mut::<Echo>(b);
+        assert_eq!(sink.seen.len(), 4, "start + 3 timer beacons");
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut net = Network::new();
+        let a = net.add_node(Box::new(Beacon {
+            name: "beacon".into(),
+            ticks: 0,
+        }));
+        let b = net.add_node(Box::new(Echo {
+            name: "sink".into(),
+            seen: Vec::new(),
+            echo: false,
+        }));
+        net.link(a, 0, b, 0, SimTime::ZERO);
+        net.run_until(SimTime::from_secs(2));
+        assert_eq!(net.node_mut::<Beacon>(a).ticks, 2);
+        assert_eq!(net.now(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn unlinked_port_drops_silently() {
+        let mut net = Network::new();
+        let a = net.add_node(Box::new(Beacon {
+            name: "lonely".into(),
+            ticks: 0,
+        }));
+        let _ = a;
+        let n = net.run_until(SimTime::from_secs(10));
+        assert!(n >= 4, "events still processed");
+    }
+
+    #[test]
+    fn with_node_applies_actions() {
+        let mut net = Network::new();
+        let a = net.add_node(Box::new(Echo {
+            name: "a".into(),
+            seen: Vec::new(),
+            echo: false,
+        }));
+        let b = net.add_node(Box::new(Echo {
+            name: "b".into(),
+            seen: Vec::new(),
+            echo: false,
+        }));
+        net.link(a, 0, b, 0, SimTime::from_millis(1));
+        net.start();
+        net.run_until(SimTime::ZERO);
+        net.with_node::<Echo, _>(a, |_, ctx| ctx.send(0, vec![1, 2, 3]));
+        net.run_for(SimTime::from_millis(5));
+        assert_eq!(net.node_mut::<Echo>(b).seen, vec![vec![1, 2, 3]]);
+        assert_eq!(net.frames_delivered, 1);
+    }
+
+    #[test]
+    fn trace_records_hops() {
+        let mut net = Network::new();
+        let a = net.add_node(Box::new(Beacon {
+            name: "beacon".into(),
+            ticks: 0,
+        }));
+        let b = net.add_node(Box::new(Echo {
+            name: "sink".into(),
+            seen: Vec::new(),
+            echo: false,
+        }));
+        net.link(a, 0, b, 0, SimTime::ZERO);
+        net.run_until(SimTime::from_secs(5));
+        assert_eq!(net.trace.len(), 4);
+        assert_eq!(net.trace[0].from, "beacon");
+        assert_eq!(net.trace[0].to, "sink");
+        let text = net.format_trace();
+        assert!(text.contains("beacon -> sink"));
+        net.clear_trace();
+        assert!(net.trace.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "port already linked")]
+    fn double_link_panics() {
+        let mut net = Network::new();
+        let a = net.add_node(Box::new(Echo {
+            name: "a".into(),
+            seen: Vec::new(),
+            echo: false,
+        }));
+        let b = net.add_node(Box::new(Echo {
+            name: "b".into(),
+            seen: Vec::new(),
+            echo: false,
+        }));
+        net.link(a, 0, b, 0, SimTime::ZERO);
+        net.link(a, 0, b, 1, SimTime::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod determinism_tests {
+    use super::*;
+
+    /// Two events scheduled for the same instant fire in scheduling order —
+    /// the tie-break that makes whole-testbed runs exactly reproducible.
+    struct Recorder {
+        name: String,
+        fired: Vec<u64>,
+    }
+
+    impl Node for Recorder {
+        fn name(&self) -> &str {
+            &self.name
+        }
+
+        fn start(&mut self, ctx: &mut Ctx) {
+            for token in [3, 1, 2] {
+                ctx.timer_in(SimTime::from_secs(1), token);
+            }
+        }
+
+        fn on_frame(&mut self, _p: u32, _f: &[u8], _ctx: &mut Ctx) {}
+
+        fn on_timer(&mut self, token: u64, _ctx: &mut Ctx) {
+            self.fired.push(token);
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn same_instant_events_fire_in_schedule_order() {
+        let mut net = Network::new();
+        let r = net.add_node(Box::new(Recorder {
+            name: "rec".into(),
+            fired: Vec::new(),
+        }));
+        net.run_until(SimTime::from_secs(2));
+        assert_eq!(net.node_mut::<Recorder>(r).fired, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut net = Network::new();
+        net.run_until(SimTime::from_secs(5));
+        assert_eq!(net.now(), SimTime::from_secs(5));
+        net.run_for(SimTime::from_secs(3));
+        assert_eq!(net.now(), SimTime::from_secs(8));
+    }
+}

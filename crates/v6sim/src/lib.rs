@@ -1,0 +1,30 @@
+//! # v6sim — deterministic discrete-event network simulator
+//!
+//! The substrate standing in for the paper's physical testbed (5G gateway,
+//! managed switch, Raspberry Pis, Wi-Fi clients). Everything is an
+//! Ethernet-frame-level [`engine::Node`] connected by latency-bearing links;
+//! a virtual clock and a seeded RNG make every run reproducible.
+//!
+//! * [`time`] — the virtual clock ([`time::SimTime`])
+//! * [`engine`] — event queue, nodes, links, frame tracing
+//! * [`l2`] — learning Ethernet switch and the paper's *managed switch*
+//!   (low-priority RA injection + DHCPv4 snooping)
+//! * [`gateway`] — the 5G mobile internet gateway with its documented
+//!   defects (dead ULA RDNSS, rotating /64, unkillable DHCPv4 pool) and its
+//!   working NAT44/NAT64 data path
+//! * [`tcp`] — a miniature TCP endpoint used by hosts and portal servers
+//! * [`nat44`] — the IPv4 NAPT the gateway applies to legacy traffic
+//! * [`pcap`] — export captured frames to Wireshark-readable pcap files
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod gateway;
+pub mod l2;
+pub mod nat44;
+pub mod pcap;
+pub mod tcp;
+pub mod time;
+
+pub use engine::{Ctx, Network, Node, NodeId};
+pub use time::SimTime;

@@ -1,0 +1,122 @@
+//! Classic pcap (libpcap) export of captured frames, so a testbed run can
+//! be opened in Wireshark — the workflow the paper's operators actually
+//! used to diagnose the 5G gateway's RA (their Fig. 3 *is* a Wireshark
+//! screenshot).
+//!
+//! Enable byte capture with [`crate::engine::Network::capture_frames`], run
+//! the scenario, then [`write_pcap`] the buffer.
+
+use crate::time::SimTime;
+use std::io::{self, Write};
+
+/// One captured frame with its delivery timestamp.
+#[derive(Debug, Clone)]
+pub struct CapturedFrame {
+    /// Delivery time.
+    pub at: SimTime,
+    /// Raw Ethernet bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// pcap global header magic (microsecond timestamps, native endian).
+const MAGIC: u32 = 0xa1b2_c3d4;
+/// LINKTYPE_ETHERNET.
+const LINKTYPE: u32 = 1;
+
+/// Serialize frames into classic pcap format.
+pub fn to_pcap(frames: &[CapturedFrame]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24 + frames.iter().map(|f| 16 + f.bytes.len()).sum::<usize>());
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&2u16.to_le_bytes()); // version major
+    out.extend_from_slice(&4u16.to_le_bytes()); // version minor
+    out.extend_from_slice(&0i32.to_le_bytes()); // thiszone
+    out.extend_from_slice(&0u32.to_le_bytes()); // sigfigs
+    out.extend_from_slice(&65535u32.to_le_bytes()); // snaplen
+    out.extend_from_slice(&LINKTYPE.to_le_bytes());
+    for f in frames {
+        let usecs = f.at.0 / 1_000;
+        out.extend_from_slice(&((usecs / 1_000_000) as u32).to_le_bytes());
+        out.extend_from_slice(&((usecs % 1_000_000) as u32).to_le_bytes());
+        out.extend_from_slice(&(f.bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(f.bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&f.bytes);
+    }
+    out
+}
+
+/// Write frames to a pcap file.
+pub fn write_pcap(path: &std::path::Path, frames: &[CapturedFrame]) -> io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(&to_pcap(frames))
+}
+
+/// Parse a pcap buffer back into frames (testing / round-trip tooling).
+pub fn from_pcap(buf: &[u8]) -> Option<Vec<CapturedFrame>> {
+    if buf.len() < 24 || u32::from_le_bytes(buf[0..4].try_into().ok()?) != MAGIC {
+        return None;
+    }
+    let mut frames = Vec::new();
+    let mut pos = 24;
+    while pos + 16 <= buf.len() {
+        let secs = u32::from_le_bytes(buf[pos..pos + 4].try_into().ok()?) as u64;
+        let usecs = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().ok()?) as u64;
+        let caplen = u32::from_le_bytes(buf[pos + 8..pos + 12].try_into().ok()?) as usize;
+        pos += 16;
+        if pos + caplen > buf.len() {
+            return None;
+        }
+        frames.push(CapturedFrame {
+            at: SimTime(secs * 1_000_000_000 + usecs * 1_000),
+            bytes: buf[pos..pos + caplen].to_vec(),
+        });
+        pos += caplen;
+    }
+    Some(frames)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(ms: u64, n: u8) -> CapturedFrame {
+        CapturedFrame {
+            at: SimTime::from_millis(ms),
+            bytes: vec![n; 64],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let frames = vec![frame(0, 1), frame(1500, 2), frame(10_000, 3)];
+        let pcap = to_pcap(&frames);
+        let back = from_pcap(&pcap).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[1].at.as_millis(), 1500);
+        assert_eq!(back[2].bytes, vec![3u8; 64]);
+    }
+
+    #[test]
+    fn header_shape() {
+        let pcap = to_pcap(&[]);
+        assert_eq!(pcap.len(), 24);
+        assert_eq!(u32::from_le_bytes(pcap[0..4].try_into().unwrap()), MAGIC);
+        assert_eq!(u32::from_le_bytes(pcap[20..24].try_into().unwrap()), 1);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(from_pcap(&[0u8; 10]).is_none());
+        assert!(from_pcap(&[0xff; 40]).is_none());
+    }
+
+    #[test]
+    fn file_write() {
+        let dir = std::env::temp_dir().join("sc24v6-pcap-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.pcap");
+        write_pcap(&path, &[frame(5, 9)]).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(from_pcap(&bytes).unwrap().len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+}

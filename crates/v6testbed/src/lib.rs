@@ -1,0 +1,27 @@
+//! # v6testbed — the paper's IPv6-only testbed, assembled
+//!
+//! This is the primary contribution crate: it composes the substrates
+//! (`v6sim`, `v6dns`, `v6dhcp`, `v6xlat`, `v6host`, `v6portal`) into the
+//! paper's Figure 4 topology and exposes every experiment from the
+//! evaluation as a callable function.
+//!
+//! * [`zones`] — the simulated internet's DNS content
+//! * [`nodes`] — the Raspberry Pi server (healthy DNS64 + poisoned
+//!   dnsmasq + DHCP w/ option 108), the internet router, public DNS
+//! * [`topology`] — the [`topology::Testbed`] builder (managed switch,
+//!   5G gateway, portals, clients)
+//! * [`census`](mod@census) — IPv6-only client counting, naive (SC23) vs accurate
+//!   (SC24) methodology
+//! * [`experiments`] — one function per paper figure/table (see DESIGN.md's
+//!   experiment index)
+
+#![warn(missing_docs)]
+
+pub mod census;
+pub mod experiments;
+pub mod nodes;
+pub mod topology;
+pub mod zones;
+
+pub use census::{census, CensusEntry, CensusSummary};
+pub use topology::{Testbed, TestbedConfig};

@@ -1,0 +1,310 @@
+//! Infrastructure nodes: the Raspberry Pi server, the internet router, and
+//! the public recursive resolver.
+
+use crate::zones::internet_dns;
+use std::any::Any;
+use std::net::{Ipv4Addr, Ipv6Addr};
+use v6addr::prefix::{Ipv4Prefix, Ipv6Prefix};
+use v6dhcp::server::{DhcpServer, ServerConfig};
+use v6dns::codec::Message as DnsMessage;
+use v6dns::dns64::Dns64;
+use v6dns::poison::{PoisonPolicy, PoisonedResolver};
+use v6dns::server::{CachingResolver, GlobalDns, Resolver};
+use v6sim::engine::{Ctx, Node};
+use v6wire::arp::{ArpOp, ArpPacket};
+use v6wire::icmpv6::Icmpv6Message;
+use v6wire::mac::MacAddr;
+use v6wire::ndp::{NdpOption, NeighborAdvertisement};
+use v6wire::packet::{build_arp, build_icmpv6, ParsedFrame, L3, L4};
+use v6wire::udp::{port, UdpDatagram};
+
+/// The healthy DNS64 resolver stack the Pi serves over IPv6.
+pub type HealthyResolver = CachingResolver<Dns64<GlobalDns>>;
+/// The poisoned resolver stack the Pi serves over IPv4 (dnsmasq-style).
+pub type PoisonResolver = PoisonedResolver<CachingResolver<Dns64<GlobalDns>>>;
+
+/// The Raspberry Pi server from Fig. 4: healthy DNS64 on `fd00:976a::9`,
+/// poisoned dnsmasq on its IPv4 address, and a DHCPv4 server with option
+/// 108. ("A Raspberry Pi server running BIND9 DNS64 services was deployed
+/// with an address of fd00:976a::9" + the dnsmasq two-liner from §VI.)
+pub struct PiServer {
+    name: String,
+    /// Server MAC.
+    pub mac: MacAddr,
+    /// Healthy DNS64 address (ULA, reachable on-link via the switch RA).
+    pub v6: Ipv6Addr,
+    /// Poisoned dnsmasq address (what DHCP option 6 advertises).
+    pub v4: Ipv4Addr,
+    /// The healthy DNS64 resolver (IPv6 service).
+    pub healthy: HealthyResolver,
+    /// The poisoned resolver (IPv4 service).
+    pub poisoned: PoisonResolver,
+    /// DHCPv4 server with option 108 (None disables — ABL topologies).
+    pub dhcp: Option<DhcpServer>,
+    /// Queries served on the v6 (healthy) side.
+    pub v6_queries: u64,
+    /// Queries served on the v4 (poisoned) side.
+    pub v4_queries: u64,
+    /// Failure injection: `false` simulates the Pi crashing (no responses
+    /// of any kind). The testbed keeps running; clients discover the loss
+    /// through timeouts.
+    pub enabled: bool,
+}
+
+impl PiServer {
+    /// Build with the given poisoning policy.
+    pub fn new(policy: PoisonPolicy, with_dhcp: bool) -> PiServer {
+        let v4: Ipv4Addr = "192.168.12.250".parse().expect("static ip");
+        PiServer {
+            name: "raspberry-pi".into(),
+            mac: MacAddr::new([0x02, 0x91, 0, 0, 0, 0x09]),
+            v6: "fd00:976a::9".parse().expect("static ip"),
+            v4,
+            healthy: CachingResolver::new(Dns64::well_known(internet_dns())),
+            poisoned: PoisonedResolver::new(
+                CachingResolver::new(Dns64::well_known(internet_dns())),
+                policy,
+            ),
+            dhcp: with_dhcp.then(|| DhcpServer::new(ServerConfig::testbed(v4))),
+            v6_queries: 0,
+            v4_queries: 0,
+            enabled: true,
+        }
+    }
+
+    fn answer(resolver: &mut dyn Resolver, msg: &DnsMessage, now: u64) -> DnsMessage {
+        let q = msg.questions[0].clone();
+        let ans = resolver.resolve(&q, now);
+        let mut resp = DnsMessage::response_to(msg, ans.rcode);
+        resp.answers = ans.records;
+        if let Some(soa) = ans.soa {
+            resp.authorities.push(soa);
+        }
+        resp
+    }
+}
+
+impl Node for PiServer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_frame(&mut self, _port: u32, raw: &[u8], ctx: &mut Ctx) {
+        if !self.enabled {
+            return; // crashed (failure-injection experiments)
+        }
+        let Ok(parsed) = ParsedFrame::parse(raw) else {
+            return;
+        };
+        let now = ctx.now.as_secs();
+        match (&parsed.l3, &parsed.l4) {
+            (L3::V6(ip), L4::Icmp6(Icmpv6Message::NeighborSolicitation(ns)))
+                if ns.target == self.v6 =>
+            {
+                let na = Icmpv6Message::NeighborAdvertisement(NeighborAdvertisement {
+                    router: false,
+                    solicited: true,
+                    override_flag: true,
+                    target: ns.target,
+                    options: vec![NdpOption::TargetLinkLayer(self.mac)],
+                });
+                ctx.send(
+                    0,
+                    build_icmpv6(self.mac, parsed.eth.src, ns.target, ip.src, &na),
+                );
+            }
+            (L3::V6(ip), L4::Udp(udp)) if ip.dst == self.v6 && udp.dst_port == port::DNS => {
+                if let Ok(msg) = DnsMessage::decode(&udp.payload) {
+                    self.v6_queries += 1;
+                    let resp = Self::answer(&mut self.healthy, &msg, now);
+                    let d = UdpDatagram::new(port::DNS, udp.src_port, resp.encode());
+                    ctx.send(
+                        0,
+                        v6wire::packet::build_udp_v6(self.mac, parsed.eth.src, self.v6, ip.src, &d),
+                    );
+                }
+            }
+            (L3::V4(ip), L4::Udp(udp)) if ip.dst == self.v4 && udp.dst_port == port::DNS => {
+                if let Ok(msg) = DnsMessage::decode(&udp.payload) {
+                    self.v4_queries += 1;
+                    let resp = Self::answer(&mut self.poisoned, &msg, now);
+                    let d = UdpDatagram::new(port::DNS, udp.src_port, resp.encode());
+                    ctx.send(
+                        0,
+                        v6wire::packet::build_udp_v4(self.mac, parsed.eth.src, self.v4, ip.src, &d),
+                    );
+                }
+            }
+            (L3::V4(_), L4::Udp(udp)) if udp.dst_port == port::DHCP_SERVER => {
+                if let Some(dhcp) = &mut self.dhcp {
+                    if let Ok(msg) = v6dhcp::codec::DhcpMessage::decode(&udp.payload) {
+                        if let Some(reply) = dhcp.handle(&msg, now) {
+                            let d = UdpDatagram::new(
+                                port::DHCP_SERVER,
+                                port::DHCP_CLIENT,
+                                reply.encode(),
+                            );
+                            let frame = v6wire::packet::build_udp_v4(
+                                self.mac,
+                                msg.chaddr,
+                                dhcp.config.server_id,
+                                Ipv4Addr::BROADCAST,
+                                &d,
+                            );
+                            ctx.send(0, frame);
+                        }
+                    }
+                }
+            }
+            (L3::Arp(arp), _)
+                if arp.op == ArpOp::Request && arp.target_ip == self.v4 => {
+                    let reply = ArpPacket::reply_to(arp, self.mac);
+                    ctx.send(0, build_arp(self.mac, arp.sender_mac, &reply));
+                }
+            _ => {}
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A public recursive resolver on the simulated internet (9.9.9.9) — the
+/// known-good server the Nintendo Switch user configures in Fig. 6.
+pub struct PublicDns {
+    name: String,
+    /// Node MAC (p2p WAN links don't care).
+    pub mac: MacAddr,
+    /// Service address.
+    pub v4: Ipv4Addr,
+    resolver: CachingResolver<GlobalDns>,
+    /// Queries served.
+    pub queries: u64,
+}
+
+impl PublicDns {
+    /// A resolver over the standard internet zones.
+    pub fn new() -> PublicDns {
+        PublicDns {
+            name: "public-dns".into(),
+            mac: MacAddr::new([0x02, 0x99, 0, 0, 0, 0x09]),
+            v4: crate::zones::addrs::PUBLIC_DNS_V4.parse().expect("static ip"),
+            resolver: CachingResolver::new(internet_dns()),
+            queries: 0,
+        }
+    }
+}
+
+impl Default for PublicDns {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Node for PublicDns {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_frame(&mut self, _port: u32, raw: &[u8], ctx: &mut Ctx) {
+        let Ok(parsed) = ParsedFrame::parse(raw) else {
+            return;
+        };
+        if let (L3::V4(ip), L4::Udp(udp)) = (&parsed.l3, &parsed.l4) {
+            if ip.dst == self.v4 && udp.dst_port == port::DNS {
+                if let Ok(msg) = DnsMessage::decode(&udp.payload) {
+                    self.queries += 1;
+                    let resp = PiServer::answer(&mut self.resolver, &msg, ctx.now.as_secs());
+                    let d = UdpDatagram::new(port::DNS, udp.src_port, resp.encode());
+                    ctx.send(
+                        0,
+                        v6wire::packet::build_udp_v4(self.mac, parsed.eth.src, self.v4, ip.src, &d),
+                    );
+                }
+            }
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The internet core: a static longest-prefix router joining the gateway's
+/// WAN side with the service nodes. Transparent at L3 (the gateway already
+/// spent the hop).
+pub struct InternetRouter {
+    name: String,
+    v4_routes: Vec<(Ipv4Prefix, u32)>,
+    v6_routes: Vec<(Ipv6Prefix, u32)>,
+    /// Frames forwarded.
+    pub forwarded: u64,
+    /// Frames with no route.
+    pub dropped: u64,
+}
+
+impl InternetRouter {
+    /// An empty router.
+    pub fn new(name: impl Into<String>) -> InternetRouter {
+        InternetRouter {
+            name: name.into(),
+            v4_routes: Vec::new(),
+            v6_routes: Vec::new(),
+            forwarded: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Add an IPv4 route.
+    pub fn route_v4(&mut self, prefix: &str, out: u32) -> &mut Self {
+        self.v4_routes
+            .push((prefix.parse().expect("static prefix"), out));
+        self
+    }
+
+    /// Add an IPv6 route.
+    pub fn route_v6(&mut self, prefix: &str, out: u32) -> &mut Self {
+        self.v6_routes
+            .push((prefix.parse().expect("static prefix"), out));
+        self
+    }
+}
+
+impl Node for InternetRouter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_frame(&mut self, ingress: u32, raw: &[u8], ctx: &mut Ctx) {
+        let Ok(parsed) = ParsedFrame::parse(raw) else {
+            return;
+        };
+        let out = match &parsed.l3 {
+            L3::V4(ip) => self
+                .v4_routes
+                .iter()
+                .filter(|(p, _)| p.contains(ip.dst))
+                .max_by_key(|(p, _)| p.len())
+                .map(|(_, o)| *o),
+            L3::V6(ip) => self
+                .v6_routes
+                .iter()
+                .filter(|(p, _)| p.contains(ip.dst))
+                .max_by_key(|(p, _)| p.len())
+                .map(|(_, o)| *o),
+            _ => None,
+        };
+        match out {
+            Some(o) if o != ingress => {
+                self.forwarded += 1;
+                ctx.send(o, raw.to_vec());
+            }
+            _ => self.dropped += 1,
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,96 @@
+//! The simulated internet's DNS content: every name the paper's experiments
+//! resolve, with the address-family mix each experiment depends on.
+
+use v6dns::codec::RData;
+use v6dns::name::DnsName;
+use v6dns::server::GlobalDns;
+use v6dns::zone::Zone;
+
+/// Well-known addresses used across the testbed.
+pub mod addrs {
+    /// ip6.me IPv4 (the poisoned-A answer from the paper's dnsmasq line).
+    pub const IP6ME_V4: &str = "23.153.8.71";
+    /// ip6.me IPv6 (visible in the paper's Fig. 7 ping).
+    pub const IP6ME_V6: &str = "2001:4810:0:3::71";
+    /// The SC test-ipv6.com mirror, IPv4.
+    pub const MIRROR_V4: &str = "198.51.100.80";
+    /// The SC test-ipv6.com mirror, IPv6.
+    pub const MIRROR_V6: &str = "2602:5c24::80";
+    /// sc24.supercomputing.org — IPv4-only in the paper (Fig. 7 reaches it
+    /// as 64:ff9b::be5c:9e04 = 190.92.158.4).
+    pub const SC24_V4: &str = "190.92.158.4";
+    /// vpn.anl.gov (Fig. 9 pings it as 64:ff9b::82ca:e4fd).
+    pub const VPN_V4: &str = "130.202.228.253";
+    /// The IPv4-only VTC provider from Fig. 8.
+    pub const VTC_V4: &str = "198.51.100.14";
+    /// The Echolink-style IPv4-literal service (Fig. 2).
+    pub const ECHOLINK_V4: &str = "44.12.7.9";
+    /// A public recursive resolver reachable over IPv4 (the Fig. 6 escape
+    /// hatch target).
+    pub const PUBLIC_DNS_V4: &str = "9.9.9.9";
+}
+
+fn n(s: &str) -> DnsName {
+    s.parse().expect("static name")
+}
+
+/// Build the global DNS database.
+pub fn internet_dns() -> GlobalDns {
+    let mut g = GlobalDns::new();
+
+    let mut me = Zone::new(n("ip6.me"), 60);
+    me.add_str("@", 60, RData::A(addrs::IP6ME_V4.parse().expect("static")));
+    me.add_str("@", 60, RData::Aaaa(addrs::IP6ME_V6.parse().expect("static")));
+    g.add_zone(me);
+
+    // The mirror's subtest hostnames: the family mix *is* the test.
+    let mut mirror = Zone::new(n("mirror.sc24"), 60);
+    mirror.add_str("ds", 60, RData::A(addrs::MIRROR_V4.parse().expect("static")));
+    mirror.add_str("ds", 60, RData::Aaaa(addrs::MIRROR_V6.parse().expect("static")));
+    mirror.add_str("ipv4", 60, RData::A(addrs::MIRROR_V4.parse().expect("static")));
+    mirror.add_str("ipv6", 60, RData::Aaaa(addrs::MIRROR_V6.parse().expect("static")));
+    mirror.add_str("mtu", 60, RData::Aaaa(addrs::MIRROR_V6.parse().expect("static")));
+    g.add_zone(mirror);
+
+    let mut sc = Zone::new(n("supercomputing.org"), 300);
+    sc.add_str("sc24", 120, RData::A(addrs::SC24_V4.parse().expect("static")));
+    sc.add_str("www.sc24", 120, RData::Cname(n("sc24.supercomputing.org")));
+    g.add_zone(sc);
+
+    let mut anl = Zone::new(n("anl.gov"), 300);
+    anl.add_str("vpn", 120, RData::A(addrs::VPN_V4.parse().expect("static")));
+    g.add_zone(anl);
+
+    let mut vtc = Zone::new(n("vtc.example"), 300);
+    vtc.add_str("@", 120, RData::A(addrs::VTC_V4.parse().expect("static")));
+    g.add_zone(vtc);
+
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v6dns::codec::{Question, RType};
+    use v6dns::server::Resolver;
+
+    #[test]
+    fn family_mix_matches_experiment_needs() {
+        let mut g = internet_dns();
+        // sc24 is v4-only — needed by Fig. 7.
+        let a = g.resolve(&Question::new(n("sc24.supercomputing.org"), RType::Aaaa), 0);
+        assert!(a.records.is_empty());
+        let a = g.resolve(&Question::new(n("sc24.supercomputing.org"), RType::A), 0);
+        assert!(a.is_positive());
+        // ipv6.mirror.sc24 is AAAA-only — needed by the scoring subtests.
+        let a = g.resolve(&Question::new(n("ipv6.mirror.sc24"), RType::A), 0);
+        assert!(a.records.is_empty());
+        let a = g.resolve(&Question::new(n("ipv6.mirror.sc24"), RType::Aaaa), 0);
+        assert!(a.is_positive());
+        // ip6.me is dual-stack.
+        assert!(g.resolve(&Question::new(n("ip6.me"), RType::A), 0).is_positive());
+        assert!(g
+            .resolve(&Question::new(n("ip6.me"), RType::Aaaa), 0)
+            .is_positive());
+    }
+}

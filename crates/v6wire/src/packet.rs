@@ -1,0 +1,409 @@
+//! Layered frame parsing and building conveniences.
+//!
+//! The simulator moves raw `Vec<u8>` Ethernet frames; devices use
+//! [`ParsedFrame::parse`] to get a structured view down to L4 in one call and
+//! the `build_*` helpers to emit complete frames.
+
+use crate::arp::ArpPacket;
+use crate::ethernet::{EtherType, EthernetFrame};
+use crate::icmpv4::Icmpv4Message;
+use crate::icmpv6::Icmpv6Message;
+use crate::ipv4::{proto, Ipv4Packet};
+use crate::ipv6::Ipv6Packet;
+use crate::mac::MacAddr;
+use crate::tcp::TcpSegment;
+use crate::udp::UdpDatagram;
+use crate::{WireError, WireResult};
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Network-layer content of a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum L3 {
+    /// ARP packet.
+    Arp(ArpPacket),
+    /// IPv4 packet (payload retained for L4 parsing).
+    V4(Ipv4Packet),
+    /// IPv6 packet.
+    V6(Ipv6Packet),
+    /// Unrecognized ethertype, raw payload.
+    Other(u16, Vec<u8>),
+}
+
+/// Transport-layer content of a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum L4 {
+    /// UDP datagram.
+    Udp(UdpDatagram),
+    /// TCP segment.
+    Tcp(TcpSegment),
+    /// ICMPv4 message.
+    Icmp4(Icmpv4Message),
+    /// ICMPv6 message.
+    Icmp6(Icmpv6Message),
+    /// No transport content parsed (ARP, unknown protocol, ...).
+    None,
+}
+
+/// A frame parsed through Ethernet → IP → transport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedFrame {
+    /// The Ethernet envelope (payload retained verbatim).
+    pub eth: EthernetFrame,
+    /// Network layer.
+    pub l3: L3,
+    /// Transport layer.
+    pub l4: L4,
+}
+
+impl ParsedFrame {
+    /// Parse a raw frame through all layers, verifying every checksum on the
+    /// way. Unknown ethertypes and IP protocols parse to `Other`/`None`
+    /// rather than erroring; genuine corruption does error.
+    pub fn parse(raw: &[u8]) -> WireResult<ParsedFrame> {
+        let eth = EthernetFrame::decode(raw)?;
+        let (l3, l4) = match eth.ethertype {
+            EtherType::Arp => (L3::Arp(ArpPacket::decode(&eth.payload)?), L4::None),
+            EtherType::Ipv4 => {
+                let ip = Ipv4Packet::decode(&eth.payload)?;
+                let l4 = match ip.protocol {
+                    proto::UDP => L4::Udp(UdpDatagram::decode_v4(&ip.payload, ip.src, ip.dst)?),
+                    proto::TCP => L4::Tcp(TcpSegment::decode_v4(&ip.payload, ip.src, ip.dst)?),
+                    proto::ICMP => L4::Icmp4(Icmpv4Message::decode(&ip.payload)?),
+                    _ => L4::None,
+                };
+                (L3::V4(ip), l4)
+            }
+            EtherType::Ipv6 => {
+                let ip = Ipv6Packet::decode(&eth.payload)?;
+                let l4 = match ip.next_header {
+                    proto::UDP => L4::Udp(UdpDatagram::decode_v6(&ip.payload, ip.src, ip.dst)?),
+                    proto::TCP => L4::Tcp(TcpSegment::decode_v6(&ip.payload, ip.src, ip.dst)?),
+                    proto::ICMPV6 => {
+                        L4::Icmp6(Icmpv6Message::decode(&ip.payload, ip.src, ip.dst)?)
+                    }
+                    _ => L4::None,
+                };
+                (L3::V6(ip), l4)
+            }
+            EtherType::Other(v) => (L3::Other(v, eth.payload.clone()), L4::None),
+        };
+        Ok(ParsedFrame { eth, l3, l4 })
+    }
+
+    /// The IPv6 source, if this is an IPv6 frame.
+    pub fn v6_src(&self) -> Option<Ipv6Addr> {
+        match &self.l3 {
+            L3::V6(p) => Some(p.src),
+            _ => None,
+        }
+    }
+
+    /// The IPv4 source, if this is an IPv4 frame.
+    pub fn v4_src(&self) -> Option<Ipv4Addr> {
+        match &self.l3 {
+            L3::V4(p) => Some(p.src),
+            _ => None,
+        }
+    }
+}
+
+/// Build a complete Ethernet/IPv4/UDP frame.
+pub fn build_udp_v4(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    dgram: &UdpDatagram,
+) -> Vec<u8> {
+    let ip = Ipv4Packet::new(src, dst, proto::UDP, dgram.encode_v4(src, dst));
+    EthernetFrame::new(dst_mac, src_mac, EtherType::Ipv4, ip.encode()).encode()
+}
+
+/// Build a complete Ethernet/IPv6/UDP frame.
+pub fn build_udp_v6(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src: Ipv6Addr,
+    dst: Ipv6Addr,
+    dgram: &UdpDatagram,
+) -> Vec<u8> {
+    let ip = Ipv6Packet::new(src, dst, proto::UDP, dgram.encode_v6(src, dst));
+    EthernetFrame::new(dst_mac, src_mac, EtherType::Ipv6, ip.encode()).encode()
+}
+
+/// Build a complete Ethernet/IPv4/TCP frame.
+pub fn build_tcp_v4(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    seg: &TcpSegment,
+) -> Vec<u8> {
+    let ip = Ipv4Packet::new(src, dst, proto::TCP, seg.encode_v4(src, dst));
+    EthernetFrame::new(dst_mac, src_mac, EtherType::Ipv4, ip.encode()).encode()
+}
+
+/// Build a complete Ethernet/IPv6/TCP frame.
+pub fn build_tcp_v6(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src: Ipv6Addr,
+    dst: Ipv6Addr,
+    seg: &TcpSegment,
+) -> Vec<u8> {
+    let ip = Ipv6Packet::new(src, dst, proto::TCP, seg.encode_v6(src, dst));
+    EthernetFrame::new(dst_mac, src_mac, EtherType::Ipv6, ip.encode()).encode()
+}
+
+/// Build a complete Ethernet/IPv6/ICMPv6 frame (hop limit 255 for NDP, as
+/// RFC 4861 §7.1 requires receivers to verify).
+pub fn build_icmpv6(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src: Ipv6Addr,
+    dst: Ipv6Addr,
+    msg: &Icmpv6Message,
+) -> Vec<u8> {
+    let mut ip = Ipv6Packet::new(src, dst, proto::ICMPV6, msg.encode(src, dst));
+    if matches!(
+        msg,
+        Icmpv6Message::RouterSolicitation(_)
+            | Icmpv6Message::RouterAdvertisement(_)
+            | Icmpv6Message::NeighborSolicitation(_)
+            | Icmpv6Message::NeighborAdvertisement(_)
+    ) {
+        ip.hop_limit = 255;
+    }
+    EthernetFrame::new(dst_mac, src_mac, EtherType::Ipv6, ip.encode()).encode()
+}
+
+/// Build a complete Ethernet/IPv4/ICMPv4 frame.
+pub fn build_icmpv4(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    msg: &Icmpv4Message,
+) -> Vec<u8> {
+    let ip = Ipv4Packet::new(src, dst, proto::ICMP, msg.encode());
+    EthernetFrame::new(dst_mac, src_mac, EtherType::Ipv4, ip.encode()).encode()
+}
+
+/// Build an Ethernet/ARP frame (broadcast for requests, unicast for replies).
+pub fn build_arp(src_mac: MacAddr, dst_mac: MacAddr, arp: &ArpPacket) -> Vec<u8> {
+    EthernetFrame::new(dst_mac, src_mac, EtherType::Arp, arp.encode()).encode()
+}
+
+/// One-line human-readable summary of a frame for trace tooling:
+/// protocol, addresses, ports/types.
+pub fn summarize(raw: &[u8]) -> String {
+    let parsed = match ParsedFrame::parse(raw) {
+        Ok(p) => p,
+        Err(_) => return format!("corrupt: {}", classify(raw)),
+    };
+    match (&parsed.l3, &parsed.l4) {
+        (L3::Arp(a), _) => match a.op {
+            crate::arp::ArpOp::Request => format!("ARP who-has {}", a.target_ip),
+            crate::arp::ArpOp::Reply => format!("ARP {} is-at {}", a.sender_ip, a.sender_mac),
+        },
+        (L3::V4(ip), L4::Udp(u)) => format!(
+            "IPv4 {}:{} > {}:{} UDP{}",
+            ip.src,
+            u.src_port,
+            ip.dst,
+            u.dst_port,
+            udp_hint(u)
+        ),
+        (L3::V6(ip), L4::Udp(u)) => format!(
+            "IPv6 [{}]:{} > [{}]:{} UDP{}",
+            ip.src,
+            u.src_port,
+            ip.dst,
+            u.dst_port,
+            udp_hint(u)
+        ),
+        (L3::V4(ip), L4::Tcp(t)) => format!(
+            "IPv4 {}:{} > {}:{} TCP {}",
+            ip.src, t.src_port, ip.dst, t.dst_port, tcp_flags(t)
+        ),
+        (L3::V6(ip), L4::Tcp(t)) => format!(
+            "IPv6 [{}]:{} > [{}]:{} TCP {}",
+            ip.src, t.src_port, ip.dst, t.dst_port, tcp_flags(t)
+        ),
+        (L3::V4(ip), L4::Icmp4(m)) => format!("IPv4 {} > {} {}", ip.src, ip.dst, icmp4_name(m)),
+        (L3::V6(ip), L4::Icmp6(m)) => {
+            format!("IPv6 [{}] > [{}] {}", ip.src, ip.dst, icmp6_name(m))
+        }
+        (L3::V4(ip), L4::None) => format!("IPv4 {} > {} proto {}", ip.src, ip.dst, ip.protocol),
+        (L3::V6(ip), L4::None) => {
+            format!("IPv6 [{}] > [{}] nh {}", ip.src, ip.dst, ip.next_header)
+        }
+        (L3::Other(et, _), _) => format!("ethertype {et:#06x}"),
+        _ => "frame".to_string(),
+    }
+}
+
+fn udp_hint(u: &UdpDatagram) -> &'static str {
+    match (u.src_port, u.dst_port) {
+        (_, 53) | (53, _) => " (DNS)",
+        (68, 67) | (67, 68) => " (DHCP)",
+        _ => "",
+    }
+}
+
+fn tcp_flags(t: &TcpSegment) -> String {
+    let mut f = String::new();
+    if t.flags.syn {
+        f.push('S');
+    }
+    if t.flags.fin {
+        f.push('F');
+    }
+    if t.flags.rst {
+        f.push('R');
+    }
+    if t.flags.psh {
+        f.push('P');
+    }
+    if t.flags.ack {
+        f.push('.');
+    }
+    format!("[{f}] len={}", t.payload.len())
+}
+
+fn icmp4_name(m: &Icmpv4Message) -> &'static str {
+    match m {
+        Icmpv4Message::EchoRequest { .. } => "ICMP echo request",
+        Icmpv4Message::EchoReply { .. } => "ICMP echo reply",
+        Icmpv4Message::DestinationUnreachable { .. } => "ICMP unreachable",
+        Icmpv4Message::TimeExceeded { .. } => "ICMP time exceeded",
+    }
+}
+
+fn icmp6_name(m: &Icmpv6Message) -> &'static str {
+    match m {
+        Icmpv6Message::EchoRequest { .. } => "ICMPv6 echo request",
+        Icmpv6Message::EchoReply { .. } => "ICMPv6 echo reply",
+        Icmpv6Message::DestinationUnreachable { .. } => "ICMPv6 unreachable",
+        Icmpv6Message::RouterSolicitation(_) => "NDP router solicitation",
+        Icmpv6Message::RouterAdvertisement(_) => "NDP router advertisement",
+        Icmpv6Message::NeighborSolicitation(_) => "NDP neighbor solicitation",
+        Icmpv6Message::NeighborAdvertisement(_) => "NDP neighbor advertisement",
+    }
+}
+
+/// Corrupt-frame classification used by trace tooling: returns a short label
+/// for why `parse` failed, or "ok".
+pub fn classify(raw: &[u8]) -> &'static str {
+    match ParsedFrame::parse(raw) {
+        Ok(_) => "ok",
+        Err(WireError::Truncated { what, .. }) => what,
+        Err(WireError::BadField { what, .. }) => what,
+        Err(WireError::BadChecksum { what, .. }) => what,
+        Err(WireError::BadLength { what, .. }) => what,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcp::TcpFlags;
+
+    fn mac(n: u8) -> MacAddr {
+        MacAddr::new([2, 0, 0, 0, 0, n])
+    }
+
+    #[test]
+    fn full_stack_udp_v6() {
+        let d = UdpDatagram::new(5353, 53, b"hello".to_vec());
+        let raw = build_udp_v6(
+            mac(1),
+            mac(2),
+            "fd00:976a::50".parse().unwrap(),
+            "fd00:976a::9".parse().unwrap(),
+            &d,
+        );
+        let p = ParsedFrame::parse(&raw).unwrap();
+        assert!(matches!(p.l3, L3::V6(_)));
+        match p.l4 {
+            L4::Udp(got) => assert_eq!(got, d),
+            other => panic!("unexpected l4: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_stack_tcp_v4() {
+        let seg = TcpSegment::new(40000, 80, 1, 0, TcpFlags::SYN);
+        let raw = build_tcp_v4(
+            mac(1),
+            mac(2),
+            "192.168.12.50".parse().unwrap(),
+            "23.153.8.71".parse().unwrap(),
+            &seg,
+        );
+        let p = ParsedFrame::parse(&raw).unwrap();
+        assert!(matches!(p.l4, L4::Tcp(_)));
+        assert_eq!(p.v4_src(), Some("192.168.12.50".parse().unwrap()));
+    }
+
+    #[test]
+    fn ndp_frames_get_hop_limit_255() {
+        let msg = Icmpv6Message::RouterSolicitation(Default::default());
+        let raw = build_icmpv6(
+            mac(1),
+            MacAddr::for_ipv6_multicast(crate::icmpv6::all_routers()),
+            "fe80::1".parse().unwrap(),
+            crate::icmpv6::all_routers(),
+            &msg,
+        );
+        let p = ParsedFrame::parse(&raw).unwrap();
+        match p.l3 {
+            L3::V6(ip) => assert_eq!(ip.hop_limit, 255),
+            other => panic!("unexpected l3: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn echo_v6_keeps_default_hop_limit() {
+        let msg = Icmpv6Message::EchoRequest {
+            ident: 1,
+            seq: 1,
+            payload: vec![],
+        };
+        let raw = build_icmpv6(
+            mac(1),
+            mac(2),
+            "fd00::1".parse().unwrap(),
+            "fd00::2".parse().unwrap(),
+            &msg,
+        );
+        match ParsedFrame::parse(&raw).unwrap().l3 {
+            L3::V6(ip) => assert_eq!(ip.hop_limit, 64),
+            other => panic!("unexpected l3: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classify_reports_layer() {
+        assert_eq!(classify(&[0u8; 4]), "ethernet");
+        let d = UdpDatagram::new(1, 2, vec![]);
+        let mut raw = build_udp_v4(
+            mac(1),
+            mac(2),
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+            &d,
+        );
+        let n = raw.len();
+        raw[n - 1] ^= 0xff; // corrupt UDP checksum region
+        assert_eq!(classify(&raw), "udp-v4");
+    }
+
+    #[test]
+    fn unknown_ethertype_is_other() {
+        let f = EthernetFrame::new(mac(1), mac(2), EtherType::Other(0x88cc), vec![9, 9]);
+        let p = ParsedFrame::parse(&f.encode()).unwrap();
+        assert!(matches!(p.l3, L3::Other(0x88cc, _)));
+        assert!(matches!(p.l4, L4::None));
+    }
+}

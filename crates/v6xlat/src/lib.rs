@@ -1,0 +1,21 @@
+//! # v6xlat — IP/ICMP translation for the sc24v6 testbed
+//!
+//! The three translation mechanisms the paper's testbed stacks together:
+//!
+//! * **SIIT** stateless IP/ICMP header translation (RFC 7915, successor of
+//!   the RFC 6145 algorithm the paper cites) — [`siit`]
+//! * **Stateful NAT64** (RFC 6146): BIBs, sessions, port allocation and
+//!   lifetimes, using the RFC 6052 prefix from `v6addr` — [`nat64`]
+//! * **CLAT** (RFC 6877 / 464XLAT customer-side translator): the component
+//!   RFC 8925 clients activate so IPv4-literal applications keep working on
+//!   an IPv6-only network — [`clat`]
+
+#![warn(missing_docs)]
+
+pub mod clat;
+pub mod nat64;
+pub mod siit;
+
+pub use clat::Clat;
+pub use nat64::{Nat64, Nat64Config};
+pub use siit::XlatError;

@@ -1,0 +1,95 @@
+//! The Argonne-Auth scenario (paper §IV): the AAA system places compliant
+//! devices into RFC 8925-enabled pools, while "service accounts … tightly
+//! controlled for devices which must retain IPv4-only support" are exempt
+//! from option 108.
+//!
+//! ```sh
+//! cargo run --example argonne_auth
+//! ```
+
+use v6host::profiles::OsProfile;
+use v6host::tasks::AppTask;
+use v6testbed::Testbed;
+
+fn main() {
+    let mut tb = Testbed::paper_default();
+
+    // Ordinary compliant laptops.
+    let laptops: Vec<_> = (0..3).map(|_| tb.add_host(OsProfile::macos())).collect();
+    // A beamline instrument that must keep IPv4 (APS CAT-style kit): its
+    // MAC is registered as a service account in AAA.
+    let instrument = tb.add_host(OsProfile::macos());
+    let mac = tb.host(instrument).mac;
+    tb.pi_server()
+        .dhcp
+        .as_mut()
+        .expect("pi dhcp")
+        .config
+        .v6only_exempt
+        .insert(mac);
+
+    tb.boot();
+
+    println!("== Argonne-Auth pool assignment ==");
+    for (label, &id) in laptops
+        .iter()
+        .enumerate()
+        .map(|(i, id)| (format!("laptop-{i}"), id))
+        .chain(std::iter::once(("instrument (service acct)".to_string(), &instrument)))
+    {
+        let h = tb.host(id);
+        println!(
+            "{label:<26} rfc8925-engaged={:<5} v4-path={:<5}",
+            h.v6only_mode,
+            h.v4_active()
+        );
+    }
+
+    // Everyone still reaches the IPv4-only conference site — the laptops
+    // via NAT64, the instrument via plain IPv4 NAT44.
+    println!("\n== everyone browses the IPv4-only site ==");
+    for &id in laptops.iter().chain(std::iter::once(&instrument)) {
+        let os = tb.host(id).v6only_mode;
+        let o = tb.run_task(
+            id,
+            AppTask::Browse {
+                name: "sc24.supercomputing.org".parse().unwrap(),
+                path: "/".into(),
+            },
+            25,
+        );
+        println!(
+            "{} -> peer {:?}",
+            if os { "ipv6-only laptop " } else { "ipv4 service acct" },
+            o.peer()
+        );
+    }
+
+    // Note: even the service account reached the v4-only site via NAT64 —
+    // a genuine DNS64 side effect (the testbed resolver synthesizes AAAA,
+    // and RFC 6724 prefers it). Where the retained IPv4 matters is
+    // IPv4-literal traffic, which the IPv6-only laptops can only do via
+    // CLAT:
+    println!("\n== IPv4-literal application (no DNS) ==");
+    for (label, id) in [("laptop-0", laptops[0]), ("instrument", instrument)] {
+        let o = tb.run_task(
+            id,
+            AppTask::LiteralV4 {
+                addr: "44.12.7.9".parse().unwrap(),
+                port: 5198,
+            },
+            25,
+        );
+        let via = match tb.host(id).clat {
+            Some(_) => "via CLAT/464XLAT",
+            None => "native IPv4",
+        };
+        println!("{label:<12} ok={} ({via})", o.is_success());
+    }
+
+    let (_, summary) = v6testbed::census(&mut tb);
+    println!(
+        "\ncensus: associated={} accurate-v6only={} (the service account keeps IPv4)",
+        summary.associated, summary.accurate_v6only
+    );
+}

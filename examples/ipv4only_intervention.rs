@@ -1,0 +1,77 @@
+//! The headline mechanism: gracefully informing IPv4-only clients why the
+//! internet is unavailable, without touching RFC 8925 or dual-stack clients.
+//!
+//! Reproduces Figures 5, 6 and 9 interactively:
+//!
+//! ```sh
+//! cargo run --example ipv4only_intervention
+//! ```
+
+use v6dns::codec::RType;
+use v6dns::poison::PoisonPolicy;
+use v6host::profiles::OsProfile;
+use v6host::tasks::{AppTask, TaskOutcome};
+use v6testbed::experiments as exp;
+use v6testbed::{Testbed, TestbedConfig};
+
+fn main() {
+    println!("== Fig. 6: the Nintendo Switch experience ==");
+    let r = exp::fig6_switch_intervention();
+    println!("{}", r.render());
+    if let TaskOutcome::HttpOk { body, .. } = &r.intervened {
+        println!("--- the page the user sees ---");
+        for line in body.lines() {
+            println!("| {line}");
+        }
+    }
+    println!(
+        "after setting DNS to 9.9.9.9 by hand: peer = {:?} (the escape hatch)",
+        r.after_override.peer()
+    );
+
+    println!("\n== Fig. 5: the erroneous 10/10 and its fix ==");
+    let s = exp::fig5_erroneous_score();
+    println!("legacy mirror:  {}", s.legacy.verdict);
+    println!("revised mirror: {}", s.revised.verdict);
+
+    println!("\n== Fig. 9: wildcard-A vs RPZ on non-existent names ==");
+    for policy in [
+        PoisonPolicy::WildcardA {
+            answer: "23.153.8.71".parse().unwrap(),
+            ttl: 60,
+        },
+        PoisonPolicy::ResponsePolicyZone {
+            answer: "23.153.8.71".parse().unwrap(),
+            ttl: 60,
+        },
+    ] {
+        let r = exp::fig9_poisoned_nxdomain(policy);
+        println!("{}", r.render());
+    }
+
+    println!("\n== rollback: the Ansible-playbook scenario (§VII) ==");
+    // Build an intervened testbed, verify the redirect, then flip the
+    // policy off and watch normal IPv4 DNS return.
+    let mut tb = Testbed::build(TestbedConfig::default());
+    let console = tb.add_host(OsProfile::nintendo_switch());
+    tb.boot();
+    let before = tb.run_task(
+        console,
+        AppTask::Nslookup {
+            name: "sc24.supercomputing.org".parse().unwrap(),
+            rtype: RType::A,
+        },
+        20,
+    );
+    println!("with intervention: {before:?}");
+    tb.pi_server().poisoned.policy = PoisonPolicy::Off;
+    let after = tb.run_task(
+        console,
+        AppTask::Nslookup {
+            name: "sc24.supercomputing.org".parse().unwrap(),
+            rtype: RType::A,
+        },
+        20,
+    );
+    println!("after rollback:    {after:?}");
+}

@@ -1,0 +1,47 @@
+//! Capture the intervention exchange as a Wireshark-readable pcap plus a
+//! human-readable hop trace — the diagnostic workflow the paper's operators
+//! used (their Fig. 3 is a Wireshark screenshot of the gateway RA).
+//!
+//! ```sh
+//! cargo run --example packet_trace
+//! # then: wireshark /tmp/sc24v6-intervention.pcap
+//! ```
+
+use v6host::profiles::OsProfile;
+use v6host::tasks::AppTask;
+use v6testbed::Testbed;
+
+fn main() {
+    let mut tb = Testbed::paper_default();
+    tb.net.capture_frames = true;
+    let console = tb.add_host(OsProfile::nintendo_switch());
+    tb.boot();
+    tb.net.clear_trace(); // keep only the interesting part
+
+    tb.net.capture_frames = true;
+    let outcome = tb.run_task(
+        console,
+        AppTask::Browse {
+            name: "sc24.supercomputing.org".parse().unwrap(),
+            path: "/".into(),
+        },
+        25,
+    );
+    println!("outcome: reached {:?}", outcome.peer());
+
+    println!("\n== hop trace of the intervention (first 25 hops) ==");
+    for entry in tb.net.trace.iter().take(25) {
+        println!(
+            "{} {:>14} -> {:<14} [{:>4}B] {}",
+            entry.at, entry.from, entry.to, entry.len, entry.summary
+        );
+    }
+
+    let path = std::env::temp_dir().join("sc24v6-intervention.pcap");
+    tb.net.write_pcap(&path).expect("pcap written");
+    println!(
+        "\nwrote {} frames to {} — open it in Wireshark",
+        tb.net.captured.len(),
+        path.display()
+    );
+}

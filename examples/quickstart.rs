@@ -1,0 +1,74 @@
+//! Quickstart: build the paper's testbed, attach three very different
+//! clients, and watch what each experiences.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use v6host::profiles::OsProfile;
+use v6host::tasks::AppTask;
+use v6testbed::Testbed;
+
+fn browse(name: &str) -> AppTask {
+    AppTask::Browse {
+        name: name.parse().expect("valid name"),
+        path: "/".into(),
+    }
+}
+
+fn main() {
+    // The Figure 4 topology: 5G gateway (NAT64, broken RA, rogue DHCP),
+    // managed switch (RA injection + DHCP snooping), Raspberry Pi (healthy
+    // DNS64 on fd00:976a::9, poisoned dnsmasq on its v4 address, DHCP with
+    // option 108), and a small simulated internet.
+    let mut tb = Testbed::paper_default();
+
+    let macbook = tb.add_host(OsProfile::macos()); // RFC 8925 capable
+    let laptop = tb.add_host(OsProfile::windows_10()); // dual-stack
+    let console = tb.add_host(OsProfile::nintendo_switch()); // IPv4-only
+
+    tb.boot(); // SLAAC + DHCPv4 (+ option 108) for everyone
+
+    println!("=== after boot ===");
+    for &h in &[macbook, laptop, console] {
+        let host = tb.host(h);
+        println!(
+            "{:<28} v6-addrs={} v4-path={} rfc8925-engaged={}",
+            host.profile.name,
+            host.v6_addrs.len(),
+            host.v4_active(),
+            host.v6only_mode,
+        );
+    }
+
+    println!("\n=== everyone browses the IPv4-only conference site ===");
+    for &h in &[macbook, laptop, console] {
+        let os = tb.host(h).profile.name.clone();
+        let outcome = tb.run_task(h, browse("sc24.supercomputing.org"), 25);
+        match outcome {
+            v6host::tasks::TaskOutcome::HttpOk { peer, body, .. } => {
+                println!("{os:<28} reached {peer}");
+                if body.contains("helpdesk") {
+                    println!("  -> got the IPv6-only intervention page:");
+                    for line in body.lines().take(3) {
+                        println!("     | {line}");
+                    }
+                }
+            }
+            other => println!("{os:<28} failed: {other:?}"),
+        }
+    }
+
+    println!("\n=== census (paper §III.A) ===");
+    let (entries, summary) = v6testbed::census(&mut tb);
+    for e in &entries {
+        println!(
+            "{:<28} v6={} v4={} rfc8925={} accurate-v6only={}",
+            e.os, e.has_v6, e.has_v4, e.rfc8925_engaged, e.accurate_counted
+        );
+    }
+    println!(
+        "associated={} naive-v6only={} accurate-v6only={}",
+        summary.associated, summary.naive_v6only, summary.accurate_v6only
+    );
+}

@@ -1,0 +1,78 @@
+//! A show-floor-scale scenario: the full SC24v6 device mix on one testbed,
+//! producing the device-compatibility matrix (TBL-A) and the census
+//! comparison (TBL-B) the SCinet operators wanted.
+//!
+//! ```sh
+//! cargo run --example scinet_floor
+//! ```
+
+use v6host::profiles::OsProfile;
+use v6host::tasks::AppTask;
+use v6testbed::{census, Testbed};
+
+fn main() {
+    println!("== TBL-A: per-OS outcome on the SC24v6 testbed ==");
+    for row in v6testbed::experiments::tbl_a_device_matrix() {
+        println!("{}", row.render());
+    }
+
+    println!("\n== TBL-B: census accuracy ==");
+    let r = v6testbed::experiments::tbl_b_census();
+    println!("{}", r.render());
+
+    println!("\n== a busy floor: 24 mixed clients browsing at once ==");
+    let mut tb = Testbed::paper_default();
+    let mix = [
+        OsProfile::macos(),
+        OsProfile::ios(),
+        OsProfile::android(),
+        OsProfile::windows_10(),
+        OsProfile::windows_11(),
+        OsProfile::linux(),
+        OsProfile::nintendo_switch(),
+        OsProfile::windows_xp(),
+    ];
+    let mut hosts = Vec::new();
+    for i in 0..24 {
+        hosts.push(tb.add_host(mix[i % mix.len()].clone()));
+    }
+    tb.boot();
+    let mut ok6 = 0;
+    let mut ok4 = 0;
+    let mut intervened = 0;
+    let mut failed = 0;
+    for &h in &hosts {
+        let o = tb.run_task(
+            h,
+            AppTask::Browse {
+                name: "ip6.me".parse().unwrap(),
+                path: "/".into(),
+            },
+            25,
+        );
+        match o {
+            v6host::tasks::TaskOutcome::HttpOk { peer, body, .. } => {
+                if body.contains("helpdesk") {
+                    intervened += 1;
+                } else if peer.is_ipv6() {
+                    ok6 += 1;
+                } else {
+                    ok4 += 1;
+                }
+            }
+            _ => failed += 1,
+        }
+    }
+    println!(
+        "24 clients: via-v6={ok6} via-v4={ok4} intervened={intervened} failed={failed}"
+    );
+    let (_, summary) = census(&mut tb);
+    println!(
+        "census: associated={} naive-v6only={} accurate-v6only={}",
+        summary.associated, summary.naive_v6only, summary.accurate_v6only
+    );
+    println!(
+        "frames delivered in simulation: {}",
+        tb.net.frames_delivered
+    );
+}

@@ -1,0 +1,28 @@
+//! The VPN lessons-learned scenarios (Figures 8 and 11): why the paper
+//! recommends *against* further restricting IPv4 internet access, and why a
+//! VPN user scored 0/10 on the SC23 mirror.
+//!
+//! ```sh
+//! cargo run --example vpn_split_tunnel
+//! ```
+
+use v6testbed::experiments as exp;
+
+fn main() {
+    println!("== Fig. 8: split-tunnel VTC vs IPv4 restriction ==");
+    println!("(split-tunnel tables use IPv4 literals, per the paper)");
+    for blocked in [false, true] {
+        let r = exp::fig8_vpn_split_tunnel(blocked);
+        println!("{}", r.render());
+    }
+    println!(
+        "\n-> this is why the paper keeps IPv4 internet reachable and uses\n\
+         DNS interventions instead of ACLs: blocking v4 breaks split-tunnel\n\
+         VTC for dual-stack users (APS CATs, §VI)."
+    );
+
+    println!("\n== Fig. 11: the VPN user's 0/10 mirror score ==");
+    let r = exp::fig11_vpn_zero_score();
+    println!("{}", r.render());
+    println!("verdict shown to the user: {}", r.legacy.verdict);
+}

@@ -1,0 +1,17 @@
+//! # sc24v6 — meta-crate for the IPv6-only testbed simulator
+//!
+//! Re-exports every workspace crate under one roof so examples, integration
+//! tests and downstream users can depend on a single package.
+//!
+//! See `README.md` for the architecture overview and `DESIGN.md` for the
+//! paper-to-module map.
+
+pub use v6addr as addr;
+pub use v6dhcp as dhcp;
+pub use v6dns as dns;
+pub use v6host as host;
+pub use v6portal as portal;
+pub use v6sim as sim;
+pub use v6testbed as testbed;
+pub use v6wire as wire;
+pub use v6xlat as xlat;

@@ -1,0 +1,130 @@
+//! ABL: the testbed on a *network-specific* NAT64 prefix instead of
+//! 64:ff9b::/96 — gateway NAT64, Pi DNS64 and client CLATs all have to
+//! agree, which is exactly what RFC 8781 PREF64 exists for. This exercises
+//! the RFC 6052 general-prefix machinery end-to-end rather than only at the
+//! unit level.
+
+use std::net::IpAddr;
+use v6addr::rfc6052::Nat64Prefix;
+use v6dns::dns64::Dns64;
+use v6dns::poison::PoisonedResolver;
+use v6dns::server::CachingResolver;
+use v6host::profiles::OsProfile;
+use v6host::tasks::{AppTask, TaskOutcome};
+use v6sim::gateway::FiveGGateway;
+use v6sim::l2::Switch;
+use v6testbed::zones::internet_dns;
+use v6testbed::Testbed;
+use v6xlat::nat64::{Nat64, Nat64Config};
+
+const PREFIX: &str = "2602:5c24:64::/96";
+
+/// Rebuild a default testbed onto the custom prefix.
+fn custom_prefix_testbed() -> Testbed {
+    let mut tb = Testbed::paper_default();
+    let prefix = Nat64Prefix::new(PREFIX.parse().unwrap()).unwrap();
+    // Gateway: NAT64 on the custom prefix.
+    {
+        let gw = tb.gw;
+        let g = tb.net.node_mut::<FiveGGateway>(gw);
+        let wan = g.wan_v4;
+        g.nat64 = Nat64::new(
+            prefix,
+            vec![wan],
+            Nat64Config {
+                port_floor: 32768,
+                ..Default::default()
+            },
+        );
+    }
+    // Pi: both resolvers synthesize into the custom prefix.
+    {
+        let pi = tb.pi_server();
+        pi.healthy = CachingResolver::new(Dns64::new(internet_dns(), prefix));
+        let policy = pi.poisoned.policy;
+        pi.poisoned = PoisonedResolver::new(
+            CachingResolver::new(Dns64::new(internet_dns(), prefix)),
+            policy,
+        );
+    }
+    // Switch RA: advertise the prefix via PREF64 so CLATs configure
+    // themselves.
+    {
+        let sw = tb.sw;
+        let switch = tb.net.node_mut::<Switch>(sw);
+        switch.ra.as_mut().unwrap().pref64 = Some((PREFIX.trim_end_matches("/96").parse().unwrap(), 96));
+    }
+    tb
+}
+
+#[test]
+fn dual_stack_browse_via_custom_prefix() {
+    let mut tb = custom_prefix_testbed();
+    let id = tb.add_host(OsProfile::windows_10());
+    tb.boot();
+    let o = tb.run_task(
+        id,
+        AppTask::Browse {
+            name: "sc24.supercomputing.org".parse().unwrap(),
+            path: "/".into(),
+        },
+        25,
+    );
+    match o {
+        TaskOutcome::HttpOk { peer, status, .. } => {
+            assert_eq!(status, 200);
+            assert!(
+                matches!(peer, IpAddr::V6(a) if a.to_string().starts_with("2602:5c24:64::")),
+                "synthesized into the custom prefix: {peer}"
+            );
+        }
+        other => panic!("browse failed: {other:?}"),
+    }
+}
+
+#[test]
+fn rfc8925_client_clat_follows_pref64() {
+    let mut tb = custom_prefix_testbed();
+    let id = tb.add_host(OsProfile::macos());
+    tb.boot();
+    {
+        let h = tb.host(id);
+        assert!(h.v6only_mode);
+        let clat = h.clat.as_ref().expect("CLAT active");
+        assert_eq!(
+            clat.plat_prefix.prefix(),
+            PREFIX.parse().unwrap(),
+            "CLAT learned the PLAT prefix from PREF64, not the WKP"
+        );
+    }
+    // An IPv4-literal app rides the custom prefix end to end.
+    let o = tb.run_task(
+        id,
+        AppTask::LiteralV4 {
+            addr: "44.12.7.9".parse().unwrap(),
+            port: 5198,
+        },
+        25,
+    );
+    assert!(o.is_success(), "464XLAT over the custom prefix: {o:?}");
+}
+
+#[test]
+fn ping_resolves_into_custom_prefix() {
+    let mut tb = custom_prefix_testbed();
+    let id = tb.add_host(OsProfile::linux());
+    tb.boot();
+    let o = tb.run_task(
+        id,
+        AppTask::Ping {
+            name: "vpn.anl.gov".parse().unwrap(),
+        },
+        25,
+    );
+    // 130.202.228.253 == 0x82ca:e4fd under the custom prefix.
+    assert!(
+        matches!(o, TaskOutcome::PingReply { peer: IpAddr::V6(a) }
+                 if a == "2602:5c24:64::82ca:e4fd".parse::<std::net::Ipv6Addr>().unwrap()),
+        "ping: {o:?}"
+    );
+}

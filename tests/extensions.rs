@@ -1,0 +1,162 @@
+//! Extension features beyond the paper's minimum testbed — the items its
+//! §IV/§VI/§VII text describes as desired or upcoming:
+//!
+//! * AAA service-account exemptions (Argonne-Auth keeps IPv4 for tightly
+//!   controlled devices)
+//! * PREF64 (RFC 8781) — standards-track CLAT prefix discovery
+//! * RFC 8910 captive-portal option — the "airplane WiFi" notification UX
+//! * gateway reboot renumbering (the rotating /64 defect)
+
+use v6host::profiles::OsProfile;
+use v6host::stack::Host;
+use v6sim::l2::Switch;
+use v6testbed::Testbed;
+
+/// §IV: "Service accounts will be created and tightly controlled for
+/// devices which must retain IPv4-only support on Argonne-Auth."
+#[test]
+fn service_account_exemption_keeps_ipv4() {
+    let mut tb = Testbed::paper_default();
+    let exempt = tb.add_host(OsProfile::macos());
+    let normal = tb.add_host(OsProfile::macos());
+    let mac = tb.host(exempt).mac;
+    tb.pi_server()
+        .dhcp
+        .as_mut()
+        .expect("pi dhcp enabled")
+        .config
+        .v6only_exempt
+        .insert(mac);
+    tb.boot();
+    let e = tb.host(exempt);
+    assert!(!e.v6only_mode, "exempt service account keeps IPv4");
+    assert!(e.v4_active());
+    let n = tb.host(normal);
+    assert!(n.v6only_mode, "everyone else goes IPv6-only");
+    assert!(!n.v4_active());
+}
+
+/// RFC 8781: a PREF64-bearing RA lets the CLAT learn a *network-specific*
+/// NAT64 prefix instead of assuming 64:ff9b::/96.
+#[test]
+fn pref64_configures_clat_prefix() {
+    let mut tb = Testbed::paper_default();
+    let id = tb.add_host(OsProfile::macos());
+    {
+        let sw = tb.sw;
+        let switch = tb.net.node_mut::<Switch>(sw);
+        switch.ra.as_mut().expect("managed switch has RA").pref64 =
+            Some(("2001:db8:64::".parse().unwrap(), 96));
+    }
+    tb.boot();
+    let h = tb.host(id);
+    assert_eq!(
+        h.pref64,
+        Some("2001:db8:64::/96".parse().unwrap()),
+        "PREF64 learned from the RA"
+    );
+    let clat = h.clat.as_ref().expect("CLAT active");
+    assert_eq!(
+        clat.plat_prefix.prefix(),
+        "2001:db8:64::/96".parse().unwrap(),
+        "CLAT uses the advertised prefix, not the WKP default"
+    );
+}
+
+/// Without PREF64 the CLAT falls back to the well-known prefix — the
+/// paper's hardwired configuration.
+#[test]
+fn clat_defaults_to_well_known_prefix() {
+    let mut tb = Testbed::paper_default();
+    let id = tb.add_host(OsProfile::macos());
+    tb.boot();
+    let h = tb.host(id);
+    assert_eq!(h.pref64, None);
+    assert!(h.clat.as_ref().expect("CLAT active").plat_prefix.is_well_known());
+}
+
+/// RFC 8910 (option 114): the captive-portal URI reaches IPv4 clients, the
+/// channel §IV wants for the in-flight-WiFi-style notification.
+#[test]
+fn captive_portal_uri_delivered_to_v4_clients() {
+    let mut tb = Testbed::paper_default();
+    let console = tb.add_host(OsProfile::nintendo_switch());
+    let mac_host = tb.add_host(OsProfile::macos());
+    tb.pi_server()
+        .dhcp
+        .as_mut()
+        .expect("pi dhcp enabled")
+        .config
+        .captive_portal = Some("https://ip6.me/why-no-internet".into());
+    tb.boot();
+    assert_eq!(
+        tb.host(console).captive_portal.as_deref(),
+        Some("https://ip6.me/why-no-internet"),
+        "v4-only client receives option 114"
+    );
+    assert_eq!(
+        tb.host(mac_host).captive_portal,
+        None,
+        "the RFC 8925 client never completes DHCPv4, so no URI"
+    );
+}
+
+/// §IV.A: "Every reboot, the device would obtain a different /64 prefix" —
+/// after a gateway power-cycle, clients pick up the new prefix via the next
+/// RA while keeping the old (not yet expired) address.
+#[test]
+fn gateway_reboot_renumbers_clients() {
+    let mut tb = Testbed::paper_default();
+    let id = tb.add_host(OsProfile::linux());
+    tb.boot();
+    let before: Vec<_> = tb.host(id).v6_addrs.iter().map(|(a, p)| (*a, *p)).collect();
+    assert_eq!(before.len(), 2, "gateway GUA + switch ULA");
+    let gw = tb.gw;
+    tb.net
+        .node_mut::<v6sim::gateway::FiveGGateway>(gw)
+        .reboot();
+    tb.run_secs(15);
+    let after = &tb.host(id).v6_addrs;
+    assert_eq!(after.len(), 3, "a third address from the new /64: {after:?}");
+    let new_prefixes: Vec<_> = after
+        .iter()
+        .filter(|(a, _)| !before.iter().any(|(b, _)| b == a))
+        .collect();
+    assert_eq!(new_prefixes.len(), 1);
+}
+
+/// The exempt-device distinction shows up in the census too: a service
+/// account is *not* IPv6-only.
+#[test]
+fn census_counts_exempt_devices_as_dual_stack() {
+    let mut tb = Testbed::paper_default();
+    let exempt = tb.add_host(OsProfile::macos());
+    let _normal = tb.add_host(OsProfile::macos());
+    let mac = tb.host(exempt).mac;
+    tb.pi_server()
+        .dhcp
+        .as_mut()
+        .expect("pi dhcp")
+        .config
+        .v6only_exempt
+        .insert(mac);
+    tb.boot();
+    let (entries, summary) = v6testbed::census(&mut tb);
+    assert_eq!(summary.associated, 2);
+    assert_eq!(summary.accurate_v6only, 1, "{entries:?}");
+    assert_eq!(summary.with_v4_path, 1);
+}
+
+/// Sanity: Host continues to expose stable public state after boot (guards
+/// against accidental API regressions in the extension work).
+#[test]
+fn host_public_state_shape() {
+    let mut tb = Testbed::paper_default();
+    let id = tb.add_host(OsProfile::windows_10());
+    tb.boot();
+    let h: &mut Host = tb.host(id);
+    assert!(h.v6_global_active());
+    assert!(h.v4_active());
+    assert!(!h.resolver_chain().is_empty());
+    assert!(!h.search_domains.is_empty());
+}

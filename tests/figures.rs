@@ -1,0 +1,300 @@
+//! Integration tests: one per paper figure/table (see DESIGN.md §3).
+//!
+//! Each test drives the full packet-level testbed via
+//! `v6testbed::experiments` and asserts the *paper's observed outcome*.
+
+use std::net::IpAddr;
+use v6dns::poison::PoisonPolicy;
+use v6host::tasks::TaskOutcome;
+use v6testbed::experiments as exp;
+
+#[test]
+fn fig02_literal_v4_census() {
+    let r = exp::fig2_literal_v4_census();
+    assert!(
+        r.echolink_worked,
+        "the Echolink laptop reached its IPv4-literal service on the v6 SSID"
+    );
+    assert!(r.naive_counted, "SC23 census counts it anyway");
+    assert!(
+        !r.accurate_counted,
+        "SC24 census must exclude a client with a live IPv4 path"
+    );
+}
+
+#[test]
+fn fig03_dead_rdnss_without_switch() {
+    let r = exp::fig3_ra_workaround(false);
+    assert_eq!(
+        r.rdnss.len(),
+        2,
+        "gateway advertises the two dead ULAs: {:?}",
+        r.rdnss
+    );
+    assert!(
+        r.gateway_no_route_drops > 0,
+        "queries to the dead ULA resolvers die at the gateway"
+    );
+    assert_eq!(r.pi_v6_answers, 0, "no Pi in the raw condition");
+    // Dual-stack client survives by falling back to the gateway's v4 DNS.
+    assert!(r.browse.is_success(), "{:?}", r.browse);
+}
+
+#[test]
+fn fig03_managed_switch_workaround() {
+    let r = exp::fig3_ra_workaround(true);
+    assert!(
+        r.rdnss.contains(&"fd00:976a::9".parse().unwrap()),
+        "rdnss: {:?}",
+        r.rdnss
+    );
+    assert!(r.pi_v6_answers > 0, "the Pi answers over IPv6 now");
+    assert!(r.dns_v6_queries > 0);
+    assert!(r.browse.is_success());
+}
+
+#[test]
+fn fig04_topology_matrix() {
+    let rows = exp::fig4_topology_matrix();
+    assert_eq!(rows.len(), 4);
+    let by_os = |name: &str| {
+        rows.iter()
+            .find(|r| r.os.contains(name))
+            .unwrap_or_else(|| panic!("row for {name}"))
+    };
+    // macOS: RFC 8925 engaged, no IPv4 path, reaches the v4-only site via
+    // NAT64 (a v6 peer), never intervened.
+    let mac = by_os("macOS");
+    assert!(mac.rfc8925_engaged);
+    assert!(!mac.has_v4);
+    assert!(matches!(mac.sc24.peer(), Some(IpAddr::V6(a)) if a.to_string().starts_with("64:ff9b::")),
+        "sc24 via NAT64: {:?}", mac.sc24);
+    assert!(!mac.intervened);
+    // Windows 10: dual-stack; ip6me via genuine v6; not intervened.
+    let win = by_os("Windows 10");
+    assert!(!win.rfc8925_engaged);
+    assert!(win.has_v4);
+    assert!(matches!(win.ip6me.peer(), Some(IpAddr::V6(_))));
+    assert!(!win.intervened);
+    // Nintendo Switch: v4-only, intervened.
+    let sw = by_os("Nintendo Switch");
+    assert!(sw.has_v4);
+    assert!(sw.intervened, "v4-only client must land on the explanation page");
+    assert_eq!(sw.sc24.peer(), Some(IpAddr::V4("23.153.8.71".parse().unwrap())));
+}
+
+#[test]
+fn fig05_erroneous_10_of_10() {
+    let r = exp::fig5_erroneous_score();
+    assert_eq!(
+        r.legacy.points, 10,
+        "legacy scoring is fooled by the poisoned redirect: {:?}",
+        r.subtests
+    );
+    assert_eq!(
+        r.revised.points, 0,
+        "the revised logic detects the all-IPv4 reality"
+    );
+    assert!(r.revised.verdict.contains("helpdesk"));
+}
+
+#[test]
+fn fig06_switch_intervention_and_escape() {
+    let r = exp::fig6_switch_intervention();
+    match &r.intervened {
+        TaskOutcome::HttpOk { peer, body, .. } => {
+            assert_eq!(*peer, IpAddr::V4("23.153.8.71".parse().unwrap()));
+            assert!(body.contains("helpdesk"));
+        }
+        other => panic!("expected intervention page, got {other:?}"),
+    }
+    // "if the end user simply changed the DNS resolver to a known-good
+    // server, access to the IPv4 internet would be granted."
+    match &r.after_override {
+        TaskOutcome::HttpOk { peer, .. } => {
+            assert_eq!(*peer, IpAddr::V4("190.92.158.4".parse().unwrap()));
+        }
+        other => panic!("escape hatch failed: {other:?}"),
+    }
+}
+
+#[test]
+fn fig07_winxp_nat64_dns64() {
+    let r = exp::fig7_winxp_nat64();
+    // Browse of the v4-only site lands on its NAT64-translated address.
+    assert!(
+        matches!(r.browse_sc24.peer(), Some(IpAddr::V6(a)) if a == "64:ff9b::be5c:9e04".parse::<std::net::Ipv6Addr>().unwrap()),
+        "browse: {:?}",
+        r.browse_sc24
+    );
+    // Ping matches the paper's console output.
+    assert!(
+        matches!(r.ping_sc24, TaskOutcome::PingReply { peer: IpAddr::V6(a) } if a == "64:ff9b::be5c:9e04".parse::<std::net::Ipv6Addr>().unwrap()),
+        "ping sc24: {:?}",
+        r.ping_sc24
+    );
+    assert!(
+        matches!(r.ping_ip6me, TaskOutcome::PingReply { peer: IpAddr::V6(a) } if a == "2001:4810:0:3::71".parse::<std::net::Ipv6Addr>().unwrap()),
+        "ping ip6.me: {:?}",
+        r.ping_ip6me
+    );
+    // XP has no IPv6 DNS transport.
+    assert_eq!(r.dns_via_v6, 0);
+    assert!(r.dns_via_v4 > 0);
+}
+
+#[test]
+fn fig08_vpn_split_tunnel() {
+    let ok = exp::fig8_vpn_split_tunnel(false);
+    assert!(ok.vtc_direct.is_success(), "VTC direct works while v4 is open");
+    assert!(ok.tunneled.is_success(), "tunnel works while v4 is open");
+    let blocked = exp::fig8_vpn_split_tunnel(true);
+    assert!(
+        !blocked.vtc_direct.is_success(),
+        "restricting IPv4 breaks the split-tunnelled VTC (Fig. 8)"
+    );
+    assert!(
+        !blocked.tunneled.is_success(),
+        "the IPv4-only tunnel breaks too"
+    );
+}
+
+#[test]
+fn fig09_wildcard_answers_nonexistent_name() {
+    let r = exp::fig9_poisoned_nxdomain(PoisonPolicy::WildcardA {
+        answer: "23.153.8.71".parse().unwrap(),
+        ttl: 60,
+    });
+    match &r.nslookup {
+        TaskOutcome::DnsAnswer { answered_name, records } => {
+            assert_eq!(
+                answered_name.to_string(),
+                "vpn.anl.gov.rfc8925.com",
+                "the suffixed, non-existent name got an answer"
+            );
+            assert_eq!(
+                records[0].data,
+                v6dns::codec::RData::A("23.153.8.71".parse().unwrap())
+            );
+        }
+        other => panic!("unexpected nslookup outcome {other:?}"),
+    }
+    // "the ping results successfully obtain the desired AAAA record."
+    assert!(
+        matches!(r.ping, TaskOutcome::PingReply { peer: IpAddr::V6(a) } if a == "64:ff9b::82ca:e4fd".parse::<std::net::Ipv6Addr>().unwrap()),
+        "ping: {:?}",
+        r.ping
+    );
+}
+
+#[test]
+fn fig09_rpz_preserves_nxdomain() {
+    // The conclusion's proposed mitigation.
+    let r = exp::fig9_poisoned_nxdomain(PoisonPolicy::ResponsePolicyZone {
+        answer: "23.153.8.71".parse().unwrap(),
+        ttl: 60,
+    });
+    match &r.nslookup {
+        TaskOutcome::DnsAnswer { answered_name, records } => {
+            assert_eq!(
+                answered_name.to_string(),
+                "vpn.anl.gov",
+                "the suffixed candidate stayed NXDOMAIN; the real name answered"
+            );
+            assert_eq!(
+                records[0].data,
+                v6dns::codec::RData::A("23.153.8.71".parse().unwrap()),
+                "still rewritten to the intervention address"
+            );
+        }
+        other => panic!("unexpected nslookup outcome {other:?}"),
+    }
+}
+
+#[test]
+fn fig10_rdnss_preference_shields_from_poison() {
+    let rows = exp::fig10_resolver_preference();
+    let by_os = |name: &str| {
+        rows.iter()
+            .find(|r| r.os == name)
+            .unwrap_or_else(|| panic!("row for {name}"))
+    };
+    // Win10 and Linux never consult the poisoned v4 resolver.
+    for os in ["Windows 10", "Linux"] {
+        let r = by_os(os);
+        assert!(r.dns_via_v6 > 0, "{os} used RDNSS");
+        assert_eq!(r.poisoned_a_answers, 0, "{os} untouched by poisoning");
+        assert!(matches!(r.browse.peer(), Some(IpAddr::V6(_))));
+    }
+    // Win11 and XP do consult it — yet still browse over v6 thanks to the
+    // valid AAAA answers (the paper's central no-impact claim).
+    for os in ["Windows 11", "Windows XP"] {
+        let r = by_os(os);
+        assert!(r.poisoned_a_answers > 0, "{os} hit the poisoner");
+        assert!(
+            matches!(r.browse.peer(), Some(IpAddr::V6(_))),
+            "{os} still browsed via v6: {:?}",
+            r.browse
+        );
+    }
+}
+
+#[test]
+fn fig11_vpn_zero_score() {
+    let r = exp::fig11_vpn_zero_score();
+    assert!(r.tunnel_up, "the VPN itself connects");
+    assert_eq!(r.legacy.points, 0, "0/10 on the mirror (Fig. 11)");
+    assert_eq!(r.revised.points, 0);
+}
+
+#[test]
+fn tbl_a_device_matrix() {
+    let rows = exp::tbl_a_device_matrix();
+    assert_eq!(rows.len(), 11);
+    // Every RFC 8925-capable OS ends v6-only and uninterfered.
+    for os in ["macOS", "iOS", "Android", "Windows 11 (RFC8925)"] {
+        let r = rows
+            .iter()
+            .find(|r| r.os.starts_with(os) && !r.os.contains("no CLAT"))
+            .or_else(|| rows.iter().find(|r| r.os.contains("RFC8925") && os.contains("RFC8925")))
+            .unwrap_or_else(|| panic!("row for {os}"));
+        if r.os.contains("RFC8925") || ["macOS", "iOS", "Android"].contains(&r.os.as_str()) {
+            assert!(r.rfc8925_engaged, "{}: option 108 must engage", r.os);
+            assert!(!r.has_v4);
+            assert!(!r.intervened);
+            assert!(r.sc24.is_success(), "{}: NAT64 path works", r.os);
+        }
+    }
+    // Every v4-only device is intervened.
+    for r in rows.iter().filter(|r| {
+        r.os.contains("Switch") || r.os.contains("printer") || r.os.contains("IPv6 disabled")
+    }) {
+        assert!(r.intervened, "{} must see the intervention page", r.os);
+    }
+    // Dual-stack devices (no 8925) are not intervened and browse via v6.
+    for r in rows.iter().filter(|r| {
+        ["Windows 10", "Windows 11", "Linux", "Windows XP"].contains(&r.os.as_str())
+    }) {
+        assert!(!r.intervened, "{} must be unaffected", r.os);
+        assert!(
+            matches!(r.ip6me.peer(), Some(IpAddr::V6(_))),
+            "{} browses ip6.me via v6: {:?}",
+            r.os,
+            r.ip6me
+        );
+    }
+}
+
+#[test]
+fn tbl_b_census_accuracy() {
+    let r = exp::tbl_b_census();
+    assert_eq!(r.summary.associated, 16);
+    assert_eq!(
+        r.summary.naive_v6only, 16,
+        "SC23-style counting claims everyone"
+    );
+    // Accurate count: only the RFC 8925 cohort (2 macOS + 2 iOS + 2 Android
+    // + 1 future Win11) is genuinely IPv6-only.
+    assert_eq!(r.summary.accurate_v6only, 7, "summary: {:?}", r.summary);
+    assert!(r.overcount > 2.0);
+}

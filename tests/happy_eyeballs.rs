@@ -1,0 +1,100 @@
+//! RFC 8305 Happy Eyeballs ablation: a dual-stack client browsing a name
+//! whose AAAA leads nowhere. Without HE, the user waits out the full
+//! connection timeout before IPv4 is tried; with HE the fallback starts
+//! 250 ms in. (Address selection per RFC 6724 still prefers the v6 path —
+//! HE only changes *when* the fallback launches.)
+
+use std::net::IpAddr;
+use v6dns::codec::RData;
+use v6dns::zone::Zone;
+use v6host::profiles::OsProfile;
+use v6host::tasks::{AppTask, TaskOutcome};
+use v6testbed::Testbed;
+
+/// Add a zone whose AAAA is black-holed but whose A record works.
+fn add_broken_v6_site(tb: &mut Testbed) {
+    let mut z = Zone::new("brokenv6.test".parse().unwrap(), 60);
+    // 2602:dead::1 has no route on the internet core: SYNs vanish.
+    z.add_str("@", 60, RData::Aaaa("2602:dead::1".parse().unwrap()));
+    // The A record points at the (reachable) sc24 web server.
+    z.add_str("@", 60, RData::A("190.92.158.4".parse().unwrap()));
+    tb.pi_server()
+        .healthy
+        .upstream_mut()
+        .upstream_mut()
+        .add_zone(z);
+}
+
+fn run(he: bool) -> (TaskOutcome, u64) {
+    let mut tb = Testbed::paper_default();
+    let mut profile = OsProfile::windows_10();
+    profile.happy_eyeballs = he;
+    let id = tb.add_host(profile);
+    add_broken_v6_site(&mut tb);
+    tb.boot();
+    let start = tb.net.now();
+    let o = tb.run_task(
+        id,
+        AppTask::Browse {
+            name: "brokenv6.test".parse().unwrap(),
+            path: "/".into(),
+        },
+        25,
+    );
+    let elapsed_ms = (tb.net.now() - start).as_millis();
+    (o, elapsed_ms)
+}
+
+#[test]
+fn both_modes_eventually_fall_back_to_v4() {
+    for he in [false, true] {
+        let (o, _) = run(he);
+        match &o {
+            TaskOutcome::HttpOk { peer, .. } => {
+                assert_eq!(
+                    *peer,
+                    IpAddr::V4("190.92.158.4".parse().unwrap()),
+                    "he={he}: must land on the working A record"
+                );
+            }
+            other => panic!("he={he}: fallback failed: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn happy_eyeballs_is_faster() {
+    let (_, without) = run(false);
+    let (_, with) = run(true);
+    assert!(
+        with < without,
+        "HE ({with} ms) must beat serial fallback ({without} ms)"
+    );
+    // Serial fallback can't beat the 500 ms attempt timeout; HE starts the
+    // v4 attempt at 250 ms.
+    assert!(without >= 500, "serial fallback waited {without} ms");
+    assert!(with <= 600, "HE fallback took {with} ms");
+}
+
+/// With a *working* v6 destination, HE never even fires the fallback: the
+/// connection stays v6 (no accidental v4 preference).
+#[test]
+fn happy_eyeballs_does_not_steal_from_working_v6() {
+    let mut tb = Testbed::paper_default();
+    let mut profile = OsProfile::windows_10();
+    profile.happy_eyeballs = true;
+    let id = tb.add_host(profile);
+    tb.boot();
+    let o = tb.run_task(
+        id,
+        AppTask::Browse {
+            name: "ip6.me".parse().unwrap(),
+            path: "/".into(),
+        },
+        25,
+    );
+    assert!(
+        matches!(o.peer(), Some(IpAddr::V6(_))),
+        "v6 wins when healthy: {o:?}"
+    );
+}

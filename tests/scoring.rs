@@ -1,0 +1,70 @@
+//! ABL-2 integration: the mirror scoring matrix across client classes,
+//! end-to-end through the packet-level testbed (not just the pure scoring
+//! functions).
+
+use v6host::profiles::OsProfile;
+use v6testbed::experiments::run_mirror_test;
+use v6testbed::TestbedConfig;
+
+fn default_poison() -> v6dns::poison::PoisonPolicy {
+    TestbedConfig::default().poison
+}
+
+/// A healthy RFC 8925 client earns 10/10 under both logics: its v6-only
+/// operation is exactly what the revised mirror wants to certify.
+#[test]
+fn rfc8925_client_scores_10_10() {
+    let r = run_mirror_test(OsProfile::macos(), default_poison());
+    assert_eq!(r.legacy.points, 10, "subtests: {:?}", r.subtests);
+    assert_eq!(r.revised.points, 10, "subtests: {:?}", r.subtests);
+    assert!(r.revised.verdict.contains("IPv6-only operation confirmed"));
+}
+
+/// §VI: a properly configured dual-stack client gets 10/10 from the legacy
+/// logic; the revision caps it at 9 and names the remaining step.
+#[test]
+fn dual_stack_client_capped_at_9() {
+    let r = run_mirror_test(OsProfile::windows_10(), default_poison());
+    assert_eq!(r.legacy.points, 10, "subtests: {:?}", r.subtests);
+    assert_eq!(r.revised.points, 9, "subtests: {:?}", r.subtests);
+    assert!(r.revised.verdict.contains("option 108"));
+}
+
+/// The Fig. 5 client (IPv6 disabled) and the Nintendo Switch both hit the
+/// erroneous legacy 10/10; the revision sends them to the helpdesk.
+#[test]
+fn v4_only_clients_caught_by_revision() {
+    for profile in [
+        OsProfile::windows_10_v6_disabled(),
+        OsProfile::nintendo_switch(),
+    ] {
+        let name = profile.name.clone();
+        let r = run_mirror_test(profile, default_poison());
+        assert_eq!(r.legacy.points, 10, "{name}: {:?}", r.subtests);
+        assert_eq!(r.revised.points, 0, "{name}");
+        assert!(r.revised.verdict.contains("helpdesk"), "{name}");
+    }
+}
+
+/// Windows XP: v6 stack on, IPv4 resolver only — the AAAA answers flow
+/// through the poisoned server to the DNS64, so its subtests ride IPv6 and
+/// it still scores like a dual-stack machine.
+#[test]
+fn winxp_scores_like_dual_stack() {
+    let r = run_mirror_test(OsProfile::windows_xp(), default_poison());
+    assert_eq!(r.legacy.points, 10, "subtests: {:?}", r.subtests);
+    assert_eq!(r.revised.points, 9, "subtests: {:?}", r.subtests);
+}
+
+/// With the intervention rolled back (policy off), the v4-only client fails
+/// honestly instead of being redirected: low score, no erroneous 10.
+#[test]
+fn v4_only_without_intervention_scores_low() {
+    let r = run_mirror_test(
+        OsProfile::nintendo_switch(),
+        v6dns::poison::PoisonPolicy::Off,
+    );
+    // Without poisoning, only the genuinely v4-reachable subtests pass.
+    assert!(r.legacy.points < 10, "subtests: {:?}", r.subtests);
+    assert_eq!(r.revised.points, 0);
+}
