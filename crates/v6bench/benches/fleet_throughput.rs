@@ -1,0 +1,25 @@
+//! Fleet throughput: the same scenario batch on 1 vs N worker threads.
+//!
+//! Each iteration runs the full 66-cell Fig. 4 matrix through `v6fleet`;
+//! throughput is reported in scenarios (elements) per second, so the
+//! speedup from parallel workers reads directly off the output.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use v6fleet::FleetRunner;
+use v6testbed::Scenario;
+
+fn bench_fleet_throughput(c: &mut Criterion) {
+    let scenarios: Vec<Scenario> = Scenario::matrix(0xBE9C);
+    let mut g = c.benchmark_group("fleet_throughput");
+    g.throughput(Throughput::Elements(scenarios.len() as u64));
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_function(format!("threads{threads:02}"), |b| {
+            b.iter(|| FleetRunner::new(threads).run(&scenarios).report.census)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fleet_throughput);
+criterion_main!(benches);

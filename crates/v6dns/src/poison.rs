@@ -95,6 +95,17 @@ impl<R: Resolver> PoisonedResolver<R> {
     pub fn upstream_mut(&mut self) -> &mut R {
         &mut self.upstream
     }
+
+    /// Counter snapshot (`poisoned`, `forwarded`) in the shared
+    /// [`v6wire::metrics::Metrics`] form.
+    pub fn metrics(&self) -> v6wire::metrics::Metrics {
+        [
+            ("poisoned", self.poisoned_count),
+            ("forwarded", self.forwarded_count),
+        ]
+        .into_iter()
+        .collect()
+    }
 }
 
 impl<R: Resolver> Resolver for PoisonedResolver<R> {

@@ -252,6 +252,20 @@ impl<R: Resolver> CachingResolver<R> {
             ttl.min(self.max_ttl)
         }
     }
+
+    /// Counter snapshot (`hits`, `misses`, `queries` = their sum) in the
+    /// shared [`v6wire::metrics::Metrics`] form — the same shape every
+    /// other instrumented testbed device reports, so fleet aggregation
+    /// treats DNS caches like any other counter source.
+    pub fn metrics(&self) -> v6wire::metrics::Metrics {
+        [
+            ("hits", self.hits),
+            ("misses", self.misses),
+            ("queries", self.hits + self.misses),
+        ]
+        .into_iter()
+        .collect()
+    }
 }
 
 impl<R: Resolver> Resolver for CachingResolver<R> {

@@ -183,6 +183,45 @@ proptest! {
         prop_assert!(!cands.is_empty());
     }
 
+    /// Cache accounting: over any interleaving of queries (repeated
+    /// names, mixed record types, advancing clock, mid-stream evictions)
+    /// every resolve is classified as exactly one hit or miss, and the
+    /// `metrics()` snapshot reports the same ledger.
+    #[test]
+    fn cache_hits_plus_misses_equals_queries_served(
+        hosts in proptest::collection::vec(arb_label(), 1..4),
+        queries in proptest::collection::vec(
+            (any::<prop::sample::Index>(), any::<bool>(), 0u64..600, any::<bool>()),
+            1..40,
+        ),
+    ) {
+        let mut zone = Zone::new("acct.test".parse().unwrap(), 60);
+        for h in &hosts {
+            zone.add_str(h, 120, RData::A(Ipv4Addr::new(198, 51, 100, 7)));
+        }
+        let mut g = v6dns::server::GlobalDns::new();
+        g.add_zone(zone);
+        let mut cache = CachingResolver::new(g);
+        let mut served = 0u64;
+        let mut clock = 0u64;
+        for (idx, use_aaaa, advance, evict) in queries {
+            clock += advance;
+            if evict {
+                cache.evict_expired(clock);
+            }
+            let host = &hosts[idx.index(hosts.len())];
+            let rtype = if use_aaaa { RType::Aaaa } else { RType::A };
+            let name: DnsName = format!("{host}.acct.test").parse().unwrap();
+            let _ = cache.resolve(&Question::new(name, rtype), clock);
+            served += 1;
+            prop_assert_eq!(cache.hits + cache.misses, served);
+        }
+        let m = cache.metrics();
+        prop_assert_eq!(m.get("hits"), cache.hits);
+        prop_assert_eq!(m.get("misses"), cache.misses);
+        prop_assert_eq!(m.get("queries"), served);
+    }
+
     /// A positive zone answer is reproducible (lookup is pure).
     #[test]
     fn zone_lookup_pure(ttl in 1u32..1000, host in arb_label()) {

@@ -1,0 +1,332 @@
+//! # v6fleet — parallel multi-seed scenario fleet runner
+//!
+//! Runs many independent [`Scenario`]s — cells of the paper's Fig. 4
+//! evaluation matrix, each with its own seed and virtual clock — across
+//! a pool of worker threads, and aggregates the results into a
+//! [`FleetReport`].
+//!
+//! The report is **deterministic by construction**: every scenario is a
+//! pure function of its descriptor (`v6testbed` guarantees this — one
+//! seeded RNG, one virtual clock, a totally ordered event queue), and
+//! the aggregation step orders results by scenario position, not by
+//! completion order. So a 64-scenario fleet on 8 threads produces a
+//! report equal — field for field, including every per-node counter —
+//! to the same fleet run serially. Wall-clock figures, which genuinely
+//! differ run to run, live in the separate [`WallStats`] and never
+//! participate in report comparison.
+//!
+//! ```
+//! use v6fleet::FleetRunner;
+//! use v6testbed::Scenario;
+//!
+//! let scenarios: Vec<Scenario> = Scenario::matrix(0x5c24).into_iter().take(4).collect();
+//! let parallel = FleetRunner::new(4).run(&scenarios);
+//! let serial = FleetRunner::new(1).run(&scenarios);
+//! assert_eq!(parallel.report, serial.report);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use v6testbed::{Scenario, ScenarioResult};
+
+/// A pool of worker threads that drains a scenario list.
+///
+/// Scheduling is a shared atomic cursor: each worker claims the next
+/// unclaimed scenario index and runs it to completion, so threads that
+/// draw short scenarios automatically pick up more work (the "work
+/// stealing" is the queue itself — there is nothing to steal back
+/// because items are claimed one at a time).
+#[derive(Debug, Clone, Copy)]
+pub struct FleetRunner {
+    threads: usize,
+}
+
+impl FleetRunner {
+    /// A runner with `threads` workers (at least one).
+    pub fn new(threads: usize) -> FleetRunner {
+        assert!(threads >= 1, "a fleet needs at least one worker");
+        FleetRunner { threads }
+    }
+
+    /// Number of worker threads this runner spawns.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run every scenario and aggregate.
+    ///
+    /// Panics in a scenario propagate to the caller (a broken testbed
+    /// build should fail the fleet, not vanish into a worker).
+    pub fn run(&self, scenarios: &[Scenario]) -> FleetRun {
+        let started = Instant::now();
+        let results: Vec<ScenarioResult> = if self.threads == 1 {
+            scenarios.iter().map(Scenario::run).collect()
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let slots: Mutex<Vec<Option<ScenarioResult>>> =
+                Mutex::new(vec![None; scenarios.len()]);
+            std::thread::scope(|scope| {
+                let workers: Vec<_> = (0..self.threads)
+                    .map(|_| {
+                        scope.spawn(|| loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(s) = scenarios.get(i) else { break };
+                            let r = s.run();
+                            slots.lock().expect("no poisoned worker")[i] = Some(r);
+                        })
+                    })
+                    .collect();
+                for w in workers {
+                    w.join().expect("fleet worker panicked");
+                }
+            });
+            slots
+                .into_inner()
+                .expect("workers joined")
+                .into_iter()
+                .map(|r| r.expect("every slot filled"))
+                .collect()
+        };
+        let wall = WallStats {
+            threads: self.threads,
+            elapsed: started.elapsed(),
+            scenarios: scenarios.len(),
+        };
+        FleetRun {
+            report: FleetReport::aggregate(results),
+            wall,
+        }
+    }
+}
+
+/// What [`FleetRunner::run`] hands back: the deterministic report plus
+/// the run's (non-deterministic) wall-clock figures.
+#[derive(Debug, Clone)]
+pub struct FleetRun {
+    /// Deterministic aggregate — equal across same-input runs.
+    pub report: FleetReport,
+    /// Wall-clock throughput of this particular run.
+    pub wall: WallStats,
+}
+
+/// Wall-clock figures for one fleet execution. Deliberately kept out of
+/// [`FleetReport`] so report equality is meaningful.
+#[derive(Debug, Clone, Copy)]
+pub struct WallStats {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Real time the fleet took.
+    pub elapsed: Duration,
+    /// Scenarios executed.
+    pub scenarios: usize,
+}
+
+impl WallStats {
+    /// Scenarios per wall-clock second.
+    pub fn scenarios_per_sec(&self) -> f64 {
+        self.scenarios as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Aggregate IPv6-only census over a whole fleet, SC23-naive vs
+/// SC24-accurate methodology (paper §III.A) plus the intervention and
+/// RFC 8925 engagement totals the evaluation tracks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetCensus {
+    /// Clients that associated (one per scenario).
+    pub associated: usize,
+    /// SC23-style count: everyone on the SSID.
+    pub naive_v6only: usize,
+    /// SC24-style count: IPv6 works and no IPv4 data path remains.
+    pub accurate_v6only: usize,
+    /// Clients still holding an IPv4 path.
+    pub with_v4_path: usize,
+    /// Clients where RFC 8925 engaged.
+    pub rfc8925_engaged: usize,
+    /// Clients redirected to the intervention page.
+    pub intervened: usize,
+}
+
+/// `p50` / `p90` / `max` over a per-scenario quantity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Percentiles {
+    /// Median (nearest-rank).
+    pub p50: u64,
+    /// 90th percentile (nearest-rank).
+    pub p90: u64,
+    /// Maximum.
+    pub max: u64,
+}
+
+impl Percentiles {
+    fn of(mut samples: Vec<u64>) -> Percentiles {
+        if samples.is_empty() {
+            return Percentiles::default();
+        }
+        samples.sort_unstable();
+        let rank = |q: f64| samples[((samples.len() as f64 * q).ceil() as usize).max(1) - 1];
+        Percentiles {
+            p50: rank(0.50),
+            p90: rank(0.90),
+            max: *samples.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Virtual-clock timing distribution across the fleet. All figures are
+/// simulation time — identical for identical inputs regardless of how
+/// many threads did the work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetTiming {
+    /// Virtual microseconds at which scenarios finished.
+    pub completed_us: Percentiles,
+    /// Engine events processed per scenario.
+    pub events: Percentiles,
+}
+
+/// The deterministic aggregate of a fleet run.
+///
+/// Contains every per-scenario [`ScenarioResult`] (in scenario order),
+/// the fleet-wide census, and virtual-clock timing percentiles. Two
+/// fleets over the same scenario list compare equal with `==` no matter
+/// the thread count or completion order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetReport {
+    /// Per-scenario results, ordered as the input scenarios were.
+    pub results: Vec<ScenarioResult>,
+    /// Aggregate census.
+    pub census: FleetCensus,
+    /// Virtual-clock timing distribution.
+    pub timing: FleetTiming,
+}
+
+impl FleetReport {
+    /// Fold per-scenario results (already in scenario order) into the
+    /// fleet-wide aggregate.
+    pub fn aggregate(results: Vec<ScenarioResult>) -> FleetReport {
+        let mut census = FleetCensus::default();
+        for r in &results {
+            census.associated += 1;
+            census.naive_v6only += usize::from(r.census.naive_counted);
+            census.accurate_v6only += usize::from(r.census.accurate_counted);
+            census.with_v4_path += usize::from(r.census.has_v4);
+            census.rfc8925_engaged += usize::from(r.verdict.rfc8925_engaged);
+            census.intervened += usize::from(r.verdict.intervened);
+        }
+        let timing = FleetTiming {
+            completed_us: Percentiles::of(
+                results.iter().map(|r| r.completed_at.as_micros()).collect(),
+            ),
+            events: Percentiles::of(
+                results
+                    .iter()
+                    .map(|r| r.metrics.engine.events_processed)
+                    .collect(),
+            ),
+        };
+        FleetReport {
+            results,
+            census,
+            timing,
+        }
+    }
+
+    /// Sum one named device counter for the node called `node` across
+    /// every scenario (e.g. `("5g-gw", "nat64.outbound")`).
+    pub fn sum_device_counter(&self, node: &str, counter: &str) -> u64 {
+        self.results
+            .iter()
+            .filter_map(|r| r.metrics.node(node))
+            .map(|n| n.device.get(counter))
+            .sum()
+    }
+
+    /// Render the whole report: one row per scenario, then the census
+    /// and timing summary. Stable across runs (it contains no wall-clock
+    /// data), so it can be diffed like the golden traces.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.results {
+            out.push_str(&r.render());
+            out.push('\n');
+        }
+        let c = &self.census;
+        out.push_str(&format!(
+            "census: associated={} naive-v6only={} accurate-v6only={} with-v4-path={} rfc8925={} intervened={}\n",
+            c.associated, c.naive_v6only, c.accurate_v6only, c.with_v4_path, c.rfc8925_engaged, c.intervened,
+        ));
+        let t = &self.timing;
+        out.push_str(&format!(
+            "sim-timing: completed_us p50={} p90={} max={}; events p50={} p90={} max={}\n",
+            t.completed_us.p50,
+            t.completed_us.p90,
+            t.completed_us.max,
+            t.events.p50,
+            t.events.p90,
+            t.events.max,
+        ));
+        out
+    }
+}
+
+/// Convenience: run `scenarios` one at a time on the calling thread.
+/// The baseline the parallel path is checked against.
+pub fn run_serial(scenarios: &[Scenario]) -> FleetReport {
+    FleetReport::aggregate(scenarios.iter().map(Scenario::run).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v6testbed::scenario::{PoisonVariant, TopologyVariant};
+    use v6testbed::Scenario;
+    use v6host::profiles::OsProfile;
+
+    fn tiny_fleet() -> Vec<Scenario> {
+        [
+            OsProfile::macos(),
+            OsProfile::nintendo_switch(),
+            OsProfile::windows_10(),
+        ]
+        .into_iter()
+        .enumerate()
+        .map(|(i, os)| Scenario {
+            os,
+            topology: TopologyVariant::PaperDefault,
+            poison: PoisonVariant::WildcardA,
+            seed: 0x900 + i as u64,
+        })
+        .collect()
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let scenarios = tiny_fleet();
+        let serial = run_serial(&scenarios);
+        let parallel = FleetRunner::new(3).run(&scenarios);
+        assert_eq!(serial, parallel.report);
+        assert_eq!(serial.render(), parallel.report.render());
+    }
+
+    #[test]
+    fn census_counts_the_expected_population() {
+        let report = run_serial(&tiny_fleet());
+        assert_eq!(report.census.associated, 3);
+        // macOS honours option 108; the console and Win10 differ on v4.
+        assert!(report.census.rfc8925_engaged >= 1);
+        assert!(report.census.intervened >= 1, "the v4-only console lands on the page");
+        assert!(report.timing.events.max >= report.timing.events.p50);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let p = Percentiles::of(vec![10, 20, 30, 40]);
+        assert_eq!((p.p50, p.p90, p.max), (20, 40, 40));
+        assert_eq!(Percentiles::of(vec![]), Percentiles::default());
+        let one = Percentiles::of(vec![7]);
+        assert_eq!((one.p50, one.p90, one.max), (7, 7, 7));
+    }
+}

@@ -953,13 +953,10 @@ impl Host {
         let lport = self.alloc_port();
         let iss = (id as u32) << 8 | attempt as u32;
         let key = match dst {
-            IpAddr::V6(remote) => match self.pick_v6_source(remote) {
-                Some(local) => Some(FlowKey::V6 {
-                    local: (local, lport),
-                    remote: (remote, 80),
-                }),
-                None => None,
-            },
+            IpAddr::V6(remote) => self.pick_v6_source(remote).map(|local| FlowKey::V6 {
+                local: (local, lport),
+                remote: (remote, 80),
+            }),
             IpAddr::V4(remote) => {
                 if self.v4_active() {
                     let local = self.v4.as_ref().expect("active").addr;
@@ -1006,18 +1003,16 @@ impl Host {
         if self.flows.values().any(|f| f.task == id) {
             return; // a sibling attempt is still in flight
         }
-        match self.tasks.get(&id) {
-            Some(TaskState {
-                phase: Phase::Connecting { candidates, launched },
-                ..
-            }) => {
-                if *launched < candidates.len() {
-                    self.launch_next(id, ctx);
-                } else {
-                    self.finish(id, TaskOutcome::Unreachable);
-                }
+        if let Some(TaskState {
+            phase: Phase::Connecting { candidates, launched },
+            ..
+        }) = self.tasks.get(&id)
+        {
+            if *launched < candidates.len() {
+                self.launch_next(id, ctx);
+            } else {
+                self.finish(id, TaskOutcome::Unreachable);
             }
-            _ => {}
         }
     }
 

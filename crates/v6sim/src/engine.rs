@@ -5,10 +5,12 @@
 //! binary-heap event queue keyed on `(time, sequence)` so runs are exactly
 //! reproducible.
 
+use crate::metrics::{EngineMetrics, LinkCounters, MetricsSnapshot, NodeMetrics};
 use crate::time::SimTime;
 use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use v6wire::metrics::Metrics;
 
 /// Index of a node within a [`Network`].
 pub type NodeId = usize;
@@ -57,6 +59,15 @@ pub trait Node {
 
     /// Downcast support so scenarios can inspect and drive concrete devices.
     fn as_any_mut(&mut self) -> &mut dyn Any;
+
+    /// Device-specific counters for [`Network::metrics`] snapshots.
+    ///
+    /// The engine already tracks frames/bytes/timers per node; override
+    /// this to add protocol-level counters (NAT translations, DNS cache
+    /// hits, snoop drops, ...). The default is an empty set.
+    fn device_metrics(&self) -> Metrics {
+        Metrics::new()
+    }
 }
 
 #[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -92,6 +103,8 @@ pub struct TraceEntry {
 /// The simulated network.
 pub struct Network {
     nodes: Vec<Box<dyn Node>>,
+    node_counters: Vec<LinkCounters>,
+    engine_counters: EngineMetrics,
     links: HashMap<(NodeId, u32), (NodeId, u32, SimTime)>,
     queue: BinaryHeap<Reverse<Event>>,
     now: SimTime,
@@ -121,6 +134,8 @@ impl Network {
     pub fn new() -> Network {
         Network {
             nodes: Vec::new(),
+            node_counters: Vec::new(),
+            engine_counters: EngineMetrics::default(),
             links: HashMap::new(),
             queue: BinaryHeap::new(),
             now: SimTime::ZERO,
@@ -142,6 +157,7 @@ impl Network {
     /// Add a node, returning its id.
     pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
         self.nodes.push(node);
+        self.node_counters.push(LinkCounters::default());
         self.nodes.len() - 1
     }
 
@@ -174,6 +190,10 @@ impl Network {
             node,
             kind,
         }));
+        let depth = self.queue.len() as u64;
+        if depth > self.engine_counters.queue_high_water {
+            self.engine_counters.queue_high_water = depth;
+        }
     }
 
     /// Queue `start` callbacks for every node (idempotent).
@@ -214,7 +234,10 @@ impl Network {
         for action in actions {
             match action {
                 Action::Send { port, frame } => {
+                    self.node_counters[node].frames_tx += 1;
+                    self.node_counters[node].bytes_tx += frame.len() as u64;
                     if let Some(&(dst, dst_port, latency)) = self.links.get(&(node, port)) {
+                        self.engine_counters.frames_forwarded += 1;
                         if self.capture_frames && self.captured.len() < self.trace_limit {
                             self.captured.push(crate::pcap::CapturedFrame {
                                 at: self.now + latency,
@@ -239,8 +262,12 @@ impl Network {
                                 frame,
                             },
                         );
+                    } else {
+                        // Unlinked port: dropped (cable unplugged), but the
+                        // attempt still shows up in the counters.
+                        self.node_counters[node].drops_unlinked += 1;
+                        self.engine_counters.frames_dropped_unlinked += 1;
                     }
-                    // Unlinked port: frame silently dropped (cable unplugged).
                 }
                 Action::Timer { delay, token } => {
                     self.push(self.now + delay, node, EventKind::Timer { token });
@@ -268,11 +295,18 @@ impl Network {
                 EventKind::Start => self.nodes[ev.node].start(&mut ctx),
                 EventKind::Frame { port, frame } => {
                     self.frames_delivered += 1;
+                    self.node_counters[ev.node].frames_rx += 1;
+                    self.node_counters[ev.node].bytes_rx += frame.len() as u64;
                     self.nodes[ev.node].on_frame(port, &frame, &mut ctx)
                 }
-                EventKind::Timer { token } => self.nodes[ev.node].on_timer(token, &mut ctx),
+                EventKind::Timer { token } => {
+                    self.node_counters[ev.node].timer_fires += 1;
+                    self.engine_counters.timers_fired += 1;
+                    self.nodes[ev.node].on_timer(token, &mut ctx)
+                }
             }
             self.apply_actions(ev.node, ctx.actions);
+            self.engine_counters.events_processed += 1;
             processed += 1;
         }
         if self.now < deadline {
@@ -297,6 +331,29 @@ impl Network {
     /// [`Network::capture_frames`] to have been on during the run).
     pub fn write_pcap(&self, path: &std::path::Path) -> std::io::Result<()> {
         crate::pcap::write_pcap(path, &self.captured)
+    }
+
+    /// Snapshot every counter the engine and its nodes are tracking.
+    ///
+    /// Node rows come back in node-id order and each device's counters
+    /// in name order, so two runs with identical event streams produce
+    /// [`MetricsSnapshot`]s that compare equal and render identically.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut engine = self.engine_counters;
+        engine.frames_delivered = self.frames_delivered;
+        MetricsSnapshot {
+            engine,
+            nodes: self
+                .nodes
+                .iter()
+                .zip(&self.node_counters)
+                .map(|(node, &link)| NodeMetrics {
+                    name: node.name().to_string(),
+                    link,
+                    device: node.device_metrics(),
+                })
+                .collect(),
+        }
     }
 
     /// Render the trace as text (for examples and debugging).

@@ -408,6 +408,16 @@ impl Node for FiveGGateway {
         &self.name
     }
 
+    fn device_metrics(&self) -> v6wire::metrics::Metrics {
+        let mut m = v6wire::metrics::Metrics::new();
+        m.add("no_route_drops", self.no_route_drops);
+        m.add("dhcp.offers_with_108", self.dhcp.offers_with_108);
+        m.add("dhcp.offers_plain", self.dhcp.offers_plain);
+        m.merge_namespaced("nat44", &self.nat44.metrics());
+        m.merge_namespaced("nat64", &self.nat64.metrics());
+        m
+    }
+
     fn start(&mut self, ctx: &mut Ctx) {
         ctx.timer_in(SimTime::from_millis(50), RA_TIMER);
     }

@@ -173,6 +173,14 @@ impl Node for Switch {
         &self.name
     }
 
+    fn device_metrics(&self) -> v6wire::metrics::Metrics {
+        let mut m = v6wire::metrics::Metrics::new();
+        m.add("forwarded", self.forwarded);
+        m.add("snoop_dropped", self.snoop_dropped);
+        m.add("macs_learned", self.mac_table.len() as u64);
+        m
+    }
+
     fn start(&mut self, ctx: &mut Ctx) {
         if let Some(ra) = &self.ra {
             // First beacon shortly after boot, then periodic.

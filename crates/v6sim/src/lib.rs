@@ -12,6 +12,8 @@
 //! * [`gateway`] — the 5G mobile internet gateway with its documented
 //!   defects (dead ULA RDNSS, rotating /64, unkillable DHCPv4 pool) and its
 //!   working NAT44/NAT64 data path
+//! * [`metrics`] — per-node and engine-wide counter snapshots
+//!   ([`engine::Network::metrics`])
 //! * [`tcp`] — a miniature TCP endpoint used by hosts and portal servers
 //! * [`nat44`] — the IPv4 NAPT the gateway applies to legacy traffic
 //! * [`pcap`] — export captured frames to Wireshark-readable pcap files
@@ -21,10 +23,12 @@
 pub mod engine;
 pub mod gateway;
 pub mod l2;
+pub mod metrics;
 pub mod nat44;
 pub mod pcap;
 pub mod tcp;
 pub mod time;
 
 pub use engine::{Ctx, Network, Node, NodeId};
+pub use metrics::{EngineMetrics, LinkCounters, MetricsSnapshot, NodeMetrics};
 pub use time::SimTime;

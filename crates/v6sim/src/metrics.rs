@@ -1,0 +1,118 @@
+//! Per-node and engine-wide counters snapshotted by [`Network::metrics`].
+//!
+//! The engine tracks the physical-layer view for every node — frames and
+//! bytes in each direction, transmit attempts on unlinked ports, timer
+//! fires — while each device contributes its own protocol-level counters
+//! through [`crate::engine::Node::device_metrics`]. A snapshot is plain
+//! data (`Clone + Eq`), so fleet runs with the same seed can assert
+//! byte-identical metrics, and it orders nodes by id and counters by
+//! name so the rendered form is stable too.
+//!
+//! [`Network::metrics`]: crate::engine::Network::metrics
+
+use std::fmt;
+use v6wire::metrics::Metrics;
+
+/// Engine-level totals across the whole [`crate::engine::Network`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineMetrics {
+    /// Callbacks dispatched (start + frame + timer events).
+    pub events_processed: u64,
+    /// Frames handed to a receiving node's `on_frame`.
+    pub frames_delivered: u64,
+    /// Frames enqueued onto a link (delivery scheduled).
+    pub frames_forwarded: u64,
+    /// Transmit attempts on ports with no link (cable unplugged).
+    pub frames_dropped_unlinked: u64,
+    /// Timer callbacks fired.
+    pub timers_fired: u64,
+    /// High-water mark of the event queue length.
+    pub queue_high_water: u64,
+}
+
+/// The engine's physical-layer view of one node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkCounters {
+    /// Frames the node transmitted (linked or not).
+    pub frames_tx: u64,
+    /// Frames delivered to the node.
+    pub frames_rx: u64,
+    /// Bytes the node transmitted.
+    pub bytes_tx: u64,
+    /// Bytes delivered to the node.
+    pub bytes_rx: u64,
+    /// Transmit attempts that hit an unlinked port.
+    pub drops_unlinked: u64,
+    /// Timer callbacks delivered to the node.
+    pub timer_fires: u64,
+}
+
+/// One node's row in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeMetrics {
+    /// The node's [`crate::engine::Node::name`].
+    pub name: String,
+    /// Engine-tracked frame/byte/timer counters.
+    pub link: LinkCounters,
+    /// Device-specific counters from
+    /// [`crate::engine::Node::device_metrics`].
+    pub device: Metrics,
+}
+
+/// Everything [`crate::engine::Network::metrics`] knows at one instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Engine-wide totals.
+    pub engine: EngineMetrics,
+    /// Per-node rows, ordered by node id.
+    pub nodes: Vec<NodeMetrics>,
+}
+
+impl MetricsSnapshot {
+    /// The row for the node named `name`, if any.
+    pub fn node(&self, name: &str) -> Option<&NodeMetrics> {
+        self.nodes.iter().find(|n| n.name == name)
+    }
+
+    /// Sum of `frames_tx` over all nodes — by construction equal to
+    /// `engine.frames_forwarded + engine.frames_dropped_unlinked`.
+    pub fn total_frames_tx(&self) -> u64 {
+        self.nodes.iter().map(|n| n.link.frames_tx).sum()
+    }
+
+    /// Sum of `frames_rx` over all nodes — equal to
+    /// `engine.frames_delivered`.
+    pub fn total_frames_rx(&self) -> u64 {
+        self.nodes.iter().map(|n| n.link.frames_rx).sum()
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    /// Stable text form: engine totals, then one block per node in id
+    /// order with device counters in name order.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let e = &self.engine;
+        writeln!(
+            f,
+            "engine: events={} delivered={} forwarded={} dropped_unlinked={} timers={} queue_high_water={}",
+            e.events_processed,
+            e.frames_delivered,
+            e.frames_forwarded,
+            e.frames_dropped_unlinked,
+            e.timers_fired,
+            e.queue_high_water,
+        )?;
+        for n in &self.nodes {
+            let l = &n.link;
+            writeln!(
+                f,
+                "{}: tx={}/{}B rx={}/{}B drops={} timers={}",
+                n.name, l.frames_tx, l.bytes_tx, l.frames_rx, l.bytes_rx, l.drops_unlinked, l.timer_fires,
+            )?;
+            for (name, value) in n.device.iter() {
+                writeln!(f, "  {name}={value}")?;
+            }
+        }
+        Ok(())
+    }
+}

@@ -61,6 +61,18 @@ impl Napt44 {
         }
     }
 
+    /// Counter snapshot (`outbound`, `inbound`, `dropped`) in the shared
+    /// [`v6wire::metrics::Metrics`] form.
+    pub fn metrics(&self) -> v6wire::metrics::Metrics {
+        [
+            ("outbound", self.outbound),
+            ("inbound", self.inbound),
+            ("dropped", self.dropped),
+        ]
+        .into_iter()
+        .collect()
+    }
+
     fn classify(pkt: &Ipv4Packet) -> Result<(Proto, u16, u16), XlatError> {
         match pkt.protocol {
             proto::UDP => {

@@ -37,6 +37,11 @@ impl SimTime {
         self.0 / 1_000_000
     }
 
+    /// Whole microseconds (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
     /// Saturating difference.
     pub fn saturating_sub(self, other: SimTime) -> SimTime {
         SimTime(self.0.saturating_sub(other.0))

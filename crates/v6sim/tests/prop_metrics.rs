@@ -1,0 +1,138 @@
+//! Property tests for the engine's metrics layer: conservation laws that
+//! must hold on any topology once the event queue drains.
+
+use proptest::prelude::*;
+use std::any::Any;
+use v6sim::engine::{Ctx, Network, Node};
+use v6sim::time::SimTime;
+
+/// A node that emits `burst` frames at start, re-emits each received
+/// frame `echoes` more times (decrementing a hop budget carried in the
+/// frame so traffic always dies out), and ticks a timer `ticks` times.
+struct Chatter {
+    name: String,
+    burst: u8,
+    echoes: u8,
+    ticks: u8,
+    fired: u8,
+}
+
+impl Chatter {
+    fn new(i: usize, burst: u8, echoes: u8, ticks: u8) -> Chatter {
+        Chatter {
+            name: format!("chatter{i}"),
+            burst,
+            echoes,
+            ticks,
+            fired: 0,
+        }
+    }
+}
+
+impl Node for Chatter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn start(&mut self, ctx: &mut Ctx) {
+        for n in 0..self.burst {
+            // Byte 0 is the remaining hop budget.
+            ctx.send(0, vec![4, n]);
+        }
+        if self.ticks > 0 {
+            ctx.timer_in(SimTime::from_millis(10), 0);
+        }
+    }
+
+    fn on_frame(&mut self, port: u32, frame: &[u8], ctx: &mut Ctx) {
+        let budget = frame.first().copied().unwrap_or(0);
+        if budget == 0 {
+            return;
+        }
+        for _ in 0..self.echoes {
+            let mut f = frame.to_vec();
+            f[0] = budget - 1;
+            ctx.send(port, f);
+        }
+    }
+
+    fn on_timer(&mut self, _token: u64, ctx: &mut Ctx) {
+        self.fired += 1;
+        ctx.send(0, vec![1, self.fired]);
+        if self.fired < self.ticks {
+            ctx.timer_in(SimTime::from_millis(10), 0);
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+proptest! {
+    /// Frame conservation: every transmitted frame is either forwarded
+    /// onto a link (and, once the queue drains, delivered) or dropped at
+    /// an unlinked port. Holds for any mix of linked/unlinked chatty
+    /// nodes.
+    #[test]
+    fn frames_tx_equals_deliveries_plus_drops(
+        pairs in prop::collection::vec((0u8..4, 0u8..3, 0u8..4), 1..5),
+        lonely in prop::collection::vec((1u8..4, 0u8..3), 0..3),
+    ) {
+        let mut net = Network::new();
+        // Linked pairs talk to each other; traffic dies out because the
+        // hop budget decrements on every echo.
+        for (i, &(burst, echoes, ticks)) in pairs.iter().enumerate() {
+            let a = net.add_node(Box::new(Chatter::new(2 * i, burst, echoes, ticks)));
+            let b = net.add_node(Box::new(Chatter::new(2 * i + 1, burst, echoes, ticks)));
+            net.link(a, 0, b, 0, SimTime::from_micros(50));
+        }
+        // Lonely nodes transmit into the void (unlinked port 0).
+        for (j, &(burst, ticks)) in lonely.iter().enumerate() {
+            net.add_node(Box::new(Chatter::new(100 + j, burst, 0, ticks)));
+        }
+        // Far beyond the last hop/timer: the queue fully drains.
+        net.run_until(SimTime::from_secs(60));
+
+        let m = net.metrics();
+        prop_assert_eq!(
+            m.total_frames_tx(),
+            m.engine.frames_forwarded + m.engine.frames_dropped_unlinked
+        );
+        prop_assert_eq!(m.total_frames_rx(), m.engine.frames_delivered);
+        // Queue drained ⇒ everything forwarded was delivered.
+        prop_assert_eq!(m.engine.frames_forwarded, m.engine.frames_delivered);
+        // Timers: the engine total equals the per-node sum, which equals
+        // what the nodes themselves counted.
+        let node_timer_sum: u64 = m.nodes.iter().map(|n| n.link.timer_fires).sum();
+        prop_assert_eq!(m.engine.timers_fired, node_timer_sum);
+        let scripted: u64 = pairs.iter().map(|&(_, _, t)| 2 * u64::from(t)).sum::<u64>()
+            + lonely.iter().map(|&(_, t)| u64::from(t)).sum::<u64>();
+        prop_assert_eq!(node_timer_sum, scripted);
+        // Byte counters are consistent with frame counters (every frame
+        // in this test is 2 bytes).
+        let bytes_tx: u64 = m.nodes.iter().map(|n| n.link.bytes_tx).sum();
+        prop_assert_eq!(bytes_tx, 2 * m.total_frames_tx());
+    }
+
+    /// Snapshots are cumulative and monotone: running longer never
+    /// decreases any engine counter, and an idle network's snapshot is
+    /// stable.
+    #[test]
+    fn snapshots_are_monotone(burst in 1u8..4, echoes in 0u8..3) {
+        let mut net = Network::new();
+        let a = net.add_node(Box::new(Chatter::new(0, burst, echoes, 2)));
+        let b = net.add_node(Box::new(Chatter::new(1, burst, echoes, 0)));
+        net.link(a, 0, b, 0, SimTime::from_micros(50));
+        net.run_until(SimTime::from_millis(5));
+        let early = net.metrics();
+        net.run_until(SimTime::from_secs(60));
+        let late = net.metrics();
+        prop_assert!(late.engine.events_processed >= early.engine.events_processed);
+        prop_assert!(late.engine.frames_delivered >= early.engine.frames_delivered);
+        prop_assert!(late.engine.queue_high_water >= early.engine.queue_high_water);
+        // Quiescent: another idle run changes nothing.
+        net.run_for(SimTime::from_secs(5));
+        prop_assert_eq!(net.metrics(), late);
+    }
+}

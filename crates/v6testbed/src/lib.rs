@@ -14,14 +14,18 @@
 //!   (SC24) methodology
 //! * [`experiments`] — one function per paper figure/table (see DESIGN.md's
 //!   experiment index)
+//! * [`scenario`] — the Fig. 4 matrix as enumerable, seedable
+//!   [`scenario::Scenario`] cells for the `v6fleet` runner
 
 #![warn(missing_docs)]
 
 pub mod census;
 pub mod experiments;
 pub mod nodes;
+pub mod scenario;
 pub mod topology;
 pub mod zones;
 
 pub use census::{census, CensusEntry, CensusSummary};
+pub use scenario::{PathFamily, PoisonVariant, Scenario, ScenarioResult, TopologyVariant, Verdict};
 pub use topology::{Testbed, TestbedConfig};

@@ -89,6 +89,19 @@ impl Node for PiServer {
         &self.name
     }
 
+    fn device_metrics(&self) -> v6wire::metrics::Metrics {
+        let mut m = v6wire::metrics::Metrics::new();
+        m.add("v6_queries", self.v6_queries);
+        m.add("v4_queries", self.v4_queries);
+        m.merge_namespaced("dns64", &self.healthy.metrics());
+        m.merge_namespaced("dnsmasq", &self.poisoned.metrics());
+        if let Some(dhcp) = &self.dhcp {
+            m.add("dhcp.offers_with_108", dhcp.offers_with_108);
+            m.add("dhcp.offers_plain", dhcp.offers_plain);
+        }
+        m
+    }
+
     fn on_frame(&mut self, _port: u32, raw: &[u8], ctx: &mut Ctx) {
         if !self.enabled {
             return; // crashed (failure-injection experiments)
@@ -207,6 +220,13 @@ impl Node for PublicDns {
         &self.name
     }
 
+    fn device_metrics(&self) -> v6wire::metrics::Metrics {
+        let mut m = v6wire::metrics::Metrics::new();
+        m.add("queries", self.queries);
+        m.merge_namespaced("cache", &self.resolver.metrics());
+        m
+    }
+
     fn on_frame(&mut self, _port: u32, raw: &[u8], ctx: &mut Ctx) {
         let Ok(parsed) = ParsedFrame::parse(raw) else {
             return;
@@ -274,6 +294,13 @@ impl InternetRouter {
 impl Node for InternetRouter {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn device_metrics(&self) -> v6wire::metrics::Metrics {
+        let mut m = v6wire::metrics::Metrics::new();
+        m.add("forwarded", self.forwarded);
+        m.add("dropped_no_route", self.dropped);
+        m
     }
 
     fn on_frame(&mut self, ingress: u32, raw: &[u8], ctx: &mut Ctx) {

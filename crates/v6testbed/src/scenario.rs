@@ -1,0 +1,319 @@
+//! Enumerable, seedable single-client runs — the unit of work for the
+//! fleet runner (`v6fleet`).
+//!
+//! A [`Scenario`] names one cell of the paper's Fig. 4 evaluation space:
+//! an OS profile, a topology variant (with or without the managed
+//! switch + Raspberry Pi), an IPv4 DNS intervention policy, and an RNG
+//! seed for the client. [`Scenario::run`] builds a fresh testbed, boots
+//! the client, browses the IPv4-only conference site and dual-stack
+//! ip6.me, and returns a plain-data [`ScenarioResult`]: verdict, census
+//! row, full [`MetricsSnapshot`], and virtual-clock timing. Everything
+//! in the result is `Clone + Eq`, so two runs of the same scenario can
+//! be compared field-for-field — the property the fleet's determinism
+//! tests rely on.
+
+use crate::census::{census, CensusEntry};
+use crate::topology::{Testbed, TestbedConfig};
+use crate::zones::addrs;
+use std::net::IpAddr;
+use v6dns::poison::PoisonPolicy;
+use v6host::profiles::OsProfile;
+use v6host::tasks::{AppTask, TaskOutcome};
+use v6sim::metrics::MetricsSnapshot;
+use v6sim::time::SimTime;
+
+/// Which physical build of Fig. 4 the scenario runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyVariant {
+    /// The paper's production testbed: managed switch (RA injection +
+    /// DHCP snooping) and the Raspberry Pi's DHCP server.
+    PaperDefault,
+    /// The Fig. 3 "before" condition: dumb switch, no Pi DHCP — clients
+    /// see only the 5G gateway's broken announcements.
+    RawGateway,
+}
+
+impl TopologyVariant {
+    /// All variants, in matrix order.
+    pub const ALL: [TopologyVariant; 2] = [TopologyVariant::PaperDefault, TopologyVariant::RawGateway];
+
+    /// Short stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TopologyVariant::PaperDefault => "paper",
+            TopologyVariant::RawGateway => "raw-gw",
+        }
+    }
+}
+
+/// Which IPv4 DNS intervention the Pi's dnsmasq applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoisonVariant {
+    /// No intervention (SC23 control condition).
+    Off,
+    /// dnsmasq `address=/#/…` wildcard-A (the paper's deployed config).
+    WildcardA,
+    /// The conclusion's BIND9 RPZ-style rewrite (existing names only).
+    Rpz,
+}
+
+impl PoisonVariant {
+    /// All variants, in matrix order.
+    pub const ALL: [PoisonVariant; 3] =
+        [PoisonVariant::Off, PoisonVariant::WildcardA, PoisonVariant::Rpz];
+
+    /// Short stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            PoisonVariant::Off => "off",
+            PoisonVariant::WildcardA => "wildcard-a",
+            PoisonVariant::Rpz => "rpz",
+        }
+    }
+
+    /// The concrete policy (interventions answer with ip6.me's address,
+    /// as deployed).
+    pub fn policy(self) -> PoisonPolicy {
+        let answer = addrs::IP6ME_V4.parse().expect("static ip");
+        match self {
+            PoisonVariant::Off => PoisonPolicy::Off,
+            PoisonVariant::WildcardA => PoisonPolicy::WildcardA { answer, ttl: 60 },
+            PoisonVariant::Rpz => PoisonPolicy::ResponsePolicyZone { answer, ttl: 60 },
+        }
+    }
+}
+
+/// Address family a task completed over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathFamily {
+    /// Completed against an IPv6 peer.
+    V6,
+    /// Completed against an IPv4 peer.
+    V4,
+    /// Did not complete.
+    Fail,
+}
+
+impl PathFamily {
+    fn of(o: &TaskOutcome) -> PathFamily {
+        match o.peer() {
+            Some(IpAddr::V6(_)) => PathFamily::V6,
+            Some(IpAddr::V4(_)) => PathFamily::V4,
+            None => PathFamily::Fail,
+        }
+    }
+
+    /// Short stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            PathFamily::V6 => "v6",
+            PathFamily::V4 => "v4",
+            PathFamily::Fail => "fail",
+        }
+    }
+}
+
+/// One cell of the Fig. 4 evaluation matrix.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The client under test.
+    pub os: OsProfile,
+    /// Which build of the topology it attaches to.
+    pub topology: TopologyVariant,
+    /// The IPv4 DNS intervention in force.
+    pub poison: PoisonVariant,
+    /// RNG seed for the client's stack.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// The full matrix: every paper OS profile × every topology variant
+    /// × every poison policy, with seeds derived from `base_seed` so two
+    /// matrices built from the same base are identical.
+    pub fn matrix(base_seed: u64) -> Vec<Scenario> {
+        let mut out = Vec::new();
+        for topology in TopologyVariant::ALL {
+            for poison in PoisonVariant::ALL {
+                for os in OsProfile::all_paper_profiles() {
+                    let seed = base_seed.wrapping_add(out.len() as u64);
+                    out.push(Scenario {
+                        os,
+                        topology,
+                        poison,
+                        seed,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Stable human-readable identifier (used as the report key).
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}/seed{}",
+            self.topology.label(),
+            self.poison.label(),
+            self.os.name,
+            self.seed
+        )
+    }
+
+    /// Build a fresh testbed, run this cell, and collect everything.
+    ///
+    /// Entirely driven by the virtual clock and the scenario seed: the
+    /// result is a pure function of `self`, which is what lets the
+    /// fleet runner execute scenarios on any thread in any order and
+    /// still aggregate a deterministic report.
+    pub fn run(&self) -> ScenarioResult {
+        let managed = self.topology == TopologyVariant::PaperDefault;
+        let mut tb = Testbed::build(TestbedConfig {
+            managed_switch: managed,
+            pi_dhcp: managed,
+            poison: self.poison.policy(),
+            block_v4_internet: false,
+        });
+        let id = tb.add_host_seeded(self.os.clone(), self.seed);
+        tb.boot();
+        let sc24 = tb.run_task(
+            id,
+            AppTask::Browse {
+                name: "sc24.supercomputing.org".parse().expect("static name"),
+                path: "/".into(),
+            },
+            25,
+        );
+        let ip6me = tb.run_task(
+            id,
+            AppTask::Browse {
+                name: "ip6.me".parse().expect("static name"),
+                path: "/".into(),
+            },
+            25,
+        );
+        let intervened = matches!(
+            (&sc24, &ip6me),
+            (TaskOutcome::HttpOk { body, .. }, _) | (_, TaskOutcome::HttpOk { body, .. })
+                if body.contains("helpdesk")
+        );
+        let h = tb.host(id);
+        let verdict = Verdict {
+            rfc8925_engaged: h.v6only_mode,
+            has_v4: h.v4_active(),
+            sc24: PathFamily::of(&sc24),
+            ip6me: PathFamily::of(&ip6me),
+            intervened,
+        };
+        let (entries, _) = census(&mut tb);
+        ScenarioResult {
+            label: self.label(),
+            seed: self.seed,
+            verdict,
+            census: entries.into_iter().next().expect("one host attached"),
+            metrics: tb.net.metrics(),
+            completed_at: tb.net.now(),
+        }
+    }
+}
+
+/// The scenario-level observations the fleet report aggregates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict {
+    /// RFC 8925 engaged after boot (IPv4 administratively off).
+    pub rfc8925_engaged: bool,
+    /// Client still holds an IPv4 data path.
+    pub has_v4: bool,
+    /// Family that reached the IPv4-only conference site.
+    pub sc24: PathFamily,
+    /// Family that reached dual-stack ip6.me.
+    pub ip6me: PathFamily,
+    /// Client was redirected to the intervention page.
+    pub intervened: bool,
+}
+
+/// Everything one scenario run produced — plain data, `Clone + Eq`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioResult {
+    /// [`Scenario::label`] of the run.
+    pub label: String,
+    /// The client seed.
+    pub seed: u64,
+    /// Outcome classification.
+    pub verdict: Verdict,
+    /// The client's census row.
+    pub census: CensusEntry,
+    /// Full engine + per-node counter snapshot at the end of the run.
+    pub metrics: MetricsSnapshot,
+    /// Virtual-clock time when the run finished.
+    pub completed_at: SimTime,
+}
+
+impl ScenarioResult {
+    /// Paper-style one-line rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<48} rfc8925={:<5} v4-path={:<5} sc24=via-{:<4} ip6me=via-{:<4} intervened={}",
+            self.label,
+            self.verdict.rfc8925_engaged,
+            self.verdict.has_v4,
+            self.verdict.sc24.label(),
+            self.verdict.ip6me.label(),
+            self.verdict.intervened,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_covers_the_full_cross_product() {
+        let m = Scenario::matrix(1);
+        let profiles = OsProfile::all_paper_profiles().len();
+        assert_eq!(m.len(), profiles * TopologyVariant::ALL.len() * PoisonVariant::ALL.len());
+        // Labels are unique (they key the fleet report).
+        let mut labels: Vec<String> = m.iter().map(Scenario::label).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), m.len());
+    }
+
+    #[test]
+    fn same_scenario_same_result() {
+        let s = Scenario {
+            os: OsProfile::nintendo_switch(),
+            topology: TopologyVariant::PaperDefault,
+            poison: PoisonVariant::WildcardA,
+            seed: 42,
+        };
+        let a = s.run();
+        let b = s.run();
+        assert_eq!(a, b);
+        assert!(a.verdict.intervened, "v4-only console gets the page");
+        assert_eq!(a.verdict.sc24, PathFamily::V4);
+    }
+
+    #[test]
+    fn metrics_snapshot_sees_every_device() {
+        let s = Scenario {
+            os: OsProfile::macos(),
+            topology: TopologyVariant::PaperDefault,
+            poison: PoisonVariant::WildcardA,
+            seed: 7,
+        };
+        let r = s.run();
+        let m = &r.metrics;
+        let gw = m.node("5g-gw").expect("gateway row");
+        assert!(gw.link.frames_rx > 0 && gw.link.frames_tx > 0);
+        assert!(
+            gw.device.get("nat64.outbound") > 0,
+            "RFC 8925 client reaches the v4-only site via NAT64: {}",
+            gw.device
+        );
+        let pi = m.node("raspberry-pi").expect("pi row");
+        assert!(pi.device.get("dns64.queries") > 0, "healthy resolver used");
+        assert!(m.node("managed-sw").expect("switch row").device.get("forwarded") > 0);
+        assert!(m.engine.events_processed > 0 && m.engine.queue_high_water > 0);
+    }
+}

@@ -204,11 +204,17 @@ impl Testbed {
     /// Attach a client with the given OS profile. Must be called before the
     /// first `run_*`.
     pub fn add_host(&mut self, profile: OsProfile) -> NodeId {
+        let seed = 0x1000 + self.hosts.len() as u64;
+        self.add_host_seeded(profile, seed)
+    }
+
+    /// Attach a client with an explicit RNG seed, so independent scenario
+    /// runs (the fleet) can give every host its own deterministic stream.
+    pub fn add_host_seeded(&mut self, profile: OsProfile, seed: u64) -> NodeId {
         assert!(
             self.hosts.len() < MAX_HOSTS,
             "testbed supports at most {MAX_HOSTS} hosts"
         );
-        let seed = 0x1000 + self.hosts.len() as u64;
         let name = format!("host{}-{}", self.hosts.len(), profile.name);
         let id = self.net.add_node(Box::new(Host::new(name, profile, seed)));
         self.net

@@ -28,6 +28,7 @@ pub mod icmpv6;
 pub mod ipv4;
 pub mod ipv6;
 pub mod mac;
+pub mod metrics;
 pub mod ndp;
 pub mod packet;
 pub mod tcp;
@@ -37,6 +38,7 @@ pub use arp::{ArpOp, ArpPacket};
 pub use ethernet::{EtherType, EthernetFrame};
 pub use icmpv4::Icmpv4Message;
 pub use icmpv6::Icmpv6Message;
+pub use metrics::Metrics;
 pub use ipv4::Ipv4Packet;
 pub use ipv6::Ipv6Packet;
 pub use mac::MacAddr;

@@ -124,6 +124,18 @@ impl Nat64 {
             .sum()
     }
 
+    /// Counter snapshot (`outbound`, `inbound`, `dropped_no_binding`) in
+    /// the shared [`v6wire::metrics::Metrics`] form.
+    pub fn metrics(&self) -> v6wire::metrics::Metrics {
+        [
+            ("outbound", self.outbound),
+            ("inbound", self.inbound),
+            ("dropped_no_binding", self.dropped_no_binding),
+        ]
+        .into_iter()
+        .collect()
+    }
+
     /// Drop expired bindings.
     pub fn expire(&mut self, now: u64) {
         for bib in [&mut self.udp, &mut self.tcp, &mut self.icmp] {

@@ -1,0 +1,38 @@
+# Project task runner. `just` with no arguments runs the full gate.
+
+default: verify fleet lint
+
+# Tier-1 verification: the root package must build in release and pass
+# its unit + integration tests (this is the gate CI has always enforced).
+verify:
+    cargo build --release
+    cargo test -q
+
+# The fleet runner's own suite: crate tests, the cross-thread
+# determinism integration tests, and the golden Fig. 6 trace.
+fleet:
+    cargo test -p v6fleet -q
+    cargo test -q --test fleet
+    cargo test -q --test golden_trace
+
+# Lint gate for the new crate (kept warning-clean).
+lint:
+    cargo clippy -p v6fleet -- -D warnings
+
+# Everything in the workspace, including property tests.
+test-all:
+    cargo test --workspace -q
+
+# Run the full Fig. 4 matrix through the parallel fleet and print the
+# aggregate census.
+census:
+    cargo run --release --example fleet_census
+
+# 1-vs-N worker-thread throughput on the 66-cell matrix.
+bench-fleet:
+    cargo bench -p v6bench --bench fleet_throughput
+
+# Regenerate the committed golden trace after a deliberate protocol
+# change (review the fixture diff!).
+bless-traces:
+    BLESS_TRACES=1 cargo test -q --test golden_trace

@@ -1,0 +1,342 @@
+//! Core strategy trait and combinators for the proptest shim.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Object-safe core: combinators carry `where Self: Sized` so
+/// `Box<dyn Strategy<Value = T>>` works (needed by [`Union`] /
+/// `prop_oneof!`).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Retry generation until `f` accepts the value (bounded; panics if the
+    /// predicate never accepts — mirrors proptest's rejection limit).
+    fn prop_filter<W, F>(self, _whence: W, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1024 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1024 consecutive candidates");
+    }
+}
+
+/// Always produces a clone of one value.
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical uniform strategy (`any::<T>()`).
+pub trait Arbitrary {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Canonical strategy for any [`Arbitrary`] type.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {
+        $(impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        })*
+    };
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> [T; N] {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128) - (self.start as u128);
+                    self.start + (rng.next_u64() as u128 % span) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u128) - (lo as u128) + 1;
+                    lo + (rng.next_u64() as u128 % span) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeFrom<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = (<$t>::MAX as u128) - (self.start as u128) + 1;
+                    self.start + (rng.next_u64() as u128 % span) as $t
+                }
+            }
+        )*
+    };
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategies {
+    ($(($($S:ident $idx:tt),+);)*) => {
+        $(
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+tuple_strategies! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+}
+
+/// Box a strategy for use in a [`Union`] (`prop_oneof!`).
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Uniform choice between same-valued strategies (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Build from the boxed arms (must be non-empty).
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Union<V> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let arm = rng.usize_in(0..self.arms.len());
+        self.arms[arm].generate(rng)
+    }
+}
+
+/// String strategies from regex-lite patterns.
+///
+/// Supports the subset this workspace uses: a sequence of literal
+/// characters or `[...]` character classes (with `a-z` ranges), each
+/// optionally followed by `{m,n}` / `{m}` repetition.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let chars: Vec<char> = self.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let class: Vec<char> = if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .expect("unterminated character class")
+                    + i;
+                let body = &chars[i + 1..close];
+                i = close + 1;
+                expand_class(body)
+            } else {
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            };
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unterminated repetition")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse::<usize>().expect("bad repetition"),
+                        n.trim().parse::<usize>().expect("bad repetition"),
+                    ),
+                    None => {
+                        let m = body.trim().parse::<usize>().expect("bad repetition");
+                        (m, m)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            let n = lo + (rng.next_u64() as usize) % (hi - lo + 1);
+            for _ in 0..n {
+                out.push(class[rng.usize_in(0..class.len())]);
+            }
+        }
+        out
+    }
+}
+
+fn expand_class(body: &[char]) -> Vec<char> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i] as u32, body[i + 2] as u32);
+            assert!(lo <= hi, "inverted class range");
+            out.extend((lo..=hi).filter_map(char::from_u32));
+            i += 3;
+        } else {
+            out.push(body[i]);
+            i += 1;
+        }
+    }
+    assert!(!out.is_empty(), "empty character class");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn regex_lite_patterns_respect_shape() {
+        let mut rng = TestRng::for_case("regex_lite", 0);
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9-]{0,14}".generate(&mut rng);
+            assert!((1..=15).contains(&s.len()), "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            let t = "[ -~]{1,60}".generate(&mut rng);
+            assert!((1..=60).contains(&t.len()));
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case("ranges", 0);
+        for _ in 0..200 {
+            assert!((0u8..8).contains(&(0u8..8).generate(&mut rng)));
+            assert!((1u8..).generate(&mut rng) >= 1);
+            let v = (0u8..=128).generate(&mut rng);
+            assert!(v <= 128);
+        }
+    }
+
+    #[test]
+    fn union_draws_every_arm() {
+        let u = Union::new(vec![boxed(Just(1u32)), boxed(Just(2u32))]);
+        let mut rng = TestRng::for_case("union", 0);
+        let draws: Vec<u32> = (0..64).map(|_| u.generate(&mut rng)).collect();
+        assert!(draws.contains(&1) && draws.contains(&2));
+    }
+}

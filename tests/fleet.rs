@@ -1,0 +1,53 @@
+//! Fleet-runner regression tests: determinism across repeated runs and
+//! serial/parallel equivalence of the aggregate report.
+
+use v6fleet::{run_serial, FleetRunner};
+use v6testbed::Scenario;
+
+/// Running the same seeded fleet twice produces byte-identical reports:
+/// `Eq` on the full structure (every per-node counter included) and on
+/// the rendered text.
+#[test]
+fn same_seed_fleet_twice_is_byte_identical() {
+    let scenarios: Vec<Scenario> = Scenario::matrix(0xA11CE).into_iter().take(12).collect();
+    let a = FleetRunner::new(4).run(&scenarios);
+    let b = FleetRunner::new(4).run(&scenarios);
+    assert_eq!(a.report, b.report);
+    assert_eq!(a.report.render(), b.report.render());
+}
+
+/// A 64-scenario fleet on 4 worker threads aggregates to exactly the
+/// serial baseline — census, timing percentiles, and every scenario row.
+#[test]
+fn parallel_fleet_of_64_matches_serial_aggregate() {
+    let scenarios: Vec<Scenario> = Scenario::matrix(0x5EED)
+        .into_iter()
+        .cycle()
+        .zip(0..64u64)
+        .map(|(mut s, i)| {
+            // Re-seed the cycled tail so all 64 scenarios are distinct.
+            s.seed = s.seed.wrapping_add(i << 32);
+            s
+        })
+        .collect();
+    assert_eq!(scenarios.len(), 64);
+    let serial = run_serial(&scenarios);
+    let parallel = FleetRunner::new(4).run(&scenarios);
+    assert_eq!(parallel.report.census, serial.census);
+    assert_eq!(parallel.report.timing, serial.timing);
+    assert_eq!(parallel.report, serial);
+}
+
+/// Different base seeds change the client RNG streams but not the
+/// experiment's verdicts: the matrix outcome is a property of the
+/// topology, not of the seed.
+#[test]
+fn verdicts_are_seed_stable() {
+    let a = run_serial(&Scenario::matrix(1).into_iter().take(6).collect::<Vec<_>>());
+    let b = run_serial(&Scenario::matrix(2).into_iter().take(6).collect::<Vec<_>>());
+    let verdicts = |r: &v6fleet::FleetReport| {
+        r.results.iter().map(|x| x.verdict.clone()).collect::<Vec<_>>()
+    };
+    assert_eq!(verdicts(&a), verdicts(&b));
+    assert_eq!(a.census, b.census);
+}

@@ -1,0 +1,99 @@
+//! Golden-trace regression test: the canonical Fig. 6 switch-intervention
+//! frame trace, diffed against a committed fixture.
+//!
+//! The simulator promises *exact* reproducibility — same topology, same
+//! seeds, same totally-ordered event queue — so the frame-by-frame trace
+//! of the paper's flagship interaction (a v4-only Nintendo Switch hitting
+//! the wildcard-A intervention, then escaping via a DNS override) must
+//! never change unless the protocol logic itself changes. When it does
+//! change deliberately, regenerate with:
+//!
+//! ```text
+//! BLESS_TRACES=1 cargo test --test golden_trace
+//! ```
+//! and review the fixture diff like any other code change.
+
+use v6host::profiles::OsProfile;
+use v6host::tasks::{AppTask, TaskOutcome};
+use v6testbed::zones::addrs;
+use v6testbed::Testbed;
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/fig6_switch_intervention.trace"
+);
+
+fn browse() -> AppTask {
+    AppTask::Browse {
+        name: "sc24.supercomputing.org".parse().expect("static name"),
+        path: "/".into(),
+    }
+}
+
+/// Re-run the Fig. 6 steps and capture the post-boot frame trace.
+fn canonical_fig6_trace() -> String {
+    let mut tb = Testbed::paper_default();
+    let id = tb.add_host(OsProfile::nintendo_switch());
+    tb.boot();
+    // Boot chatter (RAs, DHCP, NDP) is not the subject of Fig. 6 — the
+    // trace starts at the first intervened browse.
+    tb.net.clear_trace();
+
+    let intervened = tb.run_task(id, browse(), 25);
+    assert!(
+        matches!(&intervened, TaskOutcome::HttpOk { body, .. } if body.contains("helpdesk")),
+        "precondition: the console lands on the intervention page, got {intervened:?}"
+    );
+    // The user types a known-good resolver into the console's settings.
+    tb.host(id).dns_override =
+        Some(std::net::IpAddr::V4(addrs::PUBLIC_DNS_V4.parse().expect("static ip")));
+    let escaped = tb.run_task(id, browse(), 25);
+    assert!(escaped.is_success(), "precondition: override restores v4, got {escaped:?}");
+
+    tb.net.format_trace()
+}
+
+#[test]
+fn fig6_switch_intervention_trace_matches_fixture() {
+    let got = canonical_fig6_trace();
+    assert!(
+        got.lines().count() > 20,
+        "trace suspiciously short — capture broken?"
+    );
+    if std::env::var_os("BLESS_TRACES").is_some() {
+        std::fs::write(FIXTURE, &got).expect("write fixture");
+        return;
+    }
+    let want = std::fs::read_to_string(FIXTURE)
+        .expect("fixture missing — regenerate with BLESS_TRACES=1 cargo test --test golden_trace");
+    if got != want {
+        let first_diff = got
+            .lines()
+            .zip(want.lines())
+            .position(|(g, w)| g != w)
+            .unwrap_or_else(|| got.lines().count().min(want.lines().count()));
+        let context = |s: &str| {
+            s.lines()
+                .skip(first_diff.saturating_sub(2))
+                .take(5)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        panic!(
+            "golden trace diverged at line {} ({} vs {} lines total)\n--- fixture ---\n{}\n--- actual ---\n{}\n\
+             If this change is intentional, regenerate with BLESS_TRACES=1 and review the diff.",
+            first_diff + 1,
+            want.lines().count(),
+            got.lines().count(),
+            context(&want),
+            context(&got),
+        );
+    }
+}
+
+/// The trace is identical across repeated in-process runs — the
+/// guarantee the fixture comparison rests on.
+#[test]
+fn fig6_trace_is_reproducible_in_process() {
+    assert_eq!(canonical_fig6_trace(), canonical_fig6_trace());
+}
