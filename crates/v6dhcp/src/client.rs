@@ -20,6 +20,8 @@ pub enum ClientState {
     Requesting {
         /// Address being requested.
         offered: Ipv4Addr,
+        /// Server identifier from the OFFER (echoed on retransmission).
+        server_id: Option<Ipv4Addr>,
     },
     /// Lease held.
     Bound {
@@ -110,6 +112,29 @@ impl DhcpClient {
         ClientEvent::Send(d)
     }
 
+    /// RFC 2131 §4.1 retransmission: resend the in-flight DISCOVER or
+    /// REQUEST with the same xid. Outside an exchange this restarts
+    /// discovery (equivalent to [`DhcpClient::start`]).
+    pub fn retransmit(&mut self, now: u64) -> ClientEvent {
+        match self.state.clone() {
+            ClientState::Selecting => {
+                let mut d = DhcpMessage::client(DhcpMessageType::Discover, self.xid, self.mac);
+                d.options.push(self.prl());
+                ClientEvent::Send(d)
+            }
+            ClientState::Requesting { offered, server_id } => {
+                let mut req = DhcpMessage::client(DhcpMessageType::Request, self.xid, self.mac);
+                req.options.push(DhcpOption::RequestedIp(offered));
+                if let Some(sid) = server_id {
+                    req.options.push(DhcpOption::ServerId(sid));
+                }
+                req.options.push(self.prl());
+                ClientEvent::Send(req)
+            }
+            _ => self.start(now),
+        }
+    }
+
     /// Feed a server reply into the state machine.
     pub fn receive(&mut self, msg: &DhcpMessage, now: u64) -> ClientEvent {
         if msg.xid != self.xid || msg.chaddr != self.mac {
@@ -128,18 +153,23 @@ impl DhcpClient {
                         return ClientEvent::V6OnlyMode { wait };
                     }
                 }
+                let server_id = match msg.option(54) {
+                    Some(DhcpOption::ServerId(sid)) => Some(*sid),
+                    _ => None,
+                };
                 let mut req = DhcpMessage::client(DhcpMessageType::Request, self.xid, self.mac);
                 req.options.push(DhcpOption::RequestedIp(msg.yiaddr));
-                if let Some(DhcpOption::ServerId(sid)) = msg.option(54) {
-                    req.options.push(DhcpOption::ServerId(*sid));
+                if let Some(sid) = server_id {
+                    req.options.push(DhcpOption::ServerId(sid));
                 }
                 req.options.push(self.prl());
                 self.state = ClientState::Requesting {
                     offered: msg.yiaddr,
+                    server_id,
                 };
                 ClientEvent::Send(req)
             }
-            (Some(DhcpMessageType::Ack), ClientState::Requesting { offered }) => {
+            (Some(DhcpMessageType::Ack), ClientState::Requesting { offered, .. }) => {
                 let ip = if msg.yiaddr.is_unspecified() {
                     *offered
                 } else {
@@ -212,6 +242,19 @@ impl DhcpClient {
     pub fn in_v6only_mode(&self, now: u64) -> bool {
         matches!(self.state, ClientState::V6OnlyWait { until } if now < until)
     }
+}
+
+/// RFC 2131 §4.1 retransmission schedule: 4 s before the first retry,
+/// doubling up to a 64 s ceiling, each delay randomized by ±1 s. The
+/// jitter is a pure hash of `(entropy, attempt)`, so a single host is
+/// fully deterministic while a fleet of hosts desynchronizes.
+pub fn retry_backoff_ms(attempt: u32, entropy: u64) -> u64 {
+    let base_ms = 4_000u64 << attempt.min(4);
+    let mut z = entropy ^ u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    base_ms - 1_000 + (z % 2_001)
 }
 
 #[cfg(test)]
@@ -357,6 +400,53 @@ mod tests {
         );
         bogus2.yiaddr = "192.168.12.78".parse().unwrap();
         assert_eq!(c.receive(&bogus2, 0), ClientEvent::Idle);
+    }
+
+    #[test]
+    fn retransmit_keeps_xid_and_message_type() {
+        let mut s = DhcpServer::new(ServerConfig::testbed("192.168.12.250".parse().unwrap()));
+        let mut c = DhcpClient::new(mac(11), false);
+        let ClientEvent::Send(discover) = c.start(0) else {
+            panic!("expected discover")
+        };
+        // Lost DISCOVER: the retry is the same message, same xid.
+        let ClientEvent::Send(again) = c.retransmit(2) else {
+            panic!("expected retransmitted discover")
+        };
+        assert_eq!(again.xid, discover.xid);
+        assert_eq!(again.message_type(), Some(DhcpMessageType::Discover));
+        // Lost REQUEST: the retry carries the requested ip + server id.
+        let offer = s.handle(&discover, 0).unwrap();
+        let ClientEvent::Send(req) = c.receive(&offer, 0) else {
+            panic!("expected request")
+        };
+        let ClientEvent::Send(req2) = c.retransmit(6) else {
+            panic!("expected retransmitted request")
+        };
+        assert_eq!(req2.xid, req.xid);
+        assert_eq!(req2.message_type(), Some(DhcpMessageType::Request));
+        assert_eq!(req2.option(50).is_some(), req.option(50).is_some());
+        assert_eq!(req2.option(54).is_some(), req.option(54).is_some());
+        // The retransmitted REQUEST still completes the exchange.
+        let ack = s.handle(&req2, 6).unwrap();
+        assert!(matches!(c.receive(&ack, 6), ClientEvent::Configured { .. }));
+    }
+
+    #[test]
+    fn retry_backoff_doubles_with_bounded_jitter() {
+        for entropy in [0u64, 1, 0xdead_beef, u64::MAX] {
+            for attempt in 0..8u32 {
+                let ms = retry_backoff_ms(attempt, entropy);
+                let base = 4_000u64 << attempt.min(4);
+                assert!(
+                    (base - 1_000..=base + 1_000).contains(&ms),
+                    "attempt {attempt}: {ms} outside ±1 s of {base}"
+                );
+                assert_eq!(ms, retry_backoff_ms(attempt, entropy), "deterministic");
+            }
+        }
+        // The ceiling holds: attempts past 4 stop doubling.
+        assert!(retry_backoff_ms(40, 7) <= 65_000);
     }
 
     #[test]

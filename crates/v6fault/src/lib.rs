@@ -1,0 +1,460 @@
+//! # v6fault — seeded, deterministic fault injection for the testbed
+//!
+//! The paper's testbed lives on an unreliable 5G uplink with commodity
+//! Raspberry Pi resolvers; its claims only hold if clients survive loss,
+//! latency, and resolver outages. This crate describes *what goes wrong
+//! and when* as plain data — a [`FaultPlan`] of per-link [`Impairment`]s
+//! plus a virtual-time [`Outage`] schedule — which the `v6sim` engine
+//! consults at its link layer.
+//!
+//! Two properties shape the whole design:
+//!
+//! 1. **`FaultPlan::default()` is a no-op.** The engine skips the fault
+//!    path entirely when [`FaultPlan::is_noop`] holds, so every existing
+//!    scenario stays bit-identical.
+//! 2. **Every decision is a pure hash.** Whether a given frame is
+//!    dropped, delayed, duplicated, or corrupted is a function of
+//!    `(plan seed, link identity, decision counter)` — no shared RNG
+//!    state, no evaluation-order sensitivity — so a faulted fleet run is
+//!    exactly as reproducible as a clean one, serial or parallel.
+//!
+//! Times are expressed in plain microseconds of virtual time, keeping
+//! this crate free of any dependency on the simulator (which depends on
+//! us, not the other way around).
+
+#![warn(missing_docs)]
+
+/// Probability expressed in per-mille (0..=1000); integers keep the
+/// sampling exact and the plan `Eq`-comparable.
+pub type PerMille = u16;
+
+/// SplitMix64 — the same finalizer the in-tree `rand` shim seeds with,
+/// reimplemented here so the crate stays dependency-free.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a node name — a stable, order-independent link identity.
+fn name_hash(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A per-link packet impairment profile. All probabilities are per
+/// frame; all delays are microseconds of virtual time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Impairment {
+    /// Probability a frame is silently dropped.
+    pub drop_per_mille: PerMille,
+    /// Fixed extra one-way latency added to every frame.
+    pub extra_latency_us: u64,
+    /// Uniform random extra latency in `0..=jitter_us`.
+    pub jitter_us: u64,
+    /// Probability a frame is held back by up to
+    /// [`Impairment::reorder_window_us`] (overtaken by later frames).
+    pub reorder_per_mille: PerMille,
+    /// Maximum hold-back applied to reordered frames.
+    pub reorder_window_us: u64,
+    /// Probability a frame is delivered twice.
+    pub duplicate_per_mille: PerMille,
+    /// Probability a payload byte is flipped (receivers see a frame that
+    /// fails to parse and drop it themselves).
+    pub corrupt_per_mille: PerMille,
+    /// Probability the frame is cut to half its length.
+    pub truncate_per_mille: PerMille,
+}
+
+impl Impairment {
+    /// True when no field can ever alter a frame.
+    pub fn is_noop(&self) -> bool {
+        *self == Impairment::default()
+    }
+}
+
+/// Selects the link(s) a fault applies to, by node name. `None` matches
+/// any endpoint; matching is direction-agnostic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EndpointMatch {
+    /// One endpoint name (wildcard when `None`).
+    pub a: Option<String>,
+    /// The other endpoint name (wildcard when `None`).
+    pub b: Option<String>,
+}
+
+impl EndpointMatch {
+    /// Match every link.
+    pub fn any() -> EndpointMatch {
+        EndpointMatch::default()
+    }
+
+    /// Match every link with `name` on either end.
+    pub fn node(name: &str) -> EndpointMatch {
+        EndpointMatch {
+            a: Some(name.to_string()),
+            b: None,
+        }
+    }
+
+    /// Match the link joining `a` and `b` (in either direction).
+    pub fn between(a: &str, b: &str) -> EndpointMatch {
+        EndpointMatch {
+            a: Some(a.to_string()),
+            b: Some(b.to_string()),
+        }
+    }
+
+    /// Does the directed hop `from -> to` fall under this selector?
+    pub fn matches(&self, from: &str, to: &str) -> bool {
+        let hit = |want: &Option<String>, name: &str| {
+            want.as_deref().map(|w| w == name).unwrap_or(true)
+        };
+        (hit(&self.a, from) && hit(&self.b, to)) || (hit(&self.a, to) && hit(&self.b, from))
+    }
+}
+
+/// An impairment bound to a set of links.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkFault {
+    /// Which links are impaired.
+    pub on: EndpointMatch,
+    /// How.
+    pub impairment: Impairment,
+}
+
+/// A scheduled hard outage: every frame on matching links is dropped
+/// while `start_us <= now < end_us` (a link flap, a crashed resolver's
+/// cable, a rebooting gateway).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outage {
+    /// Which links go dark.
+    pub on: EndpointMatch,
+    /// Window start, microseconds of virtual time (inclusive).
+    pub start_us: u64,
+    /// Window end, microseconds of virtual time (exclusive).
+    pub end_us: u64,
+}
+
+/// A complete, seeded fault schedule. The default plan is empty and the
+/// engine treats it as "faults compiled out".
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed mixed into every sampling decision.
+    pub seed: u64,
+    /// Steady-state per-link impairments (first match wins).
+    pub links: Vec<LinkFault>,
+    /// Scheduled hard outages (any match drops the frame).
+    pub outages: Vec<Outage>,
+}
+
+/// A [`FaultPlan`] resolved against one directed link, cached by the
+/// engine so per-frame judging never touches node names again.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompiledLink {
+    /// Index into [`FaultPlan::links`] of the first matching fault.
+    imp: Option<usize>,
+    /// Indices into [`FaultPlan::outages`] that cover this link.
+    outages: Vec<usize>,
+    /// Order-independent link identity mixed into every decision.
+    link_salt: u64,
+}
+
+impl CompiledLink {
+    /// True when no fault in the plan can ever touch this link.
+    pub fn is_clean(&self) -> bool {
+        self.imp.is_none() && self.outages.is_empty()
+    }
+}
+
+/// What the plan decided for one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// How many copies to schedule (0 = dropped, 2 = duplicated).
+    pub copies: u8,
+    /// Extra one-way delay beyond the link's base latency.
+    pub extra_delay_us: u64,
+    /// Flip a payload byte before delivery.
+    pub corrupt: bool,
+    /// Cut the frame to half length before delivery.
+    pub truncate: bool,
+    /// The drop came from an [`Outage`] window, not random loss.
+    pub outage: bool,
+}
+
+impl Delivery {
+    /// The untouched-frame verdict.
+    pub const CLEAN: Delivery = Delivery {
+        copies: 1,
+        extra_delay_us: 0,
+        corrupt: false,
+        truncate: false,
+        outage: false,
+    };
+}
+
+impl FaultPlan {
+    /// True when the plan can never alter any frame — the engine's
+    /// licence to skip the fault path entirely.
+    pub fn is_noop(&self) -> bool {
+        self.links.iter().all(|l| l.impairment.is_noop()) && self.outages.is_empty()
+    }
+
+    /// Resolve the plan against the directed hop `from -> to`.
+    pub fn compile(&self, from: &str, to: &str) -> CompiledLink {
+        let imp = self
+            .links
+            .iter()
+            .position(|l| !l.impairment.is_noop() && l.on.matches(from, to));
+        let outages = self
+            .outages
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.on.matches(from, to))
+            .map(|(i, _)| i)
+            .collect();
+        // XOR keeps the salt direction-independent, so A->B and B->A of
+        // the same link draw from distinct streams only via `decision`.
+        let link_salt = name_hash(from) ^ name_hash(to);
+        CompiledLink {
+            imp,
+            outages,
+            link_salt,
+        }
+    }
+
+    /// Roll the dice for one frame on a compiled link.
+    ///
+    /// `at_us` is the frame's transmit time; `decision` must be unique
+    /// per judged frame (the engine uses a dedicated counter). The same
+    /// `(plan, link, at_us, decision)` always returns the same verdict.
+    pub fn judge(&self, link: &CompiledLink, at_us: u64, decision: u64) -> Delivery {
+        for &oi in &link.outages {
+            let o = &self.outages[oi];
+            if at_us >= o.start_us && at_us < o.end_us {
+                return Delivery {
+                    copies: 0,
+                    outage: true,
+                    ..Delivery::CLEAN
+                };
+            }
+        }
+        let Some(ii) = link.imp else {
+            return Delivery::CLEAN;
+        };
+        let imp = &self.links[ii].impairment;
+        let roll = |salt: u64| -> u64 {
+            splitmix64(
+                self.seed
+                    ^ link.link_salt.rotate_left(17)
+                    ^ decision.wrapping_mul(0x2545_f491_4f6c_dd1d)
+                    ^ salt.wrapping_mul(0x9e37_79b9),
+            )
+        };
+        let hits = |salt: u64, p: PerMille| p > 0 && roll(salt) % 1000 < u64::from(p);
+        if hits(1, imp.drop_per_mille) {
+            return Delivery {
+                copies: 0,
+                ..Delivery::CLEAN
+            };
+        }
+        let mut extra = imp.extra_latency_us;
+        if imp.jitter_us > 0 {
+            extra += roll(2) % (imp.jitter_us + 1);
+        }
+        if hits(3, imp.reorder_per_mille) && imp.reorder_window_us > 0 {
+            extra += roll(4) % (imp.reorder_window_us + 1);
+        }
+        Delivery {
+            copies: if hits(5, imp.duplicate_per_mille) { 2 } else { 1 },
+            extra_delay_us: extra,
+            corrupt: hits(6, imp.corrupt_per_mille),
+            truncate: hits(7, imp.truncate_per_mille),
+            outage: false,
+        }
+    }
+
+    /// Total scheduled outage time that has already elapsed by `now_us`,
+    /// summed over every window (clipped to `now_us`). Feeds the
+    /// `fault.outage_secs` metric.
+    pub fn outage_micros_until(&self, now_us: u64) -> u64 {
+        self.outages
+            .iter()
+            .map(|o| o.end_us.min(now_us).saturating_sub(o.start_us.min(now_us)))
+            .sum()
+    }
+
+    /// Deterministic uniform sample in `0..=max_us` for auxiliary jitter
+    /// (host backoff timers reuse the plan-style mixing without needing
+    /// an RNG object).
+    pub fn jitter_sample(seed: u64, entropy: u64, max_us: u64) -> u64 {
+        if max_us == 0 {
+            return 0;
+        }
+        splitmix64(seed ^ entropy.wrapping_mul(0x2545_f491_4f6c_dd1d)) % (max_us + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lossy(p: PerMille) -> FaultPlan {
+        FaultPlan {
+            seed: 7,
+            links: vec![LinkFault {
+                on: EndpointMatch::any(),
+                impairment: Impairment {
+                    drop_per_mille: p,
+                    ..Impairment::default()
+                },
+            }],
+            outages: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn default_plan_is_noop_and_clean_everywhere() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_noop());
+        let link = plan.compile("a", "b");
+        assert!(link.is_clean());
+        assert_eq!(plan.judge(&link, 0, 1), Delivery::CLEAN);
+        assert_eq!(plan.outage_micros_until(u64::MAX), 0);
+    }
+
+    #[test]
+    fn zero_probability_impairment_is_noop() {
+        let plan = lossy(0);
+        assert!(plan.is_noop(), "all-zero impairment must compile out");
+    }
+
+    #[test]
+    fn judgement_is_a_pure_function() {
+        let plan = lossy(500);
+        let link = plan.compile("sw", "pi");
+        for d in 0..200 {
+            assert_eq!(plan.judge(&link, 1_000, d), plan.judge(&link, 1_000, d));
+        }
+    }
+
+    #[test]
+    fn drop_rate_lands_near_the_requested_probability() {
+        let plan = lossy(250);
+        let link = plan.compile("gw", "internet");
+        let dropped = (0..4000)
+            .filter(|&d| plan.judge(&link, 0, d).copies == 0)
+            .count();
+        assert!(
+            (700..1300).contains(&dropped),
+            "250‰ over 4000 frames gave {dropped} drops"
+        );
+    }
+
+    #[test]
+    fn selector_matches_either_direction_and_wildcards() {
+        let m = EndpointMatch::between("sw", "pi");
+        assert!(m.matches("sw", "pi") && m.matches("pi", "sw"));
+        assert!(!m.matches("sw", "gw"));
+        let n = EndpointMatch::node("pi");
+        assert!(n.matches("pi", "anything") && n.matches("anything", "pi"));
+        assert!(!n.matches("a", "b"));
+        assert!(EndpointMatch::any().matches("x", "y"));
+    }
+
+    #[test]
+    fn outage_window_drops_exactly_inside_the_window() {
+        let plan = FaultPlan {
+            seed: 0,
+            links: Vec::new(),
+            outages: vec![Outage {
+                on: EndpointMatch::node("pi"),
+                start_us: 1_000,
+                end_us: 2_000,
+            }],
+        };
+        assert!(!plan.is_noop());
+        let link = plan.compile("sw", "pi");
+        assert_eq!(plan.judge(&link, 999, 1), Delivery::CLEAN);
+        let hit = plan.judge(&link, 1_000, 2);
+        assert_eq!((hit.copies, hit.outage), (0, true));
+        assert_eq!(plan.judge(&link, 2_000, 3), Delivery::CLEAN);
+        // Unmatched links never go dark.
+        let other = plan.compile("gw", "internet");
+        assert_eq!(plan.judge(&other, 1_500, 4), Delivery::CLEAN);
+        // Elapsed-outage accounting clips to `now`.
+        assert_eq!(plan.outage_micros_until(0), 0);
+        assert_eq!(plan.outage_micros_until(1_500), 500);
+        assert_eq!(plan.outage_micros_until(10_000), 1_000);
+    }
+
+    #[test]
+    fn latency_jitter_and_duplication_apply() {
+        let plan = FaultPlan {
+            seed: 3,
+            links: vec![LinkFault {
+                on: EndpointMatch::any(),
+                impairment: Impairment {
+                    extra_latency_us: 30_000,
+                    jitter_us: 20_000,
+                    duplicate_per_mille: 1000,
+                    ..Impairment::default()
+                },
+            }],
+            outages: Vec::new(),
+        };
+        let link = plan.compile("a", "b");
+        let mut saw_jitter_spread = false;
+        let first = plan.judge(&link, 0, 0).extra_delay_us;
+        for d in 0..100 {
+            let v = plan.judge(&link, 0, d);
+            assert_eq!(v.copies, 2, "1000‰ duplication always doubles");
+            assert!((30_000..=50_000).contains(&v.extra_delay_us));
+            saw_jitter_spread |= v.extra_delay_us != first;
+        }
+        assert!(saw_jitter_spread, "jitter must actually vary");
+    }
+
+    #[test]
+    fn first_matching_link_fault_wins() {
+        let plan = FaultPlan {
+            seed: 1,
+            links: vec![
+                LinkFault {
+                    on: EndpointMatch::node("pi"),
+                    impairment: Impairment {
+                        drop_per_mille: 1000,
+                        ..Impairment::default()
+                    },
+                },
+                LinkFault {
+                    on: EndpointMatch::any(),
+                    impairment: Impairment {
+                        duplicate_per_mille: 1000,
+                        ..Impairment::default()
+                    },
+                },
+            ],
+            outages: Vec::new(),
+        };
+        let pi = plan.compile("sw", "pi");
+        assert_eq!(plan.judge(&pi, 0, 1).copies, 0, "pi rule shadows the wildcard");
+        let other = plan.compile("sw", "gw");
+        assert_eq!(plan.judge(&other, 0, 1).copies, 2);
+    }
+
+    #[test]
+    fn jitter_sample_is_bounded_and_deterministic() {
+        for e in 0..50 {
+            let v = FaultPlan::jitter_sample(9, e, 100);
+            assert!(v <= 100);
+            assert_eq!(v, FaultPlan::jitter_sample(9, e, 100));
+        }
+        assert_eq!(FaultPlan::jitter_sample(9, 1, 0), 0);
+    }
+}

@@ -148,6 +148,10 @@ pub struct FleetCensus {
     pub rfc8925_engaged: usize,
     /// Clients redirected to the intervention page.
     pub intervened: usize,
+    /// Scenarios where injected faults visibly bit: frames lost to the
+    /// fault plan, or NAT64 bindings refused by a saturated table. Zero
+    /// on every clean fleet, so pre-fault reports are unchanged.
+    pub degraded: usize,
 }
 
 /// `p50` / `p90` / `max` over a per-scenario quantity.
@@ -215,6 +219,13 @@ impl FleetReport {
             census.with_v4_path += usize::from(r.census.has_v4);
             census.rfc8925_engaged += usize::from(r.verdict.rfc8925_engaged);
             census.intervened += usize::from(r.verdict.intervened);
+            let nat64_refusals = r
+                .metrics
+                .node("5g-gw")
+                .map(|n| n.device.get("nat64.dropped_table_full"))
+                .unwrap_or(0);
+            census.degraded +=
+                usize::from(r.metrics.faults.total_dropped() > 0 || nat64_refusals > 0);
         }
         let timing = FleetTiming {
             completed_us: Percentiles::of(
@@ -232,6 +243,28 @@ impl FleetReport {
             census,
             timing,
         }
+    }
+
+    /// Census broken down by OS profile (sorted by profile name): which
+    /// populations still reach the explanation portal, hold a v4 path,
+    /// or degrade under the injected faults. The per-profile rows are
+    /// what the clean-vs-impaired diff in `examples/fleet_census.rs`
+    /// compares.
+    pub fn census_by_os(&self) -> Vec<(String, FleetCensus)> {
+        let mut rows: std::collections::BTreeMap<String, FleetCensus> =
+            std::collections::BTreeMap::new();
+        for r in &self.results {
+            let sub = FleetReport::aggregate(vec![r.clone()]).census;
+            let row = rows.entry(r.census.os.clone()).or_default();
+            row.associated += sub.associated;
+            row.naive_v6only += sub.naive_v6only;
+            row.accurate_v6only += sub.accurate_v6only;
+            row.with_v4_path += sub.with_v4_path;
+            row.rfc8925_engaged += sub.rfc8925_engaged;
+            row.intervened += sub.intervened;
+            row.degraded += sub.degraded;
+        }
+        rows.into_iter().collect()
     }
 
     /// Sum one named device counter for the node called `node` across
@@ -255,9 +288,13 @@ impl FleetReport {
         }
         let c = &self.census;
         out.push_str(&format!(
-            "census: associated={} naive-v6only={} accurate-v6only={} with-v4-path={} rfc8925={} intervened={}\n",
+            "census: associated={} naive-v6only={} accurate-v6only={} with-v4-path={} rfc8925={} intervened={}",
             c.associated, c.naive_v6only, c.accurate_v6only, c.with_v4_path, c.rfc8925_engaged, c.intervened,
         ));
+        if c.degraded > 0 {
+            out.push_str(&format!(" degraded={}", c.degraded));
+        }
+        out.push('\n');
         let t = &self.timing;
         out.push_str(&format!(
             "sim-timing: completed_us p50={} p90={} max={}; events p50={} p90={} max={}\n",
@@ -281,7 +318,7 @@ pub fn run_serial(scenarios: &[Scenario]) -> FleetReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use v6testbed::scenario::{PoisonVariant, TopologyVariant};
+    use v6testbed::scenario::{FaultVariant, PoisonVariant, TopologyVariant};
     use v6testbed::Scenario;
     use v6host::profiles::OsProfile;
 
@@ -297,6 +334,7 @@ mod tests {
             os,
             topology: TopologyVariant::PaperDefault,
             poison: PoisonVariant::WildcardA,
+            fault: FaultVariant::Clean,
             seed: 0x900 + i as u64,
         })
         .collect()

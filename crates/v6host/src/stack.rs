@@ -41,7 +41,18 @@ use v6wire::udp::{port, UdpDatagram};
 use v6xlat::clat::Clat;
 
 const PORT_FLOOR: u16 = 49152;
-const DNS_TIMEOUT: SimTime = SimTime::from_millis(800);
+/// First-attempt DNS timeout. Later attempts rotate through the resolver
+/// chain glibc-style (attempt `n` targets resolver `n % chain_len`) with
+/// the timeout doubling each full cycle plus deterministic jitter, so a
+/// resolver outage is survived by retransmission instead of a single
+/// fixed 800 ms verdict.
+const DNS_TIMEOUT_BASE: SimTime = SimTime::from_millis(400);
+/// Retransmission rounds through the whole chain before giving up.
+const DNS_TRIES_PER_RESOLVER: u32 = 4;
+/// Cap on the exponential doubling (base << 3 = 3.2 s).
+const DNS_BACKOFF_CAP: u32 = 3;
+/// DHCP DISCOVER/REQUEST retries before giving up (RFC 2131 backoff).
+const DHCP_MAX_TRIES: u32 = 5;
 const ATTEMPT_TIMEOUT: SimTime = SimTime::from_millis(500);
 const TASK_DEADLINE: SimTime = SimTime::from_secs(8);
 
@@ -112,12 +123,14 @@ enum Phase {
     Resolving {
         a: Option<Vec<Record>>,
         aaaa: Option<Vec<Record>>,
-        resolver_idx: usize,
+        /// Retransmission attempt (resolver = attempt % chain length).
+        attempt: u32,
     },
     NslookupTrying {
         candidates: Vec<DnsName>,
         name_idx: usize,
-        resolver_idx: usize,
+        /// Retransmission attempt (resolver = attempt % chain length).
+        attempt: u32,
     },
     Connecting {
         candidates: Vec<IpAddr>,
@@ -191,6 +204,14 @@ pub struct Host {
     pub dns_via_v6: u64,
     /// Queries sent to an IPv4 resolver.
     pub dns_via_v4: u64,
+    /// DNS attempts that hit their timeout.
+    pub dns_timeouts: u64,
+    /// DNS queries re-sent after a timeout (any resolver).
+    pub dns_retransmits: u64,
+    /// Retransmissions that rotated to a different resolver.
+    pub dns_failovers: u64,
+    /// DHCP DISCOVER/REQUEST retransmissions (RFC 2131 backoff).
+    pub dhcp_retries: u64,
 }
 
 impl Host {
@@ -242,6 +263,10 @@ impl Host {
             policy: PolicyTable::default(),
             dns_via_v6: 0,
             dns_via_v4: 0,
+            dns_timeouts: 0,
+            dns_retransmits: 0,
+            dns_failovers: 0,
+            dhcp_retries: 0,
             name,
         }
     }
@@ -456,7 +481,14 @@ impl Host {
 
     fn start_dhcp(&mut self, ctx: &mut Ctx) {
         let now = ctx.now.as_secs();
-        if let ClientEvent::Send(msg) = self.dhcp.start(now) {
+        // First try opens a fresh exchange; later tries retransmit the
+        // in-flight DISCOVER/REQUEST with the same xid (RFC 2131 §4.1).
+        let ev = if self.dhcp_tries == 0 {
+            self.dhcp.start(now)
+        } else {
+            self.dhcp.retransmit(now)
+        };
+        if let ClientEvent::Send(msg) = ev {
             let dgram = UdpDatagram::new(port::DHCP_CLIENT, port::DHCP_SERVER, msg.encode());
             let frame = v6wire::packet::build_udp_v4(
                 self.mac,
@@ -467,8 +499,13 @@ impl Host {
             );
             ctx.send(0, frame);
             self.dhcp_tries += 1;
-            if self.dhcp_tries < 5 {
-                ctx.timer_in(SimTime::from_secs(2), token(TK_DHCP, self.dhcp_tries as u64, 0));
+            if self.dhcp_tries < DHCP_MAX_TRIES {
+                // 4 s, 8 s, 16 s, ... ±1 s of deterministic jitter.
+                let ms = v6dhcp::client::retry_backoff_ms(self.dhcp_tries - 1, self.secret);
+                ctx.timer_in(
+                    SimTime::from_millis(ms),
+                    token(TK_DHCP, self.dhcp_tries as u64, 0),
+                );
             }
         }
     }
@@ -705,7 +742,7 @@ impl Host {
                     state.phase = Phase::NslookupTrying {
                         candidates: candidates.clone(),
                         name_idx: 0,
-                        resolver_idx: 0,
+                        attempt: 0,
                     };
                 }
                 self.try_nslookup(id, rtype, ctx);
@@ -729,9 +766,29 @@ impl Host {
         }
     }
 
-    fn begin_resolving(&mut self, id: u64, name: &DnsName, resolver_idx: usize, ctx: &mut Ctx) {
+    /// Jittered exponential timeout for DNS attempt `attempt` over a
+    /// chain of `chain_len` resolvers. The first attempt is fixed (clean
+    /// runs stay reproducible down to the frame); retransmissions add a
+    /// deterministic jitter drawn from the host secret so a fleet of
+    /// hosts never retries in lockstep.
+    fn dns_attempt_timeout(&self, task: u64, attempt: u32, chain_len: usize) -> SimTime {
+        let round = attempt / chain_len.max(1) as u32;
+        let base_us = DNS_TIMEOUT_BASE.as_micros() << round.min(DNS_BACKOFF_CAP);
+        let jitter_us = if attempt == 0 {
+            0
+        } else {
+            v6sim::fault::FaultPlan::jitter_sample(
+                self.secret,
+                token(TK_DNS, task, u64::from(attempt)),
+                base_us / 4,
+            )
+        };
+        SimTime::from_micros(base_us + jitter_us)
+    }
+
+    fn begin_resolving(&mut self, id: u64, name: &DnsName, attempt: u32, ctx: &mut Ctx) {
         let chain = self.resolver_chain();
-        if resolver_idx >= chain.len() {
+        if chain.is_empty() || attempt >= chain.len() as u32 * DNS_TRIES_PER_RESOLVER {
             self.finish(id, TaskOutcome::DnsFailed);
             return;
         }
@@ -739,10 +796,13 @@ impl Host {
             state.phase = Phase::Resolving {
                 a: None,
                 aaaa: None,
-                resolver_idx,
+                attempt,
             };
         }
-        let resolver = chain[resolver_idx];
+        // glibc-style rotation: attempt n targets resolver n % chain_len,
+        // so a dead first resolver costs one base timeout, not a full
+        // per-resolver backoff ladder.
+        let resolver = chain[attempt as usize % chain.len()];
         let name = name.clone();
         // Query AAAA only when the host could use it; A only when a v4 or
         // CLAT path exists. Always at least one.
@@ -759,17 +819,18 @@ impl Host {
         if want_a {
             self.send_dns_query(id, &name, RType::A, resolver, ctx);
         }
-        ctx.timer_in(DNS_TIMEOUT, token(TK_DNS, id, resolver_idx as u64));
+        let timeout = self.dns_attempt_timeout(id, attempt, chain.len());
+        ctx.timer_in(timeout, token(TK_DNS, id, u64::from(attempt)));
     }
 
     fn try_nslookup(&mut self, id: u64, rtype: RType, ctx: &mut Ctx) {
-        let (name, resolver_idx) = match self.tasks.get(&id) {
+        let (name, attempt) = match self.tasks.get(&id) {
             Some(TaskState {
                 phase:
                     Phase::NslookupTrying {
                         candidates,
                         name_idx,
-                        resolver_idx,
+                        attempt,
                     },
                 ..
             }) => {
@@ -777,18 +838,19 @@ impl Host {
                     self.finish(id, TaskOutcome::DnsFailed);
                     return;
                 }
-                (candidates[*name_idx].clone(), *resolver_idx)
+                (candidates[*name_idx].clone(), *attempt)
             }
             _ => return,
         };
         let chain = self.resolver_chain();
-        if resolver_idx >= chain.len() {
+        if chain.is_empty() || attempt >= chain.len() as u32 * DNS_TRIES_PER_RESOLVER {
             self.finish(id, TaskOutcome::DnsFailed);
             return;
         }
-        let resolver = chain[resolver_idx];
+        let resolver = chain[attempt as usize % chain.len()];
         self.send_dns_query(id, &name, rtype, resolver, ctx);
-        ctx.timer_in(DNS_TIMEOUT, token(TK_DNS, id, resolver_idx as u64));
+        let timeout = self.dns_attempt_timeout(id, attempt, chain.len());
+        ctx.timer_in(timeout, token(TK_DNS, id, u64::from(attempt)));
     }
 
     fn on_dns_response(&mut self, msg: &DnsMessage, ctx: &mut Ctx) {
@@ -818,7 +880,7 @@ impl Host {
             Phase::NslookupTrying {
                 candidates,
                 name_idx,
-                resolver_idx: _,
+                attempt: _,
             } => {
                 if msg.rcode == Rcode::NoError && !msg.answers.is_empty() {
                     let answered = candidates[*name_idx].clone();
@@ -1363,6 +1425,19 @@ impl Node for Host {
         &self.name
     }
 
+    fn device_metrics(&self) -> v6wire::metrics::Metrics {
+        [
+            ("dns.via_v6", self.dns_via_v6),
+            ("dns.via_v4", self.dns_via_v4),
+            ("dns.timeouts", self.dns_timeouts),
+            ("dns.retransmits", self.dns_retransmits),
+            ("dns.failovers", self.dns_failovers),
+            ("dhcp.retries", self.dhcp_retries),
+        ]
+        .into_iter()
+        .collect()
+    }
+
     fn start(&mut self, ctx: &mut Ctx) {
         if self.profile.ipv6_enabled {
             self.send_rs(ctx);
@@ -1383,56 +1458,63 @@ impl Node for Host {
                 }
             TK_DHCP
                 if self.v4.is_none() && !self.v6only_mode && self.profile.ipv4_enabled => {
+                    self.dhcp_retries += 1;
                     self.start_dhcp(ctx);
                 }
             TK_DNS => {
                 let id = a;
-                // Resolver attempt `b` timed out; try the next resolver.
+                let attempt = b as u32;
+                // Attempt `b` timed out. Stale timers (a later attempt or a
+                // finished resolution already superseded it) are ignored.
                 let next_action = match self.tasks.get(&id) {
                     Some(TaskState {
-                        phase: Phase::Resolving { a, aaaa, resolver_idx },
+                        phase: Phase::Resolving { a, aaaa, attempt: cur },
                         task,
-                    }) if *resolver_idx == b as usize => {
+                    }) if *cur == attempt => {
                         // Partial answers count; only retry if nothing usable.
                         let have_any = a.as_ref().map(|v| !v.is_empty()).unwrap_or(false)
                             || aaaa.as_ref().map(|v| !v.is_empty()).unwrap_or(false);
                         if have_any {
                             Some(None)
                         } else {
-                            Some(Some((task.clone(), *resolver_idx + 1)))
+                            Some(Some(task.clone()))
                         }
                     }
                     Some(TaskState {
-                        phase: Phase::NslookupTrying { resolver_idx, .. },
+                        phase: Phase::NslookupTrying { attempt: cur, .. },
                         ..
-                    }) if *resolver_idx == b as usize => {
-                        // Bump resolver for nslookup.
-                        Some(Some((self.tasks[&id].task.clone(), *resolver_idx + 1)))
-                    }
+                    }) if *cur == attempt => Some(Some(self.tasks[&id].task.clone())),
                     _ => None,
                 };
                 match next_action {
-                    Some(Some((task, next_idx))) => {
-                        let chain = self.resolver_chain();
-                        if next_idx >= chain.len() {
-                            self.finish(id, TaskOutcome::DnsFailed);
-                        } else {
-                            match task {
-                                AppTask::Browse { name, .. } | AppTask::Ping { name } => {
-                                    self.begin_resolving(id, &name, next_idx, ctx);
-                                }
-                                AppTask::Nslookup { rtype, .. } => {
-                                    if let Some(TaskState {
-                                        phase: Phase::NslookupTrying { resolver_idx, .. },
-                                        ..
-                                    }) = self.tasks.get_mut(&id)
-                                    {
-                                        *resolver_idx = next_idx;
-                                    }
-                                    self.try_nslookup(id, rtype, ctx);
-                                }
-                                _ => {}
+                    Some(Some(task)) => {
+                        self.dns_timeouts += 1;
+                        // Retransmit with backoff, rotating resolvers; the
+                        // begin_/try_ paths finish with DnsFailed once the
+                        // whole budget (chain × tries) is spent.
+                        let chain_len = self.resolver_chain().len();
+                        let next = attempt + 1;
+                        if chain_len > 0 && next < chain_len as u32 * DNS_TRIES_PER_RESOLVER {
+                            self.dns_retransmits += 1;
+                            if chain_len > 1 {
+                                self.dns_failovers += 1;
                             }
+                        }
+                        match task {
+                            AppTask::Browse { name, .. } | AppTask::Ping { name } => {
+                                self.begin_resolving(id, &name, next, ctx);
+                            }
+                            AppTask::Nslookup { rtype, .. } => {
+                                if let Some(TaskState {
+                                    phase: Phase::NslookupTrying { attempt, .. },
+                                    ..
+                                }) = self.tasks.get_mut(&id)
+                                {
+                                    *attempt = next;
+                                }
+                                self.try_nslookup(id, rtype, ctx);
+                            }
+                            _ => {}
                         }
                     }
                     Some(None) => {

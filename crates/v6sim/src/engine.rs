@@ -5,11 +5,12 @@
 //! binary-heap event queue keyed on `(time, sequence)` so runs are exactly
 //! reproducible.
 
-use crate::metrics::{EngineMetrics, LinkCounters, MetricsSnapshot, NodeMetrics};
+use crate::metrics::{EngineMetrics, FaultCounters, LinkCounters, MetricsSnapshot, NodeMetrics};
 use crate::time::SimTime;
 use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use v6fault::{CompiledLink, Delivery, FaultPlan};
 use v6wire::metrics::Metrics;
 
 /// Index of a node within a [`Network`].
@@ -121,6 +122,16 @@ pub struct Network {
     pub capture_frames: bool,
     /// Raw frames captured while [`Network::capture_frames`] was on.
     pub captured: Vec<crate::pcap::CapturedFrame>,
+    /// The installed fault schedule (default: no-op, fault path skipped).
+    fault_plan: FaultPlan,
+    /// Whether `fault_plan` can ever alter a frame, cached once.
+    fault_active: bool,
+    /// Per-directed-link compilation of the plan, filled lazily (links
+    /// are never removed and node names never change).
+    fault_links: HashMap<(NodeId, NodeId), CompiledLink>,
+    /// Monotone per-judged-frame counter feeding the decision hash.
+    fault_decisions: u64,
+    fault_counters: FaultCounters,
 }
 
 impl Default for Network {
@@ -146,7 +157,26 @@ impl Network {
             frames_delivered: 0,
             capture_frames: false,
             captured: Vec::new(),
+            fault_plan: FaultPlan::default(),
+            fault_active: false,
+            fault_links: HashMap::new(),
+            fault_decisions: 0,
+            fault_counters: FaultCounters::default(),
         }
+    }
+
+    /// Install a fault schedule. A no-op plan (the default) disables the
+    /// fault path entirely, keeping runs bit-identical to a network that
+    /// never heard of faults.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_active = !plan.is_noop();
+        self.fault_plan = plan;
+        self.fault_links.clear();
+    }
+
+    /// The installed fault schedule.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
     }
 
     /// Current simulation time.
@@ -237,31 +267,56 @@ impl Network {
                     self.node_counters[node].frames_tx += 1;
                     self.node_counters[node].bytes_tx += frame.len() as u64;
                     if let Some(&(dst, dst_port, latency)) = self.links.get(&(node, port)) {
-                        self.engine_counters.frames_forwarded += 1;
-                        if self.capture_frames && self.captured.len() < self.trace_limit {
-                            self.captured.push(crate::pcap::CapturedFrame {
-                                at: self.now + latency,
-                                bytes: frame.clone(),
-                            });
+                        let verdict = if self.fault_active {
+                            self.judge_fault(node, dst)
+                        } else {
+                            Delivery::CLEAN
+                        };
+                        if verdict.copies == 0 {
+                            if verdict.outage {
+                                self.fault_counters.outage_dropped += 1;
+                            } else {
+                                self.fault_counters.dropped += 1;
+                            }
+                            if self.trace.len() < self.trace_limit {
+                                self.trace.push(TraceEntry {
+                                    at: self.now + latency,
+                                    from: self.nodes[node].name().to_string(),
+                                    to: self.nodes[dst].name().to_string(),
+                                    summary: format!(
+                                        "FAULT-DROP {}",
+                                        v6wire::packet::summarize(&frame)
+                                    ),
+                                    len: frame.len(),
+                                });
+                            }
+                            continue;
                         }
-                        let summary = v6wire::packet::summarize(&frame);
-                        if self.trace.len() < self.trace_limit {
-                            self.trace.push(TraceEntry {
-                                at: self.now + latency,
-                                from: self.nodes[node].name().to_string(),
-                                to: self.nodes[dst].name().to_string(),
-                                summary,
-                                len: frame.len(),
-                            });
+                        let mut frame = frame;
+                        if verdict.corrupt && !frame.is_empty() {
+                            let idx = self.fault_decisions as usize % frame.len();
+                            frame[idx] ^= 0xff;
+                            self.fault_counters.corrupted += 1;
                         }
-                        self.push(
-                            self.now + latency,
-                            dst,
-                            EventKind::Frame {
-                                port: dst_port,
-                                frame,
-                            },
-                        );
+                        if verdict.truncate && frame.len() > 1 {
+                            frame.truncate(frame.len() / 2);
+                            self.fault_counters.truncated += 1;
+                        }
+                        if verdict.extra_delay_us > 0 {
+                            self.fault_counters.delayed += 1;
+                        }
+                        let deliver_at =
+                            self.now + latency + SimTime::from_micros(verdict.extra_delay_us);
+                        // Duplicate copies trail the original slightly, like a
+                        // retransmitting radio link.
+                        let dups: Vec<Vec<u8>> =
+                            (1..verdict.copies).map(|_| frame.clone()).collect();
+                        self.forward(node, dst, dst_port, deliver_at, frame);
+                        for (i, dup) in dups.into_iter().enumerate() {
+                            self.fault_counters.duplicated += 1;
+                            let at = deliver_at + SimTime::from_micros((i as u64 + 1) * 150);
+                            self.forward(node, dst, dst_port, at, dup);
+                        }
                     } else {
                         // Unlinked port: dropped (cable unplugged), but the
                         // attempt still shows up in the counters.
@@ -274,6 +329,56 @@ impl Network {
                 }
             }
         }
+    }
+
+    /// Schedule one frame delivery: counters, optional pcap capture, a
+    /// trace entry, and the queue push.
+    fn forward(&mut self, src: NodeId, dst: NodeId, dst_port: u32, at: SimTime, frame: Vec<u8>) {
+        self.engine_counters.frames_forwarded += 1;
+        if self.capture_frames && self.captured.len() < self.trace_limit {
+            self.captured.push(crate::pcap::CapturedFrame {
+                at,
+                bytes: frame.clone(),
+            });
+        }
+        if self.trace.len() < self.trace_limit {
+            self.trace.push(TraceEntry {
+                at,
+                from: self.nodes[src].name().to_string(),
+                to: self.nodes[dst].name().to_string(),
+                summary: v6wire::packet::summarize(&frame),
+                len: frame.len(),
+            });
+        }
+        self.push(
+            at,
+            dst,
+            EventKind::Frame {
+                port: dst_port,
+                frame,
+            },
+        );
+    }
+
+    /// Ask the installed plan what happens to one frame on `src -> dst`.
+    /// Only called when a non-default plan is installed.
+    fn judge_fault(&mut self, src: NodeId, dst: NodeId) -> Delivery {
+        if !self.fault_links.contains_key(&(src, dst)) {
+            let compiled = self
+                .fault_plan
+                .compile(self.nodes[src].name(), self.nodes[dst].name());
+            self.fault_links.insert((src, dst), compiled);
+        }
+        // The decision counter advances for every judged frame — clean
+        // link or not — so adding an unrelated link fault never shifts
+        // another link's sampling stream order-dependently.
+        self.fault_decisions += 1;
+        let decision = self.fault_decisions;
+        let link = self.fault_links.get(&(src, dst)).expect("compiled above");
+        if link.is_clean() {
+            return Delivery::CLEAN;
+        }
+        self.fault_plan.judge(link, self.now.as_micros(), decision)
     }
 
     /// Process events until the queue is empty or `deadline` passes.
@@ -341,8 +446,11 @@ impl Network {
     pub fn metrics(&self) -> MetricsSnapshot {
         let mut engine = self.engine_counters;
         engine.frames_delivered = self.frames_delivered;
+        let mut faults = self.fault_counters;
+        faults.outage_micros = self.fault_plan.outage_micros_until(self.now.as_micros());
         MetricsSnapshot {
             engine,
+            faults,
             nodes: self
                 .nodes
                 .iter()

@@ -6,7 +6,8 @@
 //! a virtual clock and a seeded RNG make every run reproducible.
 //!
 //! * [`time`] — the virtual clock ([`time::SimTime`])
-//! * [`engine`] — event queue, nodes, links, frame tracing
+//! * [`engine`] — event queue, nodes, links, frame tracing, and the
+//!   link-layer fault-injection hook ([`engine::Network::set_fault_plan`])
 //! * [`l2`] — learning Ethernet switch and the paper's *managed switch*
 //!   (low-priority RA injection + DHCPv4 snooping)
 //! * [`gateway`] — the 5G mobile internet gateway with its documented
@@ -22,6 +23,10 @@
 
 pub mod engine;
 pub mod gateway;
+
+/// Re-export of the fault-injection vocabulary (`v6fault`): downstream
+/// crates build [`fault::FaultPlan`]s without a direct dependency.
+pub use v6fault as fault;
 pub mod l2;
 pub mod metrics;
 pub mod nat44;

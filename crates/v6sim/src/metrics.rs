@@ -30,6 +30,51 @@ pub struct EngineMetrics {
     pub queue_high_water: u64,
 }
 
+/// Injected-fault totals across the whole network (all zero unless a
+/// non-default [`v6fault::FaultPlan`] is installed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Frames dropped by random loss.
+    pub dropped: u64,
+    /// Frames dropped inside a scheduled outage window.
+    pub outage_dropped: u64,
+    /// Frames delivered with extra delay (latency, jitter, reordering).
+    pub delayed: u64,
+    /// Extra copies scheduled beyond the original frame.
+    pub duplicated: u64,
+    /// Frames delivered with a flipped payload byte.
+    pub corrupted: u64,
+    /// Frames delivered cut to half length.
+    pub truncated: u64,
+    /// Microseconds of scheduled outage elapsed at snapshot time.
+    pub outage_micros: u64,
+}
+
+impl FaultCounters {
+    /// Frames the fault layer removed from the network entirely.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped + self.outage_dropped
+    }
+
+    /// The counters in [`v6wire::metrics::Metrics`] form, under the
+    /// canonical `fault.*` names. Empty when nothing was injected, so
+    /// merging it into a clean snapshot changes nothing.
+    pub fn as_metrics(&self) -> Metrics {
+        use v6wire::metrics::fault_names as n;
+        [
+            (n::DROPPED, self.dropped),
+            (n::OUTAGE_DROPPED, self.outage_dropped),
+            (n::DELAYED, self.delayed),
+            (n::DUPLICATED, self.duplicated),
+            (n::CORRUPTED, self.corrupted),
+            (n::TRUNCATED, self.truncated),
+            (n::OUTAGE_SECS, self.outage_micros / 1_000_000),
+        ]
+        .into_iter()
+        .collect()
+    }
+}
+
 /// The engine's physical-layer view of one node.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LinkCounters {
@@ -64,6 +109,8 @@ pub struct NodeMetrics {
 pub struct MetricsSnapshot {
     /// Engine-wide totals.
     pub engine: EngineMetrics,
+    /// Injected-fault totals (all zero on a clean run).
+    pub faults: FaultCounters,
     /// Per-node rows, ordered by node id.
     pub nodes: Vec<NodeMetrics>,
 }
@@ -85,6 +132,11 @@ impl MetricsSnapshot {
     pub fn total_frames_rx(&self) -> u64 {
         self.nodes.iter().map(|n| n.link.frames_rx).sum()
     }
+
+    /// The injected-fault totals as named `fault.*` counters.
+    pub fn fault_metrics(&self) -> Metrics {
+        self.faults.as_metrics()
+    }
 }
 
 impl fmt::Display for MetricsSnapshot {
@@ -102,6 +154,22 @@ impl fmt::Display for MetricsSnapshot {
             e.timers_fired,
             e.queue_high_water,
         )?;
+        // Clean runs render exactly as they always did; the fault line
+        // only appears once something was actually injected.
+        if self.faults != FaultCounters::default() {
+            let fc = &self.faults;
+            writeln!(
+                f,
+                "faults: dropped={} outage_dropped={} delayed={} duplicated={} corrupted={} truncated={} outage_secs={}",
+                fc.dropped,
+                fc.outage_dropped,
+                fc.delayed,
+                fc.duplicated,
+                fc.corrupted,
+                fc.truncated,
+                fc.outage_micros / 1_000_000,
+            )?;
+        }
         for n in &self.nodes {
             let l = &n.link;
             writeln!(

@@ -4,6 +4,7 @@
 use proptest::prelude::*;
 use std::any::Any;
 use v6sim::engine::{Ctx, Network, Node};
+use v6sim::fault::{EndpointMatch, FaultPlan, Impairment, LinkFault, Outage};
 use v6sim::time::SimTime;
 
 /// A node that emits `burst` frames at start, re-emits each received
@@ -95,9 +96,13 @@ proptest! {
         net.run_until(SimTime::from_secs(60));
 
         let m = net.metrics();
+        // The general conservation law: transmissions plus fault-injected
+        // copies all either reach a link or are accounted as drops. With
+        // no fault plan installed every `fault.*` term is zero and this
+        // is the original tx == forwarded + unlinked identity.
         prop_assert_eq!(
-            m.total_frames_tx(),
-            m.engine.frames_forwarded + m.engine.frames_dropped_unlinked
+            m.total_frames_tx() + m.faults.duplicated,
+            m.engine.frames_forwarded + m.faults.total_dropped() + m.engine.frames_dropped_unlinked
         );
         prop_assert_eq!(m.total_frames_rx(), m.engine.frames_delivered);
         // Queue drained ⇒ everything forwarded was delivered.
@@ -113,6 +118,70 @@ proptest! {
         // in this test is 2 bytes).
         let bytes_tx: u64 = m.nodes.iter().map(|n| n.link.bytes_tx).sum();
         prop_assert_eq!(bytes_tx, 2 * m.total_frames_tx());
+    }
+
+    /// The conservation law survives an arbitrary seeded fault plan —
+    /// loss, duplication, delay, corruption, truncation, and outage
+    /// windows — and the whole run is deterministic: building the same
+    /// network twice under the same plan gives equal snapshots.
+    ///
+    /// Chatter here is echo-free (`echoes = 0`): payload corruption may
+    /// rewrite the hop-budget byte, and an echoing receiver would turn
+    /// one corrupted frame into an unbounded storm.
+    #[test]
+    fn conservation_and_determinism_hold_under_faults(
+        pairs in prop::collection::vec((1u8..5, 0u8..4), 1..4),
+        seed in any::<u64>(),
+        drop_pm in 0u16..400,
+        dup_pm in 0u16..300,
+        corrupt_pm in 0u16..200,
+        truncate_pm in 0u16..200,
+        jitter_us in 0u64..5_000,
+        outage_start in 0u64..40_000,
+        outage_len in 0u64..40_000,
+    ) {
+        let plan = FaultPlan {
+            seed,
+            links: vec![LinkFault {
+                on: EndpointMatch::any(),
+                impairment: Impairment {
+                    drop_per_mille: drop_pm,
+                    duplicate_per_mille: dup_pm,
+                    corrupt_per_mille: corrupt_pm,
+                    truncate_per_mille: truncate_pm,
+                    extra_latency_us: 300,
+                    jitter_us,
+                    reorder_per_mille: 100,
+                    reorder_window_us: 2_000,
+                },
+            }],
+            outages: vec![Outage {
+                on: EndpointMatch::any(),
+                start_us: outage_start,
+                end_us: outage_start + outage_len,
+            }],
+        };
+        let build = || {
+            let mut net = Network::new();
+            for (i, &(burst, ticks)) in pairs.iter().enumerate() {
+                let a = net.add_node(Box::new(Chatter::new(2 * i, burst, 0, ticks)));
+                let b = net.add_node(Box::new(Chatter::new(2 * i + 1, burst, 0, ticks)));
+                net.link(a, 0, b, 0, SimTime::from_micros(50));
+            }
+            net.set_fault_plan(plan.clone());
+            net.run_until(SimTime::from_secs(60));
+            net.metrics()
+        };
+        let m = build();
+        prop_assert_eq!(
+            m.total_frames_tx() + m.faults.duplicated,
+            m.engine.frames_forwarded + m.faults.total_dropped() + m.engine.frames_dropped_unlinked
+        );
+        // Drained queue: whatever the fault layer let through arrived.
+        prop_assert_eq!(m.engine.frames_forwarded, m.engine.frames_delivered);
+        prop_assert_eq!(m.total_frames_rx(), m.engine.frames_delivered);
+        // Same inputs, same plan, same world — twice.
+        prop_assert_eq!(m, build());
     }
 
     /// Snapshots are cumulative and monotone: running longer never

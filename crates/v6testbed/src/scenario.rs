@@ -19,6 +19,7 @@ use std::net::IpAddr;
 use v6dns::poison::PoisonPolicy;
 use v6host::profiles::OsProfile;
 use v6host::tasks::{AppTask, TaskOutcome};
+use v6sim::fault::{EndpointMatch, FaultPlan, Impairment, LinkFault, Outage};
 use v6sim::metrics::MetricsSnapshot;
 use v6sim::time::SimTime;
 
@@ -83,6 +84,98 @@ impl PoisonVariant {
     }
 }
 
+/// Which failure regime the scenario runs under — the fault dimension of
+/// the evaluation matrix. `Clean` installs nothing and stays bit-identical
+/// to the pre-fault testbed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FaultVariant {
+    /// Perfect network (the original matrix).
+    #[default]
+    Clean,
+    /// The 5G uplink degrades: loss, latency, jitter, reordering,
+    /// duplication, plus a mid-run link flap.
+    LossyUplink,
+    /// The Raspberry Pi (DNS64 + poisoned dnsmasq + DHCP) goes dark for a
+    /// crash-and-restart window right as the browse workload starts.
+    Dns64Outage,
+    /// The carrier NAT64's translation table is already saturated by other
+    /// subscribers: no new bindings, existing ones keep refreshing.
+    Nat64Exhaustion,
+}
+
+impl FaultVariant {
+    /// All variants, in matrix order.
+    pub const ALL: [FaultVariant; 4] = [
+        FaultVariant::Clean,
+        FaultVariant::LossyUplink,
+        FaultVariant::Dns64Outage,
+        FaultVariant::Nat64Exhaustion,
+    ];
+
+    /// Short stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultVariant::Clean => "clean",
+            FaultVariant::LossyUplink => "lossy-uplink",
+            FaultVariant::Dns64Outage => "dns64-outage",
+            FaultVariant::Nat64Exhaustion => "nat64-exhaustion",
+        }
+    }
+
+    /// The seeded [`FaultPlan`] this variant installs (keyed to the
+    /// testbed's node names). `Clean` and `Nat64Exhaustion` return the
+    /// no-op plan — exhaustion is a device-table condition, not a link
+    /// impairment.
+    pub fn plan(self, seed: u64) -> FaultPlan {
+        match self {
+            FaultVariant::Clean | FaultVariant::Nat64Exhaustion => FaultPlan::default(),
+            FaultVariant::LossyUplink => FaultPlan {
+                seed,
+                links: vec![LinkFault {
+                    on: EndpointMatch::between("5g-gw", "internet"),
+                    impairment: Impairment {
+                        drop_per_mille: 25,
+                        extra_latency_us: 20_000,
+                        jitter_us: 15_000,
+                        reorder_per_mille: 40,
+                        reorder_window_us: 20_000,
+                        duplicate_per_mille: 15,
+                        ..Impairment::default()
+                    },
+                }],
+                // A short flap while the browse workload is in flight.
+                outages: vec![Outage {
+                    on: EndpointMatch::between("5g-gw", "internet"),
+                    start_us: 16_000_000,
+                    end_us: 16_600_000,
+                }],
+            },
+            FaultVariant::Dns64Outage => FaultPlan {
+                seed,
+                links: Vec::new(),
+                // The Pi crashes exactly as the post-boot workload starts
+                // (boot ends at 15 s) and is back 2.4 s later: long enough
+                // that the fixed-timeout stub of old would have declared
+                // DNS dead, short enough that backoff retransmission
+                // recovers within the task deadline.
+                outages: vec![Outage {
+                    on: EndpointMatch::node("raspberry-pi"),
+                    start_us: 15_000_000,
+                    end_us: 17_400_000,
+                }],
+            },
+        }
+    }
+
+    /// NAT64 binding cap this variant imposes on the gateway.
+    pub fn nat64_binding_cap(self) -> Option<usize> {
+        match self {
+            FaultVariant::Nat64Exhaustion => Some(0),
+            _ => None,
+        }
+    }
+}
+
 /// Address family a task completed over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PathFamily {
@@ -122,6 +215,8 @@ pub struct Scenario {
     pub topology: TopologyVariant,
     /// The IPv4 DNS intervention in force.
     pub poison: PoisonVariant,
+    /// The failure regime injected into the build.
+    pub fault: FaultVariant,
     /// RNG seed for the client's stack.
     pub seed: u64,
 }
@@ -129,8 +224,16 @@ pub struct Scenario {
 impl Scenario {
     /// The full matrix: every paper OS profile × every topology variant
     /// × every poison policy, with seeds derived from `base_seed` so two
-    /// matrices built from the same base are identical.
+    /// matrices built from the same base are identical. All cells run
+    /// clean; use [`Scenario::matrix_with_fault`] for an impaired sweep.
     pub fn matrix(base_seed: u64) -> Vec<Scenario> {
+        Self::matrix_with_fault(base_seed, FaultVariant::Clean)
+    }
+
+    /// The same matrix with every cell run under `fault`. Seeds depend
+    /// only on `base_seed` and cell index, so the clean and impaired
+    /// matrices are cell-for-cell comparable.
+    pub fn matrix_with_fault(base_seed: u64, fault: FaultVariant) -> Vec<Scenario> {
         let mut out = Vec::new();
         for topology in TopologyVariant::ALL {
             for poison in PoisonVariant::ALL {
@@ -140,6 +243,7 @@ impl Scenario {
                         os,
                         topology,
                         poison,
+                        fault,
                         seed,
                     });
                 }
@@ -148,13 +252,20 @@ impl Scenario {
         out
     }
 
-    /// Stable human-readable identifier (used as the report key).
+    /// Stable human-readable identifier (used as the report key). Clean
+    /// runs keep the historical three-part label so pre-fault reports
+    /// stay byte-identical; impaired runs append the fault dimension.
     pub fn label(&self) -> String {
+        let fault = match self.fault {
+            FaultVariant::Clean => String::new(),
+            f => format!("/{}", f.label()),
+        };
         format!(
-            "{}/{}/{}/seed{}",
+            "{}/{}/{}{}/seed{}",
             self.topology.label(),
             self.poison.label(),
             self.os.name,
+            fault,
             self.seed
         )
     }
@@ -173,6 +284,13 @@ impl Scenario {
             poison: self.poison.policy(),
             block_v4_internet: false,
         });
+        let plan = self.fault.plan(self.seed);
+        if !plan.is_noop() {
+            tb.net.set_fault_plan(plan);
+        }
+        if let Some(cap) = self.fault.nat64_binding_cap() {
+            tb.gateway().nat64.set_max_bindings(Some(cap));
+        }
         let id = tb.add_host_seeded(self.os.clone(), self.seed);
         tb.boot();
         let sc24 = tb.run_task(
@@ -285,7 +403,8 @@ mod tests {
             os: OsProfile::nintendo_switch(),
             topology: TopologyVariant::PaperDefault,
             poison: PoisonVariant::WildcardA,
-            seed: 42,
+            fault: FaultVariant::Clean,
+            seed:42,
         };
         let a = s.run();
         let b = s.run();
@@ -300,7 +419,8 @@ mod tests {
             os: OsProfile::macos(),
             topology: TopologyVariant::PaperDefault,
             poison: PoisonVariant::WildcardA,
-            seed: 7,
+            fault: FaultVariant::Clean,
+            seed:7,
         };
         let r = s.run();
         let m = &r.metrics;

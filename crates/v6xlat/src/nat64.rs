@@ -33,6 +33,10 @@ pub struct Nat64Config {
     pub icmp_lifetime: u64,
     /// First port allocated from each pool address.
     pub port_floor: u16,
+    /// Cap on live bindings across all protocols (`None` = unlimited).
+    /// Models translation-table exhaustion on a shared carrier NAT64:
+    /// new flows are refused while existing bindings keep refreshing.
+    pub max_bindings: Option<usize>,
 }
 
 impl Default for Nat64Config {
@@ -43,6 +47,7 @@ impl Default for Nat64Config {
             tcp_trans_lifetime: 240,
             icmp_lifetime: 60,
             port_floor: 1024,
+            max_bindings: None,
         }
     }
 }
@@ -83,6 +88,9 @@ pub struct Nat64 {
     pub inbound: u64,
     /// Inbound packets dropped for want of a binding.
     pub dropped_no_binding: u64,
+    /// Outbound packets refused because the session table hit
+    /// [`Nat64Config::max_bindings`].
+    pub dropped_table_full: u64,
 }
 
 impl Nat64 {
@@ -103,6 +111,7 @@ impl Nat64 {
             outbound: 0,
             inbound: 0,
             dropped_no_binding: 0,
+            dropped_table_full: 0,
         }
     }
 
@@ -114,6 +123,11 @@ impl Nat64 {
     /// The translation prefix.
     pub fn prefix(&self) -> Nat64Prefix {
         self.prefix
+    }
+
+    /// (Re)configure the live-binding cap; `None` lifts it.
+    pub fn set_max_bindings(&mut self, cap: Option<usize>) {
+        self.config.max_bindings = cap;
     }
 
     /// Number of live bindings across protocols.
@@ -131,6 +145,7 @@ impl Nat64 {
             ("outbound", self.outbound),
             ("inbound", self.inbound),
             ("dropped_no_binding", self.dropped_no_binding),
+            ("dropped_table_full", self.dropped_table_full),
         ]
         .into_iter()
         .collect()
@@ -181,11 +196,19 @@ impl Nat64 {
     ) -> Result<(Ipv4Addr, u16), XlatError> {
         let lifetime = self.lifetime(p, tcp_established);
         let pool = self.pool.clone();
-        let bib = self.bib(p);
-        if let Some(e) = bib.forward.get_mut(&(src, src_port)) {
+        if let Some(e) = self.bib(p).forward.get_mut(&(src, src_port)) {
             e.expires = now + lifetime;
             return Ok(e.external);
         }
+        // Only brand-new bindings are subject to the table cap; refreshes
+        // above always succeed (RFC 6146 keeps live sessions alive).
+        if let Some(cap) = self.config.max_bindings {
+            if self.live_bindings(now) >= cap {
+                self.dropped_table_full += 1;
+                return Err(XlatError::TableFull);
+            }
+        }
+        let bib = self.bib(p);
         // Scan for a free (addr, port) pair starting at next_port.
         let span = usize::from(u16::MAX - 1024) * pool.len();
         for _ in 0..span {
@@ -490,6 +513,31 @@ mod tests {
         let p2 = UdpDatagram::decode_v4(&o2.payload, o2.src, o2.dst).unwrap().src_port;
         assert_ne!(p1, p2);
         assert!(p1 >= u16::MAX - 2);
+    }
+
+    #[test]
+    fn table_cap_refuses_new_flows_but_refreshes_old() {
+        let mut n = Nat64::new(
+            Nat64Prefix::well_known(),
+            vec![a4("203.0.113.64")],
+            Nat64Config {
+                max_bindings: Some(1),
+                ..Default::default()
+            },
+        );
+        let first = n.v6_to_v4(&udp_v6(40000, a4(SERVER4), b"a"), 0).unwrap();
+        assert!(matches!(
+            n.v6_to_v4(&udp_v6(40001, a4(SERVER4), b"b"), 1),
+            Err(XlatError::TableFull)
+        ));
+        assert_eq!(n.dropped_table_full, 1);
+        // The established flow keeps working (binding refresh).
+        let again = n.v6_to_v4(&udp_v6(40000, a4(SERVER4), b"c"), 2).unwrap();
+        assert_eq!(first.src, again.src);
+        assert_eq!(n.outbound, 2);
+        // Once the old binding ages out, the slot frees up.
+        assert!(n.v6_to_v4(&udp_v6(40001, a4(SERVER4), b"d"), 400).is_ok());
+        assert_eq!(n.metrics().get("dropped_table_full"), 1);
     }
 
     #[test]

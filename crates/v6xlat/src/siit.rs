@@ -30,6 +30,8 @@ pub enum XlatError {
     NoBinding,
     /// The NAT64 pool has no free ports.
     PoolExhausted,
+    /// The NAT64 session table is at its configured capacity.
+    TableFull,
     /// The inner transport payload failed to parse.
     Wire(WireError),
     /// An ICMP message with no defined mapping (dropped per RFC 7915).
@@ -44,6 +46,7 @@ impl core::fmt::Display for XlatError {
             XlatError::NotInPrefix(a) => write!(f, "xlat: {a} not in translation prefix"),
             XlatError::NoBinding => write!(f, "xlat: no NAT64 binding"),
             XlatError::PoolExhausted => write!(f, "xlat: NAT64 pool exhausted"),
+            XlatError::TableFull => write!(f, "xlat: NAT64 session table full"),
             XlatError::Wire(e) => write!(f, "xlat: {e}"),
             XlatError::UntranslatableIcmp => write!(f, "xlat: untranslatable ICMP"),
         }

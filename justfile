@@ -1,6 +1,6 @@
 # Project task runner. `just` with no arguments runs the full gate.
 
-default: verify fleet lint
+default: verify fleet chaos lint
 
 # Tier-1 verification: the root package must build in release and pass
 # its unit + integration tests (this is the gate CI has always enforced).
@@ -23,10 +23,24 @@ lint:
 test-all:
     cargo test --workspace -q
 
+# Chaos gate: the fault-injection layer's own tests, the seeded fault
+# matrix smoke sweep (all impaired variants, serial == parallel), and
+# the conservation/determinism property tests that must hold under any
+# fault plan.
+chaos:
+    cargo test -p v6fault -q
+    cargo test -q --test chaos
+    cargo test -p v6sim -q --test prop_metrics
+
 # Run the full Fig. 4 matrix through the parallel fleet and print the
 # aggregate census.
 census:
     cargo run --release --example fleet_census
+
+# The same matrix additionally swept under every fault variant, with a
+# clean-vs-impaired per-OS census diff.
+census-faults:
+    cargo run --release --example fleet_census -- --faults
 
 # 1-vs-N worker-thread throughput on the 66-cell matrix.
 bench-fleet:
