@@ -1,0 +1,99 @@
+//! Raw engine forwarding throughput, isolated from any testbed protocol
+//! logic: a 4-node relay ring moves pooled UDP frames as fast as the event
+//! queue, link table, and trace recorder allow.
+//!
+//! One bench per [`TraceMode`] — the spread between `Off`/`Hops` and
+//! `Full` is exactly the cost of eager per-frame summaries, and the gap
+//! between `Off` and `Hops` is the cost of recording `(at, src, dst, len)`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::any::Any;
+use v6sim::engine::{Ctx, Network, Node, TraceMode};
+use v6sim::time::SimTime;
+use v6wire::mac::MacAddr;
+use v6wire::packet::build_udp_v4;
+use v6wire::udp::UdpDatagram;
+
+/// Forwards every frame received on port 0 out of port 1, using pooled
+/// buffers — the minimal "router" the engine can host.
+struct Relay {
+    name: String,
+}
+
+impl Node for Relay {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_frame(&mut self, _port: u32, frame: &[u8], ctx: &mut Ctx) {
+        let buf = ctx.buffer_from(frame);
+        ctx.send(1, buf);
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn seed_frame(n: u8) -> Vec<u8> {
+    build_udp_v4(
+        MacAddr::new([2, 0, 0, 0, 0xee, n]),
+        MacAddr::new([2, 0, 0, 0, 0xee, n + 1]),
+        "10.9.0.1".parse().expect("static ip"),
+        "10.9.0.2".parse().expect("static ip"),
+        &UdpDatagram::new(4000, 4001, vec![n; 64]),
+    )
+}
+
+/// Build the ring, inject `frames` seed frames, run `virtual_ms`, and
+/// return delivered-frame and processed-event counts.
+fn run_ring(mode: TraceMode, frames: u8, virtual_ms: u64) -> (u64, u64) {
+    let mut net = Network::new();
+    net.trace_mode = mode;
+    let nodes: Vec<_> = (0..4)
+        .map(|i| {
+            net.add_node(Box::new(Relay {
+                name: format!("relay{i}"),
+            }))
+        })
+        .collect();
+    for i in 0..4 {
+        net.link(
+            nodes[i],
+            1,
+            nodes[(i + 1) % 4],
+            0,
+            SimTime::from_micros(10),
+        );
+    }
+    net.start();
+    net.run_until(SimTime::ZERO);
+    for n in 0..frames {
+        net.with_node::<Relay, _>(nodes[0], |_, ctx| ctx.send(1, seed_frame(n)));
+    }
+    net.run_for(SimTime::from_millis(virtual_ms));
+    let m = net.metrics();
+    (net.frames_delivered, m.engine.events_processed)
+}
+
+fn bench_engine_hot_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_hot_path");
+    // The workload is deterministic, so the element count (delivered
+    // frames per iteration) can be measured once up front.
+    let (frames, events) = run_ring(TraceMode::Off, 4, 100);
+    assert!(frames > 10_000, "ring actually saturated: {frames}");
+    g.throughput(Throughput::Elements(frames));
+    g.sample_size(10);
+    for (label, mode) in [
+        ("off", TraceMode::Off),
+        ("hops", TraceMode::Hops),
+        ("full", TraceMode::Full),
+    ] {
+        g.bench_function(label, |b| b.iter(|| run_ring(mode, 4, 100)));
+    }
+    g.finish();
+    println!("  (one iteration = {frames} frames, {events} events)");
+}
+
+criterion_group!(benches, bench_engine_hot_path);
+criterion_main!(benches);

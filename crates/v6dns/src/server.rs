@@ -5,6 +5,7 @@ use crate::codec::{Question, RData, RType, Rcode, Record};
 use crate::name::DnsName;
 use crate::zone::{Zone, ZoneLookup};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The outcome of a resolution: an rcode, answer records, and the SOA that
 /// authorizes negative caching when the answer set is empty.
@@ -79,9 +80,12 @@ impl<T: Resolver + ?Sized> Resolver for Box<T> {
 ///
 /// This stands in for the real DNS hierarchy the testbed's Raspberry Pi
 /// BIND9 forwarded to via the 5G uplink.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct GlobalDns {
-    zones: Vec<Zone>,
+    /// Zone content is shared copy-on-write, so cloning a prebuilt
+    /// database (one testbed instance per fleet cell) costs a reference
+    /// bump instead of re-parsing every record.
+    zones: Arc<Vec<Zone>>,
     /// Query counter for observability.
     pub queries: u64,
 }
@@ -94,7 +98,7 @@ impl GlobalDns {
 
     /// Add an authoritative zone.
     pub fn add_zone(&mut self, zone: Zone) -> &mut Self {
-        self.zones.push(zone);
+        Arc::make_mut(&mut self.zones).push(zone);
         self
     }
 

@@ -30,7 +30,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
-use v6testbed::{Scenario, ScenarioResult};
+use v6testbed::{Scenario, ScenarioResult, TraceMode};
 
 /// A pool of worker threads that drains a scenario list.
 ///
@@ -42,18 +42,37 @@ use v6testbed::{Scenario, ScenarioResult};
 #[derive(Debug, Clone, Copy)]
 pub struct FleetRunner {
     threads: usize,
+    trace_mode: TraceMode,
 }
 
 impl FleetRunner {
-    /// A runner with `threads` workers (at least one).
+    /// A runner with `threads` workers (at least one). Scenarios run
+    /// under [`TraceMode::Hops`] — trace verbosity never perturbs the
+    /// simulation, so the report is identical in every mode; use
+    /// [`FleetRunner::with_trace_mode`] to pick `Off` (fastest) or
+    /// `Full` (eager per-frame summaries).
     pub fn new(threads: usize) -> FleetRunner {
         assert!(threads >= 1, "a fleet needs at least one worker");
-        FleetRunner { threads }
+        FleetRunner {
+            threads,
+            trace_mode: TraceMode::Hops,
+        }
+    }
+
+    /// The same runner with an explicit engine trace mode.
+    pub fn with_trace_mode(mut self, trace_mode: TraceMode) -> FleetRunner {
+        self.trace_mode = trace_mode;
+        self
     }
 
     /// Number of worker threads this runner spawns.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The engine trace mode scenarios run under.
+    pub fn trace_mode(&self) -> TraceMode {
+        self.trace_mode
     }
 
     /// Run every scenario and aggregate.
@@ -62,8 +81,9 @@ impl FleetRunner {
     /// build should fail the fleet, not vanish into a worker).
     pub fn run(&self, scenarios: &[Scenario]) -> FleetRun {
         let started = Instant::now();
+        let mode = self.trace_mode;
         let results: Vec<ScenarioResult> = if self.threads == 1 {
-            scenarios.iter().map(Scenario::run).collect()
+            scenarios.iter().map(|s| s.run_with_trace(mode)).collect()
         } else {
             let cursor = AtomicUsize::new(0);
             let slots: Mutex<Vec<Option<ScenarioResult>>> =
@@ -74,7 +94,7 @@ impl FleetRunner {
                         scope.spawn(|| loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(s) = scenarios.get(i) else { break };
-                            let r = s.run();
+                            let r = s.run_with_trace(mode);
                             slots.lock().expect("no poisoned worker")[i] = Some(r);
                         })
                     })

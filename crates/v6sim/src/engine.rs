@@ -4,38 +4,146 @@
 //! `(node, port)` endpoints with a fixed latency. Everything is driven by a
 //! binary-heap event queue keyed on `(time, sequence)` so runs are exactly
 //! reproducible.
+//!
+//! # Hot-path architecture
+//!
+//! Frame delivery is the innermost loop of every fleet sweep, so the engine
+//! avoids per-frame allocation and hashing entirely:
+//!
+//! * **Indexed link table** — links live in a per-node `Vec<Option<..>>`
+//!   indexed by port, so dispatch is two bounds-checked loads instead of a
+//!   `HashMap` probe. Compiled fault links use the same layout, indexed by
+//!   `(src, dst)` node id.
+//! * **Frame buffer pool** — delivered frame buffers are recycled into a
+//!   [`FramePool`]; nodes obtain outgoing buffers via [`Ctx::buffer`] /
+//!   [`Ctx::buffer_from`], so steady-state forwarding allocates nothing.
+//! * **Trace modes** — [`TraceMode::Hops`] records only
+//!   `(at, src, dst, len)`; node names are interned at `add_node` time and
+//!   resolved lazily by [`Network::format_trace`]. [`TraceMode::Full`]
+//!   additionally captures the eager `v6wire` summary, byte-identical to
+//!   the historical trace (the golden fixtures prove it).
 
-use crate::metrics::{EngineMetrics, FaultCounters, LinkCounters, MetricsSnapshot, NodeMetrics};
+use crate::metrics::{
+    EngineMetrics, FaultCounters, LinkCounters, MetricsSnapshot, NodeMetrics, PoolCounters,
+    TraceCounters,
+};
 use crate::time::SimTime;
 use std::any::Any;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use v6fault::{CompiledLink, Delivery, FaultPlan};
 use v6wire::metrics::Metrics;
 
 /// Index of a node within a [`Network`].
 pub type NodeId = usize;
 
+/// How much the engine records per delivered frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TraceMode {
+    /// Record nothing (fastest; fleet sweeps that only read metrics).
+    Off,
+    /// Record `(at, src, dst, len)` per hop; names resolved lazily.
+    Hops,
+    /// Record hops plus the eager `v6wire` one-line summary — today's
+    /// historical behaviour, required by the golden-trace fixtures.
+    #[default]
+    Full,
+}
+
+/// Bounded free-list of frame buffers. `get` prefers a recycled buffer;
+/// `put` returns one after delivery. Counters feed
+/// [`MetricsSnapshot::pool`].
+#[derive(Debug, Default)]
+struct FramePool {
+    free: Vec<Vec<u8>>,
+    allocated: u64,
+    reused: u64,
+}
+
+/// Cap on pooled buffers so pathological floods cannot pin memory.
+const FRAME_POOL_CAP: usize = 4096;
+
+impl FramePool {
+    fn get(&mut self) -> Vec<u8> {
+        match self.free.pop() {
+            Some(buf) => {
+                self.reused += 1;
+                buf
+            }
+            None => {
+                self.allocated += 1;
+                Vec::with_capacity(128)
+            }
+        }
+    }
+
+    fn put(&mut self, mut buf: Vec<u8>) {
+        if buf.capacity() > 0 && self.free.len() < FRAME_POOL_CAP {
+            buf.clear();
+            self.free.push(buf);
+        }
+    }
+}
+
 /// What a node asks the engine to do.
 #[derive(Debug)]
 enum Action {
     /// Transmit a frame out of a local port.
     Send { port: u32, frame: Vec<u8> },
+    /// A transmission attempt on a port with no cable: counted exactly
+    /// like an unlinked [`Action::Send`], but the frame bytes were never
+    /// copied (see [`Ctx::send_copy`]).
+    SendUnlinked { len: usize },
     /// Fire `on_timer(token)` after `delay`.
     Timer { delay: SimTime, token: u64 },
 }
 
 /// The per-callback context handed to nodes.
-pub struct Ctx {
+pub struct Ctx<'p> {
     /// Current simulation time.
     pub now: SimTime,
     actions: Vec<Action>,
+    pool: &'p mut FramePool,
+    /// The acting node's port table row, so `send_copy` can skip the
+    /// copy for ports with no cable attached.
+    links: &'p [Option<(NodeId, u32, SimTime)>],
 }
 
-impl Ctx {
+impl Ctx<'_> {
     /// Transmit `frame` out of `port`.
     pub fn send(&mut self, port: u32, frame: Vec<u8>) {
         self.actions.push(Action::Send { port, frame });
+    }
+
+    /// Transmit a copy of `bytes` out of `port` — the flood idiom.
+    ///
+    /// When the port has no cable attached, the attempt still lands in
+    /// the counters (`frames_tx`, `bytes_tx`, `drops_unlinked`) exactly
+    /// as a plain [`Ctx::send`] would, but the frame is never copied —
+    /// so flooding a 50-port switch with 4 cables costs 4 copies, not 50.
+    pub fn send_copy(&mut self, port: u32, bytes: &[u8]) {
+        if self.links.get(port as usize).is_some_and(Option::is_some) {
+            let mut buf = self.pool.get();
+            buf.extend_from_slice(bytes);
+            self.actions.push(Action::Send { port, frame: buf });
+        } else {
+            self.actions.push(Action::SendUnlinked { len: bytes.len() });
+        }
+    }
+
+    /// An empty frame buffer from the engine's pool. Buffers handed to
+    /// [`Ctx::send`] are recycled after delivery, so a node that builds
+    /// its frames in pooled buffers allocates nothing in steady state.
+    pub fn buffer(&mut self) -> Vec<u8> {
+        self.pool.get()
+    }
+
+    /// A pooled buffer pre-filled with a copy of `bytes` — the common
+    /// "forward this frame" idiom for switches and routers.
+    pub fn buffer_from(&mut self, bytes: &[u8]) -> Vec<u8> {
+        let mut buf = self.pool.get();
+        buf.extend_from_slice(bytes);
+        buf
     }
 
     /// Request `on_timer(token)` after `delay`.
@@ -46,7 +154,8 @@ impl Ctx {
 
 /// A simulated device.
 pub trait Node {
-    /// Human-readable name for traces.
+    /// Human-readable name for traces. Interned by the engine at
+    /// [`Network::add_node`] time, so it must not change afterwards.
     fn name(&self) -> &str;
 
     /// Called once when the simulation starts.
@@ -86,49 +195,95 @@ struct Event {
     kind: EventKind,
 }
 
-/// One hop recorded in the frame trace.
+/// One hop recorded in the frame trace. Node names are *not* stored here
+/// — they are node ids into the engine's interned name table, resolved
+/// lazily by [`Network::format_trace`] / [`Network::trace_hops`].
 #[derive(Debug, Clone)]
 pub struct TraceEntry {
     /// Delivery time.
     pub at: SimTime,
-    /// Transmitting node name.
-    pub from: String,
-    /// Receiving node name.
-    pub to: String,
-    /// One-line summary (layer classification from `v6wire`).
-    pub summary: String,
+    /// Transmitting node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
     /// Frame length in bytes.
     pub len: usize,
+    /// The fault layer removed this frame before delivery.
+    pub fault_drop: bool,
+    /// One-line `v6wire` summary, captured eagerly in [`TraceMode::Full`]
+    /// only (`None` under [`TraceMode::Hops`]).
+    summary: Option<Box<str>>,
+}
+
+impl TraceEntry {
+    /// The eager summary, if this hop was recorded in full mode.
+    pub fn summary(&self) -> Option<&str> {
+        self.summary.as_deref()
+    }
+}
+
+/// A [`TraceEntry`] with its node names resolved from the interned table.
+#[derive(Debug, Clone, Copy)]
+pub struct ResolvedHop<'a> {
+    /// Delivery time.
+    pub at: SimTime,
+    /// Transmitting node name.
+    pub from: &'a str,
+    /// Receiving node name.
+    pub to: &'a str,
+    /// Frame length in bytes.
+    pub len: usize,
+    /// The fault layer removed this frame before delivery.
+    pub fault_drop: bool,
+    /// One-line summary (full mode only).
+    pub summary: Option<&'a str>,
 }
 
 /// The simulated network.
 pub struct Network {
     nodes: Vec<Box<dyn Node>>,
+    /// Node names captured at `add_node` time (names never change), so
+    /// traces and metrics resolve them without touching the node.
+    names: Vec<Box<str>>,
     node_counters: Vec<LinkCounters>,
     engine_counters: EngineMetrics,
-    links: HashMap<(NodeId, u32), (NodeId, u32, SimTime)>,
+    /// Per-node port table: `links[node][port] = (peer, peer_port, latency)`.
+    links: Vec<Vec<Option<(NodeId, u32, SimTime)>>>,
     queue: BinaryHeap<Reverse<Event>>,
     now: SimTime,
     seq: u64,
     started: bool,
+    /// Recycled frame buffers plus allocation counters.
+    frame_pool: FramePool,
+    /// Scratch action buffer reused across callbacks.
+    action_scratch: Vec<Action>,
+    /// How much to record per delivered frame.
+    pub trace_mode: TraceMode,
     /// Captured frame hops (cleared with [`Network::clear_trace`]).
     pub trace: Vec<TraceEntry>,
     /// Cap on trace length to bound memory in long runs.
     pub trace_limit: usize,
+    /// Hops not recorded because [`Network::trace_limit`] was reached.
+    trace_suppressed: u64,
     /// Total frames delivered.
     pub frames_delivered: u64,
     /// When true, raw frame bytes are captured into [`Network::captured`]
     /// for pcap export (off by default — it copies every frame).
     pub capture_frames: bool,
+    /// Cap on [`Network::captured`] length (independent of the trace cap).
+    pub capture_limit: usize,
+    /// Frames not captured because [`Network::capture_limit`] was reached.
+    capture_suppressed: u64,
     /// Raw frames captured while [`Network::capture_frames`] was on.
     pub captured: Vec<crate::pcap::CapturedFrame>,
     /// The installed fault schedule (default: no-op, fault path skipped).
     fault_plan: FaultPlan,
     /// Whether `fault_plan` can ever alter a frame, cached once.
     fault_active: bool,
-    /// Per-directed-link compilation of the plan, filled lazily (links
-    /// are never removed and node names never change).
-    fault_links: HashMap<(NodeId, NodeId), CompiledLink>,
+    /// Per-directed-link compilation of the plan, filled lazily and
+    /// indexed `[src][dst]` (links are never removed and node names
+    /// never change).
+    fault_links: Vec<Vec<Option<CompiledLink>>>,
     /// Monotone per-judged-frame counter feeding the decision hash.
     fault_decisions: u64,
     fault_counters: FaultCounters,
@@ -145,21 +300,28 @@ impl Network {
     pub fn new() -> Network {
         Network {
             nodes: Vec::new(),
+            names: Vec::new(),
             node_counters: Vec::new(),
             engine_counters: EngineMetrics::default(),
-            links: HashMap::new(),
+            links: Vec::new(),
             queue: BinaryHeap::new(),
             now: SimTime::ZERO,
             seq: 0,
             started: false,
+            frame_pool: FramePool::default(),
+            action_scratch: Vec::new(),
+            trace_mode: TraceMode::Full,
             trace: Vec::new(),
             trace_limit: 100_000,
+            trace_suppressed: 0,
             frames_delivered: 0,
             capture_frames: false,
+            capture_limit: 100_000,
+            capture_suppressed: 0,
             captured: Vec::new(),
             fault_plan: FaultPlan::default(),
             fault_active: false,
-            fault_links: HashMap::new(),
+            fault_links: Vec::new(),
             fault_decisions: 0,
             fault_counters: FaultCounters::default(),
         }
@@ -186,19 +348,41 @@ impl Network {
 
     /// Add a node, returning its id.
     pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        self.names.push(node.name().into());
         self.nodes.push(node);
         self.node_counters.push(LinkCounters::default());
+        self.links.push(Vec::new());
         self.nodes.len() - 1
+    }
+
+    /// The interned name of node `id`.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.names[id]
+    }
+
+    fn port_is_free(&self, node: NodeId, port: u32) -> bool {
+        self.links[node]
+            .get(port as usize)
+            .is_none_or(Option::is_none)
+    }
+
+    fn attach(&mut self, from: NodeId, from_port: u32, to: NodeId, to_port: u32, latency: SimTime) {
+        let row = &mut self.links[from];
+        let idx = from_port as usize;
+        if row.len() <= idx {
+            row.resize(idx + 1, None);
+        }
+        row[idx] = Some((to, to_port, latency));
     }
 
     /// Join `(a, a_port)` and `(b, b_port)` with `latency` in each direction.
     pub fn link(&mut self, a: NodeId, a_port: u32, b: NodeId, b_port: u32, latency: SimTime) {
         assert!(
-            !self.links.contains_key(&(a, a_port)) && !self.links.contains_key(&(b, b_port)),
+            self.port_is_free(a, a_port) && self.port_is_free(b, b_port),
             "port already linked"
         );
-        self.links.insert((a, a_port), (b, b_port, latency));
-        self.links.insert((b, b_port), (a, a_port, latency));
+        self.attach(a, a_port, b, b_port, latency);
+        self.attach(b, b_port, a, a_port, latency);
     }
 
     /// Mutable access to a concrete node type.
@@ -247,7 +431,9 @@ impl Network {
     ) -> R {
         let mut ctx = Ctx {
             now: self.now,
-            actions: Vec::new(),
+            actions: std::mem::take(&mut self.action_scratch),
+            pool: &mut self.frame_pool,
+            links: &self.links[id],
         };
         let r = {
             let node = self.nodes[id]
@@ -256,17 +442,20 @@ impl Network {
                 .expect("node type mismatch");
             f(node, &mut ctx)
         };
-        self.apply_actions(id, ctx.actions);
+        let mut actions = ctx.actions;
+        self.apply_actions(id, &mut actions);
+        self.action_scratch = actions;
         r
     }
 
-    fn apply_actions(&mut self, node: NodeId, actions: Vec<Action>) {
-        for action in actions {
+    fn apply_actions(&mut self, node: NodeId, actions: &mut Vec<Action>) {
+        for action in actions.drain(..) {
             match action {
                 Action::Send { port, frame } => {
                     self.node_counters[node].frames_tx += 1;
                     self.node_counters[node].bytes_tx += frame.len() as u64;
-                    if let Some(&(dst, dst_port, latency)) = self.links.get(&(node, port)) {
+                    let link = self.links[node].get(port as usize).copied().flatten();
+                    if let Some((dst, dst_port, latency)) = link {
                         let verdict = if self.fault_active {
                             self.judge_fault(node, dst)
                         } else {
@@ -278,18 +467,8 @@ impl Network {
                             } else {
                                 self.fault_counters.dropped += 1;
                             }
-                            if self.trace.len() < self.trace_limit {
-                                self.trace.push(TraceEntry {
-                                    at: self.now + latency,
-                                    from: self.nodes[node].name().to_string(),
-                                    to: self.nodes[dst].name().to_string(),
-                                    summary: format!(
-                                        "FAULT-DROP {}",
-                                        v6wire::packet::summarize(&frame)
-                                    ),
-                                    len: frame.len(),
-                                });
-                            }
+                            self.record_hop(self.now + latency, node, dst, &frame, true);
+                            self.frame_pool.put(frame);
                             continue;
                         }
                         let mut frame = frame;
@@ -309,8 +488,13 @@ impl Network {
                             self.now + latency + SimTime::from_micros(verdict.extra_delay_us);
                         // Duplicate copies trail the original slightly, like a
                         // retransmitting radio link.
-                        let dups: Vec<Vec<u8>> =
-                            (1..verdict.copies).map(|_| frame.clone()).collect();
+                        let dups: Vec<Vec<u8>> = (1..verdict.copies)
+                            .map(|_| {
+                                let mut dup = self.frame_pool.get();
+                                dup.extend_from_slice(&frame);
+                                dup
+                            })
+                            .collect();
                         self.forward(node, dst, dst_port, deliver_at, frame);
                         for (i, dup) in dups.into_iter().enumerate() {
                             self.fault_counters.duplicated += 1;
@@ -322,7 +506,14 @@ impl Network {
                         // attempt still shows up in the counters.
                         self.node_counters[node].drops_unlinked += 1;
                         self.engine_counters.frames_dropped_unlinked += 1;
+                        self.frame_pool.put(frame);
                     }
+                }
+                Action::SendUnlinked { len } => {
+                    self.node_counters[node].frames_tx += 1;
+                    self.node_counters[node].bytes_tx += len as u64;
+                    self.node_counters[node].drops_unlinked += 1;
+                    self.engine_counters.frames_dropped_unlinked += 1;
                 }
                 Action::Timer { delay, token } => {
                     self.push(self.now + delay, node, EventKind::Timer { token });
@@ -331,25 +522,56 @@ impl Network {
         }
     }
 
+    /// Record one hop according to the trace mode. Summaries (and the
+    /// `FAULT-DROP` annotation string) are only built in full mode, and
+    /// only while the trace is under its cap.
+    fn record_hop(&mut self, at: SimTime, src: NodeId, dst: NodeId, frame: &[u8], fault_drop: bool) {
+        match self.trace_mode {
+            TraceMode::Off => {}
+            TraceMode::Hops | TraceMode::Full => {
+                if self.trace.len() >= self.trace_limit {
+                    self.trace_suppressed += 1;
+                    return;
+                }
+                let summary = match self.trace_mode {
+                    TraceMode::Full => {
+                        let s = v6wire::packet::summarize(frame);
+                        let s = if fault_drop {
+                            format!("FAULT-DROP {s}")
+                        } else {
+                            s
+                        };
+                        Some(s.into_boxed_str())
+                    }
+                    _ => None,
+                };
+                self.trace.push(TraceEntry {
+                    at,
+                    src,
+                    dst,
+                    len: frame.len(),
+                    fault_drop,
+                    summary,
+                });
+            }
+        }
+    }
+
     /// Schedule one frame delivery: counters, optional pcap capture, a
     /// trace entry, and the queue push.
     fn forward(&mut self, src: NodeId, dst: NodeId, dst_port: u32, at: SimTime, frame: Vec<u8>) {
         self.engine_counters.frames_forwarded += 1;
-        if self.capture_frames && self.captured.len() < self.trace_limit {
-            self.captured.push(crate::pcap::CapturedFrame {
-                at,
-                bytes: frame.clone(),
-            });
+        if self.capture_frames {
+            if self.captured.len() < self.capture_limit {
+                self.captured.push(crate::pcap::CapturedFrame {
+                    at,
+                    bytes: frame.clone(),
+                });
+            } else {
+                self.capture_suppressed += 1;
+            }
         }
-        if self.trace.len() < self.trace_limit {
-            self.trace.push(TraceEntry {
-                at,
-                from: self.nodes[src].name().to_string(),
-                to: self.nodes[dst].name().to_string(),
-                summary: v6wire::packet::summarize(&frame),
-                len: frame.len(),
-            });
-        }
+        self.record_hop(at, src, dst, &frame, false);
         self.push(
             at,
             dst,
@@ -363,18 +585,26 @@ impl Network {
     /// Ask the installed plan what happens to one frame on `src -> dst`.
     /// Only called when a non-default plan is installed.
     fn judge_fault(&mut self, src: NodeId, dst: NodeId) -> Delivery {
-        if !self.fault_links.contains_key(&(src, dst)) {
-            let compiled = self
-                .fault_plan
-                .compile(self.nodes[src].name(), self.nodes[dst].name());
-            self.fault_links.insert((src, dst), compiled);
+        // Grow the indexed table on demand (nodes can be added after the
+        // plan is installed); a single `[src][dst]` slot then serves the
+        // check, the fill, and the read.
+        let n = self.nodes.len();
+        if self.fault_links.len() < n {
+            self.fault_links.resize_with(n, Vec::new);
+        }
+        if self.fault_links[src].len() < n {
+            self.fault_links[src].resize_with(n, || None);
+        }
+        if self.fault_links[src][dst].is_none() {
+            let compiled = self.fault_plan.compile(&self.names[src], &self.names[dst]);
+            self.fault_links[src][dst] = Some(compiled);
         }
         // The decision counter advances for every judged frame — clean
         // link or not — so adding an unrelated link fault never shifts
         // another link's sampling stream order-dependently.
         self.fault_decisions += 1;
         let decision = self.fault_decisions;
-        let link = self.fault_links.get(&(src, dst)).expect("compiled above");
+        let link = self.fault_links[src][dst].as_ref().expect("compiled above");
         if link.is_clean() {
             return Delivery::CLEAN;
         }
@@ -394,7 +624,9 @@ impl Network {
             self.now = ev.at;
             let mut ctx = Ctx {
                 now: self.now,
-                actions: Vec::new(),
+                actions: std::mem::take(&mut self.action_scratch),
+                pool: &mut self.frame_pool,
+                links: &self.links[ev.node],
             };
             match ev.kind {
                 EventKind::Start => self.nodes[ev.node].start(&mut ctx),
@@ -402,7 +634,9 @@ impl Network {
                     self.frames_delivered += 1;
                     self.node_counters[ev.node].frames_rx += 1;
                     self.node_counters[ev.node].bytes_rx += frame.len() as u64;
-                    self.nodes[ev.node].on_frame(port, &frame, &mut ctx)
+                    self.nodes[ev.node].on_frame(port, &frame, &mut ctx);
+                    // The buffer's journey ends here; recycle it.
+                    ctx.pool.put(frame);
                 }
                 EventKind::Timer { token } => {
                     self.node_counters[ev.node].timer_fires += 1;
@@ -410,7 +644,9 @@ impl Network {
                     self.nodes[ev.node].on_timer(token, &mut ctx)
                 }
             }
-            self.apply_actions(ev.node, ctx.actions);
+            let mut actions = ctx.actions;
+            self.apply_actions(ev.node, &mut actions);
+            self.action_scratch = actions;
             self.engine_counters.events_processed += 1;
             processed += 1;
         }
@@ -432,6 +668,18 @@ impl Network {
         self.captured.clear();
     }
 
+    /// Iterate the trace with node names resolved from the interned table.
+    pub fn trace_hops(&self) -> impl Iterator<Item = ResolvedHop<'_>> {
+        self.trace.iter().map(|e| ResolvedHop {
+            at: e.at,
+            from: &self.names[e.src],
+            to: &self.names[e.dst],
+            len: e.len,
+            fault_drop: e.fault_drop,
+            summary: e.summary.as_deref(),
+        })
+    }
+
     /// Write everything captured so far to a pcap file (requires
     /// [`Network::capture_frames`] to have been on during the run).
     pub fn write_pcap(&self, path: &std::path::Path) -> std::io::Result<()> {
@@ -451,12 +699,21 @@ impl Network {
         MetricsSnapshot {
             engine,
             faults,
+            pool: PoolCounters {
+                allocated: self.frame_pool.allocated,
+                reused: self.frame_pool.reused,
+            },
+            trace: TraceCounters {
+                suppressed: self.trace_suppressed,
+                capture_suppressed: self.capture_suppressed,
+            },
             nodes: self
-                .nodes
+                .names
                 .iter()
+                .zip(&self.nodes)
                 .zip(&self.node_counters)
-                .map(|(node, &link)| NodeMetrics {
-                    name: node.name().to_string(),
+                .map(|((name, node), &link)| NodeMetrics {
+                    name: name.to_string(),
                     link,
                     device: node.device_metrics(),
                 })
@@ -465,13 +722,33 @@ impl Network {
     }
 
     /// Render the trace as text (for examples and debugging).
+    ///
+    /// Full-mode entries render exactly as they always did
+    /// (`time from -> to [len bytes] summary`); hops-mode entries omit
+    /// the summary (fault drops keep their `FAULT-DROP` marker).
     pub fn format_trace(&self) -> String {
+        use std::fmt::Write;
         let mut out = String::new();
-        for e in &self.trace {
-            out.push_str(&format!(
-                "{} {} -> {} [{} bytes] {}\n",
-                e.at, e.from, e.to, e.len, e.summary
-            ));
+        for h in self.trace_hops() {
+            match h.summary {
+                Some(summary) => {
+                    let _ = writeln!(
+                        out,
+                        "{} {} -> {} [{} bytes] {}",
+                        h.at, h.from, h.to, h.len, summary
+                    );
+                }
+                None if h.fault_drop => {
+                    let _ = writeln!(
+                        out,
+                        "{} {} -> {} [{} bytes] FAULT-DROP",
+                        h.at, h.from, h.to, h.len
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "{} {} -> {} [{} bytes]", h.at, h.from, h.to, h.len);
+                }
+            }
         }
         out
     }
@@ -497,7 +774,8 @@ mod tests {
         fn on_frame(&mut self, port: u32, frame: &[u8], ctx: &mut Ctx) {
             self.seen.push(frame.to_vec());
             if self.echo {
-                ctx.send(port, frame.to_vec());
+                let buf = ctx.buffer_from(frame);
+                ctx.send(port, buf);
             }
         }
 
@@ -625,12 +903,73 @@ mod tests {
         net.link(a, 0, b, 0, SimTime::ZERO);
         net.run_until(SimTime::from_secs(5));
         assert_eq!(net.trace.len(), 4);
-        assert_eq!(net.trace[0].from, "beacon");
-        assert_eq!(net.trace[0].to, "sink");
+        assert_eq!(net.trace[0].src, a);
+        assert_eq!(net.trace[0].dst, b);
+        let first = net.trace_hops().next().expect("non-empty trace");
+        assert_eq!((first.from, first.to), ("beacon", "sink"));
         let text = net.format_trace();
         assert!(text.contains("beacon -> sink"));
         net.clear_trace();
         assert!(net.trace.is_empty());
+    }
+
+    #[test]
+    fn hops_mode_skips_summaries_but_keeps_hops() {
+        let mut net = Network::new();
+        net.trace_mode = TraceMode::Hops;
+        let a = net.add_node(Box::new(Beacon {
+            name: "beacon".into(),
+            ticks: 0,
+        }));
+        let b = net.add_node(Box::new(Echo {
+            name: "sink".into(),
+            seen: Vec::new(),
+            echo: false,
+        }));
+        net.link(a, 0, b, 0, SimTime::ZERO);
+        net.run_until(SimTime::from_secs(5));
+        assert_eq!(net.trace.len(), 4);
+        assert!(net.trace.iter().all(|e| e.summary().is_none()));
+        assert!(net.format_trace().contains("beacon -> sink [1 bytes]"));
+    }
+
+    #[test]
+    fn off_mode_records_nothing_and_counts_nothing_suppressed() {
+        let mut net = Network::new();
+        net.trace_mode = TraceMode::Off;
+        let a = net.add_node(Box::new(Beacon {
+            name: "beacon".into(),
+            ticks: 0,
+        }));
+        let b = net.add_node(Box::new(Echo {
+            name: "sink".into(),
+            seen: Vec::new(),
+            echo: false,
+        }));
+        net.link(a, 0, b, 0, SimTime::ZERO);
+        net.run_until(SimTime::from_secs(5));
+        assert!(net.trace.is_empty());
+        assert_eq!(net.metrics().trace, TraceCounters::default());
+        assert_eq!(net.frames_delivered, 4);
+    }
+
+    #[test]
+    fn trace_limit_counts_suppressed_hops() {
+        let mut net = Network::new();
+        net.trace_limit = 2;
+        let a = net.add_node(Box::new(Beacon {
+            name: "beacon".into(),
+            ticks: 0,
+        }));
+        let b = net.add_node(Box::new(Echo {
+            name: "sink".into(),
+            seen: Vec::new(),
+            echo: false,
+        }));
+        net.link(a, 0, b, 0, SimTime::ZERO);
+        net.run_until(SimTime::from_secs(5));
+        assert_eq!(net.trace.len(), 2);
+        assert_eq!(net.metrics().trace.suppressed, 2);
     }
 
     #[test]

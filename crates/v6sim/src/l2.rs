@@ -146,7 +146,7 @@ impl Switch {
     fn flood(&mut self, ingress: u32, raw: &[u8], ctx: &mut Ctx) {
         for p in 0..self.ports {
             if p != ingress {
-                ctx.send(p, raw.to_vec());
+                ctx.send_copy(p, raw);
             }
         }
     }
@@ -162,7 +162,7 @@ impl Switch {
                 &msg,
             );
             for p in 0..self.ports {
-                ctx.send(p, frame.clone());
+                ctx.send_copy(p, &frame);
             }
         }
     }
@@ -226,7 +226,7 @@ impl Node for Switch {
             self.flood(ingress, raw, ctx);
         } else if let Some(&out) = self.mac_table.get(&parsed.eth.dst) {
             if out != ingress {
-                ctx.send(out, raw.to_vec());
+                ctx.send_copy(out, raw);
             }
         } else {
             self.flood(ingress, raw, ctx);

@@ -34,6 +34,8 @@ pub mod pcap;
 pub mod tcp;
 pub mod time;
 
-pub use engine::{Ctx, Network, Node, NodeId};
-pub use metrics::{EngineMetrics, LinkCounters, MetricsSnapshot, NodeMetrics};
+pub use engine::{Ctx, Network, Node, NodeId, ResolvedHop, TraceEntry, TraceMode};
+pub use metrics::{
+    EngineMetrics, LinkCounters, MetricsSnapshot, NodeMetrics, PoolCounters, TraceCounters,
+};
 pub use time::SimTime;

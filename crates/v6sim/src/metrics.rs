@@ -75,6 +75,63 @@ impl FaultCounters {
     }
 }
 
+/// Frame-buffer pool totals for the whole network. `reused` growing while
+/// `allocated` stays flat is the steady-state zero-allocation signature
+/// the engine's hot path aims for.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolCounters {
+    /// Fresh frame buffers allocated (pool was empty).
+    pub allocated: u64,
+    /// Frame buffers served from the recycle pool.
+    pub reused: u64,
+}
+
+impl PoolCounters {
+    /// Fraction of buffer requests served without allocating, in
+    /// `[0, 1]` (zero when no buffers were ever requested).
+    pub fn reuse_ratio(&self) -> f64 {
+        let total = self.allocated + self.reused;
+        if total == 0 {
+            0.0
+        } else {
+            self.reused as f64 / total as f64
+        }
+    }
+
+    /// The counters under their canonical `pool.*` names.
+    pub fn as_metrics(&self) -> Metrics {
+        use v6wire::metrics::engine_names as n;
+        [(n::POOL_ALLOCATED, self.allocated), (n::POOL_REUSED, self.reused)]
+            .into_iter()
+            .collect()
+    }
+}
+
+/// Trace/capture bookkeeping: hops and frames *not* recorded because the
+/// respective cap was reached. Mode `Off` records nothing and suppresses
+/// nothing — these count only cap overflow, so they are identical across
+/// trace modes at default limits (the determinism tests rely on that).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceCounters {
+    /// Hops dropped because `trace_limit` was reached.
+    pub suppressed: u64,
+    /// Frames not pcap-captured because `capture_limit` was reached.
+    pub capture_suppressed: u64,
+}
+
+impl TraceCounters {
+    /// The counters under their canonical `trace.*` / `capture.*` names.
+    pub fn as_metrics(&self) -> Metrics {
+        use v6wire::metrics::engine_names as n;
+        [
+            (n::TRACE_SUPPRESSED, self.suppressed),
+            (n::CAPTURE_SUPPRESSED, self.capture_suppressed),
+        ]
+        .into_iter()
+        .collect()
+    }
+}
+
 /// The engine's physical-layer view of one node.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LinkCounters {
@@ -111,6 +168,10 @@ pub struct MetricsSnapshot {
     pub engine: EngineMetrics,
     /// Injected-fault totals (all zero on a clean run).
     pub faults: FaultCounters,
+    /// Frame-buffer pool totals.
+    pub pool: PoolCounters,
+    /// Trace/capture cap-overflow totals.
+    pub trace: TraceCounters,
     /// Per-node rows, ordered by node id.
     pub nodes: Vec<NodeMetrics>,
 }
@@ -154,6 +215,20 @@ impl fmt::Display for MetricsSnapshot {
             e.timers_fired,
             e.queue_high_water,
         )?;
+        if self.pool != PoolCounters::default() {
+            writeln!(
+                f,
+                "pool: allocated={} reused={}",
+                self.pool.allocated, self.pool.reused,
+            )?;
+        }
+        if self.trace != TraceCounters::default() {
+            writeln!(
+                f,
+                "trace: suppressed={} capture_suppressed={}",
+                self.trace.suppressed, self.trace.capture_suppressed,
+            )?;
+        }
         // Clean runs render exactly as they always did; the fault line
         // only appears once something was actually injected.
         if self.faults != FaultCounters::default() {

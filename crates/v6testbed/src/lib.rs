@@ -29,3 +29,6 @@ pub mod zones;
 pub use census::{census, CensusEntry, CensusSummary};
 pub use scenario::{PathFamily, PoisonVariant, Scenario, ScenarioResult, TopologyVariant, Verdict};
 pub use topology::{Testbed, TestbedConfig};
+/// Re-export of the engine's trace verbosity knob, so fleet callers can
+/// pick a mode without a direct `v6sim` dependency.
+pub use v6sim::engine::TraceMode;

@@ -19,6 +19,7 @@ use std::net::IpAddr;
 use v6dns::poison::PoisonPolicy;
 use v6host::profiles::OsProfile;
 use v6host::tasks::{AppTask, TaskOutcome};
+use v6sim::engine::TraceMode;
 use v6sim::fault::{EndpointMatch, FaultPlan, Impairment, LinkFault, Outage};
 use v6sim::metrics::MetricsSnapshot;
 use v6sim::time::SimTime;
@@ -276,13 +277,27 @@ impl Scenario {
     /// result is a pure function of `self`, which is what lets the
     /// fleet runner execute scenarios on any thread in any order and
     /// still aggregate a deterministic report.
+    ///
+    /// Fleet cells never read the frame trace, so this runs under
+    /// [`TraceMode::Hops`]; trace verbosity never perturbs the simulation
+    /// (the result is identical in every mode — see
+    /// [`Scenario::run_with_trace`] and the determinism tests), so the
+    /// cheaper mode is a pure win.
     pub fn run(&self) -> ScenarioResult {
+        self.run_with_trace(TraceMode::Hops)
+    }
+
+    /// [`Scenario::run`] with an explicit engine trace mode — `Off` for
+    /// maximum-throughput sweeps, `Full` when the per-frame summaries are
+    /// wanted (figure regeneration, debugging a single cell).
+    pub fn run_with_trace(&self, trace: TraceMode) -> ScenarioResult {
         let managed = self.topology == TopologyVariant::PaperDefault;
         let mut tb = Testbed::build(TestbedConfig {
             managed_switch: managed,
             pi_dhcp: managed,
             poison: self.poison.policy(),
             block_v4_internet: false,
+            trace,
         });
         let plan = self.fault.plan(self.seed);
         if !plan.is_noop() {

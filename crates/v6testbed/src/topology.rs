@@ -17,7 +17,7 @@ use v6host::profiles::OsProfile;
 use v6host::stack::Host;
 use v6host::tasks::{AppTask, TaskOutcome};
 use v6portal::server::{PortalServer, VhostContent};
-use v6sim::engine::{Network, NodeId};
+use v6sim::engine::{Network, NodeId, TraceMode};
 use v6sim::gateway::{FiveGGateway, LAN, WAN};
 use v6sim::l2::Switch;
 use v6sim::time::SimTime;
@@ -37,6 +37,10 @@ pub struct TestbedConfig {
     pub poison: PoisonPolicy,
     /// Fig. 8 knob: block legacy IPv4 internet at the gateway.
     pub block_v4_internet: bool,
+    /// How much the engine records per delivered frame. Figure/golden
+    /// paths want [`TraceMode::Full`] (the default); fleet sweeps run
+    /// [`TraceMode::Hops`] or [`TraceMode::Off`] for throughput.
+    pub trace: TraceMode,
 }
 
 impl Default for TestbedConfig {
@@ -49,6 +53,7 @@ impl Default for TestbedConfig {
                 ttl: 60,
             },
             block_v4_internet: false,
+            trace: TraceMode::Full,
         }
     }
 }
@@ -104,6 +109,7 @@ impl Testbed {
     /// Build the topology (no clients yet).
     pub fn build(config: TestbedConfig) -> Testbed {
         let mut net = Network::new();
+        net.trace_mode = config.trace;
         let mut gw_node = FiveGGateway::new("5g-gw");
         gw_node.block_v4_internet = config.block_v4_internet;
         let gw = net.add_node(Box::new(gw_node));

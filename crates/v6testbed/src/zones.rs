@@ -34,8 +34,18 @@ fn n(s: &str) -> DnsName {
     s.parse().expect("static name")
 }
 
-/// Build the global DNS database.
+/// The global DNS database.
+///
+/// The zone content is parsed once per process and shared copy-on-write
+/// (see `GlobalDns`'s `Arc`-backed zone list): each testbed instance gets
+/// its own query counters, but a fleet sweep no longer re-parses every
+/// record three times per cell.
 pub fn internet_dns() -> GlobalDns {
+    static DB: std::sync::OnceLock<GlobalDns> = std::sync::OnceLock::new();
+    DB.get_or_init(build_internet_dns).clone()
+}
+
+fn build_internet_dns() -> GlobalDns {
     let mut g = GlobalDns::new();
 
     let mut me = Zone::new(n("ip6.me"), 60);

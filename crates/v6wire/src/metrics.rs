@@ -103,6 +103,20 @@ pub mod fault_names {
     pub const OUTAGE_SECS: &str = "fault.outage_secs";
 }
 
+/// Canonical counter names for the `v6sim` engine's own bookkeeping —
+/// the frame-buffer pool and the trace/capture caps. Defined here, next
+/// to [`fault_names`], so every layer agrees on the spelling.
+pub mod engine_names {
+    /// Fresh frame buffers allocated because the pool was empty.
+    pub const POOL_ALLOCATED: &str = "pool.allocated";
+    /// Frame buffers served from the recycle pool.
+    pub const POOL_REUSED: &str = "pool.reused";
+    /// Trace hops dropped because the trace cap was reached.
+    pub const TRACE_SUPPRESSED: &str = "trace.suppressed";
+    /// Frames not pcap-captured because the capture cap was reached.
+    pub const CAPTURE_SUPPRESSED: &str = "capture.suppressed";
+}
+
 impl fmt::Display for Metrics {
     /// One `name=value` pair per line, in name order — the stable form
     /// used by golden tests and fleet-report comparison.

@@ -1,0 +1,178 @@
+//! Machine-readable engine performance report.
+//!
+//! Measures the two benchmarks the perf work is judged by — the raw
+//! engine relay ring and the 66-cell fleet sweep — in every [`TraceMode`],
+//! and writes `BENCH_engine.json` next to the repo root:
+//!
+//! ```sh
+//! cargo run --release --example bench_report
+//! cat BENCH_engine.json
+//! ```
+//!
+//! The JSON also carries the recorded pre-optimization baseline (eager
+//! string tracing, `HashMap` link table, no frame pool) so the speedup is
+//! auditable without checking out the old revision.
+
+use std::any::Any;
+use std::fmt::Write as _;
+use std::time::Instant;
+use v6sim::engine::{Ctx, Network, Node, TraceMode};
+use v6sim::time::SimTime;
+use v6testbed::{Scenario, TraceMode as TbTraceMode};
+use v6wire::mac::MacAddr;
+use v6wire::packet::build_udp_v4;
+use v6wire::udp::UdpDatagram;
+
+/// Pre-PR `fleet_throughput/threads01` (the acceptance comparison):
+/// median ms per 66-cell sweep and scenarios/second, measured on this
+/// machine immediately before the hot-path rework.
+const BASELINE_FLEET_MS: f64 = 25.569;
+const BASELINE_FLEET_ELEM_S: f64 = 2581.0;
+
+struct Relay {
+    name: String,
+}
+
+impl Node for Relay {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_frame(&mut self, _port: u32, frame: &[u8], ctx: &mut Ctx) {
+        let buf = ctx.buffer_from(frame);
+        ctx.send(1, buf);
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The same 4-node relay ring as `benches/engine_hot_path.rs`: 4 frames
+/// in flight, 10 µs hops, 100 virtual milliseconds.
+fn run_ring(mode: TraceMode) -> (u64, u64) {
+    let mut net = Network::new();
+    net.trace_mode = mode;
+    let nodes: Vec<_> = (0..4)
+        .map(|i| {
+            net.add_node(Box::new(Relay {
+                name: format!("relay{i}"),
+            }))
+        })
+        .collect();
+    for i in 0..4 {
+        net.link(nodes[i], 1, nodes[(i + 1) % 4], 0, SimTime::from_micros(10));
+    }
+    net.start();
+    net.run_until(SimTime::ZERO);
+    for n in 0..4u8 {
+        let frame = build_udp_v4(
+            MacAddr::new([2, 0, 0, 0, 0xee, n]),
+            MacAddr::new([2, 0, 0, 0, 0xee, n + 1]),
+            "10.9.0.1".parse().expect("static ip"),
+            "10.9.0.2".parse().expect("static ip"),
+            &UdpDatagram::new(4000, 4001, vec![n; 64]),
+        );
+        net.with_node::<Relay, _>(nodes[0], |_, ctx| ctx.send(1, frame));
+    }
+    net.run_for(SimTime::from_millis(100));
+    (net.frames_delivered, net.metrics().engine.events_processed)
+}
+
+/// Median wall-clock seconds of `samples` runs of `f`.
+fn median_secs(samples: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[times.len() / 2]
+}
+
+fn main() {
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"generated_by\": \"examples/bench_report.rs\",");
+
+    // Engine relay ring, per trace mode.
+    let (frames, events) = run_ring(TraceMode::Off);
+    let _ = writeln!(json, "  \"engine_hot_path\": {{");
+    let _ = writeln!(json, "    \"workload\": \"4-node relay ring, 4 frames in flight, 100 virtual ms\",");
+    let _ = writeln!(json, "    \"frames_per_iter\": {frames},");
+    let _ = writeln!(json, "    \"events_per_iter\": {events},");
+    for (i, (label, mode)) in [
+        ("off", TraceMode::Off),
+        ("hops", TraceMode::Hops),
+        ("full", TraceMode::Full),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        run_ring(mode); // warm-up
+        let secs = median_secs(7, || {
+            std::hint::black_box(run_ring(mode));
+        });
+        let comma = if i < 2 { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    \"{label}\": {{ \"ms_per_iter\": {:.3}, \"frames_per_sec\": {:.0}, \"events_per_sec\": {:.0} }}{comma}",
+            secs * 1e3,
+            frames as f64 / secs,
+            events as f64 / secs,
+        );
+    }
+    let _ = writeln!(json, "  }},");
+
+    // Fleet sweep (the acceptance benchmark), per trace mode.
+    let cells = Scenario::matrix(0xBE9C);
+    let _ = writeln!(json, "  \"fleet_sweep\": {{");
+    let _ = writeln!(json, "    \"cells\": {},", cells.len());
+    let mut hops_ms = 0.0;
+    for (i, (label, mode)) in [
+        ("off", TbTraceMode::Off),
+        ("hops", TbTraceMode::Hops),
+        ("full", TbTraceMode::Full),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        for s in &cells {
+            let _ = s.run_with_trace(mode); // warm-up
+        }
+        let secs = median_secs(7, || {
+            for s in &cells {
+                std::hint::black_box(s.run_with_trace(mode));
+            }
+        });
+        if label == "hops" {
+            hops_ms = secs * 1e3;
+        }
+        let comma = if i < 2 { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    \"{label}\": {{ \"ms_per_sweep\": {:.3}, \"scenarios_per_sec\": {:.0} }}{comma}",
+            secs * 1e3,
+            cells.len() as f64 / secs,
+        );
+    }
+    let _ = writeln!(json, "  }},");
+
+    // The before/after the PR is judged on: pre-optimization single-thread
+    // fleet sweep vs today's Hops-mode sweep.
+    let _ = writeln!(json, "  \"baseline_pre_optimization\": {{");
+    let _ = writeln!(json, "    \"fleet_ms_per_sweep\": {BASELINE_FLEET_MS},");
+    let _ = writeln!(json, "    \"fleet_scenarios_per_sec\": {BASELINE_FLEET_ELEM_S}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(
+        json,
+        "  \"speedup_vs_baseline\": {:.2}",
+        BASELINE_FLEET_MS / hops_ms
+    );
+    json.push_str("}\n");
+
+    print!("{json}");
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    eprintln!("wrote BENCH_engine.json");
+}

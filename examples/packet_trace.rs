@@ -30,10 +30,14 @@ fn main() {
     println!("outcome: reached {:?}", outcome.peer());
 
     println!("\n== hop trace of the intervention (first 25 hops) ==");
-    for entry in tb.net.trace.iter().take(25) {
+    for hop in tb.net.trace_hops().take(25) {
         println!(
             "{} {:>14} -> {:<14} [{:>4}B] {}",
-            entry.at, entry.from, entry.to, entry.len, entry.summary
+            hop.at,
+            hop.from,
+            hop.to,
+            hop.len,
+            hop.summary.unwrap_or("")
         );
     }
 

@@ -46,6 +46,23 @@ census-faults:
 bench-fleet:
     cargo bench -p v6bench --bench fleet_throughput
 
+# The engine perf pair: raw forwarding ring per trace mode, then the
+# fleet sweep the acceptance numbers come from.
+bench:
+    cargo bench -p v6bench --bench engine_hot_path
+    cargo bench -p v6bench --bench fleet_throughput
+
+# Regenerate BENCH_engine.json (frames/sec + events/sec per trace mode,
+# fleet sweep timings, and the recorded pre-optimization baseline).
+bench-report:
+    cargo run --release --example bench_report
+
+# One iteration of every bench body — proves the benches still run
+# without paying for full sampling (what CI executes).
+bench-smoke:
+    cargo bench -p v6bench --bench engine_hot_path -- --test
+    cargo bench -p v6bench --bench fleet_throughput -- --test
+
 # Regenerate the committed golden trace after a deliberate protocol
 # change (review the fixture diff!).
 bless-traces:

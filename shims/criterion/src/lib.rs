@@ -108,10 +108,28 @@ impl Bencher {
     }
 }
 
+/// True when the bench binary was invoked with `--test` (the flag real
+/// criterion uses for its smoke mode, and what `cargo bench -- --test`
+/// forwards): run each benchmark body once to prove it works, skipping
+/// calibration and sampling entirely.
+fn smoke_mode() -> bool {
+    static SMOKE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *SMOKE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
+
 fn run_bench<F>(id: &str, throughput: Option<Throughput>, samples: usize, mut f: F)
 where
     F: FnMut(&mut Bencher),
 {
+    if smoke_mode() {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("  {id:<50} smoke: ok (1 iter, {:?})", b.elapsed);
+        return;
+    }
     // Calibrate: grow the iteration count until one sample takes ≥ ~5 ms,
     // so per-iteration timings are measurable for fast functions.
     let mut iters = 1u64;

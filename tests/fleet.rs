@@ -146,3 +146,25 @@ fn verdicts_are_seed_stable() {
     assert_eq!(verdicts(&a), verdicts(&b));
     assert_eq!(a.census, b.census);
 }
+
+/// Trace verbosity is pure observation: the same scenario cell produces
+/// an identical [`v6testbed::ScenarioResult`] — verdict, census row, and
+/// the full engine metrics snapshot — in every [`TraceMode`].
+#[test]
+fn scenario_results_identical_across_trace_modes() {
+    use v6testbed::TraceMode;
+    // A spread of cells: both topologies, every poison, a faulted run.
+    let mut cells: Vec<Scenario> = Scenario::matrix(0x7ACE).into_iter().take(9).collect();
+    cells.push({
+        let mut s = cells[0].clone();
+        s.fault = FaultVariant::LossyUplink;
+        s
+    });
+    for cell in &cells {
+        let full = cell.run_with_trace(TraceMode::Full);
+        let hops = cell.run_with_trace(TraceMode::Hops);
+        let off = cell.run_with_trace(TraceMode::Off);
+        assert_eq!(full, hops, "{}: Full vs Hops diverged", cell.label());
+        assert_eq!(full, off, "{}: Full vs Off diverged", cell.label());
+    }
+}
