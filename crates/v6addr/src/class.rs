@@ -84,11 +84,15 @@ pub fn v6_class(a: Ipv6Addr) -> V6Class {
         };
         return V6Class::Multicast(scope);
     }
-    if seg[0] == 0 && seg[1] == 0 && seg[2] == 0 && seg[3] == 0 && seg[4] == 0 && seg[5] == 0xffff
-    {
+    if seg[0] == 0 && seg[1] == 0 && seg[2] == 0 && seg[3] == 0 && seg[4] == 0 && seg[5] == 0xffff {
         return V6Class::V4Mapped(Ipv4Addr::new(o[12], o[13], o[14], o[15]));
     }
-    if seg[0] == 0x0064 && seg[1] == 0xff9b && seg[2] == 0 && seg[3] == 0 && seg[4] == 0 && seg[5] == 0
+    if seg[0] == 0x0064
+        && seg[1] == 0xff9b
+        && seg[2] == 0
+        && seg[3] == 0
+        && seg[4] == 0
+        && seg[5] == 0
     {
         return V6Class::Nat64WellKnown(Ipv4Addr::new(o[12], o[13], o[14], o[15]));
     }

@@ -90,7 +90,10 @@ impl Ipv6Prefix {
 
     /// The `n`-th /64 subnet of this prefix (panics if `len > 64`).
     pub fn subnet64(&self, n: u64) -> Ipv6Prefix {
-        assert!(self.len <= 64, "subnet64 requires a prefix of /64 or shorter");
+        assert!(
+            self.len <= 64,
+            "subnet64 requires a prefix of /64 or shorter"
+        );
         let shifted = u128::from(n) << 64;
         Ipv6Prefix {
             addr: self.addr | (shifted & !Self::mask(self.len) & Self::mask(64)),
@@ -124,9 +127,7 @@ impl FromStr for Ipv6Prefix {
         let (addr, len) = s
             .split_once('/')
             .ok_or_else(|| PrefixError::Malformed(s.into()))?;
-        let addr: Ipv6Addr = addr
-            .parse()
-            .map_err(|_| PrefixError::Malformed(s.into()))?;
+        let addr: Ipv6Addr = addr.parse().map_err(|_| PrefixError::Malformed(s.into()))?;
         let len: u8 = len.parse().map_err(|_| PrefixError::Malformed(s.into()))?;
         Ipv6Prefix::new(addr, len)
     }
@@ -213,9 +214,7 @@ impl FromStr for Ipv4Prefix {
         let (addr, len) = s
             .split_once('/')
             .ok_or_else(|| PrefixError::Malformed(s.into()))?;
-        let addr: Ipv4Addr = addr
-            .parse()
-            .map_err(|_| PrefixError::Malformed(s.into()))?;
+        let addr: Ipv4Addr = addr.parse().map_err(|_| PrefixError::Malformed(s.into()))?;
         let len: u8 = len.parse().map_err(|_| PrefixError::Malformed(s.into()))?;
         Ipv4Prefix::new(addr, len)
     }

@@ -71,9 +71,9 @@ impl core::fmt::Display for Rfc6052Error {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             Rfc6052Error::IllegalLength(l) => write!(f, "illegal NAT64 prefix length /{l}"),
-            Rfc6052Error::NonGlobalUnderWkp(a) =>
-
-                write!(f, "cannot embed non-global {a} under 64:ff9b::/96"),
+            Rfc6052Error::NonGlobalUnderWkp(a) => {
+                write!(f, "cannot embed non-global {a} under 64:ff9b::/96")
+            }
             Rfc6052Error::NotInPrefix(a) => write!(f, "{a} is not in this NAT64 prefix"),
         }
     }
@@ -109,8 +109,8 @@ impl Nat64Prefix {
 
     /// A network-specific prefix.
     pub fn new(prefix: Ipv6Prefix) -> Result<Nat64Prefix, Rfc6052Error> {
-        let len = PrefixLen::from_bits(prefix.len())
-            .ok_or(Rfc6052Error::IllegalLength(prefix.len()))?;
+        let len =
+            PrefixLen::from_bits(prefix.len()).ok_or(Rfc6052Error::IllegalLength(prefix.len()))?;
         Ok(Nat64Prefix { prefix, len })
     }
 
@@ -218,7 +218,10 @@ mod tests {
         // i.e. 190.92.158.4 behind the WKP.
         let wkp = Nat64Prefix::well_known();
         let v6: Ipv6Addr = "64:ff9b::be5c:9e04".parse().unwrap();
-        assert_eq!(wkp.extract(v6).unwrap(), "190.92.158.4".parse::<Ipv4Addr>().unwrap());
+        assert_eq!(
+            wkp.extract(v6).unwrap(),
+            "190.92.158.4".parse::<Ipv4Addr>().unwrap()
+        );
         assert_eq!(wkp.embed("190.92.158.4".parse().unwrap()).unwrap(), v6);
     }
 
@@ -241,7 +244,10 @@ mod tests {
         ));
         // ...but the testbed may choose to do it anyway.
         let forced = wkp.embed_unchecked("192.168.12.251".parse().unwrap());
-        assert_eq!(wkp.extract(forced).unwrap(), "192.168.12.251".parse::<Ipv4Addr>().unwrap());
+        assert_eq!(
+            wkp.extract(forced).unwrap(),
+            "192.168.12.251".parse::<Ipv4Addr>().unwrap()
+        );
     }
 
     #[test]

@@ -306,7 +306,11 @@ fn dest_order(
     let ma = scope_of(da.addr) == scope_of(sa.addr);
     let mb = scope_of(db.addr) == scope_of(sb.addr);
     if ma != mb {
-        return if ma { Ordering::Less } else { Ordering::Greater };
+        return if ma {
+            Ordering::Less
+        } else {
+            Ordering::Greater
+        };
     }
     // Rule 3: avoid deprecated sources.
     if sa.deprecated != sb.deprecated {
@@ -318,13 +322,21 @@ fn dest_order(
     }
     // Rule 4: prefer home-address sources.
     if sa.home != sb.home {
-        return if sa.home { Ordering::Less } else { Ordering::Greater };
+        return if sa.home {
+            Ordering::Less
+        } else {
+            Ordering::Greater
+        };
     }
     // Rule 5: prefer matching label.
     let la = table.label(sa.addr) == table.label(da.addr);
     let lb = table.label(sb.addr) == table.label(db.addr);
     if la != lb {
-        return if la { Ordering::Less } else { Ordering::Greater };
+        return if la {
+            Ordering::Less
+        } else {
+            Ordering::Greater
+        };
     }
     // Rule 6: prefer higher precedence.
     let (pa, pb) = (table.precedence(da.addr), table.precedence(db.addr));
@@ -503,13 +515,8 @@ mod tests {
         let table = PolicyTable::default();
         let near = src("2001:db8:1:1::5", 1, 64);
         let far = src("2001:db9::5", 1, 64);
-        let picked = select_source(
-            "2001:db8:1:1::99".parse().unwrap(),
-            &[far, near],
-            1,
-            &table,
-        )
-        .unwrap();
+        let picked =
+            select_source("2001:db8:1:1::99".parse().unwrap(), &[far, near], 1, &table).unwrap();
         assert_eq!(picked.addr, near.addr);
     }
 

@@ -136,9 +136,6 @@ mod tests {
 
     #[test]
     fn eui64_distinct_macs_distinct_iids() {
-        assert_ne!(
-            eui64_iid([0, 0, 0, 0, 0, 1]),
-            eui64_iid([0, 0, 0, 0, 0, 2])
-        );
+        assert_ne!(eui64_iid([0, 0, 0, 0, 0, 1]), eui64_iid([0, 0, 0, 0, 0, 2]));
     }
 }

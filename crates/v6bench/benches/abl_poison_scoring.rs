@@ -91,10 +91,7 @@ fn bench_abl1(c: &mut Criterion) {
         });
         g.bench_function(format!("{name}_nonexistent"), |b| {
             let mut r = PoisonedResolver::new(Dns64::well_known(internet_dns()), policy);
-            let q = Question::new(
-                "ghost.rfc8925.com".parse::<DnsName>().unwrap(),
-                RType::A,
-            );
+            let q = Question::new("ghost.rfc8925.com".parse::<DnsName>().unwrap(), RType::A);
             b.iter(|| black_box(r.resolve(&q, 0)))
         });
     }
@@ -130,7 +127,11 @@ fn bench_abl3_happy_eyeballs(c: &mut Criterion) {
         let mut z = Zone::new("brokenv6.test".parse().unwrap(), 60);
         z.add_str("@", 60, RData::Aaaa("2602:dead::1".parse().unwrap()));
         z.add_str("@", 60, RData::A("190.92.158.4".parse().unwrap()));
-        tb.pi_server().healthy.upstream_mut().upstream_mut().add_zone(z);
+        tb.pi_server()
+            .healthy
+            .upstream_mut()
+            .upstream_mut()
+            .add_zone(z);
         tb.boot();
         let start = tb.net.now();
         let _ = tb.run_task(

@@ -58,13 +58,7 @@ fn run_ring(mode: TraceMode, frames: u8, virtual_ms: u64) -> (u64, u64) {
         })
         .collect();
     for i in 0..4 {
-        net.link(
-            nodes[i],
-            1,
-            nodes[(i + 1) % 4],
-            0,
-            SimTime::from_micros(10),
-        );
+        net.link(nodes[i], 1, nodes[(i + 1) % 4], 0, SimTime::from_micros(10));
     }
     net.start();
     net.run_until(SimTime::ZERO);

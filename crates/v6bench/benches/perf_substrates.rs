@@ -8,9 +8,7 @@ use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 use std::net::{Ipv4Addr, Ipv6Addr};
 use v6addr::rfc6052::Nat64Prefix;
-use v6addr::rfc6724::{
-    mapped, sort_destinations, CandidateSource, DestCandidate, PolicyTable,
-};
+use v6addr::rfc6724::{mapped, sort_destinations, CandidateSource, DestCandidate, PolicyTable};
 use v6dhcp::client::{ClientEvent, DhcpClient};
 use v6dhcp::server::{DhcpServer, ServerConfig};
 use v6dns::codec::{Message, Question, RData, RType, Record};
@@ -183,10 +181,8 @@ fn bench_dhcp(c: &mut Criterion) {
             n += 1;
             let mut server =
                 DhcpServer::new(ServerConfig::testbed("192.168.12.250".parse().unwrap()));
-            let mut client = DhcpClient::new(
-                MacAddr::new([2, 0, 0, 0, (n >> 8) as u8, n as u8]),
-                true,
-            );
+            let mut client =
+                DhcpClient::new(MacAddr::new([2, 0, 0, 0, (n >> 8) as u8, n as u8]), true);
             let mut ev = client.start(0);
             for _ in 0..6 {
                 match ev {

@@ -333,7 +333,10 @@ mod tests {
         let mut s = DhcpServer::new(cfg);
         let mut c = DhcpClient::new(mac(3), true);
         let events = run_exchange(&mut c, &mut s, 0);
-        assert!(matches!(events.last(), Some(ClientEvent::Configured { .. })));
+        assert!(matches!(
+            events.last(),
+            Some(ClientEvent::Configured { .. })
+        ));
     }
 
     #[test]
@@ -376,10 +379,12 @@ mod tests {
         let mut other = DhcpClient::new(mac(7), false);
         run_exchange(&mut other, &mut s, 0);
         let _ = c.receive(&offer, 0); // sends REQUEST internally
-        // Craft a NAK as the server would.
+                                      // Craft a NAK as the server would.
         let nak = DhcpMessage::reply(DhcpMessageType::Nak, &discover);
         let ev = c.receive(&nak, 1);
-        assert!(matches!(ev, ClientEvent::Send(m) if m.message_type() == Some(DhcpMessageType::Discover)));
+        assert!(
+            matches!(ev, ClientEvent::Send(m) if m.message_type() == Some(DhcpMessageType::Discover))
+        );
     }
 
     #[test]

@@ -438,15 +438,25 @@ mod tests {
         let req = discover_with_108();
         let mut offer = DhcpMessage::reply(DhcpMessageType::Offer, &req);
         offer.yiaddr = "192.168.12.60".parse().unwrap();
-        offer.options.push(DhcpOption::ServerId("192.168.12.251".parse().unwrap()));
-        offer.options.push(DhcpOption::SubnetMask("255.255.255.0".parse().unwrap()));
-        offer.options.push(DhcpOption::Router(vec!["192.168.12.1".parse().unwrap()]));
-        offer.options.push(DhcpOption::DnsServers(vec![
-            "192.168.12.250".parse().unwrap(),
-        ]));
+        offer
+            .options
+            .push(DhcpOption::ServerId("192.168.12.251".parse().unwrap()));
+        offer
+            .options
+            .push(DhcpOption::SubnetMask("255.255.255.0".parse().unwrap()));
+        offer
+            .options
+            .push(DhcpOption::Router(vec!["192.168.12.1".parse().unwrap()]));
+        offer
+            .options
+            .push(DhcpOption::DnsServers(vec!["192.168.12.250"
+                .parse()
+                .unwrap()]));
         offer.options.push(DhcpOption::LeaseTime(3600));
         offer.options.push(DhcpOption::V6OnlyPreferred(1800));
-        offer.options.push(DhcpOption::DomainName("rfc8925.com".into()));
+        offer
+            .options
+            .push(DhcpOption::DomainName("rfc8925.com".into()));
         offer.options.push(DhcpOption::CaptivePortal(
             "https://portal.rfc8925.com/why-no-internet".into(),
         ));
@@ -508,6 +518,9 @@ mod tests {
         let mut m = DhcpMessage::client(DhcpMessageType::Inform, 3, mac());
         m.options.push(DhcpOption::Other(43, vec![9, 9, 9]));
         let decoded = DhcpMessage::decode(&m.encode()).unwrap();
-        assert_eq!(decoded.option(43), Some(&DhcpOption::Other(43, vec![9, 9, 9])));
+        assert_eq!(
+            decoded.option(43),
+            Some(&DhcpOption::Other(43, vec![9, 9, 9]))
+        );
     }
 }

@@ -277,7 +277,10 @@ mod tests {
         let mut s = server();
         let offer = s.handle(&discover(mac(2), false), 0).unwrap();
         assert_eq!(offer.v6only_wait(), None);
-        assert_eq!(offer.dns_servers(), vec!["192.168.12.250".parse::<Ipv4Addr>().unwrap()]);
+        assert_eq!(
+            offer.dns_servers(),
+            vec!["192.168.12.250".parse::<Ipv4Addr>().unwrap()]
+        );
         assert_eq!((s.offers_with_108, s.offers_plain), (0, 1));
     }
 

@@ -54,8 +54,10 @@ impl DhcpSnoop {
 
     /// Judge one DHCP message arriving on `ingress`.
     pub fn inspect(&mut self, ingress: PortId, msg: &DhcpMessage) -> SnoopVerdict {
-        let is_server_msg =
-            msg.is_reply || msg.message_type().is_some_and(DhcpMessageType::is_server_message);
+        let is_server_msg = msg.is_reply
+            || msg
+                .message_type()
+                .is_some_and(DhcpMessageType::is_server_message);
         if is_server_msg && !self.trusted.contains(&ingress) {
             self.dropped += 1;
             SnoopVerdict::DropUntrustedServer

@@ -1,8 +1,8 @@
 //! RFC 1035 message wire format with name compression.
 
 use crate::name::DnsName;
-use std::fmt;
 use std::collections::HashMap;
+use std::fmt;
 use std::net::{Ipv4Addr, Ipv6Addr};
 
 /// Decoding errors.
@@ -679,13 +679,21 @@ mod tests {
         let mut resp = Message::response_to(&q, Rcode::NoError);
         resp.authoritative = true;
         resp.answers = vec![
-            Record::new(n("sc24.supercomputing.org"), 300, RData::A("190.92.158.4".parse().unwrap())),
+            Record::new(
+                n("sc24.supercomputing.org"),
+                300,
+                RData::A("190.92.158.4".parse().unwrap()),
+            ),
             Record::new(
                 n("sc24.supercomputing.org"),
                 300,
                 RData::Aaaa("64:ff9b::be5c:9e04".parse().unwrap()),
             ),
-            Record::new(n("www.sc24.supercomputing.org"), 60, RData::Cname(n("sc24.supercomputing.org"))),
+            Record::new(
+                n("www.sc24.supercomputing.org"),
+                60,
+                RData::Cname(n("sc24.supercomputing.org")),
+            ),
             Record::new(
                 n("sc24.supercomputing.org"),
                 600,
@@ -701,7 +709,11 @@ mod tests {
             ),
         ];
         resp.authorities = vec![
-            Record::new(n("supercomputing.org"), 3600, RData::Ns(n("ns1.supercomputing.org"))),
+            Record::new(
+                n("supercomputing.org"),
+                3600,
+                RData::Ns(n("ns1.supercomputing.org")),
+            ),
             Record::new(n("supercomputing.org"), 300, soa()),
         ];
         resp.additionals = vec![Record::new(
@@ -715,7 +727,10 @@ mod tests {
 
     #[test]
     fn compression_shrinks_and_roundtrips() {
-        let mut resp = Message::query(1, Question::new(n("a.very.long.domain.example.com"), RType::A));
+        let mut resp = Message::query(
+            1,
+            Question::new(n("a.very.long.domain.example.com"), RType::A),
+        );
         resp.is_response = true;
         for i in 0..5 {
             resp.answers.push(Record::new(
@@ -764,13 +779,20 @@ mod tests {
     fn helper_accessors() {
         let q = Message::query(2, Question::new(n("ip6.me"), RType::A));
         let mut r = Message::response_to(&q, Rcode::NoError);
-        r.answers.push(Record::new(n("ip6.me"), 60, RData::A("23.153.8.71".parse().unwrap())));
+        r.answers.push(Record::new(
+            n("ip6.me"),
+            60,
+            RData::A("23.153.8.71".parse().unwrap()),
+        ));
         r.answers.push(Record::new(
             n("ip6.me"),
             60,
             RData::Aaaa("2001:4810:0:3::71".parse().unwrap()),
         ));
-        assert_eq!(r.a_answers(), vec!["23.153.8.71".parse::<Ipv4Addr>().unwrap()]);
+        assert_eq!(
+            r.a_answers(),
+            vec!["23.153.8.71".parse::<Ipv4Addr>().unwrap()]
+        );
         assert_eq!(
             r.aaaa_answers(),
             vec!["2001:4810:0:3::71".parse::<Ipv6Addr>().unwrap()]

@@ -8,9 +8,9 @@
 
 use crate::codec::{Question, RData, RType, Rcode, Record};
 use crate::server::{Answer, Resolver};
+use std::net::Ipv6Addr;
 use v6addr::prefix::Ipv6Prefix;
 use v6addr::rfc6052::Nat64Prefix;
-use std::net::Ipv6Addr;
 
 /// A DNS64 resolver wrapping an upstream.
 ///
@@ -134,7 +134,11 @@ impl<R: Resolver> Resolver for Dns64<R> {
         let a_answer = self
             .upstream
             .resolve(&Question::new(q.name.clone(), RType::A), now);
-        if a_answer.is_positive() && a_answer.records.iter().any(|r| matches!(r.data, RData::A(_)))
+        if a_answer.is_positive()
+            && a_answer
+                .records
+                .iter()
+                .any(|r| matches!(r.data, RData::A(_)))
         {
             return self.synthesize(&a_answer);
         }
@@ -210,7 +214,10 @@ mod tests {
     #[test]
     fn cname_chain_preserved_in_synthesis() {
         let mut d = Dns64::well_known(internet());
-        let a = d.resolve(&Question::new(n("www.sc24.supercomputing.org"), RType::Aaaa), 0);
+        let a = d.resolve(
+            &Question::new(n("www.sc24.supercomputing.org"), RType::Aaaa),
+            0,
+        );
         assert!(a.is_positive());
         assert!(matches!(a.records[0].data, RData::Cname(_)));
         assert_eq!(
@@ -264,7 +271,10 @@ mod tests {
         let ans = d.resolve(&Question::new(qname.clone(), RType::Ptr), 0);
         assert!(ans.is_positive(), "{ans:?}");
         assert_eq!(ans.records[0].name, qname, "owner is the queried name");
-        assert_eq!(ans.records[0].data, RData::Ptr(n("sc24.supercomputing.org")));
+        assert_eq!(
+            ans.records[0].data,
+            RData::Ptr(n("sc24.supercomputing.org"))
+        );
     }
 
     #[test]

@@ -258,7 +258,10 @@ mod tests {
         // interventions should major issues be reported".
         let mut p = PoisonedResolver::dnsmasq_ip6me(upstream());
         let before = p.resolve(&Question::new(n("vpn.anl.gov"), RType::A), 0);
-        assert_eq!(before.records[0].data, RData::A("23.153.8.71".parse().unwrap()));
+        assert_eq!(
+            before.records[0].data,
+            RData::A("23.153.8.71".parse().unwrap())
+        );
         p.policy = PoisonPolicy::Off;
         let after = p.resolve(&Question::new(n("vpn.anl.gov"), RType::A), 1);
         assert_eq!(

@@ -149,10 +149,7 @@ impl Resolver for GlobalDns {
             match zone.lookup(&current, q.rtype) {
                 ZoneLookup::Answer(mut rs) => {
                     // If the chain ends in an out-of-zone CNAME, keep chasing.
-                    let last_is_cname = matches!(
-                        rs.last().map(|r| &r.data),
-                        Some(RData::Cname(_))
-                    );
+                    let last_is_cname = matches!(rs.last().map(|r| &r.data), Some(RData::Cname(_)));
                     if last_is_cname && q.rtype != RType::Cname && q.rtype != RType::Any {
                         let target = match &rs.last().expect("nonempty").data {
                             RData::Cname(t) => t.clone(),
@@ -304,12 +301,7 @@ impl<R: Resolver> Resolver for CachingResolver<R> {
         let answer = self.upstream.resolve(q, now);
         match (&answer.rcode, answer.records.is_empty(), &answer.soa) {
             (Rcode::NoError, false, _) => {
-                let min_ttl = answer
-                    .records
-                    .iter()
-                    .map(|r| r.ttl)
-                    .min()
-                    .unwrap_or(0);
+                let min_ttl = answer.records.iter().map(|r| r.ttl).min().unwrap_or(0);
                 let ttl = self.effective_ttl(min_ttl);
                 if ttl > 0 {
                     self.cache.insert(

@@ -61,9 +61,7 @@ impl SearchList {
                     suffixed.into_iter().chain(Some(name.clone())).collect()
                 }
             }
-            SearchOrder::SuffixFirst => {
-                suffixed.into_iter().chain(Some(name.clone())).collect()
-            }
+            SearchOrder::SuffixFirst => suffixed.into_iter().chain(Some(name.clone())).collect(),
             SearchOrder::Never => unreachable!("handled above"),
         }
     }

@@ -44,15 +44,17 @@ impl Zone {
             negative_ttl,
             RData::Soa {
                 mname: DnsName::from_labels(
-                    ["ns1"].iter().map(|s| s.to_string()).chain(
-                        origin.labels().iter().cloned(),
-                    ),
+                    ["ns1"]
+                        .iter()
+                        .map(|s| s.to_string())
+                        .chain(origin.labels().iter().cloned()),
                 )
                 .expect("origin + ns1 label valid"),
                 rname: DnsName::from_labels(
-                    ["hostmaster"].iter().map(|s| s.to_string()).chain(
-                        origin.labels().iter().cloned(),
-                    ),
+                    ["hostmaster"]
+                        .iter()
+                        .map(|s| s.to_string())
+                        .chain(origin.labels().iter().cloned()),
                 )
                 .expect("origin + hostmaster label valid"),
                 serial: 1,
@@ -128,9 +130,10 @@ impl Zone {
                 break;
             }
             let wc = DnsName::from_labels(
-                ["*"].iter().map(|s| s.to_string()).chain(
-                    parent.labels().iter().cloned(),
-                ),
+                ["*"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .chain(parent.labels().iter().cloned()),
             )
             .expect("wildcard name valid");
             if let Some(rs) = self.records.get(&wc) {

@@ -13,7 +13,8 @@ use v6dns::stub::{SearchList, SearchOrder};
 use v6dns::zone::Zone;
 
 fn arb_label() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9-]{0,14}".prop_map(|s| s.trim_end_matches('-').to_string())
+    "[a-z][a-z0-9-]{0,14}"
+        .prop_map(|s| s.trim_end_matches('-').to_string())
         .prop_filter("non-empty", |s| !s.is_empty())
 }
 

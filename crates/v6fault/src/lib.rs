@@ -112,9 +112,8 @@ impl EndpointMatch {
 
     /// Does the directed hop `from -> to` fall under this selector?
     pub fn matches(&self, from: &str, to: &str) -> bool {
-        let hit = |want: &Option<String>, name: &str| {
-            want.as_deref().map(|w| w == name).unwrap_or(true)
-        };
+        let hit =
+            |want: &Option<String>, name: &str| want.as_deref().map(|w| w == name).unwrap_or(true);
         (hit(&self.a, from) && hit(&self.b, to)) || (hit(&self.a, to) && hit(&self.b, from))
     }
 }
@@ -205,6 +204,44 @@ impl FaultPlan {
         self.links.iter().all(|l| l.impairment.is_noop()) && self.outages.is_empty()
     }
 
+    /// A stable 64-bit digest of the whole plan — seed, every link
+    /// impairment, every outage window — for run manifests.
+    ///
+    /// Two plans digest equal iff they would judge every frame
+    /// identically (field-for-field equality), and the digest depends
+    /// only on plan data, never on pointer identity or build order, so
+    /// it is reproducible across processes and architectures.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0x6661_756c_7470_6c61; // "faultpla"
+        let mut mix = |v: u64| h = splitmix64(h ^ v);
+        mix(self.seed);
+        let mix_match = |h: &mut u64, m: &EndpointMatch| {
+            let side = |s: &Option<String>| s.as_deref().map(name_hash).unwrap_or(0x2a);
+            *h = splitmix64(*h ^ side(&m.a).rotate_left(7) ^ side(&m.b));
+        };
+        for l in &self.links {
+            mix_match(&mut h, &l.on);
+            let i = &l.impairment;
+            for v in [
+                u64::from(i.drop_per_mille),
+                i.extra_latency_us,
+                i.jitter_us,
+                u64::from(i.reorder_per_mille),
+                i.reorder_window_us,
+                u64::from(i.duplicate_per_mille),
+                u64::from(i.corrupt_per_mille),
+                u64::from(i.truncate_per_mille),
+            ] {
+                h = splitmix64(h ^ v);
+            }
+        }
+        for o in &self.outages {
+            mix_match(&mut h, &o.on);
+            h = splitmix64(h ^ o.start_us.rotate_left(13) ^ o.end_us);
+        }
+        h
+    }
+
     /// Resolve the plan against the directed hop `from -> to`.
     pub fn compile(&self, from: &str, to: &str) -> CompiledLink {
         let imp = self
@@ -271,7 +308,11 @@ impl FaultPlan {
             extra += roll(4) % (imp.reorder_window_us + 1);
         }
         Delivery {
-            copies: if hits(5, imp.duplicate_per_mille) { 2 } else { 1 },
+            copies: if hits(5, imp.duplicate_per_mille) {
+                2
+            } else {
+                1
+            },
             extra_delay_us: extra,
             corrupt: hits(6, imp.corrupt_per_mille),
             truncate: hits(7, imp.truncate_per_mille),
@@ -443,9 +484,38 @@ mod tests {
             outages: Vec::new(),
         };
         let pi = plan.compile("sw", "pi");
-        assert_eq!(plan.judge(&pi, 0, 1).copies, 0, "pi rule shadows the wildcard");
+        assert_eq!(
+            plan.judge(&pi, 0, 1).copies,
+            0,
+            "pi rule shadows the wildcard"
+        );
         let other = plan.compile("sw", "gw");
         assert_eq!(plan.judge(&other, 0, 1).copies, 2);
+    }
+
+    #[test]
+    fn digest_tracks_plan_content() {
+        assert_eq!(FaultPlan::default().digest(), FaultPlan::default().digest());
+        let mut plan = FaultPlan {
+            seed: 7,
+            links: vec![LinkFault {
+                on: EndpointMatch::between("5g-gw", "internet"),
+                impairment: Impairment {
+                    drop_per_mille: 25,
+                    ..Impairment::default()
+                },
+            }],
+            outages: vec![Outage {
+                on: EndpointMatch::node("raspberry-pi"),
+                start_us: 1_000,
+                end_us: 2_000,
+            }],
+        };
+        let d = plan.digest();
+        assert_eq!(d, plan.clone().digest(), "digest is a pure function");
+        assert_ne!(d, FaultPlan::default().digest());
+        plan.outages[0].end_us += 1;
+        assert_ne!(d, plan.digest(), "any field change moves the digest");
     }
 
     #[test]

@@ -86,8 +86,7 @@ impl FleetRunner {
             scenarios.iter().map(|s| s.run_with_trace(mode)).collect()
         } else {
             let cursor = AtomicUsize::new(0);
-            let slots: Mutex<Vec<Option<ScenarioResult>>> =
-                Mutex::new(vec![None; scenarios.len()]);
+            let slots: Mutex<Vec<Option<ScenarioResult>>> = Mutex::new(vec![None; scenarios.len()]);
             std::thread::scope(|scope| {
                 let workers: Vec<_> = (0..self.threads)
                     .map(|_| {
@@ -287,6 +286,68 @@ impl FleetReport {
         rows.into_iter().collect()
     }
 
+    /// Sum every per-scenario [`v6sim::metrics::MetricsSnapshot`] into
+    /// one fleet-wide totals block — the metrics section a canonical run
+    /// manifest serializes.
+    ///
+    /// Every field is a plain sum across scenarios except
+    /// `engine.queue_high_water`, which is the fleet-wide maximum (each
+    /// scenario runs its own event queue, so summing high-water marks
+    /// would describe no real queue). Node rows are merged by node name
+    /// and ordered by name, so the totals are independent of scenario
+    /// order, thread count, and trace mode — the same invariances the
+    /// per-scenario results already guarantee.
+    pub fn metrics_totals(&self) -> FleetMetricsTotals {
+        let mut engine = v6sim::metrics::EngineMetrics::default();
+        let mut faults = v6sim::metrics::FaultCounters::default();
+        let mut pool = v6sim::metrics::PoolCounters::default();
+        let mut trace = v6sim::metrics::TraceCounters::default();
+        let mut nodes: std::collections::BTreeMap<
+            String,
+            (v6sim::metrics::LinkCounters, v6wire::metrics::Metrics),
+        > = std::collections::BTreeMap::new();
+        for r in &self.results {
+            let m = &r.metrics;
+            engine.events_processed += m.engine.events_processed;
+            engine.frames_delivered += m.engine.frames_delivered;
+            engine.frames_forwarded += m.engine.frames_forwarded;
+            engine.frames_dropped_unlinked += m.engine.frames_dropped_unlinked;
+            engine.timers_fired += m.engine.timers_fired;
+            engine.queue_high_water = engine.queue_high_water.max(m.engine.queue_high_water);
+            faults.dropped += m.faults.dropped;
+            faults.outage_dropped += m.faults.outage_dropped;
+            faults.delayed += m.faults.delayed;
+            faults.duplicated += m.faults.duplicated;
+            faults.corrupted += m.faults.corrupted;
+            faults.truncated += m.faults.truncated;
+            faults.outage_micros += m.faults.outage_micros;
+            pool.allocated += m.pool.allocated;
+            pool.reused += m.pool.reused;
+            trace.suppressed += m.trace.suppressed;
+            trace.capture_suppressed += m.trace.capture_suppressed;
+            for n in &m.nodes {
+                let (link, device) = nodes.entry(n.name.clone()).or_default();
+                link.frames_tx += n.link.frames_tx;
+                link.frames_rx += n.link.frames_rx;
+                link.bytes_tx += n.link.bytes_tx;
+                link.bytes_rx += n.link.bytes_rx;
+                link.drops_unlinked += n.link.drops_unlinked;
+                link.timer_fires += n.link.timer_fires;
+                device.merge(&n.device);
+            }
+        }
+        FleetMetricsTotals {
+            engine,
+            faults,
+            pool,
+            trace,
+            nodes: nodes
+                .into_iter()
+                .map(|(name, (link, device))| NodeTotals { name, link, device })
+                .collect(),
+        }
+    }
+
     /// Sum one named device counter for the node called `node` across
     /// every scenario (e.g. `("5g-gw", "nat64.outbound")`).
     pub fn sum_device_counter(&self, node: &str, counter: &str) -> u64 {
@@ -329,6 +390,45 @@ impl FleetReport {
     }
 }
 
+/// One node's fleet-wide totals: engine link counters and device
+/// counters summed across every scenario the node appeared in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeTotals {
+    /// The node's name (shared across scenarios by construction — every
+    /// cell builds the same Fig. 4 topology).
+    pub name: String,
+    /// Summed physical-layer counters.
+    pub link: v6sim::metrics::LinkCounters,
+    /// Summed device counters.
+    pub device: v6wire::metrics::Metrics,
+}
+
+/// Fleet-wide metrics sums — see [`FleetReport::metrics_totals`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetMetricsTotals {
+    /// Engine totals (sums; `queue_high_water` is the fleet max).
+    pub engine: v6sim::metrics::EngineMetrics,
+    /// Injected-fault totals.
+    pub faults: v6sim::metrics::FaultCounters,
+    /// Frame-pool totals.
+    pub pool: v6sim::metrics::PoolCounters,
+    /// Trace/capture cap-overflow totals.
+    pub trace: v6sim::metrics::TraceCounters,
+    /// Per-node rows, ordered by node name.
+    pub nodes: Vec<NodeTotals>,
+}
+
+impl FleetMetricsTotals {
+    /// The frame-conservation identity the engine guarantees, as plain
+    /// data for the manifest: `sum(tx) == forwarded + dropped_unlinked`
+    /// and `sum(rx) == delivered`, fleet-wide.
+    pub fn conservation(&self) -> (u64, u64) {
+        let tx: u64 = self.nodes.iter().map(|n| n.link.frames_tx).sum();
+        let rx: u64 = self.nodes.iter().map(|n| n.link.frames_rx).sum();
+        (tx, rx)
+    }
+}
+
 /// Convenience: run `scenarios` one at a time on the calling thread.
 /// The baseline the parallel path is checked against.
 pub fn run_serial(scenarios: &[Scenario]) -> FleetReport {
@@ -338,9 +438,9 @@ pub fn run_serial(scenarios: &[Scenario]) -> FleetReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use v6host::profiles::OsProfile;
     use v6testbed::scenario::{FaultVariant, PoisonVariant, TopologyVariant};
     use v6testbed::Scenario;
-    use v6host::profiles::OsProfile;
 
     fn tiny_fleet() -> Vec<Scenario> {
         [
@@ -375,8 +475,42 @@ mod tests {
         assert_eq!(report.census.associated, 3);
         // macOS honours option 108; the console and Win10 differ on v4.
         assert!(report.census.rfc8925_engaged >= 1);
-        assert!(report.census.intervened >= 1, "the v4-only console lands on the page");
+        assert!(
+            report.census.intervened >= 1,
+            "the v4-only console lands on the page"
+        );
         assert!(report.timing.events.max >= report.timing.events.p50);
+    }
+
+    #[test]
+    fn metrics_totals_sum_across_scenarios() {
+        let report = run_serial(&tiny_fleet());
+        let t = report.metrics_totals();
+        let events: u64 = report
+            .results
+            .iter()
+            .map(|r| r.metrics.engine.events_processed)
+            .sum();
+        assert_eq!(t.engine.events_processed, events);
+        let (tx, rx) = t.conservation();
+        assert_eq!(
+            tx,
+            t.engine.frames_forwarded + t.engine.frames_dropped_unlinked
+        );
+        assert_eq!(rx, t.engine.frames_delivered);
+        assert!(
+            t.nodes.windows(2).all(|w| w[0].name < w[1].name),
+            "rows in name order"
+        );
+        let gw = t
+            .nodes
+            .iter()
+            .find(|n| n.name == "5g-gw")
+            .expect("gateway row");
+        assert_eq!(
+            gw.device.get("nat64.outbound"),
+            report.sum_device_counter("5g-gw", "nat64.outbound"),
+        );
     }
 
     #[test]

@@ -279,10 +279,10 @@ impl Host {
     /// Does the host have a global-scope IPv6 address?
     pub fn v6_global_active(&self) -> bool {
         self.profile.ipv6_enabled
-            && self
-                .v6_addrs
-                .iter()
-                .any(|(a, _)| v6_class(*a).is_global_unicast_like() || matches!(v6_class(*a), V6Class::UniqueLocal))
+            && self.v6_addrs.iter().any(|(a, _)| {
+                v6_class(*a).is_global_unicast_like()
+                    || matches!(v6_class(*a), V6Class::UniqueLocal)
+            })
     }
 
     /// Queue an application task; returns its id. Outcomes appear in
@@ -629,9 +629,8 @@ impl Host {
                 let plen = u32::from(mask).leading_ones() as u8;
                 self.v4 = Some(V4Config {
                     addr: ip,
-                    prefix: Ipv4Prefix::new(ip, plen).unwrap_or_else(|_| {
-                        Ipv4Prefix::new(ip, 24).expect("fallback /24 valid")
-                    }),
+                    prefix: Ipv4Prefix::new(ip, plen)
+                        .unwrap_or_else(|_| Ipv4Prefix::new(ip, 24).expect("fallback /24 valid")),
                     router,
                     dns,
                 });
@@ -995,7 +994,11 @@ impl Host {
     fn launch_next(&mut self, id: u64, ctx: &mut Ctx) {
         let (dst, attempt, more_after) = match self.tasks.get_mut(&id) {
             Some(TaskState {
-                phase: Phase::Connecting { candidates, launched },
+                phase:
+                    Phase::Connecting {
+                        candidates,
+                        launched,
+                    },
                 ..
             }) => {
                 if *launched >= candidates.len() {
@@ -1066,7 +1069,11 @@ impl Host {
             return; // a sibling attempt is still in flight
         }
         if let Some(TaskState {
-            phase: Phase::Connecting { candidates, launched },
+            phase:
+                Phase::Connecting {
+                    candidates,
+                    launched,
+                },
             ..
         }) = self.tasks.get(&id)
         {
@@ -1135,7 +1142,8 @@ impl Host {
         };
         let id = flow.task;
         let established = flow.ep.is_established();
-        let closed_by_rst = flow.ep.is_closed() && !flow.ep.peer_closed && flow.ep.received.is_empty();
+        let closed_by_rst =
+            flow.ep.is_closed() && !flow.ep.peer_closed && flow.ep.received.is_empty();
         let task = self.tasks.get(&id).map(|s| s.task.clone());
         if closed_by_rst {
             self.flows.remove(&key);
@@ -1158,9 +1166,7 @@ impl Host {
             }
             let peer = match key {
                 FlowKey::V6 { remote, .. } => IpAddr::V6(remote.0),
-                FlowKey::V4 { remote, .. } | FlowKey::ClatV4 { remote, .. } => {
-                    IpAddr::V4(remote.0)
-                }
+                FlowKey::V4 { remote, .. } | FlowKey::ClatV4 { remote, .. } => IpAddr::V4(remote.0),
             };
             match &task {
                 Some(AppTask::Browse { name, path }) => {
@@ -1176,11 +1182,14 @@ impl Host {
                 }
                 Some(AppTask::LiteralV4 { .. }) | Some(AppTask::VpnReach { .. }) => {
                     self.flows.remove(&key);
-                    self.finish(id, TaskOutcome::HttpOk {
-                        status: 0,
-                        body: String::new(),
-                        peer,
-                    });
+                    self.finish(
+                        id,
+                        TaskOutcome::HttpOk {
+                            status: 0,
+                            body: String::new(),
+                            peer,
+                        },
+                    );
                     return;
                 }
                 _ => {}
@@ -1196,9 +1205,7 @@ impl Host {
             }
             let peer = match key {
                 FlowKey::V6 { remote, .. } => IpAddr::V6(remote.0),
-                FlowKey::V4 { remote, .. } | FlowKey::ClatV4 { remote, .. } => {
-                    IpAddr::V4(remote.0)
-                }
+                FlowKey::V4 { remote, .. } | FlowKey::ClatV4 { remote, .. } => IpAddr::V4(remote.0),
             };
             self.flows.remove(&key);
             let (status, body) = parse_http_response(&raw);
@@ -1242,19 +1249,18 @@ impl Host {
             L4::Icmp6(Icmpv6Message::RouterAdvertisement(ra)) => {
                 self.on_ra(ip.src, parsed.eth.src, ra);
             }
-            L4::Icmp6(Icmpv6Message::NeighborSolicitation(ns))
-                if self.my_v6_addr(ns.target) => {
-                    self.neigh6.insert(ip.src, parsed.eth.src);
-                    let na = Icmpv6Message::NeighborAdvertisement(NeighborAdvertisement {
-                        router: false,
-                        solicited: true,
-                        override_flag: true,
-                        target: ns.target,
-                        options: vec![NdpOption::TargetLinkLayer(self.mac)],
-                    });
-                    let frame = build_icmpv6(self.mac, parsed.eth.src, ns.target, ip.src, &na);
-                    ctx.send(0, frame);
-                }
+            L4::Icmp6(Icmpv6Message::NeighborSolicitation(ns)) if self.my_v6_addr(ns.target) => {
+                self.neigh6.insert(ip.src, parsed.eth.src);
+                let na = Icmpv6Message::NeighborAdvertisement(NeighborAdvertisement {
+                    router: false,
+                    solicited: true,
+                    override_flag: true,
+                    target: ns.target,
+                    options: vec![NdpOption::TargetLinkLayer(self.mac)],
+                });
+                let frame = build_icmpv6(self.mac, parsed.eth.src, ns.target, ip.src, &na);
+                ctx.send(0, frame);
+            }
             L4::Icmp6(Icmpv6Message::NeighborAdvertisement(na)) => {
                 let mac = na
                     .options
@@ -1271,7 +1277,11 @@ impl Host {
                     }
                 }
             }
-            L4::Icmp6(Icmpv6Message::EchoRequest { ident, seq, payload }) if unicast_to_us => {
+            L4::Icmp6(Icmpv6Message::EchoRequest {
+                ident,
+                seq,
+                payload,
+            }) if unicast_to_us => {
                 let reply = Icmpv6Message::EchoReply {
                     ident: *ident,
                     seq: *seq,
@@ -1283,12 +1293,11 @@ impl Host {
             L4::Icmp6(Icmpv6Message::EchoReply { ident, .. }) if unicast_to_us => {
                 self.on_ping_reply(*ident, IpAddr::V6(ip.src));
             }
-            L4::Udp(udp) if unicast_to_us
-                && udp.src_port == port::DNS => {
-                    if let Ok(msg) = DnsMessage::decode(&udp.payload) {
-                        self.on_dns_response(&msg, ctx);
-                    }
+            L4::Udp(udp) if unicast_to_us && udp.src_port == port::DNS => {
+                if let Ok(msg) = DnsMessage::decode(&udp.payload) {
+                    self.on_dns_response(&msg, ctx);
                 }
+            }
             L4::Tcp(seg) if unicast_to_us => {
                 let key = FlowKey::V6 {
                     local: (ip.dst, seg.dst_port),
@@ -1381,19 +1390,18 @@ impl Host {
                 };
                 self.on_tcp(key, seg.clone(), ctx);
             }
-            L4::Icmp4(Icmpv4Message::EchoRequest { ident, seq, payload }) => {
+            L4::Icmp4(Icmpv4Message::EchoRequest {
+                ident,
+                seq,
+                payload,
+            }) => {
                 let reply = Icmpv4Message::EchoReply {
                     ident: *ident,
                     seq: *seq,
                     payload: payload.clone(),
                 };
-                let frame = v6wire::packet::build_icmpv4(
-                    self.mac,
-                    parsed.eth.src,
-                    my,
-                    ip.src,
-                    &reply,
-                );
+                let frame =
+                    v6wire::packet::build_icmpv4(self.mac, parsed.eth.src, my, ip.src, &reply);
                 ctx.send(0, frame);
             }
             L4::Icmp4(Icmpv4Message::EchoReply { ident, .. }) => {
@@ -1409,7 +1417,11 @@ fn parse_http_response(raw: &str) -> (u16, String) {
     let mut status = 0u16;
     if let Some(line) = raw.lines().next() {
         let mut parts = line.split_whitespace();
-        if parts.next().map(|p| p.starts_with("HTTP/")).unwrap_or(false) {
+        if parts
+            .next()
+            .map(|p| p.starts_with("HTTP/"))
+            .unwrap_or(false)
+        {
             status = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0);
         }
     }
@@ -1451,16 +1463,14 @@ impl Node for Host {
     fn on_timer(&mut self, t: u64, ctx: &mut Ctx) {
         let (kind, a, b) = untoken(t);
         match kind {
-            TK_RS
-                if self.routers6.is_empty() && self.profile.ipv6_enabled => {
-                    self.send_rs(ctx);
-                    ctx.timer_in(SimTime::from_secs(2), token(TK_RS, 0, 0));
-                }
-            TK_DHCP
-                if self.v4.is_none() && !self.v6only_mode && self.profile.ipv4_enabled => {
-                    self.dhcp_retries += 1;
-                    self.start_dhcp(ctx);
-                }
+            TK_RS if self.routers6.is_empty() && self.profile.ipv6_enabled => {
+                self.send_rs(ctx);
+                ctx.timer_in(SimTime::from_secs(2), token(TK_RS, 0, 0));
+            }
+            TK_DHCP if self.v4.is_none() && !self.v6only_mode && self.profile.ipv4_enabled => {
+                self.dhcp_retries += 1;
+                self.start_dhcp(ctx);
+            }
             TK_DNS => {
                 let id = a;
                 let attempt = b as u32;
@@ -1468,7 +1478,12 @@ impl Node for Host {
                 // finished resolution already superseded it) are ignored.
                 let next_action = match self.tasks.get(&id) {
                     Some(TaskState {
-                        phase: Phase::Resolving { a, aaaa, attempt: cur },
+                        phase:
+                            Phase::Resolving {
+                                a,
+                                aaaa,
+                                attempt: cur,
+                            },
                         task,
                     }) if *cur == attempt => {
                         // Partial answers count; only retry if nothing usable.
@@ -1664,14 +1679,14 @@ const SECRET_SALT: u64 = 0x5c24_0000_0006_0001;
 mod tests {
     use super::*;
     use crate::profiles::OsProfile;
+    use v6dhcp::server::{DhcpServer, ServerConfig};
+    use v6dns::dns64::Dns64;
     use v6dns::poison::PoisonedResolver;
     use v6dns::server::{GlobalDns, Resolver};
     use v6dns::zone::Zone;
-    use v6dns::dns64::Dns64;
     use v6sim::engine::Network;
     use v6sim::gateway::{FiveGGateway, LAN, WAN};
     use v6sim::l2::Switch;
-    use v6dhcp::server::{DhcpServer, ServerConfig};
 
     /// A Raspberry-Pi-like test node: answers NDP, serves DNS (over v6 and
     /// v4) from an embedded resolver, and runs a DHCPv4 server with option
@@ -1701,7 +1716,9 @@ mod tests {
         }
 
         fn on_frame(&mut self, _port: u32, raw: &[u8], ctx: &mut Ctx) {
-            let Ok(parsed) = ParsedFrame::parse(raw) else { return };
+            let Ok(parsed) = ParsedFrame::parse(raw) else {
+                return;
+            };
             match (&parsed.l3, &parsed.l4) {
                 (L3::V6(ip), L4::Icmp6(Icmpv6Message::NeighborSolicitation(ns)))
                     if ns.target == self.v6 =>
@@ -1713,7 +1730,10 @@ mod tests {
                         target: ns.target,
                         options: vec![NdpOption::TargetLinkLayer(self.mac)],
                     });
-                    ctx.send(0, build_icmpv6(self.mac, parsed.eth.src, ns.target, ip.src, &na));
+                    ctx.send(
+                        0,
+                        build_icmpv6(self.mac, parsed.eth.src, ns.target, ip.src, &na),
+                    );
                 }
                 (L3::V6(ip), L4::Udp(udp)) if ip.dst == self.v6 && udp.dst_port == port::DNS => {
                     if let Ok(mut msg) = DnsMessage::decode(&udp.payload) {
@@ -1723,7 +1743,11 @@ mod tests {
                         msg.is_response = true;
                         let d = UdpDatagram::new(port::DNS, udp.src_port, resp.encode());
                         let frame = v6wire::packet::build_udp_v6(
-                            self.mac, parsed.eth.src, self.v6, ip.src, &d,
+                            self.mac,
+                            parsed.eth.src,
+                            self.v6,
+                            ip.src,
+                            &d,
                         );
                         ctx.send(0, frame);
                     }
@@ -1735,7 +1759,11 @@ mod tests {
                         resp.id = msg.id;
                         let d = UdpDatagram::new(port::DNS, udp.src_port, resp.encode());
                         let frame = v6wire::packet::build_udp_v4(
-                            self.mac, parsed.eth.src, self.v4, ip.src, &d,
+                            self.mac,
+                            parsed.eth.src,
+                            self.v4,
+                            ip.src,
+                            &d,
                         );
                         ctx.send(0, frame);
                     }
@@ -1761,11 +1789,10 @@ mod tests {
                         }
                     }
                 }
-                (L3::Arp(arp), _)
-                    if arp.op == ArpOp::Request && arp.target_ip == self.v4 => {
-                        let reply = ArpPacket::reply_to(arp, self.mac);
-                        ctx.send(0, build_arp(self.mac, arp.sender_mac, &reply));
-                    }
+                (L3::Arp(arp), _) if arp.op == ArpOp::Request && arp.target_ip == self.v4 => {
+                    let reply = ArpPacket::reply_to(arp, self.mac);
+                    ctx.send(0, build_arp(self.mac, arp.sender_mac, &reply));
+                }
                 _ => {}
             }
         }
@@ -1800,9 +1827,8 @@ mod tests {
             v6: "fd00:976a::9".parse().unwrap(),
             v4: "192.168.12.250".parse().unwrap(),
             resolver,
-            dhcp: with_dhcp.then(|| {
-                DhcpServer::new(ServerConfig::testbed("192.168.12.250".parse().unwrap()))
-            }),
+            dhcp: with_dhcp
+                .then(|| DhcpServer::new(ServerConfig::testbed("192.168.12.250".parse().unwrap()))),
         })
     }
 
@@ -1829,7 +1855,10 @@ mod tests {
         let h = net.node_mut::<Host>(host);
         // Two SLAAC prefixes: the gateway GUA and the switch ULA.
         assert_eq!(h.v6_addrs.len(), 2, "addrs: {:?}", h.v6_addrs);
-        assert!(h.v6_addrs.iter().any(|(_, p)| p.to_string() == "fd00:976a::/64"));
+        assert!(h
+            .v6_addrs
+            .iter()
+            .any(|(_, p)| p.to_string() == "fd00:976a::/64"));
         // DHCP came from the Pi (gateway snooped): DNS = poisoned Pi.
         assert!(h.v4_active());
         let chain = h.resolver_chain();
@@ -1839,7 +1868,10 @@ mod tests {
             "Win10 prefers RDNSS; chain {chain:?}"
         );
         // Search domain from the switch DNSSL / DHCP option 15.
-        assert!(h.search_domains.iter().any(|d| d.to_string() == "rfc8925.com"));
+        assert!(h
+            .search_domains
+            .iter()
+            .any(|d| d.to_string() == "rfc8925.com"));
     }
 
     #[test]
@@ -1891,7 +1923,10 @@ mod tests {
             .iter()
             .any(|(a, _)| a.octets()[11] == 0xff && a.octets()[12] == 0xfe));
         let chain = h.resolver_chain();
-        assert!(chain.iter().all(|r| matches!(r, IpAddr::V4(_))), "{chain:?}");
+        assert!(
+            chain.iter().all(|r| matches!(r, IpAddr::V4(_))),
+            "{chain:?}"
+        );
     }
 
     #[test]
@@ -1912,7 +1947,10 @@ mod tests {
         net.run_for(SimTime::from_secs(5));
         let h = net.node_mut::<Host>(host);
         match h.outcome(id) {
-            Some(TaskOutcome::DnsAnswer { records, answered_name }) => {
+            Some(TaskOutcome::DnsAnswer {
+                records,
+                answered_name,
+            }) => {
                 assert_eq!(
                     answered_name.to_string(),
                     "vpn.anl.gov.rfc8925.com",
@@ -1982,11 +2020,7 @@ mod tests {
         // dead.
         let mut net = Network::new();
         let gw = net.add_node(Box::new(FiveGGateway::new("5g-gw")));
-        let host = net.add_node(Box::new(Host::new(
-            "client",
-            OsProfile::windows_10(),
-            0x99,
-        )));
+        let host = net.add_node(Box::new(Host::new("client", OsProfile::windows_10(), 0x99)));
         let sw = net.add_node(Box::new(Switch::new("dumb-sw", 2)));
         net.link(sw, 0, gw, LAN, SimTime::from_micros(50));
         net.link(sw, 1, host, 0, SimTime::from_micros(50));

@@ -91,7 +91,9 @@ impl TaskOutcome {
     pub fn is_success(&self) -> bool {
         matches!(
             self,
-            TaskOutcome::HttpOk { .. } | TaskOutcome::PingReply { .. } | TaskOutcome::DnsAnswer { .. }
+            TaskOutcome::HttpOk { .. }
+                | TaskOutcome::PingReply { .. }
+                | TaskOutcome::DnsAnswer { .. }
         )
     }
 

@@ -128,18 +128,12 @@ impl PortalServer {
         );
         s.vhosts
             .insert("ds.mirror.sc24".into(), VhostContent::MirrorSubtest("ds"));
-        s.vhosts.insert(
-            "ipv4.mirror.sc24".into(),
-            VhostContent::MirrorSubtest("v4"),
-        );
-        s.vhosts.insert(
-            "ipv6.mirror.sc24".into(),
-            VhostContent::MirrorSubtest("v6"),
-        );
-        s.vhosts.insert(
-            "mtu.mirror.sc24".into(),
-            VhostContent::MirrorSubtest("mtu"),
-        );
+        s.vhosts
+            .insert("ipv4.mirror.sc24".into(), VhostContent::MirrorSubtest("v4"));
+        s.vhosts
+            .insert("ipv6.mirror.sc24".into(), VhostContent::MirrorSubtest("v6"));
+        s.vhosts
+            .insert("mtu.mirror.sc24".into(), VhostContent::MirrorSubtest("mtu"));
         s.fallback = Some(VhostContent::MirrorSubtest("fallback"));
         s
     }
@@ -171,7 +165,10 @@ impl PortalServer {
                 body
             }
             VhostContent::MirrorSubtest(label) => {
-                format!("subtest={label} peer={peer} host={} path={}\n", req.host, req.path)
+                format!(
+                    "subtest={label} peer={peer} host={} path={}\n",
+                    req.host, req.path
+                )
             }
             VhostContent::Fixed(s) => s.clone(),
         }
@@ -240,74 +237,84 @@ impl Node for PortalServer {
         };
         match (&parsed.l3, &parsed.l4) {
             (L3::Arp(arp), _)
-                if arp.op == ArpOp::Request && self.v4_addrs.contains(&arp.target_ip) => {
-                    let reply = ArpPacket::reply_to(arp, self.mac);
-                    ctx.send(0, build_arp(self.mac, arp.sender_mac, &reply));
-                }
+                if arp.op == ArpOp::Request && self.v4_addrs.contains(&arp.target_ip) =>
+            {
+                let reply = ArpPacket::reply_to(arp, self.mac);
+                ctx.send(0, build_arp(self.mac, arp.sender_mac, &reply));
+            }
             (L3::V6(ip), L4::Icmp6(Icmpv6Message::NeighborSolicitation(ns)))
-                if self.v6_addrs.contains(&ns.target) => {
-                    let na = Icmpv6Message::NeighborAdvertisement(NeighborAdvertisement {
-                        router: false,
-                        solicited: true,
-                        override_flag: true,
-                        target: ns.target,
-                        options: vec![NdpOption::TargetLinkLayer(self.mac)],
-                    });
-                    ctx.send(
-                        0,
-                        build_icmpv6(self.mac, parsed.eth.src, ns.target, ip.src, &na),
-                    );
-                }
-            (L3::V6(ip), L4::Icmp6(Icmpv6Message::EchoRequest { ident, seq, payload }))
-                if self.v6_addrs.contains(&ip.dst) => {
-                    let reply = Icmpv6Message::EchoReply {
-                        ident: *ident,
-                        seq: *seq,
-                        payload: payload.clone(),
-                    };
-                    ctx.send(
-                        0,
-                        build_icmpv6(self.mac, parsed.eth.src, ip.dst, ip.src, &reply),
-                    );
-                }
-            (L3::V4(ip), L4::Icmp4(Icmpv4Message::EchoRequest { ident, seq, payload }))
-                if self.v4_addrs.contains(&ip.dst) => {
-                    let reply = Icmpv4Message::EchoReply {
-                        ident: *ident,
-                        seq: *seq,
-                        payload: payload.clone(),
-                    };
-                    ctx.send(
-                        0,
-                        v6wire::packet::build_icmpv4(
-                            self.mac,
-                            parsed.eth.src,
-                            ip.dst,
-                            ip.src,
-                            &reply,
-                        ),
-                    );
-                }
+                if self.v6_addrs.contains(&ns.target) =>
+            {
+                let na = Icmpv6Message::NeighborAdvertisement(NeighborAdvertisement {
+                    router: false,
+                    solicited: true,
+                    override_flag: true,
+                    target: ns.target,
+                    options: vec![NdpOption::TargetLinkLayer(self.mac)],
+                });
+                ctx.send(
+                    0,
+                    build_icmpv6(self.mac, parsed.eth.src, ns.target, ip.src, &na),
+                );
+            }
+            (
+                L3::V6(ip),
+                L4::Icmp6(Icmpv6Message::EchoRequest {
+                    ident,
+                    seq,
+                    payload,
+                }),
+            ) if self.v6_addrs.contains(&ip.dst) => {
+                let reply = Icmpv6Message::EchoReply {
+                    ident: *ident,
+                    seq: *seq,
+                    payload: payload.clone(),
+                };
+                ctx.send(
+                    0,
+                    build_icmpv6(self.mac, parsed.eth.src, ip.dst, ip.src, &reply),
+                );
+            }
+            (
+                L3::V4(ip),
+                L4::Icmp4(Icmpv4Message::EchoRequest {
+                    ident,
+                    seq,
+                    payload,
+                }),
+            ) if self.v4_addrs.contains(&ip.dst) => {
+                let reply = Icmpv4Message::EchoReply {
+                    ident: *ident,
+                    seq: *seq,
+                    payload: payload.clone(),
+                };
+                ctx.send(
+                    0,
+                    v6wire::packet::build_icmpv4(self.mac, parsed.eth.src, ip.dst, ip.src, &reply),
+                );
+            }
             (L3::V6(ip), L4::Tcp(seg))
-                if self.v6_addrs.contains(&ip.dst) && self.tcp_ports.contains(&seg.dst_port) => {
-                    let id = FlowId {
-                        local: IpAddr::V6(ip.dst),
-                        remote: IpAddr::V6(ip.src),
-                        rport: seg.src_port,
-                        lport: seg.dst_port,
-                    };
-                    self.on_tcp(id, seg.clone(), parsed.eth.src, ctx);
-                }
+                if self.v6_addrs.contains(&ip.dst) && self.tcp_ports.contains(&seg.dst_port) =>
+            {
+                let id = FlowId {
+                    local: IpAddr::V6(ip.dst),
+                    remote: IpAddr::V6(ip.src),
+                    rport: seg.src_port,
+                    lport: seg.dst_port,
+                };
+                self.on_tcp(id, seg.clone(), parsed.eth.src, ctx);
+            }
             (L3::V4(ip), L4::Tcp(seg))
-                if self.v4_addrs.contains(&ip.dst) && self.tcp_ports.contains(&seg.dst_port) => {
-                    let id = FlowId {
-                        local: IpAddr::V4(ip.dst),
-                        remote: IpAddr::V4(ip.src),
-                        rport: seg.src_port,
-                        lport: seg.dst_port,
-                    };
-                    self.on_tcp(id, seg.clone(), parsed.eth.src, ctx);
-                }
+                if self.v4_addrs.contains(&ip.dst) && self.tcp_ports.contains(&seg.dst_port) =>
+            {
+                let id = FlowId {
+                    local: IpAddr::V4(ip.dst),
+                    remote: IpAddr::V4(ip.src),
+                    rport: seg.src_port,
+                    lport: seg.dst_port,
+                };
+                self.on_tcp(id, seg.clone(), parsed.eth.src, ctx);
+            }
             _ => {}
         }
     }
@@ -406,7 +413,9 @@ mod tests {
         }
 
         fn on_frame(&mut self, _port: u32, raw: &[u8], ctx: &mut Ctx) {
-            let Ok(parsed) = ParsedFrame::parse(raw) else { return };
+            let Ok(parsed) = ParsedFrame::parse(raw) else {
+                return;
+            };
             let seg = match &parsed.l4 {
                 L4::Tcp(s) => s.clone(),
                 _ => return,
@@ -467,11 +476,7 @@ mod tests {
     #[test]
     fn ip6me_v6_visitor_gets_confirmation() {
         let (resp, _) = exchange(
-            ScriptClient::new(
-                "2607:fb90:9bda:a425::50",
-                "2001:4810:0:3::71",
-                "ip6.me",
-            ),
+            ScriptClient::new("2607:fb90:9bda:a425::50", "2001:4810:0:3::71", "ip6.me"),
             PortalServer::ip6me(),
         );
         assert!(resp.contains("IPv6 connectivity confirmed"));
@@ -489,15 +494,10 @@ mod tests {
 
     #[test]
     fn unknown_vhost_404_when_no_fallback() {
-        let mut server = PortalServer::new(
-            "strict",
-            vec!["198.51.100.9".parse().unwrap()],
-            vec![],
-        );
-        server.vhosts.insert(
-            "only.site".into(),
-            VhostContent::Fixed("hello".into()),
-        );
+        let mut server = PortalServer::new("strict", vec!["198.51.100.9".parse().unwrap()], vec![]);
+        server
+            .vhosts
+            .insert("only.site".into(), VhostContent::Fixed("hello".into()));
         let (resp, _) = exchange(
             ScriptClient::new("192.0.2.7", "198.51.100.9", "other.site"),
             server,

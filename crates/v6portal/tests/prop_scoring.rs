@@ -5,28 +5,42 @@ use std::net::IpAddr;
 use v6portal::scoring::{score_legacy, score_rfc8925_aware, ConnInfo, SubtestResults};
 
 fn arb_conn() -> impl Strategy<Value = Option<ConnInfo>> {
-    proptest::option::of((any::<bool>(), any::<u32>(), prop::sample::select(vec![0u16, 200, 404, 500])).prop_map(
-        |(v6, addr, status)| ConnInfo {
-            peer: if v6 {
-                IpAddr::V6(std::net::Ipv6Addr::from(u128::from(addr) | (0x2600u128 << 112)))
-            } else {
-                IpAddr::V4(std::net::Ipv4Addr::from(addr | 0x0100_0000))
-            },
-            status,
-        },
-    ))
+    proptest::option::of(
+        (
+            any::<bool>(),
+            any::<u32>(),
+            prop::sample::select(vec![0u16, 200, 404, 500]),
+        )
+            .prop_map(|(v6, addr, status)| ConnInfo {
+                peer: if v6 {
+                    IpAddr::V6(std::net::Ipv6Addr::from(
+                        u128::from(addr) | (0x2600u128 << 112),
+                    ))
+                } else {
+                    IpAddr::V4(std::net::Ipv4Addr::from(addr | 0x0100_0000))
+                },
+                status,
+            }),
+    )
 }
 
 fn arb_results() -> impl Strategy<Value = SubtestResults> {
-    (arb_conn(), arb_conn(), arb_conn(), arb_conn(), any::<bool>()).prop_map(
-        |(dual_stack, v4_only, v6_only, v6_mtu, client_v4_stack_off)| SubtestResults {
-            dual_stack,
-            v4_only,
-            v6_only,
-            v6_mtu,
-            client_v4_stack_off,
-        },
+    (
+        arb_conn(),
+        arb_conn(),
+        arb_conn(),
+        arb_conn(),
+        any::<bool>(),
     )
+        .prop_map(
+            |(dual_stack, v4_only, v6_only, v6_mtu, client_v4_stack_off)| SubtestResults {
+                dual_stack,
+                v4_only,
+                v6_only,
+                v6_mtu,
+                client_v4_stack_off,
+            },
+        )
 }
 
 proptest! {

@@ -1,0 +1,335 @@
+//! Structural manifest diffing with a drift taxonomy.
+//!
+//! Drift between a fresh run and a committed manifest falls in two
+//! classes:
+//!
+//! * **Behavioural** — the run *did something different*: census
+//!   counts, per-cell verdicts, conservation totals, config digests,
+//!   engine/device counters. Always fatal: the paper's Fig. 4/5–11
+//!   behaviour is exactly these fields.
+//! * **Informational** — bookkeeping that can legitimately move without
+//!   the behaviour changing: frame-pool and trace-cap counters
+//!   (`metrics.pool.*`, `metrics.trace.*`) and every wall-clock bench
+//!   figure (`timings.*` in a bench manifest). Reported, but gated only
+//!   by a configurable relative tolerance — zero by default for the
+//!   deterministic pool/trace counters, generous by default for bench
+//!   timings which vary machine to machine.
+//!
+//! Classification is by field path, so the taxonomy lives in one place
+//! ([`classify`]) and the gate (`v6report check`) never needs schema
+//! knowledge beyond it.
+
+use crate::canon::Json;
+use std::fmt;
+
+/// Drift taxonomy — see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftClass {
+    /// The run behaved differently. Always fatal.
+    Behavioural,
+    /// Deterministic bookkeeping moved (pool/trace counters). Fatal
+    /// beyond [`DiffConfig::counter_tolerance`] (zero by default).
+    Informational,
+    /// A wall-clock bench figure moved. Fatal beyond
+    /// [`DiffConfig::timing_tolerance`].
+    Timing,
+}
+
+impl fmt::Display for DriftClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DriftClass::Behavioural => "behavioural",
+            DriftClass::Informational => "informational",
+            DriftClass::Timing => "timing",
+        })
+    }
+}
+
+/// One drifted field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Drift {
+    /// Dotted path of the field (array elements as `[i]`).
+    pub path: String,
+    /// Committed value (`None` when the field is new).
+    pub before: Option<Json>,
+    /// Fresh value (`None` when the field vanished).
+    pub after: Option<Json>,
+    /// Taxonomy class of the path.
+    pub class: DriftClass,
+    /// Relative numeric delta `|after-before| / max(|before|, 1)`, when
+    /// both sides are numbers.
+    pub rel_delta: Option<f64>,
+}
+
+/// Tolerances the gate applies to non-behavioural drift.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffConfig {
+    /// Allowed relative delta on informational counters. The pool and
+    /// trace counters are deterministic, so the default is exact.
+    pub counter_tolerance: f64,
+    /// Allowed relative delta on bench timings. Wall-clock figures move
+    /// with the machine, so the default only catches order-of-magnitude
+    /// regressions (10× slower or faster).
+    pub timing_tolerance: f64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> DiffConfig {
+        DiffConfig {
+            counter_tolerance: 0.0,
+            timing_tolerance: 10.0,
+        }
+    }
+}
+
+/// Classify a field path within a manifest of `kind`.
+pub fn classify(kind: &str, path: &str) -> DriftClass {
+    if kind == "bench" && (path.starts_with("timings.") || path == "timings") {
+        return DriftClass::Timing;
+    }
+    if path.starts_with("metrics.pool.") || path.starts_with("metrics.trace.") {
+        return DriftClass::Informational;
+    }
+    DriftClass::Behavioural
+}
+
+/// Everything [`diff_manifests`] found, plus the gate verdict logic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DriftReport {
+    /// Every drifted field, in path order of discovery (committed-side
+    /// key order, i.e. sorted).
+    pub drifts: Vec<Drift>,
+}
+
+impl DriftReport {
+    /// True when nothing drifted at all.
+    pub fn is_clean(&self) -> bool {
+        self.drifts.is_empty()
+    }
+
+    /// The drifts that fail the gate under `cfg`: every behavioural
+    /// drift, plus informational/timing drift beyond its tolerance.
+    pub fn fatal<'a>(&'a self, cfg: &'a DiffConfig) -> impl Iterator<Item = &'a Drift> {
+        self.drifts.iter().filter(move |d| match d.class {
+            DriftClass::Behavioural => true,
+            DriftClass::Informational => d
+                .rel_delta
+                .map(|r| r > cfg.counter_tolerance)
+                .unwrap_or(true),
+            DriftClass::Timing => d
+                .rel_delta
+                .map(|r| r > cfg.timing_tolerance)
+                .unwrap_or(true),
+        })
+    }
+
+    /// Does this report fail the gate under `cfg`?
+    pub fn gated(&self, cfg: &DiffConfig) -> bool {
+        self.fatal(cfg).next().is_some()
+    }
+
+    /// Human-readable drift listing, one line per field, fatal drifts
+    /// marked. Stable ordering (derived from sorted object keys), so CI
+    /// logs diff cleanly too.
+    pub fn render(&self, cfg: &DiffConfig) -> String {
+        let mut out = String::new();
+        for d in &self.drifts {
+            let fatal = match d.class {
+                DriftClass::Behavioural => true,
+                DriftClass::Informational => d
+                    .rel_delta
+                    .map(|r| r > cfg.counter_tolerance)
+                    .unwrap_or(true),
+                DriftClass::Timing => d
+                    .rel_delta
+                    .map(|r| r > cfg.timing_tolerance)
+                    .unwrap_or(true),
+            };
+            let marker = if fatal { "DRIFT" } else { "note " };
+            let show = |v: &Option<Json>| match v {
+                None => "<absent>".to_string(),
+                Some(v) => v.canonical().lines().next().unwrap_or("").to_string(),
+            };
+            out.push_str(&format!(
+                "{marker} [{}] {}: {} -> {}",
+                d.class,
+                d.path,
+                show(&d.before),
+                show(&d.after),
+            ));
+            if let Some(r) = d.rel_delta {
+                out.push_str(&format!(" (rel {r:.3})"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Structurally diff `before` (committed) against `after` (fresh),
+/// classifying each drifted field for a manifest of `kind`.
+pub fn diff_manifests(kind: &str, before: &Json, after: &Json) -> DriftReport {
+    let mut report = DriftReport::default();
+    walk(kind, "", before, after, &mut report);
+    report
+}
+
+fn record(
+    kind: &str,
+    path: &str,
+    before: Option<&Json>,
+    after: Option<&Json>,
+    out: &mut DriftReport,
+) {
+    let rel_delta = match (
+        before.and_then(Json::as_number),
+        after.and_then(Json::as_number),
+    ) {
+        (Some(a), Some(b)) => Some((b - a).abs() / a.abs().max(1.0)),
+        _ => None,
+    };
+    out.drifts.push(Drift {
+        path: path.to_string(),
+        before: before.cloned(),
+        after: after.cloned(),
+        class: classify(kind, path),
+        rel_delta,
+    });
+}
+
+fn walk(kind: &str, path: &str, before: &Json, after: &Json, out: &mut DriftReport) {
+    match (before, after) {
+        (Json::Obj(a), Json::Obj(b)) => {
+            let keys: std::collections::BTreeSet<&String> = a.keys().chain(b.keys()).collect();
+            for key in keys {
+                let sub = if path.is_empty() {
+                    key.to_string()
+                } else {
+                    format!("{path}.{key}")
+                };
+                match (a.get(key), b.get(key)) {
+                    (Some(x), Some(y)) => walk(kind, &sub, x, y, out),
+                    (x, y) => record(kind, &sub, x, y, out),
+                }
+            }
+        }
+        (Json::Arr(a), Json::Arr(b)) => {
+            for i in 0..a.len().max(b.len()) {
+                let sub = format!("{path}[{i}]");
+                match (a.get(i), b.get(i)) {
+                    (Some(x), Some(y)) => walk(kind, &sub, x, y, out),
+                    (x, y) => record(kind, &sub, x, y, out),
+                }
+            }
+        }
+        (x, y) if x == y => {}
+        (x, y) => record(kind, path, Some(x), Some(y), out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(census: u64, pool: u64, v4: bool) -> Json {
+        Json::parse(&format!(
+            r#"{{
+                "kind": "fleet-matrix",
+                "census": {{ "fleet": {{ "accurate_v6only": {census} }} }},
+                "metrics": {{ "pool": {{ "allocated": {pool} }} }},
+                "verdicts": [ {{ "cell": "paper/off/macos/seed1", "has_v4": {v4} }} ]
+            }}"#
+        ))
+        .expect("literal parses")
+    }
+
+    #[test]
+    fn identical_documents_are_clean() {
+        let a = doc(40, 500, false);
+        let r = diff_manifests("fleet-matrix", &a, &a);
+        assert!(r.is_clean());
+        assert!(!r.gated(&DiffConfig::default()));
+    }
+
+    #[test]
+    fn census_mutation_is_behavioural_and_fatal() {
+        let r = diff_manifests("fleet-matrix", &doc(40, 500, false), &doc(41, 500, false));
+        assert_eq!(r.drifts.len(), 1);
+        let d = &r.drifts[0];
+        assert_eq!(d.path, "census.fleet.accurate_v6only");
+        assert_eq!(d.class, DriftClass::Behavioural);
+        assert!(
+            r.gated(&DiffConfig::default()),
+            "behavioural drift always gates"
+        );
+        // No tolerance forgives behaviour.
+        let loose = DiffConfig {
+            counter_tolerance: 1e9,
+            timing_tolerance: 1e9,
+        };
+        assert!(r.gated(&loose));
+        assert!(r
+            .render(&loose)
+            .contains("DRIFT [behavioural] census.fleet.accurate_v6only"));
+    }
+
+    #[test]
+    fn verdict_mutation_is_behavioural() {
+        let r = diff_manifests("fleet-matrix", &doc(40, 500, false), &doc(40, 500, true));
+        assert_eq!(r.drifts[0].path, "verdicts[0].has_v4");
+        assert_eq!(r.drifts[0].class, DriftClass::Behavioural);
+        assert!(r.gated(&DiffConfig::default()));
+    }
+
+    #[test]
+    fn pool_counters_are_informational_with_exact_default_gate() {
+        let r = diff_manifests("fleet-matrix", &doc(40, 500, false), &doc(40, 505, false));
+        assert_eq!(r.drifts[0].class, DriftClass::Informational);
+        assert!(
+            r.gated(&DiffConfig::default()),
+            "default counter tolerance is exact, so any delta still gates"
+        );
+        let loose = DiffConfig {
+            counter_tolerance: 0.05,
+            ..DiffConfig::default()
+        };
+        assert!(!r.gated(&loose), "1% delta passes a 5% tolerance");
+        assert!(r.render(&loose).starts_with("note "));
+    }
+
+    #[test]
+    fn bench_timings_gate_only_by_threshold() {
+        let a = Json::parse(r#"{ "kind": "bench", "structure": { "fleet_cells": 66 }, "timings": { "fleet": { "hops": { "ms_per_sweep": 9.2 } } } }"#).expect("parses");
+        let b = Json::parse(r#"{ "kind": "bench", "structure": { "fleet_cells": 66 }, "timings": { "fleet": { "hops": { "ms_per_sweep": 18.4 } } } }"#).expect("parses");
+        let r = diff_manifests("bench", &a, &b);
+        assert_eq!(r.drifts[0].class, DriftClass::Timing);
+        assert!(
+            !r.gated(&DiffConfig::default()),
+            "2x timing drift is machine noise"
+        );
+        let strict = DiffConfig {
+            timing_tolerance: 0.5,
+            ..DiffConfig::default()
+        };
+        assert!(
+            r.gated(&strict),
+            "…until the operator tightens the threshold"
+        );
+        // Structure drift in a bench manifest stays behavioural.
+        let c = Json::parse(r#"{ "kind": "bench", "structure": { "fleet_cells": 67 }, "timings": { "fleet": { "hops": { "ms_per_sweep": 9.2 } } } }"#).expect("parses");
+        assert!(diff_manifests("bench", &a, &c).gated(&DiffConfig::default()));
+    }
+
+    #[test]
+    fn added_and_missing_fields_drift() {
+        let a = Json::parse(r#"{ "kind": "fleet-matrix", "census": { "fleet": { "a": 1 } } }"#)
+            .expect("parses");
+        let b = Json::parse(r#"{ "kind": "fleet-matrix", "census": { "fleet": { "b": 1 } } }"#)
+            .expect("parses");
+        let r = diff_manifests("fleet-matrix", &a, &b);
+        assert_eq!(r.drifts.len(), 2);
+        assert!(r.drifts.iter().any(|d| d.before.is_none()));
+        assert!(r.drifts.iter().any(|d| d.after.is_none()));
+        assert!(r.gated(&DiffConfig::default()));
+    }
+}

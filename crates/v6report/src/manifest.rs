@@ -1,0 +1,395 @@
+//! Building [`RunManifest`]s — the canonical, committed description of
+//! one fleet (or bench) run.
+//!
+//! A manifest is the machine-checkable statement "the paper's behaviour
+//! held on this run": which configuration was exercised (config digests
+//! down to the per-cell fault plan), what every client did (per-cell
+//! verdict rows keyed by a fault-invariant cell label), how the
+//! population counted (fleet census plus the per-OS breakdown), and
+//! what the engine counted while doing it (fleet-wide metrics sums, a
+//! per-cell digest of the full `MetricsSnapshot`, and the frame
+//! conservation identity). Nothing in it depends on wall-clock time,
+//! thread count, or trace verbosity, so the canonical rendering of two
+//! runs of the same seed is byte-identical — the property the CI drift
+//! gate stands on.
+
+use crate::canon::Json;
+use v6fleet::{FleetCensus, FleetReport, FleetRunner};
+use v6testbed::scenario::{FaultVariant, PoisonVariant, TopologyVariant};
+use v6testbed::Scenario;
+
+/// The base seed every committed matrix manifest is generated from —
+/// the same seed `examples/fleet_census.rs` sweeps, so the goldens
+/// describe the run an operator actually sees.
+pub const CANONICAL_BASE_SEED: u64 = 0x5c24;
+
+/// Manifest schema version, bumped on any field addition/rename so a
+/// differ never silently compares across schemas.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// FNV-1a over arbitrary text — the per-cell metrics digest.
+fn fnv1a(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn hex(d: u64) -> Json {
+    Json::Str(format!("{d:016x}"))
+}
+
+/// Which canonical sweep a matrix manifest describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatrixSpec {
+    /// Base seed the matrix was derived from.
+    pub base_seed: u64,
+    /// The fault regime every cell ran under.
+    pub fault: FaultVariant,
+}
+
+impl MatrixSpec {
+    /// The canonical spec for `fault` (seed [`CANONICAL_BASE_SEED`]).
+    pub fn canonical(fault: FaultVariant) -> MatrixSpec {
+        MatrixSpec {
+            base_seed: CANONICAL_BASE_SEED,
+            fault,
+        }
+    }
+
+    /// File stem the manifest is committed under (`matrix_clean`,
+    /// `matrix_dns64-outage`, …).
+    pub fn file_stem(&self) -> String {
+        format!("matrix_{}", self.fault.label())
+    }
+
+    /// The scenario list this spec enumerates.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        Scenario::matrix_with_fault(self.base_seed, self.fault)
+    }
+}
+
+/// A canonical run manifest: a [`Json`] tree that only ever contains
+/// deterministic data, with a byte-stable rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest(Json);
+
+impl RunManifest {
+    /// Run `spec`'s matrix on `threads` workers and build its manifest.
+    /// Thread count affects wall-clock only; the manifest is identical
+    /// for any value (asserted by the stability tests).
+    pub fn run_matrix(spec: &MatrixSpec, threads: usize) -> RunManifest {
+        let scenarios = spec.scenarios();
+        let run = FleetRunner::new(threads).run(&scenarios);
+        RunManifest::from_fleet(spec, &scenarios, &run.report)
+    }
+
+    /// Build the manifest for an already-executed fleet over `spec`'s
+    /// scenario list.
+    pub fn from_fleet(
+        spec: &MatrixSpec,
+        scenarios: &[Scenario],
+        report: &FleetReport,
+    ) -> RunManifest {
+        assert_eq!(
+            scenarios.len(),
+            report.results.len(),
+            "one result per scenario"
+        );
+        let mut root = Json::obj();
+        root.set("schema", Json::U64(SCHEMA_VERSION));
+        root.set("kind", Json::Str("fleet-matrix".into()));
+        root.set("config", config_section(spec, scenarios));
+        root.set("census", census_section(report));
+        root.set("verdicts", verdict_rows(scenarios, report));
+        root.set("metrics", metrics_section(report));
+        root.set("timing", timing_section(report));
+        RunManifest(root)
+    }
+
+    /// Normalize a raw `BENCH_engine.json` (as written by
+    /// `examples/bench_report.rs`) into the canonical bench manifest:
+    /// deterministic workload structure under `structure`, wall-clock
+    /// figures under `timings` where the differ treats them as
+    /// informational.
+    pub fn bench_from_raw(raw: &str) -> Result<RunManifest, String> {
+        let v = Json::parse(raw).map_err(|e| format!("BENCH_engine.json: {e}"))?;
+        let num = |path: &[&str]| -> Result<Json, String> {
+            v.get_path(path)
+                .cloned()
+                .ok_or_else(|| format!("BENCH_engine.json missing {}", path.join(".")))
+        };
+        let mut structure = Json::obj();
+        structure.set("engine_workload", num(&["engine_hot_path", "workload"])?);
+        structure.set(
+            "frames_per_iter",
+            num(&["engine_hot_path", "frames_per_iter"])?,
+        );
+        structure.set(
+            "events_per_iter",
+            num(&["engine_hot_path", "events_per_iter"])?,
+        );
+        structure.set("fleet_cells", num(&["fleet_sweep", "cells"])?);
+        structure.set(
+            "baseline_fleet_ms_per_sweep",
+            num(&["baseline_pre_optimization", "fleet_ms_per_sweep"])?,
+        );
+        structure.set(
+            "baseline_fleet_scenarios_per_sec",
+            num(&["baseline_pre_optimization", "fleet_scenarios_per_sec"])?,
+        );
+
+        let mut timings = Json::obj();
+        let mut engine = Json::obj();
+        let mut fleet = Json::obj();
+        for mode in ["off", "hops", "full"] {
+            engine.set(mode, num(&["engine_hot_path", mode])?);
+            fleet.set(mode, num(&["fleet_sweep", mode])?);
+        }
+        timings.set("engine", engine);
+        timings.set("fleet", fleet);
+        timings.set("speedup_vs_baseline", num(&["speedup_vs_baseline"])?);
+
+        let mut root = Json::obj();
+        root.set("schema", Json::U64(SCHEMA_VERSION));
+        root.set("kind", Json::Str("bench".into()));
+        root.set("source", Json::Str("BENCH_engine.json".into()));
+        root.set("structure", structure);
+        root.set("timings", timings);
+        Ok(RunManifest(root))
+    }
+
+    /// Wrap an already-parsed manifest document.
+    pub fn from_json(v: Json) -> RunManifest {
+        RunManifest(v)
+    }
+
+    /// The manifest's `kind` field (`fleet-matrix` or `bench`).
+    pub fn kind(&self) -> &str {
+        match self.0.get("kind") {
+            Some(Json::Str(s)) => s,
+            _ => "unknown",
+        }
+    }
+
+    /// The underlying JSON tree.
+    pub fn json(&self) -> &Json {
+        &self.0
+    }
+
+    /// Canonical file form: byte-stable, newline-terminated.
+    pub fn canonical(&self) -> String {
+        let mut text = self.0.canonical();
+        text.push('\n');
+        text
+    }
+}
+
+fn config_section(spec: &MatrixSpec, scenarios: &[Scenario]) -> Json {
+    // Fold the per-cell digests (which each cover topology, poison, OS,
+    // seed, and the cell's resolved fault plan) into one matrix digest,
+    // and the per-cell plan digests into one plan digest. XOR with a
+    // position-dependent rotation keeps both order-sensitive.
+    let mut matrix_digest: u64 = 0;
+    let mut plan_digest: u64 = 0;
+    for (i, s) in scenarios.iter().enumerate() {
+        matrix_digest ^= s.digest().rotate_left((i % 63) as u32);
+        plan_digest ^= s.fault.plan(s.seed).digest().rotate_left((i % 63) as u32);
+    }
+
+    let mut fault = Json::obj();
+    fault.set("variant", Json::Str(spec.fault.label().into()));
+    fault.set("plan_digest", hex(plan_digest));
+    fault.set(
+        "nat64_binding_cap",
+        match spec.fault.nat64_binding_cap() {
+            Some(cap) => Json::U64(cap as u64),
+            None => Json::Null,
+        },
+    );
+
+    let mut config = Json::obj();
+    config.set("base_seed", Json::U64(spec.base_seed));
+    config.set("cells", Json::U64(scenarios.len() as u64));
+    config.set("matrix_digest", hex(matrix_digest));
+    config.set("fault", fault);
+    config.set(
+        "topology_variants",
+        Json::Arr(
+            TopologyVariant::ALL
+                .iter()
+                .map(|t| Json::Str(t.label().into()))
+                .collect(),
+        ),
+    );
+    config.set(
+        "poison_variants",
+        Json::Arr(
+            PoisonVariant::ALL
+                .iter()
+                .map(|p| Json::Str(p.label().into()))
+                .collect(),
+        ),
+    );
+    config
+}
+
+fn census_row(c: &FleetCensus) -> Json {
+    let mut row = Json::obj();
+    row.set("associated", Json::U64(c.associated as u64));
+    row.set("naive_v6only", Json::U64(c.naive_v6only as u64));
+    row.set("accurate_v6only", Json::U64(c.accurate_v6only as u64));
+    row.set("with_v4_path", Json::U64(c.with_v4_path as u64));
+    row.set("rfc8925_engaged", Json::U64(c.rfc8925_engaged as u64));
+    row.set("intervened", Json::U64(c.intervened as u64));
+    row.set("degraded", Json::U64(c.degraded as u64));
+    row
+}
+
+fn census_section(report: &FleetReport) -> Json {
+    let mut by_os = Json::obj();
+    for (os, row) in report.census_by_os() {
+        by_os.set(&os, census_row(&row));
+    }
+    let mut census = Json::obj();
+    census.set("fleet", census_row(&report.census));
+    census.set("by_os", by_os);
+    census
+}
+
+fn verdict_rows(scenarios: &[Scenario], report: &FleetReport) -> Json {
+    let rows = scenarios
+        .iter()
+        .zip(&report.results)
+        .map(|(s, r)| {
+            let mut row = Json::obj();
+            row.set("cell", Json::Str(s.cell_label()));
+            row.set("seed", Json::U64(r.seed));
+            row.set("rfc8925_engaged", Json::Bool(r.verdict.rfc8925_engaged));
+            row.set("has_v4", Json::Bool(r.verdict.has_v4));
+            row.set("sc24", Json::Str(r.verdict.sc24.label().into()));
+            row.set("ip6me", Json::Str(r.verdict.ip6me.label().into()));
+            row.set("intervened", Json::Bool(r.verdict.intervened));
+            row.set("naive_counted", Json::Bool(r.census.naive_counted));
+            row.set("accurate_counted", Json::Bool(r.census.accurate_counted));
+            let nat64_refusals = r
+                .metrics
+                .node("5g-gw")
+                .map(|n| n.device.get("nat64.dropped_table_full"))
+                .unwrap_or(0);
+            row.set(
+                "degraded",
+                Json::Bool(r.metrics.faults.total_dropped() > 0 || nat64_refusals > 0),
+            );
+            row.set("completed_us", Json::U64(r.completed_at.as_micros()));
+            row.set("events", Json::U64(r.metrics.engine.events_processed));
+            // One digest over the *entire* rendered MetricsSnapshot —
+            // every engine, fault, pool, trace, and per-node counter of
+            // this cell. Any counter drift anywhere moves this field.
+            row.set("metrics_digest", hex(fnv1a(&r.metrics.to_string())));
+            row
+        })
+        .collect();
+    Json::Arr(rows)
+}
+
+fn metrics_section(report: &FleetReport) -> Json {
+    let totals = report.metrics_totals();
+
+    let mut engine = Json::obj();
+    engine.set(
+        "events_processed",
+        Json::U64(totals.engine.events_processed),
+    );
+    engine.set(
+        "frames_delivered",
+        Json::U64(totals.engine.frames_delivered),
+    );
+    engine.set(
+        "frames_forwarded",
+        Json::U64(totals.engine.frames_forwarded),
+    );
+    engine.set(
+        "frames_dropped_unlinked",
+        Json::U64(totals.engine.frames_dropped_unlinked),
+    );
+    engine.set("timers_fired", Json::U64(totals.engine.timers_fired));
+    engine.set(
+        "queue_high_water",
+        Json::U64(totals.engine.queue_high_water),
+    );
+
+    let mut fault = Json::obj();
+    fault.set("dropped", Json::U64(totals.faults.dropped));
+    fault.set("outage_dropped", Json::U64(totals.faults.outage_dropped));
+    fault.set("delayed", Json::U64(totals.faults.delayed));
+    fault.set("duplicated", Json::U64(totals.faults.duplicated));
+    fault.set("corrupted", Json::U64(totals.faults.corrupted));
+    fault.set("truncated", Json::U64(totals.faults.truncated));
+    fault.set("outage_micros", Json::U64(totals.faults.outage_micros));
+
+    let mut pool = Json::obj();
+    pool.set("allocated", Json::U64(totals.pool.allocated));
+    pool.set("reused", Json::U64(totals.pool.reused));
+
+    let mut trace = Json::obj();
+    trace.set("suppressed", Json::U64(totals.trace.suppressed));
+    trace.set(
+        "capture_suppressed",
+        Json::U64(totals.trace.capture_suppressed),
+    );
+
+    let (tx, rx) = totals.conservation();
+    let mut conservation = Json::obj();
+    conservation.set("frames_tx", Json::U64(tx));
+    conservation.set("frames_rx", Json::U64(rx));
+    conservation.set(
+        "forwarded_plus_unlinked",
+        Json::U64(totals.engine.frames_forwarded + totals.engine.frames_dropped_unlinked),
+    );
+    conservation.set("delivered", Json::U64(totals.engine.frames_delivered));
+
+    let mut nodes = Json::obj();
+    for n in &totals.nodes {
+        let mut link = Json::obj();
+        link.set("frames_tx", Json::U64(n.link.frames_tx));
+        link.set("frames_rx", Json::U64(n.link.frames_rx));
+        link.set("bytes_tx", Json::U64(n.link.bytes_tx));
+        link.set("bytes_rx", Json::U64(n.link.bytes_rx));
+        link.set("drops_unlinked", Json::U64(n.link.drops_unlinked));
+        link.set("timer_fires", Json::U64(n.link.timer_fires));
+        let mut device = Json::obj();
+        for (name, value) in n.device.iter() {
+            device.set(name, Json::U64(value));
+        }
+        let mut row = Json::obj();
+        row.set("link", link);
+        row.set("device", device);
+        nodes.set(&n.name, row);
+    }
+
+    let mut metrics = Json::obj();
+    metrics.set("engine", engine);
+    metrics.set("fault", fault);
+    metrics.set("pool", pool);
+    metrics.set("trace", trace);
+    metrics.set("conservation", conservation);
+    metrics.set("nodes", nodes);
+    metrics
+}
+
+fn timing_section(report: &FleetReport) -> Json {
+    let pct = |p: &v6fleet::Percentiles| {
+        let mut row = Json::obj();
+        row.set("p50", Json::U64(p.p50));
+        row.set("p90", Json::U64(p.p90));
+        row.set("max", Json::U64(p.max));
+        row
+    };
+    let mut timing = Json::obj();
+    timing.set("completed_us", pct(&report.timing.completed_us));
+    timing.set("events", pct(&report.timing.events));
+    timing
+}

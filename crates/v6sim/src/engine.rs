@@ -525,7 +525,14 @@ impl Network {
     /// Record one hop according to the trace mode. Summaries (and the
     /// `FAULT-DROP` annotation string) are only built in full mode, and
     /// only while the trace is under its cap.
-    fn record_hop(&mut self, at: SimTime, src: NodeId, dst: NodeId, frame: &[u8], fault_drop: bool) {
+    fn record_hop(
+        &mut self,
+        at: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        frame: &[u8],
+        fault_drop: bool,
+    ) {
         match self.trace_mode {
             TraceMode::Off => {}
             TraceMode::Hops | TraceMode::Full => {

@@ -18,7 +18,9 @@ use crate::time::SimTime;
 use std::any::Any;
 use std::collections::HashMap;
 use std::net::{Ipv4Addr, Ipv6Addr};
+use v6addr::class::{v6_class, V6Class};
 use v6addr::prefix::Ipv6Prefix;
+use v6addr::rfc6052::Nat64Prefix;
 use v6dhcp::server::{DhcpServer, ServerConfig};
 use v6wire::arp::{ArpOp, ArpPacket};
 use v6wire::ethernet::{EtherType, EthernetFrame};
@@ -31,8 +33,6 @@ use v6wire::ndp::{NdpOption, NeighborAdvertisement, RouterAdvertisement, RouterP
 use v6wire::packet::{build_arp, build_icmpv6, ParsedFrame, L3, L4};
 use v6wire::udp::{port, UdpDatagram};
 use v6xlat::nat64::{Nat64, Nat64Config};
-use v6addr::rfc6052::Nat64Prefix;
-use v6addr::class::{v6_class, V6Class};
 
 /// LAN port index.
 pub const LAN: u32 = 0;
@@ -208,14 +208,22 @@ impl FiveGGateway {
     }
 
     fn wan_send_v4(&self, pkt: Ipv4Packet, ctx: &mut Ctx) {
-        let frame =
-            EthernetFrame::new(MacAddr::BROADCAST, self.lan_mac, EtherType::Ipv4, pkt.encode());
+        let frame = EthernetFrame::new(
+            MacAddr::BROADCAST,
+            self.lan_mac,
+            EtherType::Ipv4,
+            pkt.encode(),
+        );
         ctx.send(WAN, frame.encode());
     }
 
     fn wan_send_v6(&self, pkt: Ipv6Packet, ctx: &mut Ctx) {
-        let frame =
-            EthernetFrame::new(MacAddr::BROADCAST, self.lan_mac, EtherType::Ipv6, pkt.encode());
+        let frame = EthernetFrame::new(
+            MacAddr::BROADCAST,
+            self.lan_mac,
+            EtherType::Ipv6,
+            pkt.encode(),
+        );
         ctx.send(WAN, frame.encode());
     }
 
@@ -226,26 +234,29 @@ impl FiveGGateway {
             match &parsed.l4 {
                 L4::Icmp6(Icmpv6Message::RouterSolicitation(_)) => self.send_ra(ctx),
                 L4::Icmp6(Icmpv6Message::NeighborSolicitation(ns))
-                    if (ns.target == self.link_local || ns.target == self.gua()) => {
-                        let na = Icmpv6Message::NeighborAdvertisement(NeighborAdvertisement {
-                            router: true,
-                            solicited: true,
-                            override_flag: true,
-                            target: ns.target,
-                            options: vec![NdpOption::TargetLinkLayer(self.lan_mac)],
-                        });
-                        let frame =
-                            build_icmpv6(self.lan_mac, parsed.eth.src, ns.target, ip.src, &na);
-                        ctx.send(LAN, frame);
-                    }
-                L4::Icmp6(Icmpv6Message::EchoRequest { ident, seq, payload }) => {
+                    if (ns.target == self.link_local || ns.target == self.gua()) =>
+                {
+                    let na = Icmpv6Message::NeighborAdvertisement(NeighborAdvertisement {
+                        router: true,
+                        solicited: true,
+                        override_flag: true,
+                        target: ns.target,
+                        options: vec![NdpOption::TargetLinkLayer(self.lan_mac)],
+                    });
+                    let frame = build_icmpv6(self.lan_mac, parsed.eth.src, ns.target, ip.src, &na);
+                    ctx.send(LAN, frame);
+                }
+                L4::Icmp6(Icmpv6Message::EchoRequest {
+                    ident,
+                    seq,
+                    payload,
+                }) => {
                     let reply = Icmpv6Message::EchoReply {
                         ident: *ident,
                         seq: *seq,
                         payload: payload.clone(),
                     };
-                    let frame =
-                        build_icmpv6(self.lan_mac, parsed.eth.src, ip.dst, ip.src, &reply);
+                    let frame = build_icmpv6(self.lan_mac, parsed.eth.src, ip.dst, ip.src, &reply);
                     ctx.send(LAN, frame);
                 }
                 _ => {}
@@ -259,7 +270,9 @@ impl FiveGGateway {
         }
         // Routing decision.
         if self.nat64.prefix().matches(ip.dst) {
-            if let Ok(v4) = self.nat64.v6_to_v4(ip, ctx.now.as_secs()) { self.wan_send_v4(v4, ctx) }
+            if let Ok(v4) = self.nat64.v6_to_v4(ip, ctx.now.as_secs()) {
+                self.wan_send_v4(v4, ctx)
+            }
             return;
         }
         match v6_class(ip.dst) {
@@ -284,14 +297,13 @@ impl FiveGGateway {
         if let L4::Udp(udp) = &parsed.l4 {
             if udp.dst_port == port::DHCP_SERVER && (broadcast || ip.dst == self.lan_v4) {
                 if let Ok(msg) = v6dhcp::codec::DhcpMessage::decode(&udp.payload) {
-                    self.arp4.entry(Ipv4Addr::UNSPECIFIED).or_insert(parsed.eth.src);
+                    self.arp4
+                        .entry(Ipv4Addr::UNSPECIFIED)
+                        .or_insert(parsed.eth.src);
                     if let Some(reply) = self.dhcp.handle(&msg, ctx.now.as_secs()) {
                         let yiaddr = reply.yiaddr;
-                        let dgram = UdpDatagram::new(
-                            port::DHCP_SERVER,
-                            port::DHCP_CLIENT,
-                            reply.encode(),
-                        );
+                        let dgram =
+                            UdpDatagram::new(port::DHCP_SERVER, port::DHCP_CLIENT, reply.encode());
                         // Reply unicast to the client MAC, broadcast IP.
                         let frame = v6wire::packet::build_udp_v4(
                             self.lan_mac,
@@ -328,7 +340,12 @@ impl FiveGGateway {
         }
         // ICMP echo to us.
         if ip.dst == self.lan_v4 {
-            if let L4::Icmp4(Icmpv4Message::EchoRequest { ident, seq, payload }) = &parsed.l4 {
+            if let L4::Icmp4(Icmpv4Message::EchoRequest {
+                ident,
+                seq,
+                payload,
+            }) = &parsed.l4
+            {
                 let reply = Icmpv4Message::EchoReply {
                     ident: *ident,
                     seq: *seq,
@@ -373,9 +390,8 @@ impl FiveGGateway {
                     if ip.src == self.upstream_dns {
                         if let Ok(d) = UdpDatagram::decode_v4(&ip.payload, ip.src, ip.dst) {
                             if self.dns_proxy_ports.contains_key(&d.dst_port) {
-                                let inner =
-                                    UdpDatagram::decode_v4(&v4.payload, v4.src, v4.dst)
-                                        .expect("nat44 output is valid");
+                                let inner = UdpDatagram::decode_v4(&v4.payload, v4.src, v4.dst)
+                                    .expect("nat44 output is valid");
                                 let lan_v4 = self.lan_v4;
                                 v4 = Ipv4Packet::new(
                                     lan_v4,
@@ -554,7 +570,9 @@ mod tests {
             MacAddr::new([2, 0, 0, 0, 3, 1]),
         );
         d.options
-            .push(v6dhcp::codec::DhcpOption::ParameterRequestList(vec![1, 3, 6, 108]));
+            .push(v6dhcp::codec::DhcpOption::ParameterRequestList(vec![
+                1, 3, 6, 108,
+            ]));
         let frame = v6wire::packet::build_udp_v4(
             MacAddr::new([2, 0, 0, 0, 3, 1]),
             MacAddr::BROADCAST,
@@ -581,7 +599,10 @@ mod tests {
             None,
             "and it cannot define option 108"
         );
-        assert_eq!(offers[0].dns_servers(), vec!["192.168.12.1".parse::<Ipv4Addr>().unwrap()]);
+        assert_eq!(
+            offers[0].dns_servers(),
+            vec!["192.168.12.1".parse::<Ipv4Addr>().unwrap()]
+        );
     }
 
     #[test]
@@ -606,10 +627,14 @@ mod tests {
         let wan_frames = &net.node_mut::<Sink>(wan).frames;
         assert_eq!(wan_frames.len(), 1);
         let p = ParsedFrame::parse(&wan_frames[0]).unwrap();
-        let L3::V4(ip) = &p.l3 else { panic!("expected v4") };
+        let L3::V4(ip) = &p.l3 else {
+            panic!("expected v4")
+        };
         assert_eq!(ip.src, "100.66.7.8".parse::<Ipv4Addr>().unwrap());
         assert_eq!(ip.dst, "190.92.158.4".parse::<Ipv4Addr>().unwrap());
-        let L4::Udp(u) = &p.l4 else { panic!("expected udp") };
+        let L4::Udp(u) = &p.l4 else {
+            panic!("expected udp")
+        };
         // Reply from the server retraces into v6 toward the client.
         let reply = UdpDatagram::new(53, u.src_port, b"r".to_vec());
         let rframe = v6wire::packet::build_udp_v4(
@@ -673,10 +698,14 @@ mod tests {
         net.run_for(SimTime::from_millis(50));
         // Proxied to the upstream resolver.
         let p = ParsedFrame::parse(&net.node_mut::<Sink>(wan).frames[0]).unwrap();
-        let L3::V4(ip) = &p.l3 else { panic!("v4 expected") };
+        let L3::V4(ip) = &p.l3 else {
+            panic!("v4 expected")
+        };
         assert_eq!(ip.dst, "9.9.9.9".parse::<Ipv4Addr>().unwrap());
         assert_eq!(ip.src, "100.66.7.8".parse::<Ipv4Addr>().unwrap());
-        let L4::Udp(u) = &p.l4 else { panic!("udp expected") };
+        let L4::Udp(u) = &p.l4 else {
+            panic!("udp expected")
+        };
         // Upstream answers; client must see the reply from 192.168.12.1.
         let reply = UdpDatagram::new(port::DNS, u.src_port, b"answer-bytes".to_vec());
         let rframe = v6wire::packet::build_udp_v4(

@@ -128,7 +128,9 @@ impl Switch {
         snoop.trust(trusted_port);
         let mut sw = Switch::new(name, ports);
         sw.snoop = Some(snoop);
-        sw.ra = Some(RaInjection::testbed(MacAddr::new([0x02, 0x5c, 0, 0, 0, 0x01])));
+        sw.ra = Some(RaInjection::testbed(MacAddr::new([
+            0x02, 0x5c, 0, 0, 0, 0x01,
+        ])));
         sw
     }
 
@@ -279,8 +281,13 @@ mod tests {
     }
 
     fn unicast_frame(src: MacAddr, dst: MacAddr) -> Vec<u8> {
-        v6wire::ethernet::EthernetFrame::new(dst, src, v6wire::ethernet::EtherType::Other(0x9999), vec![1])
-            .encode()
+        v6wire::ethernet::EthernetFrame::new(
+            dst,
+            src,
+            v6wire::ethernet::EtherType::Other(0x9999),
+            vec![1],
+        )
+        .encode()
     }
 
     #[test]
@@ -302,9 +309,17 @@ mod tests {
         // b replies → a (a's MAC now learned: unicast to port 0 only).
         net.with_node::<Sink, _>(b, |_, ctx| ctx.send(0, unicast_frame(mac(2), mac(1))));
         net.run_for(SimTime::from_millis(1));
-        assert_eq!(net.node_mut::<Sink>(c).frames.len(), 1, "c saw only the flood");
+        assert_eq!(
+            net.node_mut::<Sink>(c).frames.len(),
+            1,
+            "c saw only the flood"
+        );
         assert_eq!(net.node_mut::<Sink>(b).frames.len(), 1);
-        assert_eq!(net.node_mut::<Sink>(a).frames.len(), 1, "reply unicast to a");
+        assert_eq!(
+            net.node_mut::<Sink>(a).frames.len(),
+            1,
+            "reply unicast to a"
+        );
     }
 
     #[test]
@@ -387,7 +402,12 @@ mod tests {
         let dhcp_frames = c
             .frames
             .iter()
-            .filter(|f| matches!(ParsedFrame::parse(f).map(|p| matches!(p.l4, L4::Udp(_))), Ok(true)))
+            .filter(|f| {
+                matches!(
+                    ParsedFrame::parse(f).map(|p| matches!(p.l4, L4::Udp(_))),
+                    Ok(true)
+                )
+            })
             .count();
         assert_eq!(dhcp_frames, 1, "pi offer must pass");
         assert_eq!(net.node_mut::<Switch>(sw).snoop_dropped, 1);

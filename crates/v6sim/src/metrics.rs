@@ -101,9 +101,12 @@ impl PoolCounters {
     /// The counters under their canonical `pool.*` names.
     pub fn as_metrics(&self) -> Metrics {
         use v6wire::metrics::engine_names as n;
-        [(n::POOL_ALLOCATED, self.allocated), (n::POOL_REUSED, self.reused)]
-            .into_iter()
-            .collect()
+        [
+            (n::POOL_ALLOCATED, self.allocated),
+            (n::POOL_REUSED, self.reused),
+        ]
+        .into_iter()
+        .collect()
     }
 }
 
@@ -250,7 +253,13 @@ impl fmt::Display for MetricsSnapshot {
             writeln!(
                 f,
                 "{}: tx={}/{}B rx={}/{}B drops={} timers={}",
-                n.name, l.frames_tx, l.bytes_tx, l.frames_rx, l.bytes_rx, l.drops_unlinked, l.timer_fires,
+                n.name,
+                l.frames_tx,
+                l.bytes_tx,
+                l.frames_rx,
+                l.bytes_rx,
+                l.drops_unlinked,
+                l.timer_fires,
             )?;
             for (name, value) in n.device.iter() {
                 writeln!(f, "  {name}={value}")?;

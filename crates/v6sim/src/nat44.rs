@@ -123,20 +123,24 @@ impl Napt44 {
             proto::ICMP => {
                 let m = Icmpv4Message::decode(&pkt.payload)?;
                 let m2 = match m {
-                    Icmpv4Message::EchoRequest { ident, seq, payload } => {
-                        Icmpv4Message::EchoRequest {
-                            ident: new_sport.unwrap_or(ident),
-                            seq,
-                            payload,
-                        }
-                    }
-                    Icmpv4Message::EchoReply { ident, seq, payload } => {
-                        Icmpv4Message::EchoReply {
-                            ident: new_dport.unwrap_or(ident),
-                            seq,
-                            payload,
-                        }
-                    }
+                    Icmpv4Message::EchoRequest {
+                        ident,
+                        seq,
+                        payload,
+                    } => Icmpv4Message::EchoRequest {
+                        ident: new_sport.unwrap_or(ident),
+                        seq,
+                        payload,
+                    },
+                    Icmpv4Message::EchoReply {
+                        ident,
+                        seq,
+                        payload,
+                    } => Icmpv4Message::EchoReply {
+                        ident: new_dport.unwrap_or(ident),
+                        seq,
+                        payload,
+                    },
                     other => other,
                 };
                 m2.encode()
@@ -237,11 +241,18 @@ mod tests {
     #[test]
     fn round_trip() {
         let mut n = nat();
-        let out = n.outbound(&udp_out("192.168.12.60", 40000, "9.9.9.9"), 0).unwrap();
+        let out = n
+            .outbound(&udp_out("192.168.12.60", 40000, "9.9.9.9"), 0)
+            .unwrap();
         assert_eq!(out.src, a("100.66.7.8"));
         let od = UdpDatagram::decode_v4(&out.payload, out.src, out.dst).unwrap();
         let reply = UdpDatagram::new(53, od.src_port, b"r".to_vec());
-        let rp = Ipv4Packet::new(a("9.9.9.9"), out.src, proto::UDP, reply.encode_v4(a("9.9.9.9"), out.src));
+        let rp = Ipv4Packet::new(
+            a("9.9.9.9"),
+            out.src,
+            proto::UDP,
+            reply.encode_v4(a("9.9.9.9"), out.src),
+        );
         let back = n.inbound(&rp, 1).unwrap();
         assert_eq!(back.dst, a("192.168.12.60"));
         let bd = UdpDatagram::decode_v4(&back.payload, back.src, back.dst).unwrap();
@@ -253,11 +264,19 @@ mod tests {
         // The Docker-Hub-rate-limit motivation from §II.B: every LAN host
         // appears as the same public address.
         let mut n = nat();
-        let o1 = n.outbound(&udp_out("192.168.12.60", 1111, "9.9.9.9"), 0).unwrap();
-        let o2 = n.outbound(&udp_out("192.168.12.61", 1111, "9.9.9.9"), 0).unwrap();
+        let o1 = n
+            .outbound(&udp_out("192.168.12.60", 1111, "9.9.9.9"), 0)
+            .unwrap();
+        let o2 = n
+            .outbound(&udp_out("192.168.12.61", 1111, "9.9.9.9"), 0)
+            .unwrap();
         assert_eq!(o1.src, o2.src);
-        let p1 = UdpDatagram::decode_v4(&o1.payload, o1.src, o1.dst).unwrap().src_port;
-        let p2 = UdpDatagram::decode_v4(&o2.payload, o2.src, o2.dst).unwrap().src_port;
+        let p1 = UdpDatagram::decode_v4(&o1.payload, o1.src, o1.dst)
+            .unwrap()
+            .src_port;
+        let p2 = UdpDatagram::decode_v4(&o2.payload, o2.src, o2.dst)
+            .unwrap()
+            .src_port;
         assert_ne!(p1, p2, "disambiguated only by port");
     }
 
@@ -272,10 +291,17 @@ mod tests {
     #[test]
     fn binding_expiry() {
         let mut n = nat();
-        let out = n.outbound(&udp_out("192.168.12.60", 40000, "9.9.9.9"), 0).unwrap();
+        let out = n
+            .outbound(&udp_out("192.168.12.60", 40000, "9.9.9.9"), 0)
+            .unwrap();
         let od = UdpDatagram::decode_v4(&out.payload, out.src, out.dst).unwrap();
         let reply = UdpDatagram::new(53, od.src_port, b"r".to_vec());
-        let rp = Ipv4Packet::new(a("9.9.9.9"), out.src, proto::UDP, reply.encode_v4(a("9.9.9.9"), out.src));
+        let rp = Ipv4Packet::new(
+            a("9.9.9.9"),
+            out.src,
+            proto::UDP,
+            reply.encode_v4(a("9.9.9.9"), out.src),
+        );
         assert!(n.inbound(&rp, 299).is_ok());
         assert!(n.inbound(&rp, 301).is_err());
     }

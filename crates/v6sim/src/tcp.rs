@@ -108,7 +108,13 @@ impl TcpEndpoint {
     }
 
     fn seg(&self, flags: TcpFlags) -> TcpSegment {
-        TcpSegment::new(self.local_port, self.remote_port, self.snd_nxt, self.rcv_nxt, flags)
+        TcpSegment::new(
+            self.local_port,
+            self.remote_port,
+            self.snd_nxt,
+            self.rcv_nxt,
+            flags,
+        )
     }
 
     /// Feed an incoming segment; returns segments to transmit in response.
@@ -122,8 +128,13 @@ impl TcpEndpoint {
                     let iss = seg.seq.wrapping_add(0x1000_0000);
                     self.snd_nxt = iss.wrapping_add(1);
                     self.state = TcpState::SynRcvd;
-                    let mut synack =
-                        TcpSegment::new(self.local_port, self.remote_port, iss, self.rcv_nxt, TcpFlags::SYN_ACK);
+                    let mut synack = TcpSegment::new(
+                        self.local_port,
+                        self.remote_port,
+                        iss,
+                        self.rcv_nxt,
+                        TcpFlags::SYN_ACK,
+                    );
                     synack.mss = Some(SEGMENT_SIZE as u16);
                     vec![synack]
                 } else if seg.flags.rst {
@@ -276,7 +287,11 @@ pub fn pump(a: &mut TcpEndpoint, b: &mut TcpEndpoint, in_flight: Vec<(bool, TcpS
         if budget == 0 {
             panic!("tcp pump did not converge");
         }
-        let replies = if to_b { b.on_segment(&seg) } else { a.on_segment(&seg) };
+        let replies = if to_b {
+            b.on_segment(&seg)
+        } else {
+            a.on_segment(&seg)
+        };
         for r in replies {
             queue.push_back((!to_b, r));
         }
@@ -310,7 +325,11 @@ mod tests {
         pump(&mut c, &mut s, req.into_iter().map(|x| (true, x)).collect());
         assert_eq!(s.received, b"GET / HTTP/1.1\r\nHost: ip6.me\r\n\r\n");
         let resp = s.send(b"HTTP/1.1 200 OK\r\n\r\nyour address is ...");
-        pump(&mut c, &mut s, resp.into_iter().map(|x| (false, x)).collect());
+        pump(
+            &mut c,
+            &mut s,
+            resp.into_iter().map(|x| (false, x)).collect(),
+        );
         assert!(c.received.starts_with(b"HTTP/1.1 200 OK"));
     }
 
@@ -320,7 +339,11 @@ mod tests {
         let body = vec![0x42u8; 5000];
         let segs = c.send(&body);
         assert_eq!(segs.len(), 5); // ceil(5000/1200)
-        pump(&mut c, &mut s, segs.into_iter().map(|x| (true, x)).collect());
+        pump(
+            &mut c,
+            &mut s,
+            segs.into_iter().map(|x| (true, x)).collect(),
+        );
         assert_eq!(s.received, body);
     }
 
@@ -331,7 +354,11 @@ mod tests {
         pump(&mut c, &mut s, fin.into_iter().map(|x| (true, x)).collect());
         assert_eq!(s.state, TcpState::CloseWait);
         let fin2 = s.close();
-        pump(&mut c, &mut s, fin2.into_iter().map(|x| (false, x)).collect());
+        pump(
+            &mut c,
+            &mut s,
+            fin2.into_iter().map(|x| (false, x)).collect(),
+        );
         assert!(c.is_closed(), "client state {:?}", c.state);
         assert!(s.is_closed(), "server state {:?}", s.state);
     }

@@ -576,7 +576,11 @@ impl Fig10Row {
     pub fn render(&self) -> String {
         format!(
             "FIG10 {:<28} dns(v6={},v4={}) poisoned-a={} browse-peer={:?}",
-            self.os, self.dns_via_v6, self.dns_via_v4, self.poisoned_a_answers, self.browse.peer()
+            self.os,
+            self.dns_via_v6,
+            self.dns_via_v4,
+            self.poisoned_a_answers,
+            self.browse.peer()
         )
     }
 }

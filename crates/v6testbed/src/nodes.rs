@@ -169,11 +169,10 @@ impl Node for PiServer {
                     }
                 }
             }
-            (L3::Arp(arp), _)
-                if arp.op == ArpOp::Request && arp.target_ip == self.v4 => {
-                    let reply = ArpPacket::reply_to(arp, self.mac);
-                    ctx.send(0, build_arp(self.mac, arp.sender_mac, &reply));
-                }
+            (L3::Arp(arp), _) if arp.op == ArpOp::Request && arp.target_ip == self.v4 => {
+                let reply = ArpPacket::reply_to(arp, self.mac);
+                ctx.send(0, build_arp(self.mac, arp.sender_mac, &reply));
+            }
             _ => {}
         }
     }
@@ -202,7 +201,9 @@ impl PublicDns {
         PublicDns {
             name: "public-dns".into(),
             mac: MacAddr::new([0x02, 0x99, 0, 0, 0, 0x09]),
-            v4: crate::zones::addrs::PUBLIC_DNS_V4.parse().expect("static ip"),
+            v4: crate::zones::addrs::PUBLIC_DNS_V4
+                .parse()
+                .expect("static ip"),
             resolver: CachingResolver::new(internet_dns()),
             queries: 0,
         }

@@ -37,7 +37,8 @@ pub enum TopologyVariant {
 
 impl TopologyVariant {
     /// All variants, in matrix order.
-    pub const ALL: [TopologyVariant; 2] = [TopologyVariant::PaperDefault, TopologyVariant::RawGateway];
+    pub const ALL: [TopologyVariant; 2] =
+        [TopologyVariant::PaperDefault, TopologyVariant::RawGateway];
 
     /// Short stable label for reports.
     pub fn label(self) -> &'static str {
@@ -61,8 +62,11 @@ pub enum PoisonVariant {
 
 impl PoisonVariant {
     /// All variants, in matrix order.
-    pub const ALL: [PoisonVariant; 3] =
-        [PoisonVariant::Off, PoisonVariant::WildcardA, PoisonVariant::Rpz];
+    pub const ALL: [PoisonVariant; 3] = [
+        PoisonVariant::Off,
+        PoisonVariant::WildcardA,
+        PoisonVariant::Rpz,
+    ];
 
     /// Short stable label for reports.
     pub fn label(self) -> &'static str {
@@ -271,6 +275,41 @@ impl Scenario {
         )
     }
 
+    /// Fault-independent cell key: topology/poison/OS/seed. Two matrices
+    /// built from the same base seed share cell keys across fault
+    /// variants, which is what lets a run manifest differ line up the
+    /// clean and impaired verdicts for the same population.
+    pub fn cell_label(&self) -> String {
+        format!(
+            "{}/{}/{}/seed{}",
+            self.topology.label(),
+            self.poison.label(),
+            self.os.name,
+            self.seed
+        )
+    }
+
+    /// Stable 64-bit digest of the scenario's configuration — every
+    /// matrix dimension plus the seed and the resolved fault plan — for
+    /// the run-manifest config section. A pure function of `self`,
+    /// reproducible across processes.
+    pub fn digest(&self) -> u64 {
+        // FNV-1a over the label text covers topology, poison, OS and
+        // seed; folding in the fault plan digest covers everything the
+        // fault dimension resolves to (including the seed it samples
+        // with and the NAT64 binding cap variant).
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.label().bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let cap = match self.fault.nat64_binding_cap() {
+            Some(c) => c as u64 + 1,
+            None => 0,
+        };
+        h ^ self.fault.plan(self.seed).digest().rotate_left(31) ^ cap
+    }
+
     /// Build a fresh testbed, run this cell, and collect everything.
     ///
     /// Entirely driven by the virtual clock and the scenario seed: the
@@ -404,12 +443,33 @@ mod tests {
     fn matrix_covers_the_full_cross_product() {
         let m = Scenario::matrix(1);
         let profiles = OsProfile::all_paper_profiles().len();
-        assert_eq!(m.len(), profiles * TopologyVariant::ALL.len() * PoisonVariant::ALL.len());
+        assert_eq!(
+            m.len(),
+            profiles * TopologyVariant::ALL.len() * PoisonVariant::ALL.len()
+        );
         // Labels are unique (they key the fleet report).
         let mut labels: Vec<String> = m.iter().map(Scenario::label).collect();
         labels.sort();
         labels.dedup();
         assert_eq!(labels.len(), m.len());
+    }
+
+    #[test]
+    fn cell_labels_are_fault_invariant_and_digests_are_not() {
+        let clean = Scenario::matrix(5);
+        let faulted = Scenario::matrix_with_fault(5, FaultVariant::Dns64Outage);
+        for (c, f) in clean.iter().zip(&faulted) {
+            assert_eq!(
+                c.cell_label(),
+                f.cell_label(),
+                "cell key ignores the fault dimension"
+            );
+            assert_ne!(c.digest(), f.digest(), "config digest does not");
+            assert_eq!(c.digest(), c.digest(), "digest is a pure function");
+        }
+        let mut other_seed = clean[0].clone();
+        other_seed.seed += 1;
+        assert_ne!(clean[0].digest(), other_seed.digest());
     }
 
     #[test]
@@ -419,7 +479,7 @@ mod tests {
             topology: TopologyVariant::PaperDefault,
             poison: PoisonVariant::WildcardA,
             fault: FaultVariant::Clean,
-            seed:42,
+            seed: 42,
         };
         let a = s.run();
         let b = s.run();
@@ -435,7 +495,7 @@ mod tests {
             topology: TopologyVariant::PaperDefault,
             poison: PoisonVariant::WildcardA,
             fault: FaultVariant::Clean,
-            seed:7,
+            seed: 7,
         };
         let r = s.run();
         let m = &r.metrics;
@@ -448,7 +508,13 @@ mod tests {
         );
         let pi = m.node("raspberry-pi").expect("pi row");
         assert!(pi.device.get("dns64.queries") > 0, "healthy resolver used");
-        assert!(m.node("managed-sw").expect("switch row").device.get("forwarded") > 0);
+        assert!(
+            m.node("managed-sw")
+                .expect("switch row")
+                .device
+                .get("forwarded")
+                > 0
+        );
         assert!(m.engine.events_processed > 0 && m.engine.queue_high_water > 0);
     }
 }

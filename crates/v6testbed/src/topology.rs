@@ -114,7 +114,11 @@ impl Testbed {
         gw_node.block_v4_internet = config.block_v4_internet;
         let gw = net.add_node(Box::new(gw_node));
         let sw = if config.managed_switch {
-            net.add_node(Box::new(Switch::managed("managed-sw", 2 + MAX_HOSTS as u32, 0)))
+            net.add_node(Box::new(Switch::managed(
+                "managed-sw",
+                2 + MAX_HOSTS as u32,
+                0,
+            )))
         } else {
             net.add_node(Box::new(Switch::new("dumb-sw", 2 + MAX_HOSTS as u32)))
         };
@@ -223,8 +227,13 @@ impl Testbed {
         );
         let name = format!("host{}-{}", self.hosts.len(), profile.name);
         let id = self.net.add_node(Box::new(Host::new(name, profile, seed)));
-        self.net
-            .link(self.sw, self.next_host_port, id, 0, SimTime::from_micros(50));
+        self.net.link(
+            self.sw,
+            self.next_host_port,
+            id,
+            0,
+            SimTime::from_micros(50),
+        );
         self.next_host_port += 1;
         self.hosts.push(id);
         id

@@ -50,20 +50,48 @@ fn build_internet_dns() -> GlobalDns {
 
     let mut me = Zone::new(n("ip6.me"), 60);
     me.add_str("@", 60, RData::A(addrs::IP6ME_V4.parse().expect("static")));
-    me.add_str("@", 60, RData::Aaaa(addrs::IP6ME_V6.parse().expect("static")));
+    me.add_str(
+        "@",
+        60,
+        RData::Aaaa(addrs::IP6ME_V6.parse().expect("static")),
+    );
     g.add_zone(me);
 
     // The mirror's subtest hostnames: the family mix *is* the test.
     let mut mirror = Zone::new(n("mirror.sc24"), 60);
-    mirror.add_str("ds", 60, RData::A(addrs::MIRROR_V4.parse().expect("static")));
-    mirror.add_str("ds", 60, RData::Aaaa(addrs::MIRROR_V6.parse().expect("static")));
-    mirror.add_str("ipv4", 60, RData::A(addrs::MIRROR_V4.parse().expect("static")));
-    mirror.add_str("ipv6", 60, RData::Aaaa(addrs::MIRROR_V6.parse().expect("static")));
-    mirror.add_str("mtu", 60, RData::Aaaa(addrs::MIRROR_V6.parse().expect("static")));
+    mirror.add_str(
+        "ds",
+        60,
+        RData::A(addrs::MIRROR_V4.parse().expect("static")),
+    );
+    mirror.add_str(
+        "ds",
+        60,
+        RData::Aaaa(addrs::MIRROR_V6.parse().expect("static")),
+    );
+    mirror.add_str(
+        "ipv4",
+        60,
+        RData::A(addrs::MIRROR_V4.parse().expect("static")),
+    );
+    mirror.add_str(
+        "ipv6",
+        60,
+        RData::Aaaa(addrs::MIRROR_V6.parse().expect("static")),
+    );
+    mirror.add_str(
+        "mtu",
+        60,
+        RData::Aaaa(addrs::MIRROR_V6.parse().expect("static")),
+    );
     g.add_zone(mirror);
 
     let mut sc = Zone::new(n("supercomputing.org"), 300);
-    sc.add_str("sc24", 120, RData::A(addrs::SC24_V4.parse().expect("static")));
+    sc.add_str(
+        "sc24",
+        120,
+        RData::A(addrs::SC24_V4.parse().expect("static")),
+    );
     sc.add_str("www.sc24", 120, RData::Cname(n("sc24.supercomputing.org")));
     g.add_zone(sc);
 
@@ -98,7 +126,9 @@ mod tests {
         let a = g.resolve(&Question::new(n("ipv6.mirror.sc24"), RType::Aaaa), 0);
         assert!(a.is_positive());
         // ip6.me is dual-stack.
-        assert!(g.resolve(&Question::new(n("ip6.me"), RType::A), 0).is_positive());
+        assert!(g
+            .resolve(&Question::new(n("ip6.me"), RType::A), 0)
+            .is_positive());
         assert!(g
             .resolve(&Question::new(n("ip6.me"), RType::Aaaa), 0)
             .is_positive());

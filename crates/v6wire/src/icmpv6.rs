@@ -4,8 +4,7 @@
 
 use crate::checksum::pseudo_v6;
 use crate::ndp::{
-    NdpOption, NeighborAdvertisement, NeighborSolicitation, RouterAdvertisement,
-    RouterSolicitation,
+    NdpOption, NeighborAdvertisement, NeighborSolicitation, RouterAdvertisement, RouterSolicitation,
 };
 use crate::{be16, be32, need, WireError, WireResult};
 use std::net::Ipv6Addr;
@@ -191,13 +190,15 @@ impl Icmpv6Message {
                 need(buf, 24, "icmpv6-na")?;
                 // Re-read the reserved word to keep decode strictness honest.
                 let _reserved = be32(buf, 4, "icmpv6-na")? & 0x1fff_ffff;
-                Ok(Icmpv6Message::NeighborAdvertisement(NeighborAdvertisement {
-                    router: buf[4] & 0x80 != 0,
-                    solicited: buf[4] & 0x40 != 0,
-                    override_flag: buf[4] & 0x20 != 0,
-                    target: read_target(8)?,
-                    options: NdpOption::decode_all(&buf[24..])?,
-                }))
+                Ok(Icmpv6Message::NeighborAdvertisement(
+                    NeighborAdvertisement {
+                        router: buf[4] & 0x80 != 0,
+                        solicited: buf[4] & 0x40 != 0,
+                        override_flag: buf[4] & 0x20 != 0,
+                        target: read_target(8)?,
+                        options: NdpOption::decode_all(&buf[24..])?,
+                    },
+                ))
             }
             t => Err(WireError::BadField {
                 what: "icmpv6-type",
@@ -265,7 +266,10 @@ mod tests {
         });
         let m = Icmpv6Message::RouterAdvertisement(ra);
         let bytes = m.encode(ll(1), all_nodes());
-        assert_eq!(Icmpv6Message::decode(&bytes, ll(1), all_nodes()).unwrap(), m);
+        assert_eq!(
+            Icmpv6Message::decode(&bytes, ll(1), all_nodes()).unwrap(),
+            m
+        );
     }
 
     #[test]

@@ -38,12 +38,12 @@ pub use arp::{ArpOp, ArpPacket};
 pub use ethernet::{EtherType, EthernetFrame};
 pub use icmpv4::Icmpv4Message;
 pub use icmpv6::Icmpv6Message;
-pub use metrics::Metrics;
 pub use ipv4::Ipv4Packet;
 pub use ipv6::Ipv6Packet;
 pub use mac::MacAddr;
+pub use metrics::Metrics;
 pub use ndp::{NdpOption, RouterAdvertisement, RouterPreference};
-pub use packet::{L3, L4, ParsedFrame};
+pub use packet::{ParsedFrame, L3, L4};
 pub use tcp::{TcpFlags, TcpSegment};
 pub use udp::UdpDatagram;
 

@@ -71,6 +71,15 @@ impl Metrics {
         }
     }
 
+    /// Fold `other` in under the same names, accumulating counters that
+    /// exist on both sides. This is how run manifests sum one node's
+    /// device counters across every scenario of a fleet.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (name, value) in other.iter() {
+            self.add(name, value);
+        }
+    }
+
     /// Sum of all counters matching `prefix.` plus the bare `prefix`
     /// counter itself — handy for invariant checks across namespaces.
     pub fn sum_under(&self, prefix: &str) -> u64 {

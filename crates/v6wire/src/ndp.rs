@@ -463,9 +463,8 @@ mod tests {
             domains: vec!["rfc8925.com".into()],
         });
         ra.options.push(NdpOption::Mtu(1500));
-        ra.options.push(NdpOption::SourceLinkLayer(MacAddr::new([
-            2, 0, 0, 0, 0, 1,
-        ])));
+        ra.options
+            .push(NdpOption::SourceLinkLayer(MacAddr::new([2, 0, 0, 0, 0, 1])));
         ra
     }
 
@@ -488,10 +487,7 @@ mod tests {
             assert_eq!(RouterPreference::from_bits(p.to_bits()), p);
         }
         // Reserved 10 maps to Medium.
-        assert_eq!(
-            RouterPreference::from_bits(0b10),
-            RouterPreference::Medium
-        );
+        assert_eq!(RouterPreference::from_bits(0b10), RouterPreference::Medium);
     }
 
     #[test]

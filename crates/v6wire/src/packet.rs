@@ -78,9 +78,7 @@ impl ParsedFrame {
                 let l4 = match ip.next_header {
                     proto::UDP => L4::Udp(UdpDatagram::decode_v6(&ip.payload, ip.src, ip.dst)?),
                     proto::TCP => L4::Tcp(TcpSegment::decode_v6(&ip.payload, ip.src, ip.dst)?),
-                    proto::ICMPV6 => {
-                        L4::Icmp6(Icmpv6Message::decode(&ip.payload, ip.src, ip.dst)?)
-                    }
+                    proto::ICMPV6 => L4::Icmp6(Icmpv6Message::decode(&ip.payload, ip.src, ip.dst)?),
                     _ => L4::None,
                 };
                 (L3::V6(ip), l4)
@@ -224,11 +222,19 @@ pub fn summarize(raw: &[u8]) -> String {
         ),
         (L3::V4(ip), L4::Tcp(t)) => format!(
             "IPv4 {}:{} > {}:{} TCP {}",
-            ip.src, t.src_port, ip.dst, t.dst_port, tcp_flags(t)
+            ip.src,
+            t.src_port,
+            ip.dst,
+            t.dst_port,
+            tcp_flags(t)
         ),
         (L3::V6(ip), L4::Tcp(t)) => format!(
             "IPv6 [{}]:{} > [{}]:{} TCP {}",
-            ip.src, t.src_port, ip.dst, t.dst_port, tcp_flags(t)
+            ip.src,
+            t.src_port,
+            ip.dst,
+            t.dst_port,
+            tcp_flags(t)
         ),
         (L3::V4(ip), L4::Icmp4(m)) => format!("IPv4 {} > {} {}", ip.src, ip.dst, icmp4_name(m)),
         (L3::V6(ip), L4::Icmp6(m)) => {

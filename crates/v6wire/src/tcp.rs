@@ -186,8 +186,8 @@ impl TcpSegment {
         let mut opts = &buf[Self::HEADER_LEN..data_off];
         while let Some(&kind) = opts.first() {
             match kind {
-                0 => break,                 // end of options
-                1 => opts = &opts[1..],     // NOP
+                0 => break,             // end of options
+                1 => opts = &opts[1..], // NOP
                 2 => {
                     need(opts, 4, "tcp-mss")?;
                     mss = Some(u16::from_be_bytes([opts[2], opts[3]]));

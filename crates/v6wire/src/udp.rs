@@ -189,15 +189,11 @@ mod tests {
         let mut bytes = d.encode_v4(S4.parse().unwrap(), D4.parse().unwrap());
         bytes[6] = 0;
         bytes[7] = 0;
-        assert!(
-            UdpDatagram::decode_v4(&bytes, S4.parse().unwrap(), D4.parse().unwrap()).is_ok()
-        );
+        assert!(UdpDatagram::decode_v4(&bytes, S4.parse().unwrap(), D4.parse().unwrap()).is_ok());
         let mut bytes6 = d.encode_v6(S6.parse().unwrap(), D6.parse().unwrap());
         bytes6[6] = 0;
         bytes6[7] = 0;
-        assert!(
-            UdpDatagram::decode_v6(&bytes6, S6.parse().unwrap(), D6.parse().unwrap()).is_err()
-        );
+        assert!(UdpDatagram::decode_v6(&bytes6, S6.parse().unwrap(), D6.parse().unwrap()).is_err());
     }
 
     #[test]
@@ -206,8 +202,6 @@ mod tests {
         let mut bytes = d.encode_v6(S6.parse().unwrap(), D6.parse().unwrap());
         let last = bytes.len() - 1;
         bytes[last] ^= 0xff;
-        assert!(
-            UdpDatagram::decode_v6(&bytes, S6.parse().unwrap(), D6.parse().unwrap()).is_err()
-        );
+        assert!(UdpDatagram::decode_v6(&bytes, S6.parse().unwrap(), D6.parse().unwrap()).is_err());
     }
 }

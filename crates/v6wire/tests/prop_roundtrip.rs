@@ -2,17 +2,17 @@
 //! every checksum must bind the data and pseudo-header.
 
 use proptest::prelude::*;
+use std::net::{Ipv4Addr, Ipv6Addr};
 use v6wire::arp::ArpPacket;
 use v6wire::checksum::{checksum, incremental_update, Checksum};
 use v6wire::ethernet::{EtherType, EthernetFrame};
 use v6wire::icmpv4::Icmpv4Message;
 use v6wire::icmpv6::Icmpv6Message;
-use v6wire::ipv4::{Ipv4Packet, proto};
+use v6wire::ipv4::{proto, Ipv4Packet};
 use v6wire::ipv6::Ipv6Packet;
 use v6wire::mac::MacAddr;
 use v6wire::tcp::{TcpFlags, TcpSegment};
 use v6wire::udp::UdpDatagram;
-use std::net::{Ipv4Addr, Ipv6Addr};
 
 fn arb_mac() -> impl Strategy<Value = MacAddr> {
     any::<[u8; 6]>().prop_map(MacAddr::new)

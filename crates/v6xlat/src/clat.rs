@@ -125,7 +125,12 @@ mod tests {
 
         // Outbound app packet.
         let d = UdpDatagram::new(5198, 5198, b"hello repeater".to_vec());
-        let app = Ipv4Packet::new(c.host_v4, server, proto::UDP, d.encode_v4(c.host_v4, server));
+        let app = Ipv4Packet::new(
+            c.host_v4,
+            server,
+            proto::UDP,
+            d.encode_v4(c.host_v4, server),
+        );
         let on_wire_v6 = c.v4_out(&app).unwrap();
         let at_server = plat.v6_to_v4(&on_wire_v6, 100).unwrap();
         assert_eq!(at_server.dst, server);

@@ -383,10 +383,18 @@ mod tests {
         assert_eq!(od.dst_port, 53);
         // Server replies to the external tuple.
         let reply = UdpDatagram::new(53, od.src_port, b"r".to_vec());
-        let rpkt = Ipv4Packet::new(a4(SERVER4), out.src, proto::UDP, reply.encode_v4(a4(SERVER4), out.src));
+        let rpkt = Ipv4Packet::new(
+            a4(SERVER4),
+            out.src,
+            proto::UDP,
+            reply.encode_v4(a4(SERVER4), out.src),
+        );
         let back = n.v4_to_v6(&rpkt, 101).unwrap();
         assert_eq!(back.dst, a6(CLIENT));
-        assert_eq!(back.src, Nat64Prefix::well_known().embed_unchecked(a4(SERVER4)));
+        assert_eq!(
+            back.src,
+            Nat64Prefix::well_known().embed_unchecked(a4(SERVER4))
+        );
         let bd = UdpDatagram::decode_v6(&back.payload, back.src, back.dst).unwrap();
         assert_eq!(bd.dst_port, 40000, "internal port restored");
         assert_eq!((n.outbound, n.inbound), (1, 1));
@@ -397,8 +405,12 @@ mod tests {
         let mut n = nat();
         let o1 = n.v6_to_v4(&udp_v6(40000, a4(SERVER4), b"1"), 0).unwrap();
         let o2 = n.v6_to_v4(&udp_v6(40000, a4("8.8.8.8"), b"2"), 1).unwrap();
-        let p1 = UdpDatagram::decode_v4(&o1.payload, o1.src, o1.dst).unwrap().src_port;
-        let p2 = UdpDatagram::decode_v4(&o2.payload, o2.src, o2.dst).unwrap().src_port;
+        let p1 = UdpDatagram::decode_v4(&o1.payload, o1.src, o1.dst)
+            .unwrap()
+            .src_port;
+        let p2 = UdpDatagram::decode_v4(&o2.payload, o2.src, o2.dst)
+            .unwrap()
+            .src_port;
         assert_eq!((o1.src, p1), (o2.src, p2), "endpoint-independent mapping");
         assert_eq!(n.live_bindings(2), 1);
     }
@@ -408,8 +420,18 @@ mod tests {
         let mut n = nat();
         let o1 = n.v6_to_v4(&udp_v6(40000, a4(SERVER4), b"1"), 0).unwrap();
         let o2 = n.v6_to_v4(&udp_v6(40001, a4(SERVER4), b"2"), 0).unwrap();
-        let t1 = (o1.src, UdpDatagram::decode_v4(&o1.payload, o1.src, o1.dst).unwrap().src_port);
-        let t2 = (o2.src, UdpDatagram::decode_v4(&o2.payload, o2.src, o2.dst).unwrap().src_port);
+        let t1 = (
+            o1.src,
+            UdpDatagram::decode_v4(&o1.payload, o1.src, o1.dst)
+                .unwrap()
+                .src_port,
+        );
+        let t2 = (
+            o2.src,
+            UdpDatagram::decode_v4(&o2.payload, o2.src, o2.dst)
+                .unwrap()
+                .src_port,
+        );
         assert_ne!(t1, t2);
     }
 
@@ -433,7 +455,12 @@ mod tests {
         let out = n.v6_to_v4(&udp_v6(40000, a4(SERVER4), b"q"), 0).unwrap();
         let od = UdpDatagram::decode_v4(&out.payload, out.src, out.dst).unwrap();
         let reply = UdpDatagram::new(53, od.src_port, b"r".to_vec());
-        let rpkt = Ipv4Packet::new(a4(SERVER4), out.src, proto::UDP, reply.encode_v4(a4(SERVER4), out.src));
+        let rpkt = Ipv4Packet::new(
+            a4(SERVER4),
+            out.src,
+            proto::UDP,
+            reply.encode_v4(a4(SERVER4), out.src),
+        );
         // Within lifetime: passes. After 300 s: dropped.
         assert!(n.v4_to_v6(&rpkt, 299).is_ok());
         assert_eq!(n.v4_to_v6(&rpkt, 301), Err(XlatError::NoBinding));
@@ -509,8 +536,12 @@ mod tests {
         // the two high ports and the pool then wraps to 1024.
         let o1 = n.v6_to_v4(&udp_v6(1, a4(SERVER4), b""), 0).unwrap();
         let o2 = n.v6_to_v4(&udp_v6(2, a4(SERVER4), b""), 0).unwrap();
-        let p1 = UdpDatagram::decode_v4(&o1.payload, o1.src, o1.dst).unwrap().src_port;
-        let p2 = UdpDatagram::decode_v4(&o2.payload, o2.src, o2.dst).unwrap().src_port;
+        let p1 = UdpDatagram::decode_v4(&o1.payload, o1.src, o1.dst)
+            .unwrap()
+            .src_port;
+        let p2 = UdpDatagram::decode_v4(&o2.payload, o2.src, o2.dst)
+            .unwrap()
+            .src_port;
         assert_ne!(p1, p2);
         assert!(p1 >= u16::MAX - 2);
     }

@@ -258,7 +258,12 @@ mod tests {
     #[test]
     fn udp_v6_to_v4_checksum_valid() {
         let d = UdpDatagram::new(40000, 53, b"dns query".to_vec());
-        let pkt = Ipv6Packet::new(a6(V6SRC), a6(V6DST), proto::UDP, d.encode_v6(a6(V6SRC), a6(V6DST)));
+        let pkt = Ipv6Packet::new(
+            a6(V6SRC),
+            a6(V6DST),
+            proto::UDP,
+            d.encode_v6(a6(V6SRC), a6(V6DST)),
+        );
         let out = v6_to_v4(&pkt, a4(V4SRC), a4(V4DST), PortRewrite::default()).unwrap();
         assert_eq!(out.ttl, 63, "hop limit decremented");
         let got = UdpDatagram::decode_v4(&out.payload, out.src, out.dst).unwrap();
@@ -269,7 +274,12 @@ mod tests {
     fn tcp_roundtrip_both_ways() {
         let mut seg = TcpSegment::new(50000, 80, 100, 0, TcpFlags::SYN);
         seg.mss = Some(1460);
-        let pkt = Ipv4Packet::new(a4(V4SRC), a4(V4DST), proto::TCP, seg.encode_v4(a4(V4SRC), a4(V4DST)));
+        let pkt = Ipv4Packet::new(
+            a4(V4SRC),
+            a4(V4DST),
+            proto::TCP,
+            seg.encode_v4(a4(V4SRC), a4(V4DST)),
+        );
         let v6 = v4_to_v6(&pkt, a6(V6SRC), a6(V6DST), PortRewrite::default()).unwrap();
         let back = v6_to_v4(&v6, a4(V4SRC), a4(V4DST), PortRewrite::default()).unwrap();
         let got = TcpSegment::decode_v4(&back.payload, back.src, back.dst).unwrap();
@@ -280,7 +290,12 @@ mod tests {
     #[test]
     fn port_rewrite_applied() {
         let d = UdpDatagram::new(40000, 53, vec![1]);
-        let pkt = Ipv6Packet::new(a6(V6SRC), a6(V6DST), proto::UDP, d.encode_v6(a6(V6SRC), a6(V6DST)));
+        let pkt = Ipv6Packet::new(
+            a6(V6SRC),
+            a6(V6DST),
+            proto::UDP,
+            d.encode_v6(a6(V6SRC), a6(V6DST)),
+        );
         let out = v6_to_v4(
             &pkt,
             a4("203.0.113.1"),
@@ -304,10 +319,22 @@ mod tests {
             seq: 1,
             payload: vec![0x61; 32],
         };
-        let pkt = Ipv6Packet::new(a6(V6SRC), a6(V6DST), proto::ICMPV6, m.encode(a6(V6SRC), a6(V6DST)));
+        let pkt = Ipv6Packet::new(
+            a6(V6SRC),
+            a6(V6DST),
+            proto::ICMPV6,
+            m.encode(a6(V6SRC), a6(V6DST)),
+        );
         let out = v6_to_v4(&pkt, a4(V4SRC), a4(V4DST), PortRewrite::default()).unwrap();
         let got = Icmpv4Message::decode(&out.payload).unwrap();
-        assert!(matches!(got, Icmpv4Message::EchoRequest { ident: 0x1c5a, seq: 1, .. }));
+        assert!(matches!(
+            got,
+            Icmpv4Message::EchoRequest {
+                ident: 0x1c5a,
+                seq: 1,
+                ..
+            }
+        ));
         // And the reply comes back.
         let reply = Icmpv4Message::EchoReply {
             ident: 0x1c5a,
@@ -317,7 +344,10 @@ mod tests {
         let rpkt = Ipv4Packet::new(a4(V4DST), a4(V4SRC), proto::ICMP, reply.encode());
         let back = v4_to_v6(&rpkt, a6(V6DST), a6(V6SRC), PortRewrite::default()).unwrap();
         let gotr = Icmpv6Message::decode(&back.payload, back.src, back.dst).unwrap();
-        assert!(matches!(gotr, Icmpv6Message::EchoReply { ident: 0x1c5a, .. }));
+        assert!(matches!(
+            gotr,
+            Icmpv6Message::EchoReply { ident: 0x1c5a, .. }
+        ));
     }
 
     #[test]
@@ -330,22 +360,38 @@ mod tests {
         let pkt = Ipv4Packet::new(a4(V4DST), a4(V4SRC), proto::ICMP, m.encode());
         let out = v4_to_v6(&pkt, a6(V6DST), a6(V6SRC), PortRewrite::default()).unwrap();
         let got = Icmpv6Message::decode(&out.payload, out.src, out.dst).unwrap();
-        assert!(matches!(got, Icmpv6Message::DestinationUnreachable { code: 4, .. }));
+        assert!(matches!(
+            got,
+            Icmpv6Message::DestinationUnreachable { code: 4, .. }
+        ));
         // v6 admin-prohibited (1,1) → v4 (3,10).
         let m6 = Icmpv6Message::DestinationUnreachable {
             code: 1,
             invoking: vec![],
         };
-        let pkt6 = Ipv6Packet::new(a6(V6SRC), a6(V6DST), proto::ICMPV6, m6.encode(a6(V6SRC), a6(V6DST)));
+        let pkt6 = Ipv6Packet::new(
+            a6(V6SRC),
+            a6(V6DST),
+            proto::ICMPV6,
+            m6.encode(a6(V6SRC), a6(V6DST)),
+        );
         let out4 = v6_to_v4(&pkt6, a4(V4SRC), a4(V4DST), PortRewrite::default()).unwrap();
         let got4 = Icmpv4Message::decode(&out4.payload).unwrap();
-        assert!(matches!(got4, Icmpv4Message::DestinationUnreachable { code: 10, .. }));
+        assert!(matches!(
+            got4,
+            Icmpv4Message::DestinationUnreachable { code: 10, .. }
+        ));
     }
 
     #[test]
     fn hop_limit_guard() {
         let d = UdpDatagram::new(1, 2, vec![]);
-        let mut pkt = Ipv6Packet::new(a6(V6SRC), a6(V6DST), proto::UDP, d.encode_v6(a6(V6SRC), a6(V6DST)));
+        let mut pkt = Ipv6Packet::new(
+            a6(V6SRC),
+            a6(V6DST),
+            proto::UDP,
+            d.encode_v6(a6(V6SRC), a6(V6DST)),
+        );
         pkt.hop_limit = 1;
         assert_eq!(
             v6_to_v4(&pkt, a4(V4SRC), a4(V4DST), PortRewrite::default()),
@@ -356,7 +402,12 @@ mod tests {
     #[test]
     fn ndp_never_translates() {
         let m = Icmpv6Message::RouterSolicitation(Default::default());
-        let pkt = Ipv6Packet::new(a6(V6SRC), a6(V6DST), proto::ICMPV6, m.encode(a6(V6SRC), a6(V6DST)));
+        let pkt = Ipv6Packet::new(
+            a6(V6SRC),
+            a6(V6DST),
+            proto::ICMPV6,
+            m.encode(a6(V6SRC), a6(V6DST)),
+        );
         assert_eq!(
             v6_to_v4(&pkt, a4(V4SRC), a4(V4DST), PortRewrite::default()),
             Err(XlatError::UntranslatableIcmp)
@@ -375,7 +426,12 @@ mod tests {
     #[test]
     fn dscp_copied() {
         let d = UdpDatagram::new(1, 2, vec![]);
-        let mut pkt = Ipv6Packet::new(a6(V6SRC), a6(V6DST), proto::UDP, d.encode_v6(a6(V6SRC), a6(V6DST)));
+        let mut pkt = Ipv6Packet::new(
+            a6(V6SRC),
+            a6(V6DST),
+            proto::UDP,
+            d.encode_v6(a6(V6SRC), a6(V6DST)),
+        );
         pkt.traffic_class = 0xb8; // EF
         let out = v6_to_v4(&pkt, a4(V4SRC), a4(V4DST), PortRewrite::default()).unwrap();
         assert_eq!(out.dscp_ecn, 0xb8);

@@ -35,7 +35,10 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(i, id)| (format!("laptop-{i}"), id))
-        .chain(std::iter::once(("instrument (service acct)".to_string(), &instrument)))
+        .chain(std::iter::once((
+            "instrument (service acct)".to_string(),
+            &instrument,
+        )))
     {
         let h = tb.host(id);
         println!(
@@ -60,7 +63,11 @@ fn main() {
         );
         println!(
             "{} -> peer {:?}",
-            if os { "ipv6-only laptop " } else { "ipv4 service acct" },
+            if os {
+                "ipv6-only laptop "
+            } else {
+                "ipv4 service acct"
+            },
             o.peer()
         );
     }

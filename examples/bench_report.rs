@@ -99,7 +99,10 @@ fn main() {
     // Engine relay ring, per trace mode.
     let (frames, events) = run_ring(TraceMode::Off);
     let _ = writeln!(json, "  \"engine_hot_path\": {{");
-    let _ = writeln!(json, "    \"workload\": \"4-node relay ring, 4 frames in flight, 100 virtual ms\",");
+    let _ = writeln!(
+        json,
+        "    \"workload\": \"4-node relay ring, 4 frames in flight, 100 virtual ms\","
+    );
     let _ = writeln!(json, "    \"frames_per_iter\": {frames},");
     let _ = writeln!(json, "    \"events_per_iter\": {events},");
     for (i, (label, mode)) in [
@@ -163,7 +166,10 @@ fn main() {
     // fleet sweep vs today's Hops-mode sweep.
     let _ = writeln!(json, "  \"baseline_pre_optimization\": {{");
     let _ = writeln!(json, "    \"fleet_ms_per_sweep\": {BASELINE_FLEET_MS},");
-    let _ = writeln!(json, "    \"fleet_scenarios_per_sec\": {BASELINE_FLEET_ELEM_S}");
+    let _ = writeln!(
+        json,
+        "    \"fleet_scenarios_per_sec\": {BASELINE_FLEET_ELEM_S}"
+    );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(
         json,

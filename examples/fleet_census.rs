@@ -47,7 +47,8 @@ fn main() {
         "device totals: gateway nat64.outbound={} nat44.outbound={} | pi dnsmasq.poisoned={}",
         run.report.sum_device_counter("5g-gw", "nat64.outbound"),
         run.report.sum_device_counter("5g-gw", "nat44.outbound"),
-        run.report.sum_device_counter("raspberry-pi", "dnsmasq.poisoned"),
+        run.report
+            .sum_device_counter("raspberry-pi", "dnsmasq.poisoned"),
     );
 
     let serial = run_serial(&scenarios);
@@ -65,7 +66,10 @@ fn main() {
 /// Run the matrix under each impaired variant and diff the per-OS
 /// census against the clean baseline.
 fn fault_sweep(clean: &FleetReport, threads: usize) {
-    for fault in FaultVariant::ALL.into_iter().filter(|f| *f != FaultVariant::Clean) {
+    for fault in FaultVariant::ALL
+        .into_iter()
+        .filter(|f| *f != FaultVariant::Clean)
+    {
         let scenarios = Scenario::matrix_with_fault(0x5c24, fault);
         let run = FleetRunner::new(threads).run(&scenarios);
         let impaired = &run.report;

@@ -63,9 +63,7 @@ fn main() {
             _ => failed += 1,
         }
     }
-    println!(
-        "24 clients: via-v6={ok6} via-v4={ok4} intervened={intervened} failed={failed}"
-    );
+    println!("24 clients: via-v6={ok6} via-v4={ok4} intervened={intervened} failed={failed}");
     let (_, summary) = census(&mut tb);
     println!(
         "census: associated={} naive-v6only={} accurate-v6only={}",

@@ -1,6 +1,6 @@
 # Project task runner. `just` with no arguments runs the full gate.
 
-default: verify fleet chaos lint
+default: verify fleet chaos report-check lint
 
 # Tier-1 verification: the root package must build in release and pass
 # its unit + integration tests (this is the gate CI has always enforced).
@@ -15,9 +15,29 @@ fleet:
     cargo test -q --test fleet
     cargo test -q --test golden_trace
 
-# Lint gate for the new crate (kept warning-clean).
+# Lint gate: the whole workspace (every target) warning-clean, plus
+# canonical formatting.
 lint:
-    cargo clippy -p v6fleet -- -D warnings
+    cargo clippy --workspace --all-targets -- -D warnings
+    cargo fmt --all --check
+
+# Emit fresh canonical run manifests (clean matrix, every fault
+# variant, bench) into target/reports for inspection — never touches
+# the committed goldens.
+report:
+    cargo run --release -p v6report -- emit --out target/reports
+
+# The CI drift gate: re-run the canonical sweeps, diff the fresh
+# manifests against the committed reports/*.json goldens, and fail on
+# behavioural drift. Fresh manifests land in target/reports for
+# post-mortem diffing.
+report-check:
+    cargo run --release -p v6report -- check
+
+# Regenerate the committed reports/*.json goldens after a deliberate
+# behaviour change (review the fixture diff, same as bless-traces!).
+bless-reports:
+    cargo run --release -p v6report -- emit
 
 # Everything in the workspace, including property tests.
 test-all:

@@ -92,7 +92,7 @@ pub mod option {
     impl<S: Strategy> Strategy for OptionStrategy<S> {
         type Value = Option<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
-            if rng.next_u64() % 4 == 0 {
+            if rng.next_u64().is_multiple_of(4) {
                 None
             } else {
                 Some(self.0.generate(rng))
@@ -143,10 +143,10 @@ pub mod sample {
 
 /// The glob-import surface used by tests: `use proptest::prelude::*`.
 pub mod prelude {
-    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
     /// Alias so `prop::sample::...` / `prop::collection::...` paths work.
     pub use crate as prop;
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
 
 /// Assert a condition inside a property test, printing the failing inputs.

@@ -16,7 +16,12 @@ fn sweep(fault: FaultVariant) -> v6fleet::FleetReport {
         .collect();
     let serial = run_serial(&scenarios);
     let parallel = FleetRunner::new(4).run(&scenarios);
-    assert_eq!(parallel.report, serial, "{} fleet must be thread-count invariant", fault.label());
+    assert_eq!(
+        parallel.report,
+        serial,
+        "{} fleet must be thread-count invariant",
+        fault.label()
+    );
     assert_eq!(parallel.report.render(), serial.render());
     serial
 }
@@ -32,14 +37,22 @@ fn lossy_uplink_sweep_is_deterministic_and_accounted() {
         // finishers end before the 16 s flap even starts).
         assert_eq!(
             r.metrics.total_frames_tx() + f.duplicated,
-            r.metrics.engine.frames_forwarded + f.total_dropped()
+            r.metrics.engine.frames_forwarded
+                + f.total_dropped()
                 + r.metrics.engine.frames_dropped_unlinked,
             "conservation violated in {}",
             r.label
         );
     }
-    let total_dropped: u64 = report.results.iter().map(|r| r.metrics.faults.total_dropped()).sum();
-    assert!(total_dropped > 0, "a lossy sweep with zero losses is not lossy");
+    let total_dropped: u64 = report
+        .results
+        .iter()
+        .map(|r| r.metrics.faults.total_dropped())
+        .sum();
+    assert!(
+        total_dropped > 0,
+        "a lossy sweep with zero losses is not lossy"
+    );
     assert!(report.census.degraded > 0);
 }
 
@@ -51,7 +64,10 @@ fn dns64_outage_sweep_is_deterministic_and_survivable() {
         .iter()
         .map(|r| r.metrics.faults.outage_dropped)
         .sum();
-    assert!(outage_hits > 0, "the Pi outage must eat at least one frame somewhere");
+    assert!(
+        outage_hits > 0,
+        "the Pi outage must eat at least one frame somewhere"
+    );
     // The outage is a crash window, not a permanent failure: at least one
     // client must still complete its browse workload afterwards.
     assert!(

@@ -52,7 +52,8 @@ fn custom_prefix_testbed() -> Testbed {
     {
         let sw = tb.sw;
         let switch = tb.net.node_mut::<Switch>(sw);
-        switch.ra.as_mut().unwrap().pref64 = Some((PREFIX.trim_end_matches("/96").parse().unwrap(), 96));
+        switch.ra.as_mut().unwrap().pref64 =
+            Some((PREFIX.trim_end_matches("/96").parse().unwrap(), 96));
     }
     tb
 }

@@ -72,7 +72,12 @@ fn clat_defaults_to_well_known_prefix() {
     tb.boot();
     let h = tb.host(id);
     assert_eq!(h.pref64, None);
-    assert!(h.clat.as_ref().expect("CLAT active").plat_prefix.is_well_known());
+    assert!(h
+        .clat
+        .as_ref()
+        .expect("CLAT active")
+        .plat_prefix
+        .is_well_known());
 }
 
 /// RFC 8910 (option 114): the captive-portal URI reaches IPv4 clients, the
@@ -112,12 +117,14 @@ fn gateway_reboot_renumbers_clients() {
     let before: Vec<_> = tb.host(id).v6_addrs.iter().map(|(a, p)| (*a, *p)).collect();
     assert_eq!(before.len(), 2, "gateway GUA + switch ULA");
     let gw = tb.gw;
-    tb.net
-        .node_mut::<v6sim::gateway::FiveGGateway>(gw)
-        .reboot();
+    tb.net.node_mut::<v6sim::gateway::FiveGGateway>(gw).reboot();
     tb.run_secs(15);
     let after = &tb.host(id).v6_addrs;
-    assert_eq!(after.len(), 3, "a third address from the new /64: {after:?}");
+    assert_eq!(
+        after.len(),
+        3,
+        "a third address from the new /64: {after:?}"
+    );
     let new_prefixes: Vec<_> = after
         .iter()
         .filter(|(a, _)| !before.iter().any(|(b, _)| b == a))

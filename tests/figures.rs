@@ -67,8 +67,11 @@ fn fig04_topology_matrix() {
     let mac = by_os("macOS");
     assert!(mac.rfc8925_engaged);
     assert!(!mac.has_v4);
-    assert!(matches!(mac.sc24.peer(), Some(IpAddr::V6(a)) if a.to_string().starts_with("64:ff9b::")),
-        "sc24 via NAT64: {:?}", mac.sc24);
+    assert!(
+        matches!(mac.sc24.peer(), Some(IpAddr::V6(a)) if a.to_string().starts_with("64:ff9b::")),
+        "sc24 via NAT64: {:?}",
+        mac.sc24
+    );
     assert!(!mac.intervened);
     // Windows 10: dual-stack; ip6me via genuine v6; not intervened.
     let win = by_os("Windows 10");
@@ -79,8 +82,14 @@ fn fig04_topology_matrix() {
     // Nintendo Switch: v4-only, intervened.
     let sw = by_os("Nintendo Switch");
     assert!(sw.has_v4);
-    assert!(sw.intervened, "v4-only client must land on the explanation page");
-    assert_eq!(sw.sc24.peer(), Some(IpAddr::V4("23.153.8.71".parse().unwrap())));
+    assert!(
+        sw.intervened,
+        "v4-only client must land on the explanation page"
+    );
+    assert_eq!(
+        sw.sc24.peer(),
+        Some(IpAddr::V4("23.153.8.71".parse().unwrap()))
+    );
 }
 
 #[test]
@@ -146,7 +155,10 @@ fn fig07_winxp_nat64_dns64() {
 #[test]
 fn fig08_vpn_split_tunnel() {
     let ok = exp::fig8_vpn_split_tunnel(false);
-    assert!(ok.vtc_direct.is_success(), "VTC direct works while v4 is open");
+    assert!(
+        ok.vtc_direct.is_success(),
+        "VTC direct works while v4 is open"
+    );
     assert!(ok.tunneled.is_success(), "tunnel works while v4 is open");
     let blocked = exp::fig8_vpn_split_tunnel(true);
     assert!(
@@ -166,7 +178,10 @@ fn fig09_wildcard_answers_nonexistent_name() {
         ttl: 60,
     });
     match &r.nslookup {
-        TaskOutcome::DnsAnswer { answered_name, records } => {
+        TaskOutcome::DnsAnswer {
+            answered_name,
+            records,
+        } => {
             assert_eq!(
                 answered_name.to_string(),
                 "vpn.anl.gov.rfc8925.com",
@@ -195,7 +210,10 @@ fn fig09_rpz_preserves_nxdomain() {
         ttl: 60,
     });
     match &r.nslookup {
-        TaskOutcome::DnsAnswer { answered_name, records } => {
+        TaskOutcome::DnsAnswer {
+            answered_name,
+            records,
+        } => {
             assert_eq!(
                 answered_name.to_string(),
                 "vpn.anl.gov",
@@ -256,7 +274,10 @@ fn tbl_a_device_matrix() {
         let r = rows
             .iter()
             .find(|r| r.os.starts_with(os) && !r.os.contains("no CLAT"))
-            .or_else(|| rows.iter().find(|r| r.os.contains("RFC8925") && os.contains("RFC8925")))
+            .or_else(|| {
+                rows.iter()
+                    .find(|r| r.os.contains("RFC8925") && os.contains("RFC8925"))
+            })
             .unwrap_or_else(|| panic!("row for {os}"));
         if r.os.contains("RFC8925") || ["macOS", "iOS", "Android"].contains(&r.os.as_str()) {
             assert!(r.rfc8925_engaged, "{}: option 108 must engage", r.os);
@@ -272,9 +293,10 @@ fn tbl_a_device_matrix() {
         assert!(r.intervened, "{} must see the intervention page", r.os);
     }
     // Dual-stack devices (no 8925) are not intervened and browse via v6.
-    for r in rows.iter().filter(|r| {
-        ["Windows 10", "Windows 11", "Linux", "Windows XP"].contains(&r.os.as_str())
-    }) {
+    for r in rows
+        .iter()
+        .filter(|r| ["Windows 10", "Windows 11", "Linux", "Windows XP"].contains(&r.os.as_str()))
+    {
         assert!(!r.intervened, "{} must be unaffected", r.os);
         assert!(
             matches!(r.ip6me.peer(), Some(IpAddr::V6(_))),

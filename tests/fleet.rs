@@ -51,7 +51,11 @@ fn faulted_fleet_parallel_equals_serial() {
         FaultVariant::Nat64Exhaustion,
     ]
     .into_iter()
-    .flat_map(|fault| Scenario::matrix_with_fault(0xFA17, fault).into_iter().take(6))
+    .flat_map(|fault| {
+        Scenario::matrix_with_fault(0xFA17, fault)
+            .into_iter()
+            .take(6)
+    })
     .collect();
     assert_eq!(scenarios.len(), 18);
     let serial = run_serial(&scenarios);
@@ -80,7 +84,11 @@ fn dns64_outage_recovers_via_backoff() {
         seed: 0xD05,
     };
     let r = s.run();
-    assert!(r.label.contains("dns64-outage"), "label carries the fault: {}", r.label);
+    assert!(
+        r.label.contains("dns64-outage"),
+        "label carries the fault: {}",
+        r.label
+    );
     assert!(
         r.metrics.faults.outage_dropped > 0,
         "the outage must actually eat frames: {}",
@@ -92,8 +100,15 @@ fn dns64_outage_recovers_via_backoff() {
         "recovery goes through retransmission: {}",
         host.device
     );
-    assert_eq!(r.verdict.sc24, PathFamily::V4, "browse recovers after the Pi returns");
-    assert!(r.verdict.intervened, "and still lands on the explanation portal");
+    assert_eq!(
+        r.verdict.sc24,
+        PathFamily::V4,
+        "browse recovers after the Pi returns"
+    );
+    assert!(
+        r.verdict.intervened,
+        "and still lands on the explanation portal"
+    );
 }
 
 /// A saturated NAT64 table strands RFC 8925 clients (their v4-only
@@ -108,7 +123,10 @@ fn nat64_exhaustion_splits_census_by_profile() {
         fault: FaultVariant::Nat64Exhaustion,
         seed,
     };
-    let scenarios = vec![mk(OsProfile::macos(), 0xE1), mk(OsProfile::nintendo_switch(), 0xE2)];
+    let scenarios = vec![
+        mk(OsProfile::macos(), 0xE1),
+        mk(OsProfile::nintendo_switch(), 0xE2),
+    ];
     let report = run_serial(&scenarios);
     let mac = &report.results[0];
     let console = &report.results[1];
@@ -124,7 +142,10 @@ fn nat64_exhaustion_splits_census_by_profile() {
         "v4-only console rides NAT44 and is unaffected: {}",
         console.render()
     );
-    assert!(console.verdict.intervened, "portal still reachable for the console");
+    assert!(
+        console.verdict.intervened,
+        "portal still reachable for the console"
+    );
     assert!(
         report.sum_device_counter("5g-gw", "nat64.dropped_table_full") > 0,
         "the refusals are accounted"
@@ -141,7 +162,10 @@ fn verdicts_are_seed_stable() {
     let a = run_serial(&Scenario::matrix(1).into_iter().take(6).collect::<Vec<_>>());
     let b = run_serial(&Scenario::matrix(2).into_iter().take(6).collect::<Vec<_>>());
     let verdicts = |r: &v6fleet::FleetReport| {
-        r.results.iter().map(|x| x.verdict.clone()).collect::<Vec<_>>()
+        r.results
+            .iter()
+            .map(|x| x.verdict.clone())
+            .collect::<Vec<_>>()
     };
     assert_eq!(verdicts(&a), verdicts(&b));
     assert_eq!(a.census, b.census);

@@ -45,10 +45,14 @@ fn canonical_fig6_trace() -> String {
         "precondition: the console lands on the intervention page, got {intervened:?}"
     );
     // The user types a known-good resolver into the console's settings.
-    tb.host(id).dns_override =
-        Some(std::net::IpAddr::V4(addrs::PUBLIC_DNS_V4.parse().expect("static ip")));
+    tb.host(id).dns_override = Some(std::net::IpAddr::V4(
+        addrs::PUBLIC_DNS_V4.parse().expect("static ip"),
+    ));
     let escaped = tb.run_task(id, browse(), 25);
-    assert!(escaped.is_success(), "precondition: override restores v4, got {escaped:?}");
+    assert!(
+        escaped.is_success(),
+        "precondition: override restores v4, got {escaped:?}"
+    );
 
     tb.net.format_trace()
 }

@@ -78,7 +78,10 @@ fn ghost_name_wildcard_poisoning_by_client_class() {
     }
     let v6_outcome = tb.run_task(mac_host, browse("no-such-site.invalid"), 25);
     assert!(
-        matches!(v6_outcome, TaskOutcome::DnsFailed | TaskOutcome::Unreachable),
+        matches!(
+            v6_outcome,
+            TaskOutcome::DnsFailed | TaskOutcome::Unreachable
+        ),
         "poisoned A must not mislead an IPv6-only client: {v6_outcome:?}"
     );
 }
