@@ -1,0 +1,79 @@
+//! Population census costs, split into its three layers:
+//!
+//! * `sample` — pure cell derivation (`PopulationSpec::cell`), the
+//!   splittable-PRNG + cumulative-weight path that runs once per cell.
+//! * `fold` — sketch accounting alone (`CensusSketch::fold` with a
+//!   synthetic observation), the entire per-cell aggregation overhead.
+//! * `census` — the real thing end to end: sample, simulate, and
+//!   stream-aggregate a small population (the per-cell simulation
+//!   dominates; this is the number `just population` scales up).
+//!
+//! `sample` and `fold` being orders of magnitude cheaper than `census`
+//! is the design working: the streaming layer adds ~nothing on top of
+//! the simulation itself.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use v6fleet::{CensusSketch, FleetRunner, PopulationSpec};
+use v6testbed::scenario::{CellObservation, PathFamily};
+
+fn synth_obs(bits: u64) -> CellObservation {
+    CellObservation {
+        rfc8925_engaged: bits & 1 != 0,
+        has_v4: bits & 2 != 0,
+        sc24: PathFamily::V6,
+        ip6me: PathFamily::V6,
+        intervened: bits & 4 != 0,
+        naive_counted: true,
+        accurate_counted: bits & 8 != 0,
+        degraded: bits & 16 != 0,
+        completed_us: (bits >> 5) % 30_000_000,
+        events: (bits >> 9) % 1_000,
+    }
+}
+
+fn bench_population(c: &mut Criterion) {
+    const SAMPLES: u64 = 10_000;
+    let spec = PopulationSpec::paper_default(0x5c24, SAMPLES);
+
+    let mut g = c.benchmark_group("population_census");
+    g.throughput(Throughput::Elements(SAMPLES));
+    g.sample_size(10);
+    g.bench_function("sample", |b| {
+        b.iter(|| {
+            let mut last = None;
+            for i in 0..SAMPLES {
+                last = Some(std::hint::black_box(spec.cell(i)));
+            }
+            last
+        })
+    });
+    g.bench_function("fold", |b| {
+        b.iter(|| {
+            let mut sketch = CensusSketch::new();
+            for i in 0..SAMPLES {
+                sketch.fold(spec.cell(i), synth_obs(i.wrapping_mul(0x9e3779b97f4a7c15)));
+            }
+            sketch.samples
+        })
+    });
+    g.finish();
+
+    const CELLS: u64 = 500;
+    let small = PopulationSpec::paper_default(0x5c24, CELLS);
+    let mut g = c.benchmark_group("population_census_end_to_end");
+    g.throughput(Throughput::Elements(CELLS));
+    g.sample_size(10);
+    g.bench_function("census500", |b| {
+        b.iter(|| {
+            FleetRunner::new(1)
+                .run_population(&small, 8)
+                .report
+                .sketch
+                .samples
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_population);
+criterion_main!(benches);

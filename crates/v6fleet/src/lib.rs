@@ -27,6 +27,12 @@
 
 #![warn(missing_docs)]
 
+pub mod population;
+pub mod sketch;
+
+pub use population::{PopulationReport, PopulationRun, PopulationSpec};
+pub use sketch::{nearest_rank, CensusSketch, LatencySketch, SketchPercentiles};
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -186,15 +192,15 @@ pub struct Percentiles {
 
 impl Percentiles {
     fn of(mut samples: Vec<u64>) -> Percentiles {
-        if samples.is_empty() {
-            return Percentiles::default();
-        }
         samples.sort_unstable();
-        let rank = |q: f64| samples[((samples.len() as f64 * q).ceil() as usize).max(1) - 1];
+        // nearest_rank handles the once-latent edge cases uniformly:
+        // empty → 0 (== default), one element → itself at every q, and
+        // the computed rank is clamped so float rounding can't index
+        // past either end.
         Percentiles {
-            p50: rank(0.50),
-            p90: rank(0.90),
-            max: *samples.last().expect("non-empty"),
+            p50: nearest_rank(&samples, 0.50),
+            p90: nearest_rank(&samples, 0.90),
+            max: samples.last().copied().unwrap_or(0),
         }
     }
 }

@@ -33,4 +33,7 @@ pub mod manifest;
 
 pub use canon::Json;
 pub use diff::{classify, diff_manifests, DiffConfig, Drift, DriftClass, DriftReport};
-pub use manifest::{MatrixSpec, RunManifest, CANONICAL_BASE_SEED, SCHEMA_VERSION};
+pub use manifest::{
+    canonical_population, MatrixSpec, RunManifest, CANONICAL_BASE_SEED,
+    CANONICAL_POPULATION_SHARDS, CANONICAL_POPULATION_SIZE, SCHEMA_VERSION,
+};

@@ -9,8 +9,8 @@
 //!
 //! `emit` regenerates the committed goldens under `reports/`: one
 //! manifest per canonical sweep (the 66-cell clean matrix plus every
-//! impaired fault variant) and `bench.json` normalized from
-//! `BENCH_engine.json`. `check` re-runs the same sweeps fresh, writes
+//! impaired fault variant), the 100k sampled-population census, and
+//! `bench.json` normalized from `BENCH_engine.json`. `check` re-runs the same sweeps fresh, writes
 //! the fresh manifests under `--fresh-out` (default `target/reports`,
 //! uploaded as a CI artifact on failure) and exits nonzero on gated
 //! drift, naming every drifted field. `diff` classifies the drift
@@ -114,12 +114,20 @@ fn bench_manifest(bench_path: &Path) -> Result<Option<RunManifest>, String> {
     RunManifest::bench_from_raw(&raw).map(Some)
 }
 
+/// File stem of the committed sampled-population golden.
+fn population_stem() -> String {
+    format!("population_{}k", v6report::CANONICAL_POPULATION_SIZE / 1000)
+}
+
 fn emit(args: &Args) -> Result<(), String> {
     for spec in canonical_specs() {
         let manifest = RunManifest::run_matrix(&spec, args.threads);
         let path = write_manifest(&args.reports, &spec.file_stem(), &manifest)?;
         println!("emitted {}", path.display());
     }
+    let population = RunManifest::run_population(&v6report::canonical_population(), args.threads);
+    let path = write_manifest(&args.reports, &population_stem(), &population)?;
+    println!("emitted {}", path.display());
     match bench_manifest(&args.bench)? {
         Some(manifest) => {
             let path = write_manifest(&args.reports, "bench", &manifest)?;
@@ -180,6 +188,12 @@ fn check(args: &Args) -> Result<bool, String> {
         // for post-mortem diffing against the committed goldens.
         write_manifest(&args.fresh_out, &spec.file_stem(), &fresh)?;
         let committed = args.reports.join(format!("{}.json", spec.file_stem()));
+        all_ok &= check_one(&committed, &fresh, &args.cfg)?;
+    }
+    {
+        let fresh = RunManifest::run_population(&v6report::canonical_population(), args.threads);
+        write_manifest(&args.fresh_out, &population_stem(), &fresh)?;
+        let committed = args.reports.join(format!("{}.json", population_stem()));
         all_ok &= check_one(&committed, &fresh, &args.cfg)?;
     }
     match bench_manifest(&args.bench)? {

@@ -14,7 +14,10 @@
 //! gate stands on.
 
 use crate::canon::Json;
-use v6fleet::{FleetCensus, FleetReport, FleetRunner};
+use v6fleet::{
+    FleetCensus, FleetReport, FleetRunner, LatencySketch, PopulationReport, PopulationSpec,
+    SketchPercentiles,
+};
 use v6testbed::scenario::{FaultVariant, PoisonVariant, TopologyVariant};
 use v6testbed::Scenario;
 
@@ -26,6 +29,23 @@ pub const CANONICAL_BASE_SEED: u64 = 0x5c24;
 /// Manifest schema version, bumped on any field addition/rename so a
 /// differ never silently compares across schemas.
 pub const SCHEMA_VERSION: u64 = 1;
+
+/// Cells in the committed sampled-population golden
+/// (`reports/population_100k.json`). Big enough that the census mix is
+/// statistically meaningful, small enough for the CI report-gate; the
+/// full 1M census lives behind `just population`.
+pub const CANONICAL_POPULATION_SIZE: u64 = 100_000;
+
+/// Shard count the canonical population manifest is generated with.
+/// The report is provably shard-invariant (see `v6fleet`'s population
+/// tests) — this only shapes work-queue granularity.
+pub const CANONICAL_POPULATION_SHARDS: usize = 8;
+
+/// The canonical sampled population the committed golden describes:
+/// the paper-default mix at [`CANONICAL_BASE_SEED`].
+pub fn canonical_population() -> PopulationSpec {
+    PopulationSpec::paper_default(CANONICAL_BASE_SEED, CANONICAL_POPULATION_SIZE)
+}
 
 /// FNV-1a over arbitrary text — the per-cell metrics digest.
 fn fnv1a(text: &str) -> u64 {
@@ -109,6 +129,33 @@ impl RunManifest {
         RunManifest(root)
     }
 
+    /// Run a population census on `threads` workers and build its
+    /// manifest. Thread and shard counts affect wall-clock only; the
+    /// manifest is byte-identical for any values (asserted by the
+    /// stability tests).
+    pub fn run_population(spec: &PopulationSpec, threads: usize) -> RunManifest {
+        let run = FleetRunner::new(threads).run_population(spec, CANONICAL_POPULATION_SHARDS);
+        RunManifest::from_population(spec, &run.report)
+    }
+
+    /// Build the manifest for an already-executed population census.
+    pub fn from_population(spec: &PopulationSpec, report: &PopulationReport) -> RunManifest {
+        assert_eq!(
+            spec.digest(),
+            report.spec_digest,
+            "report must come from this spec"
+        );
+        let mut root = Json::obj();
+        root.set("schema", Json::U64(SCHEMA_VERSION));
+        root.set("kind", Json::Str("population".into()));
+        root.set("config", population_config_section(spec));
+        root.set("census", population_census_section(report));
+        root.set("fault_mix", fault_mix_section(report));
+        root.set("sketch", sketch_section(report));
+        root.set("report_digest", hex(report.digest()));
+        RunManifest(root)
+    }
+
     /// Normalize a raw `BENCH_engine.json` (as written by
     /// `examples/bench_report.rs`) into the canonical bench manifest:
     /// deterministic workload structure under `structure`, wall-clock
@@ -141,6 +188,15 @@ impl RunManifest {
             num(&["baseline_pre_optimization", "fleet_scenarios_per_sec"])?,
         );
 
+        // The population row appears once `just population` has run; a
+        // bench file from before that is still a valid manifest.
+        if v.get("population_census").is_some() {
+            structure.set(
+                "population_samples",
+                num(&["population_census", "samples"])?,
+            );
+        }
+
         let mut timings = Json::obj();
         let mut engine = Json::obj();
         let mut fleet = Json::obj();
@@ -151,6 +207,12 @@ impl RunManifest {
         timings.set("engine", engine);
         timings.set("fleet", fleet);
         timings.set("speedup_vs_baseline", num(&["speedup_vs_baseline"])?);
+        if v.get("population_census").is_some() {
+            timings.set(
+                "population_scenarios_per_sec",
+                num(&["population_census", "scenarios_per_sec"])?,
+            );
+        }
 
         let mut root = Json::obj();
         root.set("schema", Json::U64(SCHEMA_VERSION));
@@ -166,7 +228,8 @@ impl RunManifest {
         RunManifest(v)
     }
 
-    /// The manifest's `kind` field (`fleet-matrix` or `bench`).
+    /// The manifest's `kind` field (`fleet-matrix`, `population`, or
+    /// `bench`).
     pub fn kind(&self) -> &str {
         match self.0.get("kind") {
             Some(Json::Str(s)) => s,
@@ -378,6 +441,99 @@ fn metrics_section(report: &FleetReport) -> Json {
     metrics.set("conservation", conservation);
     metrics.set("nodes", nodes);
     metrics
+}
+
+fn population_config_section(spec: &PopulationSpec) -> Json {
+    let weights = |rows: Vec<(String, u32)>| {
+        let mut obj = Json::obj();
+        for (label, w) in rows {
+            obj.set(&label, Json::U64(u64::from(w)));
+        }
+        obj
+    };
+    let mut config = Json::obj();
+    config.set("seed", Json::U64(spec.seed));
+    config.set("size", Json::U64(spec.size));
+    config.set("spec_digest", hex(spec.digest()));
+    config.set(
+        "os_weights",
+        weights(
+            spec.os_weights
+                .iter()
+                .map(|&(id, w)| (id.name().to_string(), w))
+                .collect(),
+        ),
+    );
+    config.set(
+        "topology_weights",
+        weights(
+            spec.topology_weights
+                .iter()
+                .map(|&(t, w)| (t.label().to_string(), w))
+                .collect(),
+        ),
+    );
+    config.set(
+        "poison_weights",
+        weights(
+            spec.poison_weights
+                .iter()
+                .map(|&(p, w)| (p.label().to_string(), w))
+                .collect(),
+        ),
+    );
+    config.set(
+        "fault_weights",
+        weights(
+            spec.fault_weights
+                .iter()
+                .map(|&(f, w)| (f.label().to_string(), w))
+                .collect(),
+        ),
+    );
+    config
+}
+
+fn population_census_section(report: &PopulationReport) -> Json {
+    let mut by_os = Json::obj();
+    for (os, row) in report.census_by_os() {
+        by_os.set(&os, census_row(&row));
+    }
+    let mut census = Json::obj();
+    census.set("fleet", census_row(&report.sketch.census));
+    census.set("by_os", by_os);
+    census
+}
+
+fn fault_mix_section(report: &PopulationReport) -> Json {
+    let mut mix = Json::obj();
+    for (f, &n) in FaultVariant::ALL.iter().zip(&report.sketch.fault_mix) {
+        mix.set(f.label(), Json::U64(n));
+    }
+    mix
+}
+
+fn sketch_section(report: &PopulationReport) -> Json {
+    let row = |sketch: &LatencySketch, pct: SketchPercentiles| {
+        let mut r = Json::obj();
+        r.set("count", Json::U64(sketch.count));
+        r.set("min", Json::U64(sketch.min));
+        r.set("max", Json::U64(sketch.max));
+        r.set("p50", Json::U64(pct.p50));
+        r.set("p90", Json::U64(pct.p90));
+        r.set("p99", Json::U64(pct.p99));
+        // The digest covers the full bucket table, so distribution
+        // drift between the committed quantiles is still caught.
+        r.set("digest", hex(sketch.digest()));
+        r
+    };
+    let mut sketch = Json::obj();
+    sketch.set(
+        "completed_us",
+        row(&report.sketch.completed_us, report.completed_us()),
+    );
+    sketch.set("events", row(&report.sketch.events, report.events()));
+    sketch
 }
 
 fn timing_section(report: &FleetReport) -> Json {

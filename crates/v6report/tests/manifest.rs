@@ -182,6 +182,117 @@ fn mutating_a_committed_census_cell_is_behavioural_and_gated() {
 }
 
 #[test]
+fn population_manifest_bytes_identical_across_threads_and_shards() {
+    // A small population keeps this in tier-1 test budget; the
+    // invariance it asserts is size-independent (sampling is keyed per
+    // index and the sketch merge is an exact monoid).
+    let spec = v6fleet::PopulationSpec::paper_default(0xA11CE, 48);
+    let canonical: Vec<String> = [(1usize, 1usize), (1, 8), (3, 1), (4, 5)]
+        .into_iter()
+        .map(|(threads, shards)| {
+            let report = FleetRunner::new(threads)
+                .run_population(&spec, shards)
+                .report;
+            RunManifest::from_population(&spec, &report).canonical()
+        })
+        .collect();
+    for other in &canonical[1..] {
+        assert_eq!(
+            &canonical[0], other,
+            "thread/shard layout leaked into the population manifest"
+        );
+    }
+    assert!(canonical[0].contains("\"kind\": \"population\""));
+}
+
+#[test]
+fn committed_population_golden_is_in_sync_with_the_sampler_config() {
+    // Full regeneration of the 100k golden lives in the report-gate CI
+    // job (`v6report check`); here we pin the config section — seed,
+    // size, spec digest, and every weight table — so a silently edited
+    // weight cannot masquerade as the committed population.
+    let golden = Json::parse(&committed("population_100k")).expect("golden parses");
+    // A zero-size run of the canonical spec: same config, no sampling.
+    let empty_spec = v6fleet::PopulationSpec {
+        size: 0,
+        ..v6report::canonical_population()
+    };
+    let fresh = Json::parse(
+        &RunManifest::from_population(
+            &empty_spec,
+            &FleetRunner::new(1).run_population(&empty_spec, 1).report,
+        )
+        .canonical(),
+    )
+    .expect("fresh parses");
+    let digest = |v: &Json| {
+        v.get_path(&["config", "spec_digest"])
+            .cloned()
+            .expect("spec digest present")
+    };
+    // The zero-size run shares every config field except `size`.
+    assert_eq!(
+        golden.get_path(&["config", "seed"]),
+        fresh.get_path(&["config", "seed"])
+    );
+    assert_eq!(
+        golden.get_path(&["config", "os_weights"]),
+        fresh.get_path(&["config", "os_weights"])
+    );
+    assert_ne!(
+        digest(&golden),
+        digest(&fresh),
+        "size participates in the digest"
+    );
+    assert_eq!(
+        golden
+            .get_path(&["config", "size"])
+            .and_then(Json::as_number),
+        Some(v6report::CANONICAL_POPULATION_SIZE as f64)
+    );
+    assert_eq!(
+        golden
+            .get_path(&["census", "fleet", "associated"])
+            .and_then(Json::as_number),
+        Some(v6report::CANONICAL_POPULATION_SIZE as f64),
+        "every sampled cell is counted exactly once"
+    );
+}
+
+#[test]
+fn mutating_a_population_census_row_is_behavioural_and_gated() {
+    // The committed 100k golden with one census count nudged by one
+    // must fail the gate as Behavioural drift — the property that makes
+    // a million-row census trustworthy without eyeballing it.
+    let golden = Json::parse(&committed("population_100k")).expect("golden parses");
+    let mut mutated = golden.clone();
+    let current = mutated
+        .get_path(&["census", "fleet", "accurate_v6only"])
+        .and_then(Json::as_number)
+        .expect("census field present") as u64;
+    match &mut mutated {
+        Json::Obj(root) => match root.get_mut("census").and_then(|c| match c {
+            Json::Obj(c) => c.get_mut("fleet"),
+            _ => None,
+        }) {
+            Some(Json::Obj(row)) => {
+                row.insert("accurate_v6only".into(), Json::U64(current + 1));
+            }
+            _ => panic!("census.fleet is an object"),
+        },
+        _ => panic!("manifest root is an object"),
+    }
+    let report = diff_manifests("population", &golden, &mutated);
+    assert_eq!(report.drifts.len(), 1);
+    assert_eq!(report.drifts[0].path, "census.fleet.accurate_v6only");
+    assert_eq!(report.drifts[0].class, DriftClass::Behavioural);
+    assert!(
+        report.gated(&DiffConfig::default()),
+        "a flipped population census count must fail the gate"
+    );
+}
+
+#[test]
 fn committed_bench_manifest_matches_raw_bench_json() {
     let raw_path = format!("{}/../../BENCH_engine.json", env!("CARGO_MANIFEST_DIR"));
     let raw = std::fs::read_to_string(&raw_path).unwrap_or_else(|e| panic!("read {raw_path}: {e}"));

@@ -346,6 +346,21 @@ impl Network {
         self.now
     }
 
+    /// Total events dispatched so far — the same figure
+    /// [`Network::metrics`] reports, without building a snapshot. The
+    /// population census reads this once per cell, so the cheap path
+    /// matters at a million cells.
+    pub fn events_processed(&self) -> u64 {
+        self.engine_counters.events_processed
+    }
+
+    /// Frames the fault layer removed from the network so far (random
+    /// loss plus outage-window drops) — the "did the faults visibly
+    /// bite" signal, without a full [`Network::metrics`] snapshot.
+    pub fn fault_frames_dropped(&self) -> u64 {
+        self.fault_counters.dropped + self.fault_counters.outage_dropped
+    }
+
     /// Add a node, returning its id.
     pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
         self.names.push(node.name().into());

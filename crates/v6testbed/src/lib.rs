@@ -27,7 +27,10 @@ pub mod topology;
 pub mod zones;
 
 pub use census::{census, CensusEntry, CensusSummary};
-pub use scenario::{PathFamily, PoisonVariant, Scenario, ScenarioResult, TopologyVariant, Verdict};
+pub use scenario::{
+    os_profiles, CellObservation, CellSpec, OsProfileId, PathFamily, PoisonVariant, Scenario,
+    ScenarioResult, TopologyVariant, Verdict,
+};
 pub use topology::{Testbed, TestbedConfig};
 /// Re-export of the engine's trace verbosity knob, so fleet callers can
 /// pick a mode without a direct `v6sim` dependency.

@@ -16,6 +16,7 @@ use crate::census::{census, CensusEntry};
 use crate::topology::{Testbed, TestbedConfig};
 use crate::zones::addrs;
 use std::net::IpAddr;
+use std::sync::OnceLock;
 use v6dns::poison::PoisonPolicy;
 use v6host::profiles::OsProfile;
 use v6host::tasks::{AppTask, TaskOutcome};
@@ -127,6 +128,17 @@ impl FaultVariant {
         }
     }
 
+    /// This variant's position in [`FaultVariant::ALL`] — the index the
+    /// population census keys its fault-mix row by.
+    pub fn index(self) -> usize {
+        match self {
+            FaultVariant::Clean => 0,
+            FaultVariant::LossyUplink => 1,
+            FaultVariant::Dns64Outage => 2,
+            FaultVariant::Nat64Exhaustion => 3,
+        }
+    }
+
     /// The seeded [`FaultPlan`] this variant installs (keyed to the
     /// testbed's node names). `Clean` and `Nat64Exhaustion` return the
     /// no-op plan — exhaustion is a device-table condition, not a link
@@ -178,6 +190,81 @@ impl FaultVariant {
             FaultVariant::Nat64Exhaustion => Some(0),
             _ => None,
         }
+    }
+}
+
+/// Index into the interned paper profile table ([`os_profiles`]).
+///
+/// Population-scale sampling draws millions of cells; interning the
+/// eleven [`OsProfile`]s once and passing a two-byte id around makes a
+/// sampled cell plain table-driven data (`Copy`, no strings) instead of
+/// a freshly constructed profile per sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OsProfileId(pub u16);
+
+/// The interned paper profile table, built once per process. Order is
+/// [`OsProfile::all_paper_profiles`] order, so ids are stable for the
+/// life of the program *and* across processes (the population sampler's
+/// determinism relies on that).
+pub fn os_profiles() -> &'static [OsProfile] {
+    static TABLE: OnceLock<Vec<OsProfile>> = OnceLock::new();
+    TABLE.get_or_init(OsProfile::all_paper_profiles)
+}
+
+impl OsProfileId {
+    /// The interned profile this id names. Panics on an out-of-table id
+    /// (ids only ever come from enumerating [`os_profiles`]).
+    pub fn profile(self) -> &'static OsProfile {
+        &os_profiles()[self.0 as usize]
+    }
+
+    /// The profile's display name.
+    pub fn name(self) -> &'static str {
+        &self.profile().name
+    }
+
+    /// Every id in table order.
+    pub fn all() -> impl Iterator<Item = OsProfileId> {
+        (0..os_profiles().len() as u16).map(OsProfileId)
+    }
+}
+
+/// A fully table-driven cell: every dimension is a `Copy` index or
+/// variant, the OS profile an id into the interned table. This is the
+/// unit the population sampler draws — a 16-byte value derived on the
+/// fly per sample, where a [`Scenario`] would clone profile strings for
+/// every one of a million draws.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellSpec {
+    /// Interned OS profile under test.
+    pub os: OsProfileId,
+    /// Which build of the topology it attaches to.
+    pub topology: TopologyVariant,
+    /// The IPv4 DNS intervention in force.
+    pub poison: PoisonVariant,
+    /// The failure regime injected into the build.
+    pub fault: FaultVariant,
+    /// RNG seed for the client's stack.
+    pub seed: u64,
+}
+
+impl CellSpec {
+    /// Materialize the equivalent [`Scenario`] (clones the interned
+    /// profile — needed only when the full result is wanted).
+    pub fn to_scenario(self) -> Scenario {
+        Scenario {
+            os: self.os.profile().clone(),
+            topology: self.topology,
+            poison: self.poison,
+            fault: self.fault,
+            seed: self.seed,
+        }
+    }
+
+    /// Run the cell and observe only the compact census row — the
+    /// population hot path. See [`Scenario::run_observation`].
+    pub fn run_observation(self) -> CellObservation {
+        self.to_scenario().run_observation()
     }
 }
 
@@ -330,6 +417,50 @@ impl Scenario {
     /// maximum-throughput sweeps, `Full` when the per-frame summaries are
     /// wanted (figure regeneration, debugging a single cell).
     pub fn run_with_trace(&self, trace: TraceMode) -> ScenarioResult {
+        let (mut tb, _id, verdict) = self.execute(trace);
+        let (entries, _) = census(&mut tb);
+        ScenarioResult {
+            label: self.label(),
+            seed: self.seed,
+            verdict,
+            census: entries.into_iter().next().expect("one host attached"),
+            metrics: tb.net.metrics(),
+            completed_at: tb.net.now(),
+        }
+    }
+
+    /// Run the cell and collect only the compact, `Copy` census row —
+    /// the population hot path. No label string, no `CensusEntry`
+    /// clones, and crucially no full [`MetricsSnapshot`] (which clones
+    /// every node name and counter map): the two counters the census
+    /// needs are read straight off the engine and the gateway. Every
+    /// field agrees with what [`Scenario::run`] would report — see
+    /// [`CellObservation::from_result`] and the equivalence test.
+    pub fn run_observation(&self) -> CellObservation {
+        let (mut tb, id, verdict) = self.execute(TraceMode::Off);
+        let h = tb.host(id);
+        let has_v6 = h.v6_global_active();
+        let has_v4 = h.v4_active();
+        let fault_dropped = tb.net.fault_frames_dropped();
+        let nat64_refusals = tb.gateway().nat64.dropped_table_full;
+        CellObservation {
+            rfc8925_engaged: verdict.rfc8925_engaged,
+            has_v4: verdict.has_v4,
+            sc24: verdict.sc24,
+            ip6me: verdict.ip6me,
+            intervened: verdict.intervened,
+            naive_counted: true,
+            accurate_counted: has_v6 && !has_v4,
+            degraded: fault_dropped > 0 || nat64_refusals > 0,
+            completed_us: tb.net.now().as_micros(),
+            events: tb.net.events_processed(),
+        }
+    }
+
+    /// Build the testbed, boot the client, run the browse workload, and
+    /// classify the outcome — the body shared by the full-result and
+    /// observation-only paths.
+    fn execute(&self, trace: TraceMode) -> (Testbed, v6sim::engine::NodeId, Verdict) {
         let managed = self.topology == TopologyVariant::PaperDefault;
         let mut tb = Testbed::build(TestbedConfig {
             managed_switch: managed,
@@ -376,14 +507,60 @@ impl Scenario {
             ip6me: PathFamily::of(&ip6me),
             intervened,
         };
-        let (entries, _) = census(&mut tb);
-        ScenarioResult {
-            label: self.label(),
-            seed: self.seed,
-            verdict,
-            census: entries.into_iter().next().expect("one host attached"),
-            metrics: tb.net.metrics(),
-            completed_at: tb.net.now(),
+        (tb, id, verdict)
+    }
+}
+
+/// The compact, `Copy` observation of one cell — everything the
+/// population census folds into its sketch, and nothing else. A strict
+/// projection of [`ScenarioResult`]: [`CellObservation::from_result`]
+/// computes the identical value from a full result, which is how the
+/// streaming aggregation is proven equivalent to the materializing one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellObservation {
+    /// RFC 8925 engaged after boot (IPv4 administratively off).
+    pub rfc8925_engaged: bool,
+    /// Client still holds an IPv4 data path.
+    pub has_v4: bool,
+    /// Family that reached the IPv4-only conference site.
+    pub sc24: PathFamily,
+    /// Family that reached dual-stack ip6.me.
+    pub ip6me: PathFamily,
+    /// Client was redirected to the intervention page.
+    pub intervened: bool,
+    /// Counted by the SC23-style naive census.
+    pub naive_counted: bool,
+    /// Counted by the SC24-style accurate census.
+    pub accurate_counted: bool,
+    /// Injected faults visibly bit (fault drops or NAT64 refusals).
+    pub degraded: bool,
+    /// Virtual microseconds at which the cell finished.
+    pub completed_us: u64,
+    /// Engine events the cell processed.
+    pub events: u64,
+}
+
+impl CellObservation {
+    /// Project a full [`ScenarioResult`] down to the observation — the
+    /// same fields, derived the same way `v6fleet`'s materializing
+    /// aggregation derives them.
+    pub fn from_result(r: &ScenarioResult) -> CellObservation {
+        let nat64_refusals = r
+            .metrics
+            .node("5g-gw")
+            .map(|n| n.device.get("nat64.dropped_table_full"))
+            .unwrap_or(0);
+        CellObservation {
+            rfc8925_engaged: r.verdict.rfc8925_engaged,
+            has_v4: r.verdict.has_v4,
+            sc24: r.verdict.sc24,
+            ip6me: r.verdict.ip6me,
+            intervened: r.verdict.intervened,
+            naive_counted: r.census.naive_counted,
+            accurate_counted: r.census.accurate_counted,
+            degraded: r.metrics.faults.total_dropped() > 0 || nat64_refusals > 0,
+            completed_us: r.completed_at.as_micros(),
+            events: r.metrics.engine.events_processed,
         }
     }
 }
@@ -486,6 +663,70 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.verdict.intervened, "v4-only console gets the page");
         assert_eq!(a.verdict.sc24, PathFamily::V4);
+    }
+
+    #[test]
+    fn observation_is_a_strict_projection_of_the_full_result() {
+        // Across a spread of cells — both topologies, an RFC 8925
+        // client, a v4-only console, and two impaired runs — the cheap
+        // observation path must agree field-for-field with projecting
+        // the full materialized result.
+        let cells = [
+            Scenario {
+                os: OsProfile::macos(),
+                topology: TopologyVariant::PaperDefault,
+                poison: PoisonVariant::WildcardA,
+                fault: FaultVariant::Clean,
+                seed: 11,
+            },
+            Scenario {
+                os: OsProfile::nintendo_switch(),
+                topology: TopologyVariant::RawGateway,
+                poison: PoisonVariant::Off,
+                fault: FaultVariant::Clean,
+                seed: 12,
+            },
+            Scenario {
+                os: OsProfile::windows_10(),
+                topology: TopologyVariant::PaperDefault,
+                poison: PoisonVariant::Rpz,
+                fault: FaultVariant::LossyUplink,
+                seed: 13,
+            },
+            Scenario {
+                os: OsProfile::macos(),
+                topology: TopologyVariant::PaperDefault,
+                poison: PoisonVariant::WildcardA,
+                fault: FaultVariant::Nat64Exhaustion,
+                seed: 14,
+            },
+        ];
+        for s in cells {
+            let full = CellObservation::from_result(&s.run());
+            let cheap = s.run_observation();
+            assert_eq!(full, cheap, "{} diverged", s.label());
+        }
+    }
+
+    #[test]
+    fn cell_spec_round_trips_through_the_interned_table() {
+        let table = os_profiles();
+        assert_eq!(table.len(), OsProfile::all_paper_profiles().len());
+        for id in OsProfileId::all() {
+            assert_eq!(id.name(), table[id.0 as usize].name);
+        }
+        let spec = CellSpec {
+            os: OsProfileId(6), // macOS in table order
+            topology: TopologyVariant::PaperDefault,
+            poison: PoisonVariant::WildcardA,
+            fault: FaultVariant::Clean,
+            seed: 42,
+        };
+        assert_eq!(spec.os.name(), "macOS");
+        let s = spec.to_scenario();
+        assert_eq!(s.os.name, "macOS");
+        assert_eq!(s.seed, 42);
+        assert_eq!(spec.run_observation(), s.run_observation());
     }
 
     #[test]

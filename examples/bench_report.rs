@@ -178,7 +178,22 @@ fn main() {
     );
     json.push_str("}\n");
 
-    print!("{json}");
-    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    // Re-emit through the canonical JSON layer, preserving the
+    // `population_census` row if `population_census --bench` has
+    // written one — the two examples own disjoint sections of the
+    // same file.
+    let mut doc = v6report::Json::parse(&json).expect("bench json parses");
+    if let Ok(prev) = std::fs::read_to_string("BENCH_engine.json") {
+        if let Ok(prev) = v6report::Json::parse(&prev) {
+            if let Some(row) = prev.get("population_census") {
+                doc.set("population_census", row.clone());
+            }
+        }
+    }
+    let mut text = doc.canonical();
+    text.push('\n');
+
+    print!("{text}");
+    std::fs::write("BENCH_engine.json", &text).expect("write BENCH_engine.json");
     eprintln!("wrote BENCH_engine.json");
 }

@@ -1,0 +1,130 @@
+//! Population-scale census walkthrough: sample a large simulated client
+//! population from the paper-default OS/topology/poison/fault mix and
+//! stream it through the sharded census.
+//!
+//! ```sh
+//! # The 1M-host census the issue's acceptance criterion names
+//! # (also available as `just population`):
+//! cargo run --release --example population_census -- --size 1000000 --bench BENCH_engine.json
+//!
+//! # A quick look at the default mix:
+//! cargo run --release --example population_census -- --size 20000
+//! ```
+//!
+//! Memory stays O(shards × sketch) no matter the size — no per-cell
+//! result is ever materialized — and the printed census is byte-stable
+//! across `--threads` and `--shards` (see `crates/v6fleet/tests/
+//! population.rs` for the proofs). With `--bench FILE`, the run's
+//! throughput is merged into `BENCH_engine.json` as the
+//! `population_census` row the bench manifest normalizes.
+
+use v6fleet::{FleetRunner, PopulationSpec};
+use v6report::Json;
+
+struct Args {
+    size: u64,
+    seed: u64,
+    threads: usize,
+    shards: usize,
+    bench: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        size: 1_000_000,
+        seed: 0x5c24,
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(1, 16),
+        shards: 0,
+        bench: None,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| argv.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--size" => args.size = value(&flag)?.parse().map_err(|e| format!("--size: {e}"))?,
+            "--seed" => {
+                let v = value(&flag)?;
+                args.seed = u64::from_str_radix(v.trim_start_matches("0x"), 16)
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--threads" => {
+                args.threads = value(&flag)?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--shards" => {
+                args.shards = value(&flag)?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?
+            }
+            "--bench" => args.bench = Some(value(&flag)?),
+            other => {
+                return Err(format!(
+                    "unknown flag {other}\nusage: population_census [--size N] [--seed HEX] [--threads N] [--shards N] [--bench FILE]"
+                ))
+            }
+        }
+    }
+    if args.shards == 0 {
+        // Enough shards that the work queue stays balanced, few enough
+        // that per-shard sketches stay negligible.
+        args.shards = (args.threads * 8).max(8);
+    }
+    Ok(args)
+}
+
+/// Merge this run's throughput into `BENCH_engine.json` as the
+/// `population_census` row, preserving everything `bench_report` wrote.
+fn update_bench(path: &str, samples: u64, shards: usize, threads: usize, per_sec: f64) {
+    let mut doc = match std::fs::read_to_string(path) {
+        Ok(text) => Json::parse(&text).expect("existing bench file parses"),
+        Err(_) => {
+            let mut fresh = Json::obj();
+            fresh.set(
+                "generated_by",
+                Json::Str("examples/population_census.rs".into()),
+            );
+            fresh
+        }
+    };
+    let mut row = Json::obj();
+    row.set("samples", Json::U64(samples));
+    row.set("shards", Json::U64(shards as u64));
+    row.set("threads", Json::U64(threads as u64));
+    row.set("scenarios_per_sec", Json::F64(per_sec));
+    doc.set("population_census", row);
+    let mut text = doc.canonical();
+    text.push('\n');
+    std::fs::write(path, text).expect("write bench file");
+    eprintln!("updated {path} (population_census row)");
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let spec = PopulationSpec::paper_default(args.seed, args.size);
+    eprintln!(
+        "sampling {} cells (seed {:#x}) on {} thread(s), {} shard(s)...",
+        args.size, args.seed, args.threads, args.shards
+    );
+    let run = FleetRunner::new(args.threads).run_population(&spec, args.shards);
+    print!("{}", run.report.render());
+    let per_sec = run.wall.scenarios_per_sec();
+    eprintln!(
+        "wall: {:.2}s on {} thread(s) = {:.0} scenarios/sec",
+        run.wall.elapsed.as_secs_f64(),
+        run.wall.threads,
+        per_sec,
+    );
+    if let Some(path) = &args.bench {
+        update_bench(path, args.size, args.shards, args.threads, per_sec);
+    }
+}

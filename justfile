@@ -22,8 +22,8 @@ lint:
     cargo fmt --all --check
 
 # Emit fresh canonical run manifests (clean matrix, every fault
-# variant, bench) into target/reports for inspection — never touches
-# the committed goldens.
+# variant, the 100k sampled population, bench) into target/reports for
+# inspection — never touches the committed goldens.
 report:
     cargo run --release -p v6report -- emit --out target/reports
 
@@ -62,6 +62,12 @@ census:
 census-faults:
     cargo run --release --example fleet_census -- --faults
 
+# The full 1M-host population census (off CI's critical path): streams
+# a million sampled cells through the sharded census and records
+# scenarios/sec as the population_census row in BENCH_engine.json.
+population:
+    cargo run --release --example population_census -- --size 1000000 --bench BENCH_engine.json
+
 # 1-vs-N worker-thread throughput on the 66-cell matrix.
 bench-fleet:
     cargo bench -p v6bench --bench fleet_throughput
@@ -82,6 +88,7 @@ bench-report:
 bench-smoke:
     cargo bench -p v6bench --bench engine_hot_path -- --test
     cargo bench -p v6bench --bench fleet_throughput -- --test
+    cargo bench -p v6bench --bench population_census -- --test
 
 # Regenerate the committed golden trace after a deliberate protocol
 # change (review the fixture diff!).
