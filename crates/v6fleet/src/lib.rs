@@ -38,6 +38,37 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use v6testbed::{Scenario, ScenarioResult, TraceMode};
 
+/// Streaming hooks into a running fleet: an observer shared across the
+/// pool's workers, notified as each unit of work completes and *before*
+/// the deterministic aggregation step. This is how a long-lived service
+/// (`v6labd`) publishes live progress — census counters, latency
+/// sketches, metrics totals — while a job is still executing, without
+/// perturbing the report (observers get shared references; the results
+/// the report aggregates are exactly the ones the observer saw).
+///
+/// Methods default to no-ops so an observer implements only the hooks
+/// it needs. Implementations must be `Sync`: workers call them
+/// concurrently, in completion order (which is scheduling-dependent —
+/// anything an observer accumulates must therefore be order-independent,
+/// e.g. a [`CensusSketch`] merge, if it is later compared across runs).
+pub trait FleetObserver: Sync {
+    /// Scenario `index` of the input list finished with `result`.
+    fn scenario_done(&self, index: usize, result: &ScenarioResult) {
+        let _ = (index, result);
+    }
+
+    /// Population shard `shard` folded its index range into `sketch`.
+    fn shard_done(&self, shard: usize, sketch: &sketch::CensusSketch) {
+        let _ = (shard, sketch);
+    }
+}
+
+/// The do-nothing observer behind the plain `run`/`run_population`
+/// entry points.
+pub(crate) struct NoopObserver;
+
+impl FleetObserver for NoopObserver {}
+
 /// A pool of worker threads that drains a scenario list.
 ///
 /// Scheduling is a shared atomic cursor: each worker claims the next
@@ -86,10 +117,26 @@ impl FleetRunner {
     /// Panics in a scenario propagate to the caller (a broken testbed
     /// build should fail the fleet, not vanish into a worker).
     pub fn run(&self, scenarios: &[Scenario]) -> FleetRun {
+        self.run_observed(scenarios, &NoopObserver)
+    }
+
+    /// [`FleetRunner::run`] with a streaming [`FleetObserver`]: every
+    /// finished scenario is reported to `observer` as it completes,
+    /// before aggregation. The returned report is identical to
+    /// [`FleetRunner::run`]'s — observation never perturbs the fleet.
+    pub fn run_observed(&self, scenarios: &[Scenario], observer: &dyn FleetObserver) -> FleetRun {
         let started = Instant::now();
         let mode = self.trace_mode;
         let results: Vec<ScenarioResult> = if self.threads == 1 {
-            scenarios.iter().map(|s| s.run_with_trace(mode)).collect()
+            scenarios
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    let r = s.run_with_trace(mode);
+                    observer.scenario_done(i, &r);
+                    r
+                })
+                .collect()
         } else {
             let cursor = AtomicUsize::new(0);
             let slots: Mutex<Vec<Option<ScenarioResult>>> = Mutex::new(vec![None; scenarios.len()]);
@@ -100,6 +147,7 @@ impl FleetRunner {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(s) = scenarios.get(i) else { break };
                             let r = s.run_with_trace(mode);
+                            observer.scenario_done(i, &r);
                             slots.lock().expect("no poisoned worker")[i] = Some(r);
                         })
                     })

@@ -18,8 +18,8 @@
 //! Together: same spec ⇒ byte-identical [`PopulationReport`] for any
 //! thread count and any shard count.
 
-use crate::sketch::{CensusSketch, SketchPercentiles};
-use crate::{FleetCensus, FleetRunner, WallStats};
+use crate::sketch::CensusSketch;
+use crate::{FleetCensus, FleetObserver, FleetRunner, NoopObserver, SketchPercentiles, WallStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -256,12 +256,12 @@ impl PopulationReport {
 
     /// Virtual completion-time percentiles (µs, sketch resolution).
     pub fn completed_us(&self) -> SketchPercentiles {
-        SketchPercentiles::of(&self.sketch.completed_us)
+        self.sketch.completed_us.percentiles()
     }
 
     /// Engine events-per-cell percentiles (sketch resolution).
     pub fn events(&self) -> SketchPercentiles {
-        SketchPercentiles::of(&self.sketch.events)
+        self.sketch.events.percentiles()
     }
 
     /// Digest of the full report: spec digest, census counters, per-OS
@@ -369,13 +369,35 @@ impl FleetRunner {
     /// to both `shards` and the runner's thread count (see the module
     /// docs for why that's structural).
     pub fn run_population(&self, spec: &PopulationSpec, shards: usize) -> PopulationRun {
+        self.run_population_observed(spec, shards, &NoopObserver)
+    }
+
+    /// [`FleetRunner::run_population`] with a streaming
+    /// [`FleetObserver`]: each shard's sketch is reported (by
+    /// reference, via [`FleetObserver::shard_done`]) the moment its
+    /// index range is folded — while other shards are still running.
+    /// The observer typically [`CensusSketch::merge_from`]s it into a
+    /// live accumulator; the deterministic final merge happens after,
+    /// over exactly the same sketches, so the returned report is
+    /// byte-identical to the unobserved run.
+    pub fn run_population_observed(
+        &self,
+        spec: &PopulationSpec,
+        shards: usize,
+        observer: &dyn FleetObserver,
+    ) -> PopulationRun {
         assert!(shards >= 1, "a census needs at least one shard");
         let started = Instant::now();
         let bounds = shard_bounds(spec.size, shards);
         let sketches: Vec<CensusSketch> = if self.threads() == 1 {
             bounds
                 .iter()
-                .map(|&(lo, hi)| fold_range(spec, lo, hi))
+                .enumerate()
+                .map(|(i, &(lo, hi))| {
+                    let sketch = fold_range(spec, lo, hi);
+                    observer.shard_done(i, &sketch);
+                    sketch
+                })
                 .collect()
         } else {
             let cursor = AtomicUsize::new(0);
@@ -389,6 +411,7 @@ impl FleetRunner {
                                 break;
                             };
                             let sketch = fold_range(spec, lo, hi);
+                            observer.shard_done(i, &sketch);
                             slots.lock().expect("no poisoned worker")[i] = Some(sketch);
                         })
                     })
@@ -406,7 +429,7 @@ impl FleetRunner {
         };
         let mut sketch = CensusSketch::new();
         for s in &sketches {
-            sketch.merge(s);
+            sketch.merge_from(s);
         }
         let wall = WallStats {
             threads: self.threads(),

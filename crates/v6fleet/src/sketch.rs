@@ -114,9 +114,26 @@ impl LatencySketch {
         self.count += 1;
     }
 
-    /// Fold `other` into `self`: exact element-wise addition, so the
-    /// result is independent of merge order and grouping.
-    pub fn merge(&mut self, other: &LatencySketch) {
+    /// A point-in-time copy of the live sketch. This is the read side
+    /// of the streaming API: a concurrent reader (the daemon's
+    /// `/metrics` endpoint) takes the lock, snapshots, releases — no
+    /// serialize/re-parse round trip, and the writer's sketch is never
+    /// consumed or disturbed.
+    pub fn snapshot(&self) -> LatencySketch {
+        self.clone()
+    }
+
+    /// The standard `p50`/`p90`/`p99`/`max` row of this sketch.
+    pub fn percentiles(&self) -> SketchPercentiles {
+        SketchPercentiles::of(self)
+    }
+
+    /// Fold `other` into `self` by reference: exact element-wise
+    /// addition, so the result is independent of merge order and
+    /// grouping. The source is untouched — a worker can publish its
+    /// shard sketch into a shared live accumulator and still hand the
+    /// same sketch to the final deterministic merge.
+    pub fn merge_from(&mut self, other: &LatencySketch) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
@@ -130,6 +147,12 @@ impl LatencySketch {
             }
         }
         self.count += other.count;
+    }
+
+    /// Alias of [`LatencySketch::merge_from`], kept for the original
+    /// merge-suite call sites.
+    pub fn merge(&mut self, other: &LatencySketch) {
+        self.merge_from(other);
     }
 
     /// Nearest-rank quantile estimate: the upper bound of the bucket
@@ -272,10 +295,20 @@ impl CensusSketch {
         a.degraded += b.degraded;
     }
 
-    /// Fold another shard's sketch into this one. Pure integer sums —
-    /// associative, commutative, and equal to having folded the union
-    /// of cells directly.
-    pub fn merge(&mut self, other: &CensusSketch) {
+    /// A point-in-time copy of the live census. Plain element-wise
+    /// copies of integer tables — the streaming `/metrics` endpoint
+    /// snapshots under its lock instead of serializing the sketch and
+    /// re-parsing it on the read side.
+    pub fn snapshot(&self) -> CensusSketch {
+        self.clone()
+    }
+
+    /// Fold another shard's sketch into this one by reference. Pure
+    /// integer sums — associative, commutative, and equal to having
+    /// folded the union of cells directly. The source sketch is left
+    /// intact, so a shard can be published into a live accumulator
+    /// *and* merged into the final report without cloning.
+    pub fn merge_from(&mut self, other: &CensusSketch) {
         assert_eq!(
             self.by_os.len(),
             other.by_os.len(),
@@ -289,8 +322,14 @@ impl CensusSketch {
         for (a, b) in self.fault_mix.iter_mut().zip(&other.fault_mix) {
             *a += b;
         }
-        self.completed_us.merge(&other.completed_us);
-        self.events.merge(&other.events);
+        self.completed_us.merge_from(&other.completed_us);
+        self.events.merge_from(&other.events);
+    }
+
+    /// Alias of [`CensusSketch::merge_from`], kept for the original
+    /// merge-suite call sites.
+    pub fn merge(&mut self, other: &CensusSketch) {
+        self.merge_from(other);
     }
 }
 
@@ -343,6 +382,26 @@ mod tests {
         assert_eq!(nearest_rank(&[3, 9], 0.5), 3);
         assert_eq!(nearest_rank(&[], 0.5), 0);
         assert_eq!(nearest_rank(&[7], 0.99), 7);
+    }
+
+    #[test]
+    fn snapshot_is_a_detached_point_in_time_copy() {
+        let mut live = LatencySketch::new();
+        live.record(10);
+        let snap = live.snapshot();
+        live.record(20);
+        assert_eq!((snap.count, snap.max), (1, 10), "snapshot is frozen");
+        assert_eq!((live.count, live.max), (2, 20), "live keeps recording");
+        assert_eq!(snap.percentiles().p50, 10);
+        // merge_from leaves the source intact for the final merge path.
+        let mut acc = LatencySketch::new();
+        acc.merge_from(&live);
+        assert_eq!(acc, live);
+        let mut census = CensusSketch::new();
+        let frozen = census.snapshot();
+        census.samples += 1;
+        assert_eq!(frozen.samples, 0);
+        assert_eq!(census.snapshot().samples, 1);
     }
 
     #[test]

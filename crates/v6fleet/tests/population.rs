@@ -53,8 +53,8 @@ fn fold_all(cells: &[(CellSpec, CellObservation)]) -> CensusSketch {
 }
 
 fn merged(a: &CensusSketch, b: &CensusSketch) -> CensusSketch {
-    let mut m = a.clone();
-    m.merge(b);
+    let mut m = a.snapshot();
+    m.merge_from(b);
     m
 }
 
@@ -104,10 +104,10 @@ proptest! {
                 right.record(v);
             }
         }
-        let mut ab = left.clone();
-        ab.merge(&right);
-        let mut ba = right.clone();
-        ba.merge(&left);
+        let mut ab = left.snapshot();
+        ab.merge_from(&right);
+        let mut ba = right.snapshot();
+        ba.merge_from(&left);
         prop_assert_eq!(&ab, &whole);
         prop_assert_eq!(&ba, &whole);
         prop_assert_eq!(ab.digest(), whole.digest());
@@ -172,6 +172,43 @@ fn streaming_census_equals_materialized_fleet() {
         fleet.timing.completed_us.max
     );
     assert_eq!(population.sketch.events.max, fleet.timing.events.max);
+}
+
+/// The streaming hook the `/metrics` endpoint rides on: an observer
+/// merging each shard sketch as it lands (via the non-consuming
+/// `merge_from`) ends up with exactly the final report's sketch, and
+/// every shard is reported exactly once — on serial and pooled runs.
+#[test]
+fn observed_shards_merge_to_the_final_sketch() {
+    use std::sync::Mutex;
+    use v6fleet::FleetObserver;
+
+    struct Live {
+        sketch: Mutex<CensusSketch>,
+        seen: Mutex<Vec<usize>>,
+    }
+    impl FleetObserver for Live {
+        fn shard_done(&self, shard: usize, sketch: &CensusSketch) {
+            self.sketch.lock().unwrap().merge_from(sketch);
+            self.seen.lock().unwrap().push(shard);
+        }
+    }
+
+    let spec = PopulationSpec::paper_default(0x5c24, 24);
+    for (threads, shards) in [(1, 5), (3, 5)] {
+        let live = Live {
+            sketch: Mutex::new(CensusSketch::new()),
+            seen: Mutex::new(Vec::new()),
+        };
+        let run = FleetRunner::new(threads).run_population_observed(&spec, shards, &live);
+        assert_eq!(*live.sketch.lock().unwrap(), run.report.sketch);
+        let mut seen = live.seen.lock().unwrap().clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..shards).collect::<Vec<_>>());
+        // The observed run is the plain run — same bytes.
+        let plain = FleetRunner::new(threads).run_population(&spec, shards);
+        assert_eq!(run.report, plain.report);
+    }
 }
 
 /// Fixed seed, 100k sampled cells (sampling only — no simulation):

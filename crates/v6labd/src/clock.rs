@@ -1,0 +1,59 @@
+//! The daemon's virtual clock.
+//!
+//! The lab daemon never schedules off wall-clock time: recurring sweeps
+//! fire on *ticks*, and a tick advances when the daemon completes a
+//! job. That makes every schedule decision a pure function of the job
+//! history — the property the scheduler tests and the committed soak
+//! golden stand on. Each tick maps to a fixed span of simulation time
+//! so manifests can talk about "when" in [`SimTime`] terms.
+
+use v6sim::time::SimTime;
+
+/// Simulated span of one scheduler tick (an operator-facing sweep
+/// period, not an engine quantum).
+pub const TICK_LEN: SimTime = SimTime::from_secs(60);
+
+/// A deterministic tick counter with a fixed [`SimTime`] per tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LabClock {
+    tick: u64,
+}
+
+impl LabClock {
+    /// A clock at tick zero (daemon boot).
+    pub fn new() -> LabClock {
+        LabClock::default()
+    }
+
+    /// The current tick.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// The current virtual instant: `tick × TICK_LEN`.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.tick * TICK_LEN.as_nanos())
+    }
+
+    /// Advance one tick and return the new tick number.
+    pub fn advance(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_map_linearly_to_sim_time() {
+        let mut clock = LabClock::new();
+        assert_eq!(clock.tick(), 0);
+        assert_eq!(clock.now(), SimTime::ZERO);
+        assert_eq!(clock.advance(), 1);
+        assert_eq!(clock.now(), TICK_LEN);
+        assert_eq!(clock.advance(), 2);
+        assert_eq!(clock.now().as_secs(), 2 * TICK_LEN.as_secs());
+    }
+}

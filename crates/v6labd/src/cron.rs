@@ -1,0 +1,166 @@
+//! Tick-cron: the daemon's recurring-sweep schedule language.
+//!
+//! Wall-clock cron would make every schedule decision racy; the lab
+//! daemon schedules on the virtual tick counter instead (see
+//! [`crate::clock::LabClock`]). The dialect is three forms:
+//!
+//! | spec      | meaning                                   |
+//! |-----------|-------------------------------------------|
+//! | `@K`      | fire once, at tick `K`                    |
+//! | `*/N`     | fire every `N` ticks (at `N`, `2N`, …)    |
+//! | `K+*/N`   | fire at `K`, `K+N`, `K+2N`, …             |
+//!
+//! Parsing and firing are total, pure functions — locked down by
+//! property tests in `tests/scheduler.rs`.
+
+use std::fmt;
+
+/// A parsed tick-cron spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CronSpec {
+    /// First tick the spec fires at.
+    pub offset: u64,
+    /// Repeat period; `None` for a one-shot.
+    pub period: Option<u64>,
+}
+
+impl CronSpec {
+    /// Parse the `@K` / `*/N` / `K+*/N` dialect.
+    pub fn parse(text: &str) -> Result<CronSpec, String> {
+        let text = text.trim();
+        let parse_num = |s: &str, what: &str| -> Result<u64, String> {
+            s.parse()
+                .map_err(|_| format!("cron spec {text:?}: bad {what} {s:?}"))
+        };
+        if let Some(k) = text.strip_prefix('@') {
+            return Ok(CronSpec {
+                offset: parse_num(k, "tick")?,
+                period: None,
+            });
+        }
+        if let Some(n) = text.strip_prefix("*/") {
+            let period = parse_num(n, "period")?;
+            if period == 0 {
+                return Err(format!("cron spec {text:?}: period must be ≥ 1"));
+            }
+            return Ok(CronSpec {
+                offset: period,
+                period: Some(period),
+            });
+        }
+        if let Some((k, rest)) = text.split_once('+') {
+            let n = rest
+                .strip_prefix("*/")
+                .ok_or_else(|| format!("cron spec {text:?}: expected K+*/N"))?;
+            let period = parse_num(n, "period")?;
+            if period == 0 {
+                return Err(format!("cron spec {text:?}: period must be ≥ 1"));
+            }
+            return Ok(CronSpec {
+                offset: parse_num(k, "offset")?,
+                period: Some(period),
+            });
+        }
+        Err(format!(
+            "cron spec {text:?}: expected \"@K\", \"*/N\", or \"K+*/N\""
+        ))
+    }
+
+    /// Does the spec fire at `tick`?
+    pub fn fires_at(&self, tick: u64) -> bool {
+        match self.period {
+            None => tick == self.offset,
+            Some(p) => tick >= self.offset && (tick - self.offset).is_multiple_of(p),
+        }
+    }
+
+    /// The first firing tick strictly after `tick`, if any.
+    pub fn next_after(&self, tick: u64) -> Option<u64> {
+        match self.period {
+            None => (self.offset > tick).then_some(self.offset),
+            Some(p) => {
+                if tick < self.offset {
+                    Some(self.offset)
+                } else {
+                    // Round (tick - offset) down to a multiple of p,
+                    // then step one period forward.
+                    let elapsed = tick - self.offset;
+                    self.offset.checked_add((elapsed / p + 1).checked_mul(p)?)
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for CronSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.period {
+            None => write!(f, "@{}", self.offset),
+            Some(p) if p == self.offset => write!(f, "*/{p}"),
+            Some(p) => write!(f, "{}+*/{p}", self.offset),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_three_forms_parse() {
+        assert_eq!(
+            CronSpec::parse("@7").unwrap(),
+            CronSpec {
+                offset: 7,
+                period: None
+            }
+        );
+        assert_eq!(
+            CronSpec::parse("*/4").unwrap(),
+            CronSpec {
+                offset: 4,
+                period: Some(4)
+            }
+        );
+        assert_eq!(
+            CronSpec::parse("2+*/5").unwrap(),
+            CronSpec {
+                offset: 2,
+                period: Some(5)
+            }
+        );
+    }
+
+    #[test]
+    fn junk_is_rejected() {
+        for bad in ["", "7", "*/0", "2+*/0", "@x", "*/y", "2+3", "1 2"] {
+            assert!(CronSpec::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn firing_semantics() {
+        let once = CronSpec::parse("@3").unwrap();
+        assert!(once.fires_at(3));
+        assert!(!once.fires_at(6));
+        let every = CronSpec::parse("*/4").unwrap();
+        assert!(!every.fires_at(0), "*/N skips boot tick 0");
+        assert!(every.fires_at(4) && every.fires_at(8));
+        assert!(!every.fires_at(5));
+        let offset = CronSpec::parse("2+*/5").unwrap();
+        assert!(offset.fires_at(2) && offset.fires_at(7) && offset.fires_at(12));
+        assert!(!offset.fires_at(5));
+    }
+
+    #[test]
+    fn next_after_steps_to_the_following_fire() {
+        let spec = CronSpec::parse("2+*/5").unwrap();
+        assert_eq!(spec.next_after(0), Some(2));
+        assert_eq!(spec.next_after(2), Some(7));
+        assert_eq!(spec.next_after(6), Some(7));
+        assert_eq!(spec.next_after(7), Some(12));
+        let once = CronSpec::parse("@3").unwrap();
+        assert_eq!(once.next_after(2), Some(3));
+        assert_eq!(once.next_after(3), None);
+    }
+}

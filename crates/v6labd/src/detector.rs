@@ -1,0 +1,262 @@
+//! The incident detector: counter-delta watching between runs.
+//!
+//! The measurement literature (Hsu et al.; Boswell et al.) shows
+//! NAT64/DNS64 deployments degrading *incrementally* in the wild — a
+//! lab that only gates on one-shot sweeps misses the slide. The
+//! detector holds a baseline manifest per job key (seeded from the
+//! committed goldens when available, else the first sighting) and
+//! compares every completed run against it field-by-field: `fault.*`
+//! drop surges, `dns.timeouts` surges, and portal-census regressions
+//! (fewer accurately-counted or intervened clients than the golden
+//! promised). Each breach becomes a structured [`Incident`]; repeats of
+//! the same (key, field) pair are deduplicated into a count on the
+//! first-seen record.
+
+use std::collections::BTreeMap;
+
+use v6report::{Json, RunManifest, SoakIncidentRow};
+
+/// How bad a breach is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Counter moved past the warn threshold.
+    Warning,
+    /// Counter moved past the critical threshold.
+    Critical,
+}
+
+impl Severity {
+    /// Wire label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Critical => "critical",
+        }
+    }
+}
+
+/// One detected (and deduplicated) breach.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Incident {
+    /// Worst severity seen for this (key, field) pair.
+    pub severity: Severity,
+    /// Job key the breach was observed under (e.g. `matrix/lossy-uplink`).
+    pub key: String,
+    /// Manifest field path whose delta tripped the watch.
+    pub field: String,
+    /// Human-readable explanation with the observed delta.
+    pub detail: String,
+    /// Virtual tick of the first occurrence.
+    pub first_seen_tick: u64,
+    /// Occurrences folded into this record.
+    pub count: u64,
+}
+
+impl Incident {
+    /// The soak-manifest row for this incident.
+    pub fn to_soak_row(&self) -> SoakIncidentRow {
+        SoakIncidentRow {
+            severity: self.severity.label().to_string(),
+            field: format!("{}:{}", self.key, self.field),
+            detail: self.detail.clone(),
+            first_seen_tick: self.first_seen_tick,
+            count: self.count,
+        }
+    }
+
+    /// The `GET /incidents` row.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        obj.set("severity", Json::Str(self.severity.label().into()));
+        obj.set("key", Json::Str(self.key.clone()));
+        obj.set("field", Json::Str(self.field.clone()));
+        obj.set("detail", Json::Str(self.detail.clone()));
+        obj.set("first_seen_tick", Json::U64(self.first_seen_tick));
+        obj.set("count", Json::U64(self.count));
+        obj
+    }
+}
+
+/// Which way a watched counter is allowed to move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    /// Breach when the value rises above baseline (drop/timeout counters).
+    Surge,
+    /// Breach when the value falls below baseline (portal census scores).
+    Regression,
+}
+
+/// One watched manifest field with its thresholds.
+struct Watch {
+    path: &'static [&'static str],
+    direction: Direction,
+    warn: u64,
+    crit: u64,
+}
+
+/// The watch table for `fleet-matrix` manifests. Thresholds are in
+/// absolute counter deltas per run: any movement warns, two orders of
+/// magnitude is critical.
+const WATCHES: &[Watch] = &[
+    Watch {
+        path: &["metrics", "fault", "dropped"],
+        direction: Direction::Surge,
+        warn: 1,
+        crit: 100,
+    },
+    Watch {
+        path: &["metrics", "fault", "outage_dropped"],
+        direction: Direction::Surge,
+        warn: 1,
+        crit: 100,
+    },
+    Watch {
+        path: &["census", "fleet", "accurate_v6only"],
+        direction: Direction::Regression,
+        warn: 1,
+        crit: 10,
+    },
+    Watch {
+        path: &["census", "fleet", "intervened"],
+        direction: Direction::Regression,
+        warn: 1,
+        crit: 10,
+    },
+];
+
+/// Path label for the fleet-wide `dns.timeouts` sum (a computed field:
+/// the manifest stores it per node).
+const DNS_TIMEOUTS_FIELD: &str = "metrics.nodes.*.device.dns.timeouts";
+
+fn u64_at(v: &Json, path: &[&str]) -> u64 {
+    v.get_path(path)
+        .and_then(Json::as_number)
+        .map(|n| n as u64)
+        .unwrap_or(0)
+}
+
+/// Sum `dns.timeouts` device counters across every node row.
+fn dns_timeouts(manifest: &Json) -> u64 {
+    let Some(Json::Obj(nodes)) = manifest.get_path(&["metrics", "nodes"]) else {
+        return 0;
+    };
+    nodes
+        .values()
+        .map(|row| u64_at(row, &["device", "dns.timeouts"]))
+        .sum()
+}
+
+/// The detector: per-key baselines plus the deduplicated incident log.
+#[derive(Default)]
+pub struct Detector {
+    baselines: BTreeMap<String, Json>,
+    incidents: Vec<Incident>,
+}
+
+impl Detector {
+    /// An empty detector (no baselines, no incidents).
+    pub fn new() -> Detector {
+        Detector::default()
+    }
+
+    /// Install `manifest` as the baseline for `key` — typically a
+    /// committed golden, so regressions are measured against what the
+    /// repo promises rather than whatever ran first.
+    pub fn set_baseline(&mut self, key: &str, manifest: &RunManifest) {
+        self.baselines
+            .insert(key.to_string(), manifest.json().clone());
+    }
+
+    /// Is a baseline installed for `key`?
+    pub fn has_baseline(&self, key: &str) -> bool {
+        self.baselines.contains_key(key)
+    }
+
+    /// Compare a completed run against `key`'s baseline, recording any
+    /// breaches. The first sighting of a key becomes its baseline and
+    /// raises nothing. Returns how many incidents this observation
+    /// raised or re-raised.
+    pub fn observe(&mut self, key: &str, manifest: &RunManifest, tick: u64) -> usize {
+        let current = manifest.json();
+        let Some(baseline) = self.baselines.get(key).cloned() else {
+            self.set_baseline(key, manifest);
+            return 0;
+        };
+        let baseline = &baseline;
+
+        let mut raised = 0;
+        for w in WATCHES {
+            let base = u64_at(baseline, w.path);
+            let now = u64_at(current, w.path);
+            let (delta, moved) = match w.direction {
+                Direction::Surge => (now.saturating_sub(base), "rose"),
+                Direction::Regression => (base.saturating_sub(now), "fell"),
+            };
+            if delta < w.warn {
+                continue;
+            }
+            let severity = if delta >= w.crit {
+                Severity::Critical
+            } else {
+                Severity::Warning
+            };
+            let field = w.path.join(".");
+            let detail = format!("{field} {moved} by {delta} vs baseline ({base} → {now})");
+            self.record(key, &field, severity, detail, tick);
+            raised += 1;
+        }
+
+        let base = dns_timeouts(baseline);
+        let now = dns_timeouts(current);
+        let delta = now.saturating_sub(base);
+        if delta >= 1 {
+            let severity = if delta >= 100 {
+                Severity::Critical
+            } else {
+                Severity::Warning
+            };
+            let detail = format!("fleet dns.timeouts rose by {delta} vs baseline ({base} → {now})");
+            self.record(key, DNS_TIMEOUTS_FIELD, severity, detail, tick);
+            raised += 1;
+        }
+        raised
+    }
+
+    /// Dedup by (key, field): repeats bump the count and keep the
+    /// first-seen tick; severity only ever escalates.
+    fn record(&mut self, key: &str, field: &str, severity: Severity, detail: String, tick: u64) {
+        if let Some(existing) = self
+            .incidents
+            .iter_mut()
+            .find(|i| i.key == key && i.field == field)
+        {
+            existing.count += 1;
+            existing.severity = existing.severity.max(severity);
+            existing.detail = detail;
+            return;
+        }
+        self.incidents.push(Incident {
+            severity,
+            key: key.to_string(),
+            field: field.to_string(),
+            detail,
+            first_seen_tick: tick,
+            count: 1,
+        });
+    }
+
+    /// Every incident, in first-seen order.
+    pub fn incidents(&self) -> &[Incident] {
+        &self.incidents
+    }
+
+    /// The `GET /incidents` body.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        obj.set(
+            "incidents",
+            Json::Arr(self.incidents.iter().map(Incident::to_json).collect()),
+        );
+        obj
+    }
+}

@@ -1,0 +1,178 @@
+//! The `v6labd` binary.
+//!
+//! ```text
+//! v6labd serve [--port N] [--threads N]     run the daemon (SIGTERM stops it)
+//! v6labd soak [--write PATH]                run the smoke soak, print its manifest
+//! v6labd get <addr> <path>                  one-shot HTTP GET (smoke-script client)
+//! v6labd post <addr> <path> <body>          one-shot HTTP POST
+//! v6labd submit <addr> <job-json>           submit a job, poll to done, print manifest
+//! ```
+//!
+//! The `get`/`post`/`submit` client subcommands exist so the CI smoke
+//! script needs no curl/jq — the repo stays dependency-free offline.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use v6labd::{serve, ServerConfig};
+use v6portal::http::{HttpRequest, HttpResponse};
+use v6report::Json;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: v6labd serve [--port N] [--threads N]\n\
+        \x20      v6labd soak [--write PATH]\n\
+        \x20      v6labd get <addr> <path>\n\
+        \x20      v6labd post <addr> <path> <body>\n\
+        \x20      v6labd submit <addr> <job-json>"
+    );
+    ExitCode::FAILURE
+}
+
+fn request(addr: &str, wire: &str) -> Result<HttpResponse, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(wire.as_bytes())
+        .map_err(|e| format!("send: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("recv: {e}"))?;
+    HttpResponse::parse(&raw).ok_or_else(|| "malformed response".to_string())
+}
+
+fn get(addr: &str, path: &str) -> Result<HttpResponse, String> {
+    request(addr, &HttpRequest::format_get("v6labd", path))
+}
+
+fn post(addr: &str, path: &str, body: &str) -> Result<HttpResponse, String> {
+    request(addr, &HttpRequest::format_post("v6labd", path, body))
+}
+
+/// Submit a job, poll its status to `done`, print the manifest.
+fn submit(addr: &str, body: &str) -> Result<(), String> {
+    let resp = post(addr, "/jobs", body)?;
+    if resp.status != 202 {
+        return Err(format!("submit failed ({}): {}", resp.status, resp.body));
+    }
+    let parsed = Json::parse(&resp.body).map_err(|e| format!("submit response: {e}"))?;
+    let Some(Json::U64(id)) = parsed.get("id") else {
+        return Err(format!("submit response missing id: {}", resp.body));
+    };
+    let status_path = format!("/jobs/{id}");
+    loop {
+        let resp = get(addr, &status_path)?;
+        let parsed = Json::parse(&resp.body).map_err(|e| format!("status response: {e}"))?;
+        match parsed.get("status") {
+            Some(Json::Str(s)) if s == "done" => break,
+            Some(Json::Str(_)) => std::thread::sleep(Duration::from_millis(100)),
+            _ => return Err(format!("bad status response: {}", resp.body)),
+        }
+    }
+    let resp = get(addr, &format!("/jobs/{id}/manifest"))?;
+    if resp.status != 200 {
+        return Err(format!("manifest fetch failed ({})", resp.status));
+    }
+    print!("{}", resp.body);
+    Ok(())
+}
+
+fn parse_flag(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        return usage();
+    };
+    match command {
+        "serve" => {
+            let port = parse_flag(&args, "--port")
+                .map(|p| p.parse().expect("--port takes a number"))
+                .unwrap_or(0);
+            let threads = parse_flag(&args, "--threads")
+                .map(|t| t.parse().expect("--threads takes a number"))
+                .unwrap_or(2);
+            match serve(ServerConfig { port, threads }) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("v6labd: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "soak" => {
+            let manifest = v6labd::smoke_manifest();
+            let text = manifest.canonical();
+            if let Some(path) = parse_flag(&args, "--write") {
+                if let Err(e) = std::fs::write(&path, &text) {
+                    eprintln!("v6labd: write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("v6labd: wrote {path}");
+            } else {
+                print!("{text}");
+            }
+            ExitCode::SUCCESS
+        }
+        "get" | "post" | "submit" => {
+            let Some(addr) = args.get(1) else {
+                return usage();
+            };
+            let result = match command {
+                "get" => {
+                    let Some(path) = args.get(2) else {
+                        return usage();
+                    };
+                    get(addr, path)
+                        .map(|r| {
+                            println!("{}", r.body);
+                            if r.status < 400 {
+                                Ok(())
+                            } else {
+                                Err(format!("HTTP {}", r.status))
+                            }
+                        })
+                        .and_then(|r| r)
+                }
+                "post" => {
+                    let (Some(path), Some(body)) = (args.get(2), args.get(3)) else {
+                        return usage();
+                    };
+                    post(addr, path, body)
+                        .map(|r| {
+                            println!("{}", r.body);
+                            if r.status < 400 {
+                                Ok(())
+                            } else {
+                                Err(format!("HTTP {}", r.status))
+                            }
+                        })
+                        .and_then(|r| r)
+                }
+                _ => {
+                    let Some(body) = args.get(2) else {
+                        return usage();
+                    };
+                    submit(addr, body)
+                }
+            };
+            match result {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("v6labd: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

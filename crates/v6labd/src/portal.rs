@@ -1,0 +1,136 @@
+//! `GET /portal?client=N` — the daemon's portal-scoring path.
+//!
+//! Serves the same scoring logic the testbed's explanation portal runs
+//! (`v6portal::scoring`), over a deterministic synthetic client: `N`
+//! seeds a tiny PRNG that places the client in one of the paper's five
+//! observable classes (RFC 8925 v6-only, dual-stack, poisoned
+//! IPv4-only, VPN-blackholed, MTU-broken), and the response carries
+//! both the legacy and the RFC 8925-aware score so a load generator can
+//! watch the Fig. 5 disagreement rate while hammering the endpoint.
+
+use std::net::IpAddr;
+
+use v6portal::scoring::{score_legacy, score_rfc8925_aware, ConnInfo, Score, SubtestResults};
+use v6report::Json;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn v6(status: u16) -> Option<ConnInfo> {
+    let peer: IpAddr = "64:ff9b::17:9947".parse().expect("literal");
+    Some(ConnInfo { peer, status })
+}
+
+fn v4(status: u16) -> Option<ConnInfo> {
+    let peer: IpAddr = "23.153.8.71".parse().expect("literal");
+    Some(ConnInfo { peer, status })
+}
+
+/// The five client classes a `client` index can land in.
+fn synth_client(client: u64) -> (&'static str, SubtestResults) {
+    match splitmix64(client) % 5 {
+        0 => (
+            "rfc8925-v6only",
+            SubtestResults {
+                dual_stack: v6(200),
+                v4_only: v6(200), // via NAT64 — served over v6
+                v6_only: v6(200),
+                v6_mtu: v6(200),
+                client_v4_stack_off: true,
+            },
+        ),
+        1 => (
+            "dual-stack",
+            SubtestResults {
+                dual_stack: v6(200),
+                v4_only: v4(200),
+                v6_only: v6(200),
+                v6_mtu: v6(200),
+                client_v4_stack_off: false,
+            },
+        ),
+        2 => (
+            // Fig. 5: wildcard-A poisoning hijacks every hostname to v4.
+            "poisoned-v4only",
+            SubtestResults {
+                dual_stack: v4(200),
+                v4_only: v4(200),
+                v6_only: v4(200),
+                v6_mtu: v4(200),
+                client_v4_stack_off: false,
+            },
+        ),
+        3 => ("vpn-blackhole", SubtestResults::default()),
+        _ => (
+            "mtu-broken",
+            SubtestResults {
+                dual_stack: v6(200),
+                v4_only: v6(200),
+                v6_only: v6(200),
+                v6_mtu: None,
+                client_v4_stack_off: true,
+            },
+        ),
+    }
+}
+
+fn score_json(s: &Score) -> Json {
+    let mut obj = Json::obj();
+    obj.set("points", Json::U64(u64::from(s.points)));
+    obj.set("verdict", Json::Str(s.verdict.clone()));
+    obj
+}
+
+/// Handle `/portal[?client=N]`.
+pub fn handle(path: &str) -> (u16, String) {
+    let client = path
+        .split_once('?')
+        .and_then(|(_, query)| query.split('&').find_map(|kv| kv.strip_prefix("client=")))
+        .map(str::parse::<u64>)
+        .unwrap_or(Ok(0));
+    let Ok(client) = client else {
+        let mut obj = Json::obj();
+        obj.set("error", Json::Str("bad client index".into()));
+        return (400, obj.canonical());
+    };
+    let (class, results) = synth_client(client);
+    let legacy = score_legacy(&results);
+    let aware = score_rfc8925_aware(&results);
+    let mut obj = Json::obj();
+    obj.set("client", Json::U64(client));
+    obj.set("class", Json::Str(class.into()));
+    obj.set("legacy", score_json(&legacy));
+    obj.set("rfc8925_aware", score_json(&aware));
+    obj.set(
+        "fig5_disagreement",
+        Json::Bool(legacy.points == 10 && aware.points == 0),
+    );
+    (200, obj.canonical())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn responses_are_deterministic_and_cover_the_fig5_defect() {
+        // Same client index → same body.
+        assert_eq!(handle("/portal?client=7"), handle("/portal?client=7"));
+        // Some client in a small range lands in the poisoned class and
+        // exhibits the legacy-10 / aware-0 disagreement.
+        let poisoned = (0..16).find(|i| {
+            let (_status, body) = handle(&format!("/portal?client={i}"));
+            let v = Json::parse(&body).expect("portal body is canonical JSON");
+            matches!(v.get("fig5_disagreement"), Some(Json::Bool(true)))
+        });
+        assert!(poisoned.is_some(), "no poisoned client in 0..16");
+        // Bad input is rejected, missing param defaults to client 0.
+        assert_eq!(handle("/portal?client=x").0, 400);
+        assert_eq!(handle("/portal").0, 200);
+    }
+}

@@ -1,0 +1,77 @@
+//! The recurring-sweep scheduler: cron entries over the virtual clock.
+//!
+//! Each entry pairs a [`CronSpec`] with the [`JobSpec`] to enqueue when
+//! it fires. The scheduler owns a [`LabClock`]; advancing it one tick
+//! returns every entry due at the new tick, in registration order — so
+//! a soak's entire job sequence is a pure function of its entry table,
+//! which is what lets `reports/soak_smoke.json` be committed byte-exact.
+
+use crate::clock::LabClock;
+use crate::cron::CronSpec;
+use crate::jobs::JobSpec;
+
+/// One recurring (or one-shot) schedule entry.
+#[derive(Debug, Clone)]
+pub struct CronEntry {
+    /// Operator-facing name, echoed in logs and job labels.
+    pub name: String,
+    /// When it fires.
+    pub spec: CronSpec,
+    /// What it enqueues.
+    pub job: JobSpec,
+}
+
+/// The deterministic scheduler.
+#[derive(Debug, Clone, Default)]
+pub struct Scheduler {
+    entries: Vec<CronEntry>,
+    clock: LabClock,
+}
+
+impl Scheduler {
+    /// An empty scheduler at tick zero.
+    pub fn new() -> Scheduler {
+        Scheduler::default()
+    }
+
+    /// Register an entry. Entries firing on the same tick run in
+    /// registration order.
+    pub fn add(&mut self, name: &str, spec: CronSpec, job: JobSpec) {
+        self.entries.push(CronEntry {
+            name: name.to_string(),
+            spec,
+            job,
+        });
+    }
+
+    /// The current tick.
+    pub fn tick(&self) -> u64 {
+        self.clock.tick()
+    }
+
+    /// The registered entries.
+    pub fn entries(&self) -> &[CronEntry] {
+        &self.entries
+    }
+
+    /// Advance the clock one tick and return every entry due at the new
+    /// tick, in registration order.
+    pub fn advance(&mut self) -> Vec<CronEntry> {
+        let tick = self.clock.advance();
+        self.entries
+            .iter()
+            .filter(|e| e.spec.fires_at(tick))
+            .cloned()
+            .collect()
+    }
+
+    /// The next tick strictly after the current one at which *any*
+    /// entry fires — `None` once every entry is exhausted (all
+    /// one-shots in the past).
+    pub fn next_fire(&self) -> Option<u64> {
+        self.entries
+            .iter()
+            .filter_map(|e| e.spec.next_after(self.clock.tick()))
+            .min()
+    }
+}

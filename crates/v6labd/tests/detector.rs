@@ -1,0 +1,163 @@
+//! Incident-detector lockdown: threshold edges, both watch directions,
+//! the computed dns.timeouts sum, and dedup of repeat incidents.
+
+use v6labd::{Detector, Severity};
+use v6report::{Json, RunManifest};
+
+/// A minimal fleet-matrix-shaped manifest with the watched fields.
+fn manifest(
+    dropped: u64,
+    outage_dropped: u64,
+    accurate: u64,
+    intervened: u64,
+    dns_timeouts_per_node: &[u64],
+) -> RunManifest {
+    let mut fault = Json::obj();
+    fault.set("dropped", Json::U64(dropped));
+    fault.set("outage_dropped", Json::U64(outage_dropped));
+
+    let mut nodes = Json::obj();
+    for (i, &t) in dns_timeouts_per_node.iter().enumerate() {
+        let mut device = Json::obj();
+        device.set("dns.timeouts", Json::U64(t));
+        let mut row = Json::obj();
+        row.set("device", device);
+        nodes.set(&format!("host-{i}"), row);
+    }
+
+    let mut metrics = Json::obj();
+    metrics.set("fault", fault);
+    metrics.set("nodes", nodes);
+
+    let mut fleet = Json::obj();
+    fleet.set("accurate_v6only", Json::U64(accurate));
+    fleet.set("intervened", Json::U64(intervened));
+    let mut census = Json::obj();
+    census.set("fleet", fleet);
+
+    let mut root = Json::obj();
+    root.set("kind", Json::Str("fleet-matrix".into()));
+    root.set("census", census);
+    root.set("metrics", metrics);
+    RunManifest::from_json(root)
+}
+
+fn baseline() -> RunManifest {
+    manifest(0, 0, 20, 10, &[0, 0])
+}
+
+#[test]
+fn first_sighting_becomes_the_baseline_and_raises_nothing() {
+    let mut d = Detector::new();
+    assert!(!d.has_baseline("matrix/clean"));
+    assert_eq!(d.observe("matrix/clean", &baseline(), 1), 0);
+    assert!(d.has_baseline("matrix/clean"));
+    // A second identical run against that baseline is also quiet.
+    assert_eq!(d.observe("matrix/clean", &baseline(), 2), 0);
+    assert!(d.incidents().is_empty());
+}
+
+#[test]
+fn surge_thresholds_warn_at_one_and_go_critical_at_one_hundred() {
+    let key = "matrix/lossy-uplink";
+    // Exactly at the warn edge: delta 1.
+    let mut d = Detector::new();
+    d.set_baseline(key, &baseline());
+    assert_eq!(d.observe(key, &manifest(1, 0, 20, 10, &[0, 0]), 3), 1);
+    assert_eq!(d.incidents().len(), 1);
+    let i = &d.incidents()[0];
+    assert_eq!(i.severity, Severity::Warning);
+    assert_eq!(i.field, "metrics.fault.dropped");
+    assert_eq!(i.first_seen_tick, 3);
+
+    // Just below critical stays a warning; at the edge it escalates.
+    let mut d = Detector::new();
+    d.set_baseline(key, &baseline());
+    d.observe(key, &manifest(99, 0, 20, 10, &[0, 0]), 1);
+    assert_eq!(d.incidents()[0].severity, Severity::Warning);
+    let mut d = Detector::new();
+    d.set_baseline(key, &baseline());
+    d.observe(key, &manifest(100, 0, 20, 10, &[0, 0]), 1);
+    assert_eq!(d.incidents()[0].severity, Severity::Critical);
+}
+
+#[test]
+fn census_regressions_watch_the_downward_direction_only() {
+    let key = "matrix/dns64-outage";
+    let mut d = Detector::new();
+    d.set_baseline(key, &baseline());
+    // Census counters *rising* is not a regression.
+    assert_eq!(d.observe(key, &manifest(0, 0, 25, 12, &[0, 0]), 1), 0);
+    // Falling by one warns; falling by the critical threshold escalates.
+    assert_eq!(d.observe(key, &manifest(0, 0, 19, 10, &[0, 0]), 2), 1);
+    assert_eq!(d.incidents()[0].field, "census.fleet.accurate_v6only");
+    assert_eq!(d.incidents()[0].severity, Severity::Warning);
+    assert_eq!(d.observe(key, &manifest(0, 0, 10, 0, &[0, 0]), 3), 2);
+    let by_field = |f: &str| {
+        d.incidents()
+            .iter()
+            .find(|i| i.field == f)
+            .unwrap_or_else(|| panic!("no incident for {f}"))
+            .clone()
+    };
+    assert_eq!(
+        by_field("census.fleet.accurate_v6only").severity,
+        Severity::Critical
+    );
+    assert_eq!(
+        by_field("census.fleet.intervened").severity,
+        Severity::Critical
+    );
+}
+
+#[test]
+fn dns_timeouts_are_summed_across_nodes() {
+    let key = "matrix/clean";
+    let mut d = Detector::new();
+    d.set_baseline(key, &manifest(0, 0, 20, 10, &[2, 3]));
+    // Total 5 → 5: quiet. Total 5 → 7: surge of 2.
+    assert_eq!(d.observe(key, &manifest(0, 0, 20, 10, &[4, 1]), 1), 0);
+    assert_eq!(d.observe(key, &manifest(0, 0, 20, 10, &[3, 4]), 2), 1);
+    let i = &d.incidents()[0];
+    assert_eq!(i.field, "metrics.nodes.*.device.dns.timeouts");
+    assert!(i.detail.contains("rose by 2"), "detail: {}", i.detail);
+}
+
+#[test]
+fn repeat_incidents_dedup_into_a_count_and_escalate_in_place() {
+    let key = "matrix/lossy-uplink";
+    let mut d = Detector::new();
+    d.set_baseline(key, &baseline());
+    d.observe(key, &manifest(5, 0, 20, 10, &[0, 0]), 2);
+    d.observe(key, &manifest(7, 0, 20, 10, &[0, 0]), 6);
+    d.observe(key, &manifest(500, 0, 20, 10, &[0, 0]), 10);
+    assert_eq!(d.incidents().len(), 1, "same (key, field) must dedup");
+    let i = &d.incidents()[0];
+    assert_eq!(i.count, 3);
+    assert_eq!(i.first_seen_tick, 2, "first-seen survives dedup");
+    assert_eq!(i.severity, Severity::Critical, "severity escalates");
+    assert!(i.detail.contains("500"), "detail tracks the latest delta");
+
+    // The same field under a *different* key is a separate incident.
+    d.set_baseline("matrix/clean", &baseline());
+    d.observe("matrix/clean", &manifest(5, 0, 20, 10, &[0, 0]), 11);
+    assert_eq!(d.incidents().len(), 2);
+}
+
+#[test]
+fn incident_rows_serialize_for_the_api_and_the_soak_manifest() {
+    let mut d = Detector::new();
+    d.set_baseline("matrix/clean", &baseline());
+    d.observe("matrix/clean", &manifest(1, 0, 20, 10, &[0, 0]), 4);
+    let json = d.to_json().canonical();
+    let parsed = Json::parse(&json).unwrap();
+    let Some(Json::Arr(rows)) = parsed.get("incidents") else {
+        panic!("incidents array missing");
+    };
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].get("severity"), Some(&Json::Str("warning".into())));
+    let soak_row = d.incidents()[0].to_soak_row();
+    assert_eq!(soak_row.field, "matrix/clean:metrics.fault.dropped");
+    assert_eq!(soak_row.first_seen_tick, 4);
+    assert_eq!(soak_row.count, 1);
+}

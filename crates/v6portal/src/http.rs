@@ -3,20 +3,39 @@
 /// A parsed HTTP request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HttpRequest {
-    /// Method (only GET is used).
+    /// Method (GET, or POST for the lab daemon's job API).
     pub method: String,
     /// Request path including any query string.
     pub path: String,
     /// `Host:` header (virtual-host routing key).
     pub host: String,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: String,
+}
+
+/// Byte offset of the end of the header block, if complete.
+fn head_end(raw: &[u8]) -> Option<usize> {
+    raw.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// `Content-Length` value from a header block (0 when absent).
+fn content_length(head: &str) -> usize {
+    for line in head.lines() {
+        if let Some((k, v)) = line.split_once(':') {
+            if k.eq_ignore_ascii_case("content-length") {
+                return v.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    0
 }
 
 impl HttpRequest {
     /// Parse a request out of raw bytes. Returns `None` until the header
-    /// block is complete.
+    /// block — and any `Content-Length` body — is complete.
     pub fn parse(raw: &[u8]) -> Option<HttpRequest> {
-        let text = core::str::from_utf8(raw).ok()?;
-        let head = text.split_once("\r\n\r\n")?.0;
+        let head_len = head_end(raw)?;
+        let head = core::str::from_utf8(&raw[..head_len]).ok()?;
         let mut lines = head.lines();
         let request_line = lines.next()?;
         let mut parts = request_line.split_whitespace();
@@ -30,12 +49,58 @@ impl HttpRequest {
                 }
             }
         }
-        Some(HttpRequest { method, path, host })
+        let want = content_length(head);
+        let rest = &raw[head_len + 4..];
+        if rest.len() < want {
+            return None;
+        }
+        let body = core::str::from_utf8(&rest[..want]).ok()?.to_string();
+        Some(HttpRequest {
+            method,
+            path,
+            host,
+            body,
+        })
     }
 
     /// Format the wire form of a GET.
     pub fn format_get(host: &str, path: &str) -> String {
         format!("GET {path} HTTP/1.1\r\nHost: {host}\r\n\r\n")
+    }
+
+    /// Format the wire form of a POST with a body.
+    pub fn format_post(host: &str, path: &str, body: &str) -> String {
+        format!(
+            "POST {path} HTTP/1.1\r\nHost: {host}\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+    }
+}
+
+/// A parsed HTTP response — the client side of the same subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Numeric status code from the status line.
+    pub status: u16,
+    /// Response body (complete per `Content-Length`).
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// Parse a response out of raw bytes. Returns `None` until the header
+    /// block and the full `Content-Length` body have arrived.
+    pub fn parse(raw: &[u8]) -> Option<HttpResponse> {
+        let head_len = head_end(raw)?;
+        let head = core::str::from_utf8(&raw[..head_len]).ok()?;
+        let status_line = head.lines().next()?;
+        let status = status_line.split_whitespace().nth(1)?.parse().ok()?;
+        let want = content_length(head);
+        let rest = &raw[head_len + 4..];
+        if rest.len() < want {
+            return None;
+        }
+        let body = core::str::from_utf8(&rest[..want]).ok()?.to_string();
+        Some(HttpResponse { status, body })
     }
 }
 
@@ -43,8 +108,11 @@ impl HttpRequest {
 pub fn format_response(status: u16, body: &str) -> String {
     let reason = match status {
         200 => "OK",
+        202 => "Accepted",
         302 => "Found",
+        400 => "Bad Request",
         404 => "Not Found",
+        405 => "Method Not Allowed",
         _ => "Status",
     };
     format!(
@@ -64,6 +132,7 @@ mod tests {
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/");
         assert_eq!(req.host, "ip6.me");
+        assert_eq!(req.body, "");
     }
 
     #[test]
@@ -72,11 +141,31 @@ mod tests {
     }
 
     #[test]
+    fn post_body_roundtrip_and_partial_body_waits() {
+        let wire = HttpRequest::format_post("lab", "/jobs", "{\"kind\":\"matrix\"}");
+        let req = HttpRequest::parse(wire.as_bytes()).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.body, "{\"kind\":\"matrix\"}");
+        // Truncate mid-body: the parser must keep waiting.
+        assert!(HttpRequest::parse(&wire.as_bytes()[..wire.len() - 3]).is_none());
+    }
+
+    #[test]
     fn response_format() {
         let r = format_response(200, "hello");
         assert!(r.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(r.ends_with("\r\n\r\nhello"));
         assert!(r.contains("Content-Length: 5"));
+    }
+
+    #[test]
+    fn response_roundtrip_and_partial_waits() {
+        let wire = format_response(404, "no such job");
+        let resp = HttpResponse::parse(wire.as_bytes()).unwrap();
+        assert_eq!(resp.status, 404);
+        assert_eq!(resp.body, "no such job");
+        assert!(HttpResponse::parse(&wire.as_bytes()[..wire.len() - 2]).is_none());
     }
 
     #[test]

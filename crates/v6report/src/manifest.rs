@@ -47,8 +47,9 @@ pub fn canonical_population() -> PopulationSpec {
     PopulationSpec::paper_default(CANONICAL_BASE_SEED, CANONICAL_POPULATION_SIZE)
 }
 
-/// FNV-1a over arbitrary text — the per-cell metrics digest.
-fn fnv1a(text: &str) -> u64 {
+/// FNV-1a over arbitrary text — the per-cell metrics digest, also used
+/// by the lab daemon to fingerprint stored manifests in soak summaries.
+pub fn fnv1a(text: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in text.bytes() {
         h ^= u64::from(b);
@@ -89,6 +90,56 @@ impl MatrixSpec {
     pub fn scenarios(&self) -> Vec<Scenario> {
         Scenario::matrix_with_fault(self.base_seed, self.fault)
     }
+}
+
+/// One completed job in a soak summary — what the lab daemon ran and
+/// the digest of the manifest it stored for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoakJobRow {
+    /// Daemon-assigned job id (submission order).
+    pub id: u64,
+    /// Job kind (`matrix` or `population`).
+    pub kind: String,
+    /// Human label (fault variant, or `population/<size>`).
+    pub label: String,
+    /// Cells the job executed.
+    pub cells: u64,
+    /// FNV-1a digest of the job's canonical manifest bytes.
+    pub manifest_digest: u64,
+}
+
+/// One (deduplicated) incident in a soak summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoakIncidentRow {
+    /// `warning` or `critical`.
+    pub severity: String,
+    /// Manifest field path whose delta tripped the detector.
+    pub field: String,
+    /// Human-readable explanation with the observed delta.
+    pub detail: String,
+    /// Virtual tick of the first occurrence.
+    pub first_seen_tick: u64,
+    /// How many times the same incident recurred (dedup counter).
+    pub count: u64,
+}
+
+/// Everything a `soak` manifest describes: the jobs a lab-daemon soak
+/// executed under the virtual clock, the incidents its detector raised,
+/// and the merged virtual-time latency sketch across all job cells.
+/// All of it is deterministic — wall-clock soak figures belong in
+/// `BENCH_engine.json`, not here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoakSummary {
+    /// Base seed the soak's jobs were derived from.
+    pub base_seed: u64,
+    /// Virtual ticks the scheduler advanced through.
+    pub ticks: u64,
+    /// Completed jobs, in execution order.
+    pub jobs: Vec<SoakJobRow>,
+    /// Deduplicated incidents, in first-seen order.
+    pub incidents: Vec<SoakIncidentRow>,
+    /// Merged per-cell completion-time sketch (virtual micros).
+    pub latency: LatencySketch,
 }
 
 /// A canonical run manifest: a [`Json`] tree that only ever contains
@@ -156,6 +207,63 @@ impl RunManifest {
         RunManifest(root)
     }
 
+    /// Build a `soak` manifest from a lab-daemon soak summary. Every
+    /// field is a pure function of the virtual clock and the job seeds,
+    /// so the committed `reports/soak_smoke.json` golden is exact.
+    pub fn from_soak(summary: &SoakSummary) -> RunManifest {
+        let mut config = Json::obj();
+        config.set("base_seed", Json::U64(summary.base_seed));
+        config.set("ticks", Json::U64(summary.ticks));
+        config.set("jobs", Json::U64(summary.jobs.len() as u64));
+
+        let jobs = summary
+            .jobs
+            .iter()
+            .map(|j| {
+                let mut row = Json::obj();
+                row.set("id", Json::U64(j.id));
+                row.set("kind", Json::Str(j.kind.clone()));
+                row.set("label", Json::Str(j.label.clone()));
+                row.set("cells", Json::U64(j.cells));
+                row.set("manifest_digest", hex(j.manifest_digest));
+                row
+            })
+            .collect();
+
+        let incidents = summary
+            .incidents
+            .iter()
+            .map(|i| {
+                let mut row = Json::obj();
+                row.set("severity", Json::Str(i.severity.clone()));
+                row.set("field", Json::Str(i.field.clone()));
+                row.set("detail", Json::Str(i.detail.clone()));
+                row.set("first_seen_tick", Json::U64(i.first_seen_tick));
+                row.set("count", Json::U64(i.count));
+                row
+            })
+            .collect();
+
+        let pct = summary.latency.percentiles();
+        let mut latency = Json::obj();
+        latency.set("count", Json::U64(summary.latency.count));
+        latency.set("min", Json::U64(summary.latency.min));
+        latency.set("max", Json::U64(summary.latency.max));
+        latency.set("p50", Json::U64(pct.p50));
+        latency.set("p90", Json::U64(pct.p90));
+        latency.set("p99", Json::U64(pct.p99));
+        latency.set("digest", hex(summary.latency.digest()));
+
+        let mut root = Json::obj();
+        root.set("schema", Json::U64(SCHEMA_VERSION));
+        root.set("kind", Json::Str("soak".into()));
+        root.set("config", config);
+        root.set("jobs", Json::Arr(jobs));
+        root.set("incidents", Json::Arr(incidents));
+        root.set("latency", latency);
+        RunManifest(root)
+    }
+
     /// Normalize a raw `BENCH_engine.json` (as written by
     /// `examples/bench_report.rs`) into the canonical bench manifest:
     /// deterministic workload structure under `structure`, wall-clock
@@ -197,6 +305,12 @@ impl RunManifest {
             );
         }
 
+        // Likewise the service-soak row, written by `just soak`
+        // (examples/load_gen.rs) once the daemon has been hammered.
+        if v.get("service_soak").is_some() {
+            structure.set("service_soak_requests", num(&["service_soak", "requests"])?);
+        }
+
         let mut timings = Json::obj();
         let mut engine = Json::obj();
         let mut fleet = Json::obj();
@@ -213,6 +327,13 @@ impl RunManifest {
                 num(&["population_census", "scenarios_per_sec"])?,
             );
         }
+        if v.get("service_soak").is_some() {
+            let mut soak = Json::obj();
+            for field in ["p50_us", "p90_us", "p99_us", "requests_per_sec"] {
+                soak.set(field, num(&["service_soak", field])?);
+            }
+            timings.set("service_soak", soak);
+        }
 
         let mut root = Json::obj();
         root.set("schema", Json::U64(SCHEMA_VERSION));
@@ -228,8 +349,8 @@ impl RunManifest {
         RunManifest(v)
     }
 
-    /// The manifest's `kind` field (`fleet-matrix`, `population`, or
-    /// `bench`).
+    /// The manifest's `kind` field (`fleet-matrix`, `population`,
+    /// `soak`, or `bench`).
     pub fn kind(&self) -> &str {
         match self.0.get("kind") {
             Some(Json::Str(s)) => s,

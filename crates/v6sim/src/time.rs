@@ -26,6 +26,12 @@ impl SimTime {
         SimTime(us * 1_000)
     }
 
+    /// From raw nanoseconds — the identity, named for call-site clarity
+    /// when a tick count crosses an API boundary.
+    pub const fn from_nanos(ns: u64) -> SimTime {
+        SimTime(ns)
+    }
+
     /// Whole seconds (truncating) — what the DNS/DHCP/NAT64 engines use for
     /// TTL and lease arithmetic.
     pub const fn as_secs(self) -> u64 {
@@ -40,6 +46,11 @@ impl SimTime {
     /// Whole microseconds (truncating).
     pub const fn as_micros(self) -> u64 {
         self.0 / 1_000
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
     }
 
     /// Saturating difference.

@@ -227,6 +227,14 @@ impl OsProfileId {
     pub fn all() -> impl Iterator<Item = OsProfileId> {
         (0..os_profiles().len() as u16).map(OsProfileId)
     }
+
+    /// Look an id up by profile display name — the inverse of
+    /// [`OsProfileId::name`], used when a name arrives over the wire
+    /// (e.g. a lab-daemon job spec) and must resolve to the interned
+    /// table or be rejected.
+    pub fn by_name(name: &str) -> Option<OsProfileId> {
+        OsProfileId::all().find(|id| id.name() == name)
+    }
 }
 
 /// A fully table-driven cell: every dimension is a `Copy` index or
@@ -374,6 +382,19 @@ impl Scenario {
             self.os.name,
             self.seed
         )
+    }
+
+    /// The compact table-driven form of this scenario — the inverse of
+    /// [`CellSpec::to_scenario`]. `None` when the OS profile is not in
+    /// the interned table (a hand-built profile has no id).
+    pub fn cell_spec(&self) -> Option<CellSpec> {
+        Some(CellSpec {
+            os: OsProfileId::by_name(&self.os.name)?,
+            topology: self.topology,
+            poison: self.poison,
+            fault: self.fault,
+            seed: self.seed,
+        })
     }
 
     /// Stable 64-bit digest of the scenario's configuration — every

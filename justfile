@@ -94,3 +94,29 @@ bench-smoke:
 # change (review the fixture diff!).
 bless-traces:
     BLESS_TRACES=1 cargo test -q --test golden_trace
+
+# Run the v6labd daemon in the foreground (SIGTERM / POST /shutdown
+# stops it). Port 0 picks an ephemeral port; pass one to pin it.
+serve port="8925":
+    cargo run --release -p v6labd -- serve --port {{port}} --threads 2
+
+# Soak the service: boot an in-process daemon, hammer the portal-scoring
+# HTTP path, and record latency percentiles as the service_soak row in
+# BENCH_engine.json.
+soak:
+    cargo run --release --example load_gen -- --requests 2000 --clients 4 --bench BENCH_engine.json
+
+# The daemon's own suite: cron/scheduler property tests, detector
+# thresholds, the deterministic soak golden, and the end-to-end HTTP
+# lifecycle tests.
+labd:
+    cargo test -p v6labd -q
+
+# Full service lifecycle over real HTTP + SIGTERM (what CI runs).
+service-smoke:
+    bash scripts/service_smoke.sh
+
+# Regenerate the committed soak golden (reports/soak_smoke.json) after
+# a deliberate behaviour change (review the fixture diff!).
+bless-soak:
+    cargo run --release -p v6labd -- soak --write reports/soak_smoke.json
