@@ -123,7 +123,7 @@ impl Rcode {
         }
     }
 
-    fn from_u8(v: u8) -> Self {
+    pub(crate) fn from_u8(v: u8) -> Self {
         match v {
             0 => Rcode::NoError,
             1 => Rcode::FormErr,
@@ -321,7 +321,7 @@ impl Message {
     /// Serialize to wire bytes with name compression.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(128);
-        let mut offsets: HashMap<DnsName, u16> = HashMap::new();
+        let mut offsets: HashMap<&[String], u16> = HashMap::new();
         out.extend_from_slice(&self.id.to_be_bytes());
         let mut b2 = 0u8;
         if self.is_response {
@@ -408,13 +408,13 @@ impl Message {
     }
 }
 
-fn read_u8(buf: &[u8], pos: &mut usize) -> Result<u8, DnsError> {
+pub(crate) fn read_u8(buf: &[u8], pos: &mut usize) -> Result<u8, DnsError> {
     let v = *buf.get(*pos).ok_or(DnsError::Truncated("u8"))?;
     *pos += 1;
     Ok(v)
 }
 
-fn read_u16(buf: &[u8], pos: &mut usize) -> Result<u16, DnsError> {
+pub(crate) fn read_u16(buf: &[u8], pos: &mut usize) -> Result<u16, DnsError> {
     if *pos + 2 > buf.len() {
         return Err(DnsError::Truncated("u16"));
     }
@@ -423,7 +423,7 @@ fn read_u16(buf: &[u8], pos: &mut usize) -> Result<u16, DnsError> {
     Ok(v)
 }
 
-fn read_u32(buf: &[u8], pos: &mut usize) -> Result<u32, DnsError> {
+pub(crate) fn read_u32(buf: &[u8], pos: &mut usize) -> Result<u32, DnsError> {
     if *pos + 4 > buf.len() {
         return Err(DnsError::Truncated("u32"));
     }
@@ -434,12 +434,18 @@ fn read_u32(buf: &[u8], pos: &mut usize) -> Result<u32, DnsError> {
 
 /// Encode `name`, emitting a compression pointer when any suffix of it has
 /// already been written (RFC 1035 §4.1.4).
-fn encode_name(out: &mut Vec<u8>, name: &DnsName, offsets: &mut HashMap<DnsName, u16>) {
+///
+/// The compression map is keyed by borrowed label slices: a suffix is just
+/// `&labels[i..]` of a name the message already owns, so tracking it
+/// allocates nothing. Because `DnsName` canonicalizes to lower case at
+/// construction, slice equality is exactly DNS name equality, and the
+/// first-occurrence pointer targets (hence the emitted bytes) are identical
+/// to the historic owned-key implementation.
+fn encode_name<'n>(out: &mut Vec<u8>, name: &'n DnsName, offsets: &mut HashMap<&'n [String], u16>) {
     let labels = name.labels();
     for i in 0..labels.len() {
-        let suffix =
-            DnsName::from_labels(labels[i..].iter()).expect("suffix of valid name is valid");
-        if let Some(&off) = offsets.get(&suffix) {
+        let suffix = &labels[i..];
+        if let Some(&off) = offsets.get(suffix) {
             out.extend_from_slice(&(0xc000 | off).to_be_bytes());
             return;
         }
@@ -493,14 +499,28 @@ fn decode_name(buf: &[u8], pos: &mut usize) -> Result<DnsName, DnsError> {
         if cursor + len > buf.len() {
             return Err(DnsError::Truncated("label"));
         }
-        labels.push(String::from_utf8_lossy(&buf[cursor..cursor + len]).into_owned());
+        // Labels must be ASCII: `DnsName` stores `String` labels, and a
+        // non-ASCII byte would inflate under lossy UTF-8 conversion,
+        // desynchronising string lengths from wire lengths (the borrowed
+        // `NameRef` path checks wire lengths only). Reject at the wire
+        // level so both decode paths apply the identical rule, then
+        // lower-case in a single allocation per label.
+        let bytes = &buf[cursor..cursor + len];
+        if let Some(&bad) = bytes.iter().find(|b| !b.is_ascii()) {
+            return Err(DnsError::BadField("label-byte", bad as u64));
+        }
+        let mut label = bytes.to_vec();
+        label.make_ascii_lowercase();
+        labels.push(String::from_utf8(label).expect("ascii bytes are valid utf-8"));
         cursor += len;
     }
     *pos = end_pos;
-    DnsName::from_labels(labels).map_err(|_| DnsError::BadField("name", 0))
+    // Label lengths were validated during the walk (1..=63 per the 0xc0
+    // check); only the 255-octet total can still fail.
+    DnsName::from_lowercased_labels(labels).map_err(|_| DnsError::BadField("name", 0))
 }
 
-fn encode_record(out: &mut Vec<u8>, r: &Record, offsets: &mut HashMap<DnsName, u16>) {
+fn encode_record<'n>(out: &mut Vec<u8>, r: &'n Record, offsets: &mut HashMap<&'n [String], u16>) {
     encode_name(out, &r.name, offsets);
     out.extend_from_slice(&r.data.rtype().to_u16().to_be_bytes());
     out.extend_from_slice(&1u16.to_be_bytes()); // class IN

@@ -24,6 +24,7 @@ pub mod poison;
 pub mod reverse;
 pub mod server;
 pub mod stub;
+pub mod view;
 pub mod zone;
 
 pub use codec::{Message, Question, RData, RType, Rcode, Record};
@@ -31,4 +32,5 @@ pub use dns64::Dns64;
 pub use name::DnsName;
 pub use poison::{PoisonPolicy, PoisonedResolver};
 pub use server::{CachingResolver, GlobalDns, Resolver};
+pub use view::{MessageView, NameRef, RDataRef, RecordRef};
 pub use zone::{Zone, ZoneLookup};

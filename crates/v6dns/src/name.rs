@@ -60,6 +60,22 @@ impl DnsName {
         Ok(DnsName { labels: out })
     }
 
+    /// Build from labels the caller has already lower-cased and
+    /// length-checked per label (1..=63 octets each) — the wire-decode fast
+    /// path, which validates label lengths during the walk. Only the total
+    /// 255-octet bound is re-checked here; the labels are adopted without
+    /// another copy.
+    pub(crate) fn from_lowercased_labels(labels: Vec<String>) -> Result<DnsName, NameError> {
+        debug_assert!(labels
+            .iter()
+            .all(|l| !l.is_empty() && l.len() <= 63 && !l.bytes().any(|b| b.is_ascii_uppercase())));
+        let total = 1 + labels.iter().map(|l| l.len() + 1).sum::<usize>();
+        if total > 255 {
+            return Err(NameError::TooLong(total));
+        }
+        Ok(DnsName { labels })
+    }
+
     /// The labels, most-specific first.
     pub fn labels(&self) -> &[String] {
         &self.labels

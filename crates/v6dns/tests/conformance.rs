@@ -1,0 +1,449 @@
+//! Differential codec-conformance suite: the borrowed [`MessageView`] layer
+//! against the owned [`Message`] codec, over the committed corpus in
+//! `tests/corpus/` plus proptest-generated messages.
+//!
+//! Invariants proven here:
+//!
+//! 1. **Parse equality** — on every input, `Message::decode` and
+//!    `MessageView::parse` accept or reject together; on accept,
+//!    `view.to_message()` equals the owned decode.
+//! 2. **Error identity** — on reject, both return the same `DnsError` value,
+//!    for every truncation point, every single-byte corruption, and the
+//!    hand-built RFC 1035 pathologies (pointer loops, forward pointers,
+//!    reserved label flags, hop-count blowups, >255-octet names).
+//! 3. **Byte-identical re-emission** — `decode(bytes).encode() == bytes` and
+//!    `MessageView::parse(bytes).to_message().encode() == bytes` for every
+//!    corpus and generated message (the encoder is canonical: lowercase
+//!    names, greedy backward compression).
+
+use proptest::prelude::*;
+use v6dns::codec::DnsError;
+use v6dns::{DnsName, Message, MessageView, Question, RData, RType, Rcode, Record};
+
+const GOOD_MESSAGES: &[(&str, &[u8])] = &[
+    (
+        "query_a",
+        include_bytes!("../../../tests/corpus/dns_query_a.bin"),
+    ),
+    (
+        "dns64_response",
+        include_bytes!("../../../tests/corpus/dns_dns64_response.bin"),
+    ),
+    (
+        "poisoned_a",
+        include_bytes!("../../../tests/corpus/dns_poisoned_a.bin"),
+    ),
+    (
+        "all_rtypes",
+        include_bytes!("../../../tests/corpus/dns_all_rtypes.bin"),
+    ),
+];
+
+const BAD_MESSAGES: &[(&str, &[u8])] = &[
+    (
+        "bad_truncated",
+        include_bytes!("../../../tests/corpus/dns_bad_truncated.bin"),
+    ),
+    (
+        "bad_pointer_loop",
+        include_bytes!("../../../tests/corpus/dns_bad_pointer_loop.bin"),
+    ),
+];
+
+/// Both decode paths applied to the same bytes, results compared. Returns
+/// the owned decode when both accept.
+fn differential(raw: &[u8]) -> Option<Message> {
+    let owned = Message::decode(raw);
+    let view = MessageView::parse(raw);
+    match (&owned, &view) {
+        (Ok(o), Ok(v)) => assert_eq!(*o, v.to_message(), "decode divergence"),
+        (Err(oe), Err(ve)) => assert_eq!(oe, ve, "error divergence"),
+        _ => panic!(
+            "accept/reject divergence: owned {:?} vs view {:?}",
+            owned.as_ref().err(),
+            view.as_ref().err()
+        ),
+    }
+    owned.ok()
+}
+
+#[test]
+fn corpus_good_messages_decode_identically_and_reemit() {
+    for (name, raw) in GOOD_MESSAGES {
+        let msg = differential(raw).unwrap_or_else(|| panic!("{name}: corpus message rejected"));
+        // The owned encoder is canonical, so a decode → encode round trip
+        // must reproduce the committed bytes exactly — from both paths.
+        assert_eq!(&msg.encode(), raw, "{name}: owned re-emission drifted");
+        let via_view = MessageView::parse(raw).unwrap().to_message().encode();
+        assert_eq!(&via_view, raw, "{name}: view re-emission drifted");
+    }
+}
+
+#[test]
+fn corpus_bad_messages_fail_identically() {
+    for (name, raw) in BAD_MESSAGES {
+        assert!(
+            differential(raw).is_none(),
+            "{name}: adversarial corpus message unexpectedly decoded"
+        );
+    }
+    // Pin the documented failure modes.
+    assert!(matches!(
+        Message::decode(BAD_MESSAGES[0].1),
+        Err(DnsError::Truncated(_))
+    ));
+    assert_eq!(
+        Message::decode(BAD_MESSAGES[1].1),
+        Err(DnsError::BadPointer(12))
+    );
+}
+
+#[test]
+fn corpus_adversarial_messages_derive_from_their_sources() {
+    // Pin the provenance documented in tests/corpus/README.md.
+    let (_, all_rtypes) = GOOD_MESSAGES[3];
+    let cut = all_rtypes.len() * 2 / 3;
+    assert_eq!(BAD_MESSAGES[0].1, &all_rtypes[..cut]);
+    let query = Message::query(
+        1,
+        Question::new(DnsName::from_labels(["x"]).unwrap(), RType::A),
+    );
+    let mut looped = query.encode();
+    looped[12] = 0xc0; // question name → pointer to itself (offset 12)
+    looped[13] = 12;
+    assert_eq!(BAD_MESSAGES[1].1, &looped[..]);
+}
+
+#[test]
+fn corpus_truncation_sweep_errors_identically() {
+    for (_, raw) in GOOD_MESSAGES.iter().chain(BAD_MESSAGES) {
+        for cut in 0..raw.len() {
+            let _ = differential(&raw[..cut]);
+        }
+    }
+}
+
+#[test]
+fn corpus_corruption_sweep_errors_identically() {
+    for (_, raw) in GOOD_MESSAGES {
+        let mut work = raw.to_vec();
+        for i in 0..work.len() {
+            for flip in [0x01, 0x80, 0xc0, 0xff] {
+                work[i] ^= flip;
+                let _ = differential(&work);
+                work[i] ^= flip;
+            }
+        }
+    }
+}
+
+/// Build a raw message by hand: header with the given counts, then `body`.
+fn raw_message(qd: u16, an: u16, body: &[u8]) -> Vec<u8> {
+    let mut out = vec![0x12, 0x34, 0x01, 0x00];
+    out.extend_from_slice(&qd.to_be_bytes());
+    out.extend_from_slice(&an.to_be_bytes());
+    out.extend_from_slice(&[0, 0, 0, 0]); // ns, ar
+    out.extend_from_slice(body);
+    out
+}
+
+#[test]
+fn forward_pointer_rejected_identically() {
+    // Question name is a pointer to a target *after* the cursor — forbidden
+    // (only backward pointers terminate).
+    let msg = raw_message(1, 0, &[0xc0, 0x20, 0, 1, 0, 1]);
+    assert!(differential(&msg).is_none());
+    assert_eq!(Message::decode(&msg), Err(DnsError::BadPointer(0x20)));
+}
+
+#[test]
+fn reserved_label_flags_rejected_identically() {
+    // 0x40 and 0x80 length prefixes are reserved (RFC 1035 §4.1.4 only
+    // defines 0b00 and 0b11).
+    for flag in [0x40u8, 0x80] {
+        let msg = raw_message(1, 0, &[flag, b'a', 0, 0, 1, 0, 1]);
+        assert!(differential(&msg).is_none());
+        assert_eq!(
+            Message::decode(&msg),
+            Err(DnsError::BadField("label-length", flag as u64))
+        );
+    }
+}
+
+#[test]
+fn pointer_hop_blowup_rejected_identically() {
+    // A backward chain of >64 pointers, hidden in an unknown-type rdata so
+    // the chain bytes themselves are never interpreted as labels. A second
+    // record's CNAME rdata enters the chain at its far end.
+    const HOPS: usize = 70;
+    let mut body = Vec::new();
+    // Record 1: root name, type 999 (opaque), rdata = root label + chain.
+    body.extend_from_slice(&[0x00]); // name: root
+    body.extend_from_slice(&999u16.to_be_bytes());
+    body.extend_from_slice(&1u16.to_be_bytes()); // class IN
+    body.extend_from_slice(&0u32.to_be_bytes()); // ttl
+    let rdata_start = 12 + body.len() + 2; // absolute offset of rdata[0]
+    body.extend_from_slice(&((1 + 2 * HOPS) as u16).to_be_bytes());
+    body.push(0x00); // chain terminus: a root label
+    let mut prev = rdata_start; // each pointer targets the byte before it
+    for i in 0..HOPS {
+        let here = rdata_start + 1 + 2 * i;
+        body.push(0xc0 | (prev >> 8) as u8);
+        body.push(prev as u8);
+        prev = here;
+    }
+    // Record 2: root name, CNAME whose rdata enters the chain at `prev`.
+    body.extend_from_slice(&[0x00]);
+    body.extend_from_slice(&RType::Cname.to_u16().to_be_bytes());
+    body.extend_from_slice(&1u16.to_be_bytes());
+    body.extend_from_slice(&0u32.to_be_bytes());
+    body.extend_from_slice(&2u16.to_be_bytes());
+    body.push(0xc0 | (prev >> 8) as u8);
+    body.push(prev as u8);
+
+    let msg = raw_message(0, 2, &body);
+    assert!(differential(&msg).is_none());
+    assert!(
+        matches!(Message::decode(&msg), Err(DnsError::BadPointer(_))),
+        "expected hop-limit BadPointer, got {:?}",
+        Message::decode(&msg)
+    );
+
+    // Control: a chain just under the hop limit decodes on both paths.
+    let mut short = Vec::new();
+    short.extend_from_slice(&[0x00]);
+    short.extend_from_slice(&999u16.to_be_bytes());
+    short.extend_from_slice(&1u16.to_be_bytes());
+    short.extend_from_slice(&0u32.to_be_bytes());
+    let rdata_start = 12 + short.len() + 2;
+    const OK_HOPS: usize = 60;
+    short.extend_from_slice(&((1 + 2 * OK_HOPS) as u16).to_be_bytes());
+    short.push(0x00);
+    let mut prev = rdata_start;
+    for i in 0..OK_HOPS {
+        let here = rdata_start + 1 + 2 * i;
+        short.push(0xc0 | (prev >> 8) as u8);
+        short.push(prev as u8);
+        prev = here;
+    }
+    short.extend_from_slice(&[0x00]);
+    short.extend_from_slice(&RType::Cname.to_u16().to_be_bytes());
+    short.extend_from_slice(&1u16.to_be_bytes());
+    short.extend_from_slice(&0u32.to_be_bytes());
+    short.extend_from_slice(&2u16.to_be_bytes());
+    short.push(0xc0 | (prev >> 8) as u8);
+    short.push(prev as u8);
+    let ok_msg = raw_message(0, 2, &short);
+    let decoded = differential(&ok_msg).expect("sub-limit chain must decode");
+    assert_eq!(decoded.answers[1].data, RData::Cname(DnsName::root()));
+}
+
+#[test]
+fn oversized_name_rejected_identically() {
+    // Four maximal labels: 4 × (1 + 63) + 1 root = 257 octets > 255.
+    let mut body = Vec::new();
+    for _ in 0..4 {
+        body.push(63);
+        body.extend_from_slice(&[b'x'; 63]);
+    }
+    body.extend_from_slice(&[0x00, 0, 1, 0, 1]);
+    let msg = raw_message(1, 0, &body);
+    assert!(differential(&msg).is_none());
+    assert_eq!(Message::decode(&msg), Err(DnsError::BadField("name", 0)));
+
+    // Control: three maximal labels (193 octets) decode on both paths.
+    let mut body = Vec::new();
+    for _ in 0..3 {
+        body.push(63);
+        body.extend_from_slice(&[b'x'; 63]);
+    }
+    body.extend_from_slice(&[0x00, 0, 1, 0, 1]);
+    let msg = raw_message(1, 0, &body);
+    let decoded = differential(&msg).expect("255-octet-max name must decode");
+    assert_eq!(decoded.questions[0].name.label_count(), 3);
+}
+
+#[test]
+fn txt_char_string_overrun_rejected_identically() {
+    // TXT rdata whose inner length byte points past rdata_end.
+    let mut body = Vec::new();
+    body.extend_from_slice(&[0x00]); // name: root
+    body.extend_from_slice(&RType::Txt.to_u16().to_be_bytes());
+    body.extend_from_slice(&1u16.to_be_bytes());
+    body.extend_from_slice(&0u32.to_be_bytes());
+    body.extend_from_slice(&3u16.to_be_bytes()); // rdlen 3
+    body.extend_from_slice(&[10, b'a', b'b']); // claims 10, only 2 present
+    let msg = raw_message(0, 1, &body);
+    assert!(differential(&msg).is_none());
+    assert_eq!(Message::decode(&msg), Err(DnsError::Truncated("txt")));
+}
+
+#[test]
+fn bad_address_rdlen_rejected_identically() {
+    for (rtype, rdlen, what) in [(RType::A, 5u16, "a-rdlen"), (RType::Aaaa, 15, "aaaa-rdlen")] {
+        let mut body = Vec::new();
+        body.extend_from_slice(&[0x00]);
+        body.extend_from_slice(&rtype.to_u16().to_be_bytes());
+        body.extend_from_slice(&1u16.to_be_bytes());
+        body.extend_from_slice(&0u32.to_be_bytes());
+        body.extend_from_slice(&rdlen.to_be_bytes());
+        body.resize(body.len() + rdlen as usize, 0);
+        let msg = raw_message(0, 1, &body);
+        assert!(differential(&msg).is_none());
+        assert_eq!(
+            Message::decode(&msg),
+            Err(DnsError::BadField(what, rdlen as u64))
+        );
+    }
+}
+
+const LABEL_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-";
+
+fn arb_label() -> impl Strategy<Value = String> {
+    prop_oneof![
+        proptest::collection::vec(prop::sample::select(LABEL_CHARS.to_vec()), 1..13)
+            .prop_map(|cs| cs.into_iter().map(char::from).collect()),
+        Just("x".repeat(63)),
+    ]
+}
+
+fn arb_name() -> impl Strategy<Value = DnsName> {
+    proptest::collection::vec(arb_label(), 0..4).prop_map(|labels| {
+        // Drop trailing labels if the total would exceed 255 octets (only
+        // possible with multiple 63-octet labels).
+        let mut ls = labels;
+        loop {
+            match DnsName::from_labels(ls.clone()) {
+                Ok(n) => return n,
+                Err(_) => {
+                    ls.pop();
+                }
+            }
+        }
+    })
+}
+
+fn arb_rdata() -> impl Strategy<Value = RData> {
+    prop_oneof![
+        any::<u32>().prop_map(|v| RData::A(std::net::Ipv4Addr::from(v))),
+        any::<u128>().prop_map(|v| RData::Aaaa(std::net::Ipv6Addr::from(v))),
+        arb_name().prop_map(RData::Cname),
+        arb_name().prop_map(RData::Ns),
+        arb_name().prop_map(RData::Ptr),
+        (any::<u16>(), arb_name()).prop_map(|(preference, exchange)| RData::Mx {
+            preference,
+            exchange
+        }),
+        proptest::collection::vec(arb_label(), 1..3).prop_map(RData::Txt),
+        (arb_name(), arb_name(), any::<u32>()).prop_map(|(mname, rname, serial)| RData::Soa {
+            mname,
+            rname,
+            serial,
+            refresh: 7200,
+            retry: 900,
+            expire: 86400,
+            minimum: 300,
+        }),
+        (256u16.., proptest::collection::vec(any::<u8>(), 0..16))
+            .prop_map(|(t, d)| RData::Raw(t, d)),
+    ]
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        any::<u16>(),
+        arb_label(),
+        arb_name(),
+        proptest::collection::vec(arb_rdata(), 0..5),
+        any::<bool>(),
+        0u8..6,
+    )
+        .prop_map(|(id, host, suffix, rdatas, authoritative, rcode)| {
+            // All names share a suffix so the encoder's compression map and
+            // the view's pointer walk both get exercised on every case.
+            let qname = DnsName::from_labels([host])
+                .unwrap()
+                .with_suffix(&suffix)
+                .unwrap_or(suffix.clone());
+            let mut msg = Message::query(id, Question::new(qname.clone(), RType::Aaaa));
+            msg.is_response = true;
+            msg.authoritative = authoritative;
+            msg.rcode = Rcode::from_u16_lossy(rcode as u16);
+            for (i, data) in rdatas.into_iter().enumerate() {
+                let rec = Record::new(qname.clone(), 60 * (i as u32 + 1), data);
+                match i % 3 {
+                    0 => msg.answers.push(rec),
+                    1 => msg.authorities.push(rec),
+                    _ => msg.additionals.push(rec),
+                }
+            }
+            msg
+        })
+}
+
+/// Map 0..6 onto real rcodes without reaching into codec internals.
+trait RcodeLossy {
+    fn from_u16_lossy(v: u16) -> Rcode;
+}
+impl RcodeLossy for Rcode {
+    fn from_u16_lossy(v: u16) -> Rcode {
+        match v {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            4 => Rcode::NotImp,
+            _ => Rcode::Refused,
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn generated_messages_roundtrip_identically(msg in arb_message()) {
+        let bytes = msg.encode();
+        let decoded = differential(&bytes).expect("canonical encoding must decode");
+        prop_assert_eq!(&decoded, &msg);
+        prop_assert_eq!(decoded.encode(), bytes.clone());
+        prop_assert_eq!(
+            MessageView::parse(&bytes).unwrap().to_message().encode(),
+            bytes
+        );
+    }
+
+    #[test]
+    fn generated_names_roundtrip_with_casing_folded(labels in proptest::collection::vec(arb_label(), 0..4)) {
+        // Uppercase on the wire, lowercase after decode — both paths agree.
+        let lower = match DnsName::from_labels(labels) {
+            Ok(n) => n,
+            Err(_) => return, // >255 total: generation artefact, skip
+        };
+        let msg = Message::query(7, Question::new(lower.clone(), RType::A));
+        let mut bytes = msg.encode();
+        for b in &mut bytes[12..] {
+            b.make_ascii_uppercase();
+        }
+        let decoded = differential(&bytes).expect("uppercased name must decode");
+        prop_assert_eq!(&decoded.questions[0].name, &lower);
+    }
+
+    #[test]
+    fn generated_messages_truncate_identically(msg in arb_message(), cut in any::<prop::sample::Index>()) {
+        let bytes = msg.encode();
+        let at = cut.index(bytes.len());
+        let _ = differential(&bytes[..at]);
+    }
+
+    #[test]
+    fn generated_messages_corrupt_identically(msg in arb_message(), at in any::<prop::sample::Index>(), flip in 1u8..) {
+        let mut bytes = msg.encode();
+        let i = at.index(bytes.len());
+        bytes[i] ^= flip;
+        let _ = differential(&bytes);
+    }
+
+    #[test]
+    fn random_bytes_never_panic_and_agree(raw in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = differential(&raw);
+    }
+}

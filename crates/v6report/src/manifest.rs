@@ -335,6 +335,26 @@ impl RunManifest {
             timings.set("service_soak", soak);
         }
 
+        // And the zero-copy codec rows (owned-vs-view parse, checksum
+        // kernels, Full-trace ring vs its recorded baseline), written once
+        // the conformance-corpus benchmarks are part of bench_report.
+        if v.get("codec_zero_copy").is_some() {
+            structure.set(
+                "codec_corpus_inputs",
+                num(&["codec_zero_copy", "corpus_inputs"])?,
+            );
+            let mut codec = Json::obj();
+            for field in [
+                "wire_parse_speedup",
+                "dns_parse_speedup",
+                "checksum_swar_gb_per_s",
+                "full_trace_speedup",
+            ] {
+                codec.set(field, num(&["codec_zero_copy", field])?);
+            }
+            timings.set("codec_zero_copy", codec);
+        }
+
         let mut root = Json::obj();
         root.set("schema", Json::U64(SCHEMA_VERSION));
         root.set("kind", Json::Str("bench".into()));

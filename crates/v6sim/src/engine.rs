@@ -210,15 +210,31 @@ pub struct TraceEntry {
     pub len: usize,
     /// The fault layer removed this frame before delivery.
     pub fault_drop: bool,
-    /// One-line `v6wire` summary, captured eagerly in [`TraceMode::Full`]
-    /// only (`None` under [`TraceMode::Hops`]).
-    summary: Option<Box<str>>,
+    /// Frame bytes, captured in [`TraceMode::Full`] only (`None` under
+    /// [`TraceMode::Hops`]). The hot path pays one memcpy per hop; the
+    /// summary text is formatted lazily on first read. Memory is bounded by
+    /// [`Network::trace_limit`] × frame size.
+    frame: Option<Box<[u8]>>,
+    /// Lazily formatted one-line `v6wire` summary of `frame`.
+    summary: std::cell::OnceCell<Box<str>>,
 }
 
 impl TraceEntry {
-    /// The eager summary, if this hop was recorded in full mode.
+    /// The one-line summary, if this hop was recorded in full mode.
+    /// Formatted from the captured frame on first call, then cached, so
+    /// traces that are never read (the common case in sweeps) cost only
+    /// the byte copy.
     pub fn summary(&self) -> Option<&str> {
-        self.summary.as_deref()
+        let frame = self.frame.as_deref()?;
+        Some(self.summary.get_or_init(|| {
+            let s = v6wire::packet::summarize(frame);
+            let s = if self.fault_drop {
+                format!("FAULT-DROP {s}")
+            } else {
+                s
+            };
+            s.into_boxed_str()
+        }))
     }
 }
 
@@ -555,25 +571,19 @@ impl Network {
                     self.trace_suppressed += 1;
                     return;
                 }
-                let summary = match self.trace_mode {
-                    TraceMode::Full => {
-                        let s = v6wire::packet::summarize(frame);
-                        let s = if fault_drop {
-                            format!("FAULT-DROP {s}")
-                        } else {
-                            s
-                        };
-                        Some(s.into_boxed_str())
-                    }
+                let len = frame.len();
+                let frame = match self.trace_mode {
+                    TraceMode::Full => Some(Box::<[u8]>::from(frame)),
                     _ => None,
                 };
                 self.trace.push(TraceEntry {
                     at,
                     src,
                     dst,
-                    len: frame.len(),
+                    len,
                     fault_drop,
-                    summary,
+                    frame,
+                    summary: std::cell::OnceCell::new(),
                 });
             }
         }
@@ -698,7 +708,7 @@ impl Network {
             to: &self.names[e.dst],
             len: e.len,
             fault_drop: e.fault_drop,
-            summary: e.summary.as_deref(),
+            summary: e.summary(),
         })
     }
 

@@ -9,11 +9,16 @@
 //! * UDP ([`udp`]) and TCP segments ([`tcp`])
 //! * ICMPv4 ([`icmpv4`]) and ICMPv6 including the full NDP message set with
 //!   PIO / RDNSS / DNSSL / MTU options ([`icmpv6`], [`ndp`])
-//! * The internet checksum and v4/v6 pseudo-headers ([`checksum`])
+//! * The internet checksum and v4/v6 pseudo-headers ([`checksum`]), with a
+//!   runtime-dispatched scalar/SWAR kernel pair
+//! * Borrowed zero-copy frame views ([`view`]), differentially tested
+//!   against the owned decoders by `tests/conformance.rs`
 //!
 //! Every codec is a pure function over byte slices: `encode` appends to a
 //! `Vec<u8>`, `decode` borrows from a `&[u8]` and never allocates unless the
-//! parsed representation inherently owns data (e.g. a payload copy).
+//! parsed representation inherently owns data (e.g. a payload copy). The
+//! [`view`] layer drops even that copy: it parses to borrowed slices and
+//! converts to the owned structs only on demand.
 //!
 //! The higher layers (DNS, DHCP) own their own codecs in `v6dns` / `v6dhcp`
 //! and ride inside [`udp::UdpDatagram`] payloads.
@@ -33,6 +38,7 @@ pub mod ndp;
 pub mod packet;
 pub mod tcp;
 pub mod udp;
+pub mod view;
 
 pub use arp::{ArpOp, ArpPacket};
 pub use ethernet::{EtherType, EthernetFrame};
@@ -46,6 +52,7 @@ pub use ndp::{NdpOption, RouterAdvertisement, RouterPreference};
 pub use packet::{ParsedFrame, L3, L4};
 pub use tcp::{TcpFlags, TcpSegment};
 pub use udp::UdpDatagram;
+pub use view::{FrameView, L3View, L4View};
 
 /// Errors produced by any `v6wire` decoder.
 #[derive(Debug, Clone, PartialEq, Eq)]

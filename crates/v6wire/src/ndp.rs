@@ -31,7 +31,7 @@ impl RouterPreference {
         }
     }
 
-    fn from_bits(bits: u8) -> Self {
+    pub(crate) fn from_bits(bits: u8) -> Self {
         match bits & 0b11 {
             0b01 => RouterPreference::High,
             0b11 => RouterPreference::Low,

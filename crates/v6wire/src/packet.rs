@@ -13,6 +13,7 @@ use crate::ipv6::Ipv6Packet;
 use crate::mac::MacAddr;
 use crate::tcp::TcpSegment;
 use crate::udp::UdpDatagram;
+use crate::view::{FrameView, Icmp4View, Icmp6View, L3View, L4View, TcpView};
 use crate::{WireError, WireResult};
 use std::net::{Ipv4Addr, Ipv6Addr};
 
@@ -194,33 +195,38 @@ pub fn build_arp(src_mac: MacAddr, dst_mac: MacAddr, arp: &ArpPacket) -> Vec<u8>
 
 /// One-line human-readable summary of a frame for trace tooling:
 /// protocol, addresses, ports/types.
+///
+/// Parses through the borrowed [`FrameView`] layer, so the only allocation
+/// per call is the returned `String` — this is the engine's Full-trace hot
+/// path. Text is byte-identical to the historic owned-parse implementation
+/// (golden traces and the conformance suite both pin it).
 pub fn summarize(raw: &[u8]) -> String {
-    let parsed = match ParsedFrame::parse(raw) {
+    let parsed = match FrameView::parse(raw) {
         Ok(p) => p,
         Err(_) => return format!("corrupt: {}", classify(raw)),
     };
     match (&parsed.l3, &parsed.l4) {
-        (L3::Arp(a), _) => match a.op {
+        (L3View::Arp(a), _) => match a.op {
             crate::arp::ArpOp::Request => format!("ARP who-has {}", a.target_ip),
             crate::arp::ArpOp::Reply => format!("ARP {} is-at {}", a.sender_ip, a.sender_mac),
         },
-        (L3::V4(ip), L4::Udp(u)) => format!(
+        (L3View::V4(ip), L4View::Udp(u)) => format!(
             "IPv4 {}:{} > {}:{} UDP{}",
             ip.src,
             u.src_port,
             ip.dst,
             u.dst_port,
-            udp_hint(u)
+            udp_hint(u.src_port, u.dst_port)
         ),
-        (L3::V6(ip), L4::Udp(u)) => format!(
+        (L3View::V6(ip), L4View::Udp(u)) => format!(
             "IPv6 [{}]:{} > [{}]:{} UDP{}",
             ip.src,
             u.src_port,
             ip.dst,
             u.dst_port,
-            udp_hint(u)
+            udp_hint(u.src_port, u.dst_port)
         ),
-        (L3::V4(ip), L4::Tcp(t)) => format!(
+        (L3View::V4(ip), L4View::Tcp(t)) => format!(
             "IPv4 {}:{} > {}:{} TCP {}",
             ip.src,
             t.src_port,
@@ -228,7 +234,7 @@ pub fn summarize(raw: &[u8]) -> String {
             t.dst_port,
             tcp_flags(t)
         ),
-        (L3::V6(ip), L4::Tcp(t)) => format!(
+        (L3View::V6(ip), L4View::Tcp(t)) => format!(
             "IPv6 [{}]:{} > [{}]:{} TCP {}",
             ip.src,
             t.src_port,
@@ -236,28 +242,32 @@ pub fn summarize(raw: &[u8]) -> String {
             t.dst_port,
             tcp_flags(t)
         ),
-        (L3::V4(ip), L4::Icmp4(m)) => format!("IPv4 {} > {} {}", ip.src, ip.dst, icmp4_name(m)),
-        (L3::V6(ip), L4::Icmp6(m)) => {
+        (L3View::V4(ip), L4View::Icmp4(m)) => {
+            format!("IPv4 {} > {} {}", ip.src, ip.dst, icmp4_name(m))
+        }
+        (L3View::V6(ip), L4View::Icmp6(m)) => {
             format!("IPv6 [{}] > [{}] {}", ip.src, ip.dst, icmp6_name(m))
         }
-        (L3::V4(ip), L4::None) => format!("IPv4 {} > {} proto {}", ip.src, ip.dst, ip.protocol),
-        (L3::V6(ip), L4::None) => {
+        (L3View::V4(ip), L4View::None) => {
+            format!("IPv4 {} > {} proto {}", ip.src, ip.dst, ip.protocol)
+        }
+        (L3View::V6(ip), L4View::None) => {
             format!("IPv6 [{}] > [{}] nh {}", ip.src, ip.dst, ip.next_header)
         }
-        (L3::Other(et, _), _) => format!("ethertype {et:#06x}"),
+        (L3View::Other(et, _), _) => format!("ethertype {et:#06x}"),
         _ => "frame".to_string(),
     }
 }
 
-fn udp_hint(u: &UdpDatagram) -> &'static str {
-    match (u.src_port, u.dst_port) {
+fn udp_hint(src_port: u16, dst_port: u16) -> &'static str {
+    match (src_port, dst_port) {
         (_, 53) | (53, _) => " (DNS)",
         (68, 67) | (67, 68) => " (DHCP)",
         _ => "",
     }
 }
 
-fn tcp_flags(t: &TcpSegment) -> String {
+fn tcp_flags(t: &TcpView<'_>) -> String {
     let mut f = String::new();
     if t.flags.syn {
         f.push('S');
@@ -277,31 +287,33 @@ fn tcp_flags(t: &TcpSegment) -> String {
     format!("[{f}] len={}", t.payload.len())
 }
 
-fn icmp4_name(m: &Icmpv4Message) -> &'static str {
+fn icmp4_name(m: &Icmp4View<'_>) -> &'static str {
     match m {
-        Icmpv4Message::EchoRequest { .. } => "ICMP echo request",
-        Icmpv4Message::EchoReply { .. } => "ICMP echo reply",
-        Icmpv4Message::DestinationUnreachable { .. } => "ICMP unreachable",
-        Icmpv4Message::TimeExceeded { .. } => "ICMP time exceeded",
+        Icmp4View::EchoRequest { .. } => "ICMP echo request",
+        Icmp4View::EchoReply { .. } => "ICMP echo reply",
+        Icmp4View::DestinationUnreachable { .. } => "ICMP unreachable",
+        Icmp4View::TimeExceeded { .. } => "ICMP time exceeded",
     }
 }
 
-fn icmp6_name(m: &Icmpv6Message) -> &'static str {
+fn icmp6_name(m: &Icmp6View<'_>) -> &'static str {
     match m {
-        Icmpv6Message::EchoRequest { .. } => "ICMPv6 echo request",
-        Icmpv6Message::EchoReply { .. } => "ICMPv6 echo reply",
-        Icmpv6Message::DestinationUnreachable { .. } => "ICMPv6 unreachable",
-        Icmpv6Message::RouterSolicitation(_) => "NDP router solicitation",
-        Icmpv6Message::RouterAdvertisement(_) => "NDP router advertisement",
-        Icmpv6Message::NeighborSolicitation(_) => "NDP neighbor solicitation",
-        Icmpv6Message::NeighborAdvertisement(_) => "NDP neighbor advertisement",
+        Icmp6View::EchoRequest { .. } => "ICMPv6 echo request",
+        Icmp6View::EchoReply { .. } => "ICMPv6 echo reply",
+        Icmp6View::DestinationUnreachable { .. } => "ICMPv6 unreachable",
+        Icmp6View::RouterSolicitation { .. } => "NDP router solicitation",
+        Icmp6View::RouterAdvertisement(_) => "NDP router advertisement",
+        Icmp6View::NeighborSolicitation { .. } => "NDP neighbor solicitation",
+        Icmp6View::NeighborAdvertisement { .. } => "NDP neighbor advertisement",
     }
 }
 
 /// Corrupt-frame classification used by trace tooling: returns a short label
-/// for why `parse` failed, or "ok".
+/// for why `parse` failed, or "ok". Allocation-free: classifies through the
+/// borrowed view layer (whose errors are proven identical to the owned
+/// decoders' by the conformance suite).
 pub fn classify(raw: &[u8]) -> &'static str {
-    match ParsedFrame::parse(raw) {
+    match FrameView::parse(raw) {
         Ok(_) => "ok",
         Err(WireError::Truncated { what, .. }) => what,
         Err(WireError::BadField { what, .. }) => what,

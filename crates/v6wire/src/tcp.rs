@@ -80,7 +80,7 @@ impl TcpFlags {
             | (self.ack as u8) << 4
     }
 
-    fn from_byte(b: u8) -> Self {
+    pub(crate) fn from_byte(b: u8) -> Self {
         TcpFlags {
             fin: b & 0x01 != 0,
             syn: b & 0x02 != 0,

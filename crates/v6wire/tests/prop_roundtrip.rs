@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use std::net::{Ipv4Addr, Ipv6Addr};
 use v6wire::arp::ArpPacket;
-use v6wire::checksum::{checksum, incremental_update, Checksum};
+use v6wire::checksum::{checksum, incremental_update, pseudo_v4, pseudo_v6, Checksum};
 use v6wire::ethernet::{EtherType, EthernetFrame};
 use v6wire::icmpv4::Icmpv4Message;
 use v6wire::icmpv6::Icmpv6Message;
@@ -164,5 +164,115 @@ proptest! {
         let _ = Ipv6Packet::decode(&bytes);
         let _ = ArpPacket::decode(&bytes);
         let _ = Icmpv4Message::decode(&bytes);
+    }
+}
+
+// --- RFC 1624 incremental updates under NAT rewrites -----------------------
+//
+// The stateless translators rewrite addresses/ports and fix transport
+// checksums incrementally instead of re-summing the payload. These
+// properties pin the incremental chain to a full recompute for both the
+// NAT44 shape (address + port rewrite within IPv4) and the NAT64 shape
+// (whole pseudo-header swapped between families).
+//
+// Ones-complement has two zeros, so a chain of eqn-3 updates may land on
+// 0x0000 where a full recompute lands on 0xffff (or vice versa); UDP
+// transmits 0 as 0xffff for exactly this reason, so compare normalized.
+
+fn norm_udp_ck(ck: u16) -> u16 {
+    if ck == 0 {
+        0xffff
+    } else {
+        ck
+    }
+}
+
+fn v4_words(a: Ipv4Addr) -> [u16; 2] {
+    let o = a.octets();
+    [
+        u16::from_be_bytes([o[0], o[1]]),
+        u16::from_be_bytes([o[2], o[3]]),
+    ]
+}
+
+/// Full UDP checksum over the IPv4 pseudo-header + header + payload.
+fn udp_ck_v4(src: Ipv4Addr, dst: Ipv4Addr, sp: u16, dp: u16, payload: &[u8]) -> u16 {
+    let len = 8 + payload.len() as u16;
+    let mut c = pseudo_v4(src, dst, proto::UDP, len);
+    c.push_u16(sp);
+    c.push_u16(dp);
+    c.push_u16(len);
+    c.push_u16(0);
+    c.push(payload);
+    c.finish()
+}
+
+/// Full UDP checksum over the IPv6 pseudo-header + header + payload.
+fn udp_ck_v6(src: Ipv6Addr, dst: Ipv6Addr, sp: u16, dp: u16, payload: &[u8]) -> u16 {
+    let len = 8 + payload.len() as u16;
+    let mut c = pseudo_v6(src, dst, proto::UDP, u32::from(len));
+    c.push_u16(sp);
+    c.push_u16(dp);
+    c.push_u16(len);
+    c.push_u16(0);
+    c.push(payload);
+    c.finish()
+}
+
+proptest! {
+    #[test]
+    fn nat44_incremental_update_matches_recompute(
+        src in arb_v4(), dst in arb_v4(), new_src in arb_v4(),
+        sp in any::<u16>(), dp in any::<u16>(), new_sp in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..96),
+    ) {
+        let old_ck = udp_ck_v4(src, dst, sp, dp, &payload);
+        // NAT44 source rewrite: two address words + the source port.
+        let mut ck = old_ck;
+        let [oh, ol] = v4_words(src);
+        let [nh, nl] = v4_words(new_src);
+        ck = incremental_update(ck, oh, nh);
+        ck = incremental_update(ck, ol, nl);
+        ck = incremental_update(ck, sp, new_sp);
+        let full = udp_ck_v4(new_src, dst, new_sp, dp, &payload);
+        prop_assert_eq!(norm_udp_ck(ck), norm_udp_ck(full));
+    }
+
+    #[test]
+    fn nat64_incremental_update_matches_recompute(
+        src6 in arb_v6(), dst6 in arb_v6(),
+        src4 in arb_v4(), dst4 in arb_v4(),
+        sp in any::<u16>(), dp in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..96),
+    ) {
+        let len = 8 + payload.len() as u16;
+        // Word streams of both pseudo-headers, zero-padded to equal length:
+        // updating (old_word -> new_word) pairwise is exactly the NAT64
+        // translator's checksum fixup (RFC 7915 §4.5 strategy).
+        let mut old_words = Vec::new();
+        old_words.extend_from_slice(&src6.segments());
+        old_words.extend_from_slice(&dst6.segments());
+        old_words.extend_from_slice(&[0, len, 0, u16::from(proto::UDP)]);
+        let mut new_words = Vec::new();
+        new_words.extend_from_slice(&v4_words(src4));
+        new_words.extend_from_slice(&v4_words(dst4));
+        new_words.extend_from_slice(&[u16::from(proto::UDP), len]);
+        new_words.resize(old_words.len(), 0);
+
+        let old_ck = udp_ck_v6(src6, dst6, sp, dp, &payload);
+        let mut ck = old_ck;
+        for (&o, &n) in old_words.iter().zip(&new_words) {
+            ck = incremental_update(ck, o, n);
+        }
+        let full4 = udp_ck_v4(src4, dst4, sp, dp, &payload);
+        prop_assert_eq!(norm_udp_ck(ck), norm_udp_ck(full4));
+
+        // And the reverse direction (IPv4 -> IPv6, the return path) gets
+        // back to the original checksum.
+        let mut back = full4;
+        for (&o, &n) in new_words.iter().zip(&old_words) {
+            back = incremental_update(back, o, n);
+        }
+        prop_assert_eq!(norm_udp_ck(back), norm_udp_ck(old_ck));
     }
 }

@@ -29,6 +29,32 @@ use v6wire::udp::UdpDatagram;
 const BASELINE_FLEET_MS: f64 = 25.569;
 const BASELINE_FLEET_ELEM_S: f64 = 2581.0;
 
+/// Full-trace ring ms/iter recorded immediately before the zero-copy codec
+/// rework (owned re-parse + `String` summary per hop).
+const BASELINE_FULL_TRACE_MS: f64 = 18.283;
+
+/// The conformance corpus (tests/corpus/README.md): the codec benchmarks
+/// run over exactly the inputs the differential suites prove equivalence on.
+const CORPUS_FRAMES: &[&[u8]] = &[
+    include_bytes!("../tests/corpus/frame_dhcp_discover_opt108.bin"),
+    include_bytes!("../tests/corpus/frame_dhcp_offer_opt108.bin"),
+    include_bytes!("../tests/corpus/frame_ra_full.bin"),
+    include_bytes!("../tests/corpus/frame_dns64_aaaa.bin"),
+    include_bytes!("../tests/corpus/frame_poisoned_a.bin"),
+    include_bytes!("../tests/corpus/frame_arp_request.bin"),
+    include_bytes!("../tests/corpus/frame_tcp_syn_v6.bin"),
+    include_bytes!("../tests/corpus/frame_icmpv6_echo.bin"),
+    include_bytes!("../tests/corpus/frame_icmpv4_unreach.bin"),
+    include_bytes!("../tests/corpus/frame_ndp_ns.bin"),
+];
+
+const CORPUS_DNS: &[&[u8]] = &[
+    include_bytes!("../tests/corpus/dns_query_a.bin"),
+    include_bytes!("../tests/corpus/dns_dns64_response.bin"),
+    include_bytes!("../tests/corpus/dns_poisoned_a.bin"),
+    include_bytes!("../tests/corpus/dns_all_rtypes.bin"),
+];
+
 struct Relay {
     name: String,
 }
@@ -79,6 +105,17 @@ fn run_ring(mode: TraceMode) -> (u64, u64) {
     (net.frames_delivered, net.metrics().engine.events_processed)
 }
 
+/// Median nanoseconds per item: `f` processes `items` things, repeated
+/// `iters` times per timing sample.
+fn ns_per_item(iters: usize, items: usize, mut f: impl FnMut()) -> f64 {
+    let secs = median_secs(7, || {
+        for _ in 0..iters {
+            f();
+        }
+    });
+    secs * 1e9 / (iters * items) as f64
+}
+
 /// Median wall-clock seconds of `samples` runs of `f`.
 fn median_secs(samples: usize, mut f: impl FnMut()) -> f64 {
     let mut times: Vec<f64> = (0..samples)
@@ -105,6 +142,7 @@ fn main() {
     );
     let _ = writeln!(json, "    \"frames_per_iter\": {frames},");
     let _ = writeln!(json, "    \"events_per_iter\": {events},");
+    let mut full_ms = 0.0;
     for (i, (label, mode)) in [
         ("off", TraceMode::Off),
         ("hops", TraceMode::Hops),
@@ -117,6 +155,9 @@ fn main() {
         let secs = median_secs(7, || {
             std::hint::black_box(run_ring(mode));
         });
+        if label == "full" {
+            full_ms = secs * 1e3;
+        }
         let comma = if i < 2 { "," } else { "" };
         let _ = writeln!(
             json,
@@ -126,6 +167,87 @@ fn main() {
             events as f64 / secs,
         );
     }
+    let _ = writeln!(json, "  }},");
+
+    // Zero-copy codec microbenchmarks over the conformance corpus, plus the
+    // Full-trace ring against its recorded pre-rework baseline (the
+    // summarize-per-hop path is exactly what the view layer accelerates).
+    let wire_owned = ns_per_item(2000, CORPUS_FRAMES.len(), || {
+        for f in CORPUS_FRAMES {
+            std::hint::black_box(v6wire::ParsedFrame::parse(f).expect("corpus frame"));
+        }
+    });
+    let wire_view = ns_per_item(2000, CORPUS_FRAMES.len(), || {
+        for f in CORPUS_FRAMES {
+            std::hint::black_box(v6wire::FrameView::parse(f).expect("corpus frame"));
+        }
+    });
+    let wire_summarize = ns_per_item(2000, CORPUS_FRAMES.len(), || {
+        for f in CORPUS_FRAMES {
+            std::hint::black_box(v6wire::packet::summarize(f));
+        }
+    });
+    let dns_owned = ns_per_item(2000, CORPUS_DNS.len(), || {
+        for m in CORPUS_DNS {
+            std::hint::black_box(v6dns::Message::decode(m).expect("corpus message"));
+        }
+    });
+    let dns_view = ns_per_item(2000, CORPUS_DNS.len(), || {
+        for m in CORPUS_DNS {
+            std::hint::black_box(v6dns::MessageView::parse(m).expect("corpus message"));
+        }
+    });
+    let ck_buf: Vec<u8> = (0..1500u32).map(|i| (i * 31) as u8).collect();
+    let ck_gbps = |kernel| {
+        let ns = ns_per_item(2000, 1, || {
+            std::hint::black_box(v6wire::checksum::checksum_with(kernel, &ck_buf));
+        });
+        ck_buf.len() as f64 / ns
+    };
+    let scalar_gbps = ck_gbps(v6wire::checksum::Kernel::Scalar);
+    let swar_gbps = ck_gbps(v6wire::checksum::Kernel::Swar);
+    let _ = writeln!(json, "  \"codec_zero_copy\": {{");
+    let _ = writeln!(
+        json,
+        "    \"corpus_inputs\": {},",
+        CORPUS_FRAMES.len() + CORPUS_DNS.len()
+    );
+    let _ = writeln!(
+        json,
+        "    \"wire_parse_owned_ns_per_frame\": {wire_owned:.1},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"wire_parse_view_ns_per_frame\": {wire_view:.1},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"wire_parse_speedup\": {:.2},",
+        wire_owned / wire_view
+    );
+    let _ = writeln!(
+        json,
+        "    \"wire_summarize_ns_per_frame\": {wire_summarize:.1},"
+    );
+    let _ = writeln!(json, "    \"dns_decode_owned_ns_per_msg\": {dns_owned:.1},");
+    let _ = writeln!(json, "    \"dns_parse_view_ns_per_msg\": {dns_view:.1},");
+    let _ = writeln!(
+        json,
+        "    \"dns_parse_speedup\": {:.2},",
+        dns_owned / dns_view
+    );
+    let _ = writeln!(json, "    \"checksum_scalar_gb_per_s\": {scalar_gbps:.2},");
+    let _ = writeln!(json, "    \"checksum_swar_gb_per_s\": {swar_gbps:.2},");
+    let _ = writeln!(
+        json,
+        "    \"full_trace_baseline_ms\": {BASELINE_FULL_TRACE_MS},"
+    );
+    let _ = writeln!(json, "    \"full_trace_ms\": {full_ms:.3},");
+    let _ = writeln!(
+        json,
+        "    \"full_trace_speedup\": {:.2}",
+        BASELINE_FULL_TRACE_MS / full_ms
+    );
     let _ = writeln!(json, "  }},");
 
     // Fleet sweep (the acceptance benchmark), per trace mode.
@@ -178,15 +300,17 @@ fn main() {
     );
     json.push_str("}\n");
 
-    // Re-emit through the canonical JSON layer, preserving the
-    // `population_census` row if `population_census --bench` has
-    // written one — the two examples own disjoint sections of the
-    // same file.
+    // Re-emit through the canonical JSON layer, preserving every section
+    // owned by another writer (`population_census --bench` and the
+    // `just soak` load generator) — the examples own disjoint sections of
+    // the same file, and a rerun here must not drop theirs.
     let mut doc = v6report::Json::parse(&json).expect("bench json parses");
     if let Ok(prev) = std::fs::read_to_string("BENCH_engine.json") {
         if let Ok(prev) = v6report::Json::parse(&prev) {
-            if let Some(row) = prev.get("population_census") {
-                doc.set("population_census", row.clone());
+            for section in ["population_census", "service_soak"] {
+                if let Some(row) = prev.get(section) {
+                    doc.set(section, row.clone());
+                }
             }
         }
     }

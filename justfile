@@ -89,6 +89,17 @@ bench-smoke:
     cargo bench -p v6bench --bench engine_hot_path -- --test
     cargo bench -p v6bench --bench fleet_throughput -- --test
     cargo bench -p v6bench --bench population_census -- --test
+    cargo bench -p v6bench --bench codec_zero_copy -- --test
+
+# The differential codec-conformance pass at CI depth: owned-vs-view
+# parse equality over the committed corpus plus 256 proptest cases per
+# suite, both checksum kernels, and the frame-pool steady-state gate.
+conformance:
+    PROPTEST_CASES=256 cargo test -p v6wire --test conformance -q
+    PROPTEST_CASES=256 cargo test -p v6wire --test prop_roundtrip -q
+    PROPTEST_CASES=256 cargo test -p v6dns --test conformance -q
+    SC24_CHECKSUM_KERNEL=scalar cargo test -p v6wire -q
+    cargo test -q --test pool_steady_state
 
 # Regenerate the committed golden trace after a deliberate protocol
 # change (review the fixture diff!).

@@ -1,0 +1,56 @@
+//! Frame-pool steady-state regression: once a host has warmed the resolver
+//! cache and the frame-buffer recycle pool, repeated cached-zone browses
+//! must be allocation-flat — every frame buffer comes from the pool
+//! (`pool.reused` grows, `pool.allocated` stays put).
+//!
+//! Guards the zero-copy codec work: a decode path that quietly clones
+//! buffers (or a summarize path that re-parses into owned structs per hop)
+//! shows up here as `allocated` creep.
+
+use v6host::profiles::OsProfile;
+use v6host::tasks::AppTask;
+use v6testbed::Testbed;
+
+fn browse() -> AppTask {
+    AppTask::Browse {
+        name: "ip6.me".parse().unwrap(),
+        path: "/".into(),
+    }
+}
+
+#[test]
+fn cached_zone_browse_is_allocation_flat() {
+    let mut tb = Testbed::paper_default();
+    let id = tb.add_host(OsProfile::windows_10());
+    tb.boot();
+
+    // Warm-up: populate DNS caches, neighbour tables, and the frame pool.
+    for _ in 0..2 {
+        let o = tb.run_task(id, browse(), 60);
+        assert!(o.is_success(), "warm-up browse failed: {o:?}");
+    }
+
+    let warm = tb.net.metrics().pool;
+    assert!(warm.allocated > 0, "pool never allocated during warm-up");
+
+    // Steady state: the same cached browse, several times over.
+    for round in 0..3 {
+        let o = tb.run_task(id, browse(), 60);
+        assert!(o.is_success(), "steady-state browse failed: {o:?}");
+        let now = tb.net.metrics().pool;
+        assert_eq!(
+            now.allocated, warm.allocated,
+            "round {round}: fresh frame allocations in steady state \
+             (allocated {} -> {})",
+            warm.allocated, now.allocated
+        );
+    }
+
+    let after = tb.net.metrics().pool;
+    assert!(
+        after.reused > warm.reused,
+        "steady-state browses never hit the recycle pool \
+         (reused stuck at {})",
+        warm.reused
+    );
+}
