@@ -3,9 +3,9 @@
 //! 108" is exactly the 5G-gateway defect the Raspberry Pi server fixes).
 
 use crate::codec::{DhcpMessage, DhcpMessageType, DhcpOption};
-use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use v6addr::prefix::Ipv4Prefix;
+use v6wire::fasthash::FastMap;
 use v6wire::mac::MacAddr;
 
 /// Static configuration of a DHCPv4 server.
@@ -72,7 +72,7 @@ pub struct Lease {
 pub struct DhcpServer {
     /// Configuration (mutable so experiments can flip option 108 on/off).
     pub config: ServerConfig,
-    leases: HashMap<MacAddr, Lease>,
+    leases: FastMap<MacAddr, Lease>,
     /// Count of OFFERs carrying option 108, for the census.
     pub offers_with_108: u64,
     /// Count of OFFERs without option 108.
@@ -84,10 +84,19 @@ impl DhcpServer {
     pub fn new(config: ServerConfig) -> DhcpServer {
         DhcpServer {
             config,
-            leases: HashMap::new(),
+            leases: FastMap::default(),
             offers_with_108: 0,
             offers_plain: 0,
         }
+    }
+
+    /// Restore the post-construction state: lease database flushed,
+    /// OFFER counters zeroed. `config` is untouched — the warm-cell
+    /// arena swaps it separately when the cell's policy differs.
+    pub fn reset(&mut self) {
+        self.leases.clear();
+        self.offers_with_108 = 0;
+        self.offers_plain = 0;
     }
 
     /// Current lease for `mac`, if unexpired.

@@ -52,6 +52,13 @@ impl DhcpSnoop {
         self.trusted.contains(&port)
     }
 
+    /// Zero the drop/permit counters; the trusted-port set is
+    /// configuration and survives (warm-cell arena reuse).
+    pub fn reset(&mut self) {
+        self.dropped = 0;
+        self.permitted = 0;
+    }
+
     /// Judge one DHCP message arriving on `ingress`.
     pub fn inspect(&mut self, ingress: PortId, msg: &DhcpMessage) -> SnoopVerdict {
         let is_server_msg = msg.is_reply

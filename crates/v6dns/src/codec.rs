@@ -1,9 +1,9 @@
 //! RFC 1035 message wire format with name compression.
 
 use crate::name::DnsName;
-use std::collections::HashMap;
 use std::fmt;
 use std::net::{Ipv4Addr, Ipv6Addr};
+use v6wire::fasthash::FastMap;
 
 /// Decoding errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -321,7 +321,7 @@ impl Message {
     /// Serialize to wire bytes with name compression.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(128);
-        let mut offsets: HashMap<&[String], u16> = HashMap::new();
+        let mut offsets: FastMap<&[String], u16> = FastMap::default();
         out.extend_from_slice(&self.id.to_be_bytes());
         let mut b2 = 0u8;
         if self.is_response {
@@ -441,7 +441,7 @@ pub(crate) fn read_u32(buf: &[u8], pos: &mut usize) -> Result<u32, DnsError> {
 /// construction, slice equality is exactly DNS name equality, and the
 /// first-occurrence pointer targets (hence the emitted bytes) are identical
 /// to the historic owned-key implementation.
-fn encode_name<'n>(out: &mut Vec<u8>, name: &'n DnsName, offsets: &mut HashMap<&'n [String], u16>) {
+fn encode_name<'n>(out: &mut Vec<u8>, name: &'n DnsName, offsets: &mut FastMap<&'n [String], u16>) {
     let labels = name.labels();
     for i in 0..labels.len() {
         let suffix = &labels[i..];
@@ -520,7 +520,7 @@ fn decode_name(buf: &[u8], pos: &mut usize) -> Result<DnsName, DnsError> {
     DnsName::from_lowercased_labels(labels).map_err(|_| DnsError::BadField("name", 0))
 }
 
-fn encode_record<'n>(out: &mut Vec<u8>, r: &'n Record, offsets: &mut HashMap<&'n [String], u16>) {
+fn encode_record<'n>(out: &mut Vec<u8>, r: &'n Record, offsets: &mut FastMap<&'n [String], u16>) {
     encode_name(out, &r.name, offsets);
     out.extend_from_slice(&r.data.rtype().to_u16().to_be_bytes());
     out.extend_from_slice(&1u16.to_be_bytes()); // class IN

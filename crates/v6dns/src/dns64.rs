@@ -67,6 +67,12 @@ impl<R: Resolver> Dns64<R> {
         &mut self.upstream
     }
 
+    /// Zero the synthesis counter; prefix and exclude list are
+    /// configuration and survive. The upstream is reset separately.
+    pub fn reset(&mut self) {
+        self.synthesized = 0;
+    }
+
     fn usable(&self, a: Ipv6Addr) -> bool {
         !self.exclude.iter().any(|p| p.contains(a))
     }

@@ -2,14 +2,19 @@
 
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
 
 /// A fully-qualified domain name, stored as lower-cased labels.
 ///
 /// DNS comparisons are case-insensitive (RFC 1035 §2.3.3); we canonicalize to
-/// lower case at construction so `Eq`/`Hash`/`Ord` are cheap.
+/// lower case at construction so `Eq`/`Hash`/`Ord` are cheap. The label
+/// sequence is immutable after construction and names are cloned on every
+/// query, cache hit, and answer record, so the storage is a shared
+/// `Arc<[String]>`: `Clone` is a reference-count bump instead of a fresh
+/// allocation per label.
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DnsName {
-    labels: Vec<String>,
+    labels: Arc<[String]>,
 }
 
 /// Errors from name construction.
@@ -35,7 +40,9 @@ impl std::error::Error for NameError {}
 impl DnsName {
     /// The DNS root (empty name).
     pub fn root() -> DnsName {
-        DnsName { labels: Vec::new() }
+        DnsName {
+            labels: Arc::from([]),
+        }
     }
 
     /// Build from labels, validating lengths.
@@ -57,7 +64,7 @@ impl DnsName {
         if total > 255 {
             return Err(NameError::TooLong(total));
         }
-        Ok(DnsName { labels: out })
+        Ok(DnsName { labels: out.into() })
     }
 
     /// Build from labels the caller has already lower-cased and
@@ -73,7 +80,9 @@ impl DnsName {
         if total > 255 {
             return Err(NameError::TooLong(total));
         }
-        Ok(DnsName { labels })
+        Ok(DnsName {
+            labels: labels.into(),
+        })
     }
 
     /// The labels, most-specific first.
@@ -103,7 +112,7 @@ impl DnsName {
             None
         } else {
             Some(DnsName {
-                labels: self.labels[1..].to_vec(),
+                labels: self.labels[1..].to_vec().into(),
             })
         }
     }

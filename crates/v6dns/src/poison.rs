@@ -96,6 +96,13 @@ impl<R: Resolver> PoisonedResolver<R> {
         &mut self.upstream
     }
 
+    /// Zero the intercept/forward counters; the policy is configuration
+    /// and survives. The upstream is reset separately.
+    pub fn reset(&mut self) {
+        self.poisoned_count = 0;
+        self.forwarded_count = 0;
+    }
+
     /// Counter snapshot (`poisoned`, `forwarded`) in the shared
     /// [`v6wire::metrics::Metrics`] form.
     pub fn metrics(&self) -> v6wire::metrics::Metrics {

@@ -4,8 +4,8 @@
 use crate::codec::{Question, RData, RType, Rcode, Record};
 use crate::name::DnsName;
 use crate::zone::{Zone, ZoneLookup};
-use std::collections::HashMap;
 use std::sync::Arc;
+use v6wire::fasthash::FastMap;
 
 /// The outcome of a resolution: an rcode, answer records, and the SOA that
 /// authorizes negative caching when the answer set is empty.
@@ -100,6 +100,12 @@ impl GlobalDns {
     pub fn add_zone(&mut self, zone: Zone) -> &mut Self {
         Arc::make_mut(&mut self.zones).push(zone);
         self
+    }
+
+    /// Zero the query counter; zone content (shared copy-on-write) is
+    /// configuration and survives (warm-cell arena reuse).
+    pub fn reset(&mut self) {
+        self.queries = 0;
     }
 
     /// Longest-match zone for `name`.
@@ -201,7 +207,7 @@ enum CacheEntry {
 #[derive(Debug)]
 pub struct CachingResolver<R> {
     upstream: R,
-    cache: HashMap<Question, CacheEntry>,
+    cache: FastMap<Question, CacheEntry>,
     /// Cache hits for observability.
     pub hits: u64,
     /// Cache misses for observability.
@@ -215,7 +221,7 @@ impl<R: Resolver> CachingResolver<R> {
     pub fn new(upstream: R) -> CachingResolver<R> {
         CachingResolver {
             upstream,
-            cache: HashMap::new(),
+            cache: FastMap::default(),
             hits: 0,
             misses: 0,
             max_ttl: 0,
@@ -225,6 +231,15 @@ impl<R: Resolver> CachingResolver<R> {
     /// Access the wrapped upstream.
     pub fn upstream_mut(&mut self) -> &mut R {
         &mut self.upstream
+    }
+
+    /// Restore the post-construction state: cache flushed, hit/miss
+    /// counters zeroed. The upstream is *not* touched — reset each
+    /// layer explicitly via [`CachingResolver::upstream_mut`].
+    pub fn reset(&mut self) {
+        self.cache.clear();
+        self.hits = 0;
+        self.misses = 0;
     }
 
     /// Number of live cache entries at `now`.

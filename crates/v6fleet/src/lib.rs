@@ -36,7 +36,7 @@ pub use sketch::{nearest_rank, CensusSketch, LatencySketch, SketchPercentiles};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
-use v6testbed::{Scenario, ScenarioResult, TraceMode};
+use v6testbed::{CellArena, Scenario, ScenarioResult, TraceMode};
 
 /// Streaming hooks into a running fleet: an observer shared across the
 /// pool's workers, notified as each unit of work completes and *before*
@@ -124,15 +124,22 @@ impl FleetRunner {
     /// finished scenario is reported to `observer` as it completes,
     /// before aggregation. The returned report is identical to
     /// [`FleetRunner::run`]'s — observation never perturbs the fleet.
+    ///
+    /// Cells run warm: each worker owns a [`CellArena`] and recycles a
+    /// built testbed between cells instead of rebuilding one per cell.
+    /// Warm results are byte-identical to cold ones (`run_serial`, which
+    /// stays on the cold path, is the baseline the determinism tests
+    /// compare against).
     pub fn run_observed(&self, scenarios: &[Scenario], observer: &dyn FleetObserver) -> FleetRun {
         let started = Instant::now();
         let mode = self.trace_mode;
         let results: Vec<ScenarioResult> = if self.threads == 1 {
+            let mut arena = CellArena::new();
             scenarios
                 .iter()
                 .enumerate()
                 .map(|(i, s)| {
-                    let r = s.run_with_trace(mode);
+                    let r = arena.run_with_trace(s, mode);
                     observer.scenario_done(i, &r);
                     r
                 })
@@ -143,12 +150,15 @@ impl FleetRunner {
             std::thread::scope(|scope| {
                 let workers: Vec<_> = (0..self.threads)
                     .map(|_| {
-                        scope.spawn(|| loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            let Some(s) = scenarios.get(i) else { break };
-                            let r = s.run_with_trace(mode);
-                            observer.scenario_done(i, &r);
-                            slots.lock().expect("no poisoned worker")[i] = Some(r);
+                        scope.spawn(|| {
+                            let mut arena = CellArena::new();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some(s) = scenarios.get(i) else { break };
+                                let r = arena.run_with_trace(s, mode);
+                                observer.scenario_done(i, &r);
+                                slots.lock().expect("no poisoned worker")[i] = Some(r);
+                            }
                         })
                     })
                     .collect();
@@ -483,8 +493,10 @@ impl FleetMetricsTotals {
     }
 }
 
-/// Convenience: run `scenarios` one at a time on the calling thread.
-/// The baseline the parallel path is checked against.
+/// Convenience: run `scenarios` one at a time on the calling thread,
+/// each on a freshly built testbed (the *cold* path). The baseline the
+/// parallel — and, since warm-cell execution, recycled — paths are
+/// checked against.
 pub fn run_serial(scenarios: &[Scenario]) -> FleetReport {
     FleetReport::aggregate(scenarios.iter().map(Scenario::run).collect())
 }

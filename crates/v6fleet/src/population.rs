@@ -24,7 +24,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 use v6testbed::scenario::FaultVariant;
-use v6testbed::{CellSpec, OsProfileId, PoisonVariant, TopologyVariant};
+use v6testbed::{CellArena, CellSpec, OsProfileId, PoisonVariant, TopologyVariant};
 
 const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
 
@@ -334,12 +334,18 @@ pub struct PopulationRun {
     pub wall: WallStats,
 }
 
-/// Fold one contiguous index range of the population into a sketch.
-fn fold_range(spec: &PopulationSpec, lo: u64, hi: u64) -> CensusSketch {
+/// Fold one contiguous index range of the population into a sketch —
+/// the census hot loop. Cells run warm on the caller's [`CellArena`]:
+/// at most six distinct build configurations exist (topology × poison,
+/// trace always `Off`), so after the first few cells every cell runs on
+/// a recycled testbed. Warm observations are byte-identical to
+/// [`CellSpec::run_observation`] (the differential suite in
+/// `tests/warm_cold.rs` holds the line).
+fn fold_range(arena: &mut CellArena, spec: &PopulationSpec, lo: u64, hi: u64) -> CensusSketch {
     let mut sketch = CensusSketch::new();
     for i in lo..hi {
         let cell = spec.cell(i);
-        sketch.fold(cell, cell.run_observation());
+        sketch.fold(cell, arena.run_observation(cell));
     }
     sketch
 }
@@ -390,11 +396,12 @@ impl FleetRunner {
         let started = Instant::now();
         let bounds = shard_bounds(spec.size, shards);
         let sketches: Vec<CensusSketch> = if self.threads() == 1 {
+            let mut arena = CellArena::new();
             bounds
                 .iter()
                 .enumerate()
                 .map(|(i, &(lo, hi))| {
-                    let sketch = fold_range(spec, lo, hi);
+                    let sketch = fold_range(&mut arena, spec, lo, hi);
                     observer.shard_done(i, &sketch);
                     sketch
                 })
@@ -405,14 +412,17 @@ impl FleetRunner {
             std::thread::scope(|scope| {
                 let workers: Vec<_> = (0..self.threads())
                     .map(|_| {
-                        scope.spawn(|| loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            let Some(&(lo, hi)) = bounds.get(i) else {
-                                break;
-                            };
-                            let sketch = fold_range(spec, lo, hi);
-                            observer.shard_done(i, &sketch);
-                            slots.lock().expect("no poisoned worker")[i] = Some(sketch);
+                        scope.spawn(|| {
+                            let mut arena = CellArena::new();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some(&(lo, hi)) = bounds.get(i) else {
+                                    break;
+                                };
+                                let sketch = fold_range(&mut arena, spec, lo, hi);
+                                observer.shard_done(i, &sketch);
+                                slots.lock().expect("no poisoned worker")[i] = Some(sketch);
+                            }
                         })
                     })
                     .collect();

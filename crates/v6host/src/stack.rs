@@ -11,7 +11,6 @@ use crate::profiles::{IidScheme, OsProfile, ResolverPreference};
 use crate::tasks::{AppTask, TaskOutcome};
 use crate::vpn::VpnConfig;
 use std::any::Any;
-use std::collections::HashMap;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 use v6addr::class::{v6_class, V6Class};
 use v6addr::prefix::{Ipv4Prefix, Ipv6Prefix};
@@ -29,15 +28,17 @@ use v6sim::tcp::TcpEndpoint;
 use v6sim::time::SimTime;
 use v6wire::arp::{ArpOp, ArpPacket};
 use v6wire::ethernet::{EtherType, EthernetFrame};
+use v6wire::fasthash::FastMap;
 use v6wire::icmpv4::Icmpv4Message;
 use v6wire::icmpv6::{all_routers, solicited_node, Icmpv6Message};
 use v6wire::ipv4::{proto, Ipv4Packet};
 use v6wire::ipv6::Ipv6Packet;
 use v6wire::mac::MacAddr;
 use v6wire::ndp::{NdpOption, NeighborAdvertisement, NeighborSolicitation, RouterPreference};
-use v6wire::packet::{build_arp, build_icmpv6, ParsedFrame, L3, L4};
+use v6wire::packet::{build_arp, build_icmpv6};
 use v6wire::tcp::TcpSegment;
 use v6wire::udp::{port, UdpDatagram};
+use v6wire::view::{FrameView, Icmp4View, Icmp6View, Ipv4View, Ipv6View, L3View, L4View};
 use v6xlat::clat::Clat;
 
 const PORT_FLOOR: u16 = 49152;
@@ -187,15 +188,15 @@ pub struct Host {
     pub captive_portal: Option<String>,
     /// VPN policy, when this device runs the VPN client (Figs. 8/11).
     pub vpn: Option<VpnConfig>,
-    neigh6: HashMap<Ipv6Addr, MacAddr>,
-    arp4: HashMap<Ipv4Addr, MacAddr>,
-    pend6: HashMap<Ipv6Addr, Vec<Ipv6Packet>>,
-    pend4: HashMap<Ipv4Addr, Vec<Ipv4Packet>>,
-    dns_wait: HashMap<u16, DnsWait>,
+    neigh6: FastMap<Ipv6Addr, MacAddr>,
+    arp4: FastMap<Ipv4Addr, MacAddr>,
+    pend6: FastMap<Ipv6Addr, Vec<Ipv6Packet>>,
+    pend4: FastMap<Ipv4Addr, Vec<Ipv4Packet>>,
+    dns_wait: FastMap<u16, DnsWait>,
     next_dns_id: u16,
     next_port: u16,
-    flows: HashMap<FlowKey, Flow>,
-    tasks: HashMap<u64, TaskState>,
+    flows: FastMap<FlowKey, Flow>,
+    tasks: FastMap<u64, TaskState>,
     next_task: u64,
     /// Completed task outcomes, in completion order.
     pub results: Vec<(u64, TaskOutcome)>,
@@ -249,15 +250,15 @@ impl Host {
             pref64: None,
             captive_portal: None,
             vpn: None,
-            neigh6: HashMap::new(),
-            arp4: HashMap::new(),
-            pend6: HashMap::new(),
-            pend4: HashMap::new(),
-            dns_wait: HashMap::new(),
+            neigh6: FastMap::default(),
+            arp4: FastMap::default(),
+            pend6: FastMap::default(),
+            pend4: FastMap::default(),
+            dns_wait: FastMap::default(),
             next_dns_id: (seed as u16) | 1,
             next_port: PORT_FLOOR,
-            flows: HashMap::new(),
-            tasks: HashMap::new(),
+            flows: FastMap::default(),
+            tasks: FastMap::default(),
             next_task: 1,
             results: Vec::new(),
             policy: PolicyTable::default(),
@@ -1223,7 +1224,7 @@ impl Host {
             || self.clat.as_ref().map(|c| c.clat_v6 == a).unwrap_or(false)
     }
 
-    fn handle_v6(&mut self, parsed: &ParsedFrame, ip: &Ipv6Packet, ctx: &mut Ctx) {
+    fn handle_v6(&mut self, parsed: &FrameView<'_>, ip: &Ipv6View<'_>, ctx: &mut Ctx) {
         if !self.profile.ipv6_enabled {
             return;
         }
@@ -1232,8 +1233,11 @@ impl Host {
             if ip.dst == clat.clat_v6 {
                 // NDP for the CLAT address is handled below like any other
                 // local address; data packets are translated back to v4.
-                if !matches!(parsed.l4, L4::Icmp6(Icmpv6Message::NeighborSolicitation(_))) {
-                    if let Ok(v4pkt) = clat.v6_in(ip) {
+                if !matches!(
+                    parsed.l4,
+                    L4View::Icmp6(Icmp6View::NeighborSolicitation { .. })
+                ) {
+                    if let Ok(v4pkt) = clat.v6_in(&ip.to_packet()) {
                         self.handle_clat_v4(&v4pkt, ctx);
                     }
                     return;
@@ -1246,38 +1250,41 @@ impl Host {
             return;
         }
         match &parsed.l4 {
-            L4::Icmp6(Icmpv6Message::RouterAdvertisement(ra)) => {
-                self.on_ra(ip.src, parsed.eth.src, ra);
+            L4View::Icmp6(Icmp6View::RouterAdvertisement(ra)) => {
+                self.on_ra(ip.src, parsed.eth.src, &ra.to_ra());
             }
-            L4::Icmp6(Icmpv6Message::NeighborSolicitation(ns)) if self.my_v6_addr(ns.target) => {
+            L4View::Icmp6(Icmp6View::NeighborSolicitation { target, .. })
+                if self.my_v6_addr(*target) =>
+            {
                 self.neigh6.insert(ip.src, parsed.eth.src);
                 let na = Icmpv6Message::NeighborAdvertisement(NeighborAdvertisement {
                     router: false,
                     solicited: true,
                     override_flag: true,
-                    target: ns.target,
+                    target: *target,
                     options: vec![NdpOption::TargetLinkLayer(self.mac)],
                 });
-                let frame = build_icmpv6(self.mac, parsed.eth.src, ns.target, ip.src, &na);
+                let frame = build_icmpv6(self.mac, parsed.eth.src, *target, ip.src, &na);
                 ctx.send(0, frame);
             }
-            L4::Icmp6(Icmpv6Message::NeighborAdvertisement(na)) => {
-                let mac = na
-                    .options
+            L4View::Icmp6(Icmp6View::NeighborAdvertisement {
+                target, options, ..
+            }) => {
+                let mac = options
                     .iter()
-                    .find_map(|o| match o {
-                        NdpOption::TargetLinkLayer(m) => Some(*m),
+                    .find_map(|o| match o.to_option() {
+                        NdpOption::TargetLinkLayer(m) => Some(m),
                         _ => None,
                     })
                     .unwrap_or(parsed.eth.src);
-                self.neigh6.insert(na.target, mac);
-                if let Some(pending) = self.pend6.remove(&na.target) {
+                self.neigh6.insert(*target, mac);
+                if let Some(pending) = self.pend6.remove(target) {
                     for pkt in pending {
                         self.send_v6(pkt, ctx);
                     }
                 }
             }
-            L4::Icmp6(Icmpv6Message::EchoRequest {
+            L4View::Icmp6(Icmp6View::EchoRequest {
                 ident,
                 seq,
                 payload,
@@ -1285,25 +1292,25 @@ impl Host {
                 let reply = Icmpv6Message::EchoReply {
                     ident: *ident,
                     seq: *seq,
-                    payload: payload.clone(),
+                    payload: payload.to_vec(),
                 };
                 let frame = build_icmpv6(self.mac, parsed.eth.src, ip.dst, ip.src, &reply);
                 ctx.send(0, frame);
             }
-            L4::Icmp6(Icmpv6Message::EchoReply { ident, .. }) if unicast_to_us => {
+            L4View::Icmp6(Icmp6View::EchoReply { ident, .. }) if unicast_to_us => {
                 self.on_ping_reply(*ident, IpAddr::V6(ip.src));
             }
-            L4::Udp(udp) if unicast_to_us && udp.src_port == port::DNS => {
-                if let Ok(msg) = DnsMessage::decode(&udp.payload) {
+            L4View::Udp(udp) if unicast_to_us && udp.src_port == port::DNS => {
+                if let Ok(msg) = DnsMessage::decode(udp.payload) {
                     self.on_dns_response(&msg, ctx);
                 }
             }
-            L4::Tcp(seg) if unicast_to_us => {
+            L4View::Tcp(seg) if unicast_to_us => {
                 let key = FlowKey::V6 {
                     local: (ip.dst, seg.dst_port),
                     remote: (ip.src, seg.src_port),
                 };
-                self.on_tcp(key, seg.clone(), ctx);
+                self.on_tcp(key, seg.to_segment(), ctx);
             }
             _ => {}
         }
@@ -1356,14 +1363,14 @@ impl Host {
         }
     }
 
-    fn handle_v4(&mut self, parsed: &ParsedFrame, ip: &Ipv4Packet, ctx: &mut Ctx) {
+    fn handle_v4(&mut self, parsed: &FrameView<'_>, ip: &Ipv4View<'_>, ctx: &mut Ctx) {
         if !self.profile.ipv4_enabled {
             return;
         }
         // DHCP replies are accepted before we have an address.
-        if let L4::Udp(udp) = &parsed.l4 {
+        if let L4View::Udp(udp) = &parsed.l4 {
             if udp.dst_port == port::DHCP_CLIENT && udp.src_port == port::DHCP_SERVER {
-                if let Ok(msg) = v6dhcp::codec::DhcpMessage::decode(&udp.payload) {
+                if let Ok(msg) = v6dhcp::codec::DhcpMessage::decode(udp.payload) {
                     if msg.chaddr == self.mac {
                         self.on_dhcp_reply(&msg, ctx);
                     }
@@ -1378,19 +1385,19 @@ impl Host {
             return;
         }
         match &parsed.l4 {
-            L4::Udp(udp) if udp.src_port == port::DNS => {
-                if let Ok(msg) = DnsMessage::decode(&udp.payload) {
+            L4View::Udp(udp) if udp.src_port == port::DNS => {
+                if let Ok(msg) = DnsMessage::decode(udp.payload) {
                     self.on_dns_response(&msg, ctx);
                 }
             }
-            L4::Tcp(seg) => {
+            L4View::Tcp(seg) => {
                 let key = FlowKey::V4 {
                     local: (ip.dst, seg.dst_port),
                     remote: (ip.src, seg.src_port),
                 };
-                self.on_tcp(key, seg.clone(), ctx);
+                self.on_tcp(key, seg.to_segment(), ctx);
             }
-            L4::Icmp4(Icmpv4Message::EchoRequest {
+            L4View::Icmp4(Icmp4View::EchoRequest {
                 ident,
                 seq,
                 payload,
@@ -1398,13 +1405,13 @@ impl Host {
                 let reply = Icmpv4Message::EchoReply {
                     ident: *ident,
                     seq: *seq,
-                    payload: payload.clone(),
+                    payload: payload.to_vec(),
                 };
                 let frame =
                     v6wire::packet::build_icmpv4(self.mac, parsed.eth.src, my, ip.src, &reply);
                 ctx.send(0, frame);
             }
-            L4::Icmp4(Icmpv4Message::EchoReply { ident, .. }) => {
+            L4View::Icmp4(Icmp4View::EchoReply { ident, .. }) => {
                 self.on_ping_reply(*ident, IpAddr::V4(ip.src));
             }
             _ => {}
@@ -1609,14 +1616,14 @@ impl Node for Host {
     }
 
     fn on_frame(&mut self, _port: u32, raw: &[u8], ctx: &mut Ctx) {
-        let Ok(parsed) = ParsedFrame::parse(raw) else {
+        let Ok(parsed) = FrameView::parse(raw) else {
             return;
         };
-        if !parsed.eth.accepts(self.mac) {
+        if parsed.eth.dst != self.mac && !parsed.eth.dst.is_multicast() {
             return;
         }
         match &parsed.l3 {
-            L3::Arp(arp) => {
+            L3View::Arp(arp) => {
                 if !self.profile.ipv4_enabled {
                     return;
                 }
@@ -1635,15 +1642,15 @@ impl Node for Host {
                     }
                 }
             }
-            L3::V6(ip) => {
-                let ip = ip.clone();
+            L3View::V6(ip) => {
+                let ip = *ip;
                 self.handle_v6(&parsed, &ip, ctx);
             }
-            L3::V4(ip) => {
-                let ip = ip.clone();
+            L3View::V4(ip) => {
+                let ip = *ip;
                 self.handle_v4(&parsed, &ip, ctx);
             }
-            L3::Other(..) => {}
+            L3View::Other(..) => {}
         }
     }
 
@@ -1687,6 +1694,7 @@ mod tests {
     use v6sim::engine::Network;
     use v6sim::gateway::{FiveGGateway, LAN, WAN};
     use v6sim::l2::Switch;
+    use v6wire::packet::{ParsedFrame, L3, L4};
 
     /// A Raspberry-Pi-like test node: answers NDP, serves DNS (over v6 and
     /// v4) from an embedded resolver, and runs a DHCPv4 server with option

@@ -1,12 +1,19 @@
 //! The `v6labd` binary.
 //!
 //! ```text
-//! v6labd serve [--port N] [--threads N]     run the daemon (SIGTERM stops it)
+//! v6labd serve [--port N] [--threads N] [--workers N] [--cron NAME:SPEC:JOB]...
+//!                                           run the daemon (SIGTERM stops it)
 //! v6labd soak [--write PATH]                run the smoke soak, print its manifest
 //! v6labd get <addr> <path>                  one-shot HTTP GET (smoke-script client)
 //! v6labd post <addr> <path> <body>          one-shot HTTP POST
 //! v6labd submit <addr> <job-json>           submit a job, poll to done, print manifest
 //! ```
+//!
+//! `--cron` is repeatable and registers a recurring schedule before the
+//! first job runs: `NAME` is the operator-facing entry name, `SPEC` the
+//! tick-cron dialect (`@K`, `*/N`, `K+*/N`), and `JOB` the same JSON a
+//! `POST /jobs` body uses (which may itself contain colons — the value
+//! splits on the first two only).
 //!
 //! The `get`/`post`/`submit` client subcommands exist so the CI smoke
 //! script needs no curl/jq — the repo stays dependency-free offline.
@@ -16,19 +23,46 @@ use std::net::TcpStream;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use v6labd::{serve, ServerConfig};
+use v6labd::{serve, CronEntry, CronSpec, JobSpec, ServerConfig};
 use v6portal::http::{HttpRequest, HttpResponse};
 use v6report::Json;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: v6labd serve [--port N] [--threads N]\n\
+        "usage: v6labd serve [--port N] [--threads N] [--workers N] [--cron NAME:SPEC:JOB]...\n\
         \x20      v6labd soak [--write PATH]\n\
         \x20      v6labd get <addr> <path>\n\
         \x20      v6labd post <addr> <path> <body>\n\
         \x20      v6labd submit <addr> <job-json>"
     );
     ExitCode::FAILURE
+}
+
+/// Parse one `--cron` value: `NAME:SPEC:JOB`, where `JOB` is the same
+/// JSON a `POST /jobs` body uses. Splits on the first two colons only
+/// (neither `NAME` nor the tick-cron `SPEC` dialect contains one, and
+/// the job JSON legitimately might).
+fn parse_cron_entry(raw: &str) -> Result<CronEntry, String> {
+    let mut parts = raw.splitn(3, ':');
+    let (Some(name), Some(spec), Some(job)) = (parts.next(), parts.next(), parts.next()) else {
+        return Err(format!("--cron {raw:?}: expected NAME:SPEC:JOB"));
+    };
+    if name.is_empty() {
+        return Err(format!("--cron {raw:?}: empty entry name"));
+    }
+    Ok(CronEntry {
+        name: name.to_string(),
+        spec: CronSpec::parse(spec)?,
+        job: JobSpec::parse(job)?,
+    })
+}
+
+/// Every occurrence of a repeatable flag's value, in order.
+fn parse_repeated_flag(args: &[String], flag: &str) -> Vec<String> {
+    args.windows(2)
+        .filter(|w| w[0] == flag)
+        .map(|w| w[1].clone())
+        .collect()
 }
 
 fn request(addr: &str, wire: &str) -> Result<HttpResponse, String> {
@@ -101,7 +135,33 @@ fn main() -> ExitCode {
             let threads = parse_flag(&args, "--threads")
                 .map(|t| t.parse().expect("--threads takes a number"))
                 .unwrap_or(2);
-            match serve(ServerConfig { port, threads }) {
+            let workers = parse_flag(&args, "--workers")
+                .map(|w| w.parse().expect("--workers takes a number"))
+                .unwrap_or(1);
+            let mut cron = Vec::new();
+            for raw in parse_repeated_flag(&args, "--cron") {
+                match parse_cron_entry(&raw) {
+                    Ok(entry) => {
+                        println!(
+                            "v6labd: cron {:?} ({}) registered: {}",
+                            entry.name,
+                            entry.spec,
+                            entry.job.label()
+                        );
+                        cron.push(entry);
+                    }
+                    Err(e) => {
+                        eprintln!("v6labd: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            match serve(ServerConfig {
+                port,
+                threads,
+                workers,
+                cron,
+            }) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("v6labd: {e}");

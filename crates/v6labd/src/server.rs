@@ -2,9 +2,10 @@
 //!
 //! Hand-rolled over `std::net::TcpListener` — the workspace builds
 //! offline, so no async runtime or HTTP crate. One request per
-//! connection (the `v6portal` wire subset), a single worker thread
-//! executing jobs off a queue, and a non-blocking accept loop that
-//! polls the shutdown flag so SIGTERM lands between connections.
+//! connection (the `v6portal` wire subset), a pool of worker threads
+//! executing jobs off a shared condvar queue (each worker budgeted a
+//! slice of the simulation threads), and a non-blocking accept loop
+//! that polls the shutdown flag so SIGTERM lands between connections.
 //!
 //! | route                    | method | body                                   |
 //! |--------------------------|--------|----------------------------------------|
@@ -52,12 +53,19 @@ fn install_sigterm_handler() {
 fn install_sigterm_handler() {}
 
 /// Server configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Port to bind on 127.0.0.1 (0 picks an ephemeral port).
     pub port: u16,
-    /// Worker-pool width for job execution.
+    /// Total simulation-thread budget shared by concurrent jobs.
     pub threads: usize,
+    /// Job-execution worker threads draining the queue: up to this many
+    /// jobs run concurrently, each with a `threads / workers` (min 1)
+    /// slice of the simulation budget.
+    pub workers: usize,
+    /// Cron entries registered before the first job runs — the serve
+    /// flag `--cron NAME:SPEC:JOB` lands here.
+    pub cron: Vec<crate::scheduler::CronEntry>,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +73,8 @@ impl Default for ServerConfig {
         ServerConfig {
             port: 0,
             threads: 2,
+            workers: 1,
+            cron: Vec::new(),
         }
     }
 }
@@ -77,20 +87,30 @@ pub struct LabServer {
     /// Shared daemon state.
     pub state: Arc<LabState>,
     accept_handle: std::thread::JoinHandle<()>,
-    worker_handle: std::thread::JoinHandle<()>,
+    worker_handles: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl LabServer {
-    /// Bind, spawn the worker and accept threads, and return. The
+    /// Bind, spawn the worker pool and accept thread, and return. The
     /// daemon is ready for requests when this returns.
     pub fn start(config: ServerConfig) -> std::io::Result<LabServer> {
         let listener = TcpListener::bind(("127.0.0.1", config.port))?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let state = LabState::new(config.threads.max(1));
+        let state = LabState::new(config.threads.max(1), config.workers.max(1));
+        {
+            let mut scheduler = state.scheduler.lock().expect("scheduler lock");
+            for entry in &config.cron {
+                scheduler.add(&entry.name, entry.spec, entry.job);
+            }
+        }
 
-        let worker_state = Arc::clone(&state);
-        let worker_handle = std::thread::spawn(move || worker_loop(&worker_state));
+        let worker_handles = (0..config.workers.max(1))
+            .map(|_| {
+                let worker_state = Arc::clone(&state);
+                std::thread::spawn(move || worker_loop(&worker_state))
+            })
+            .collect();
 
         let accept_state = Arc::clone(&state);
         let accept_handle = std::thread::spawn(move || accept_loop(listener, &accept_state));
@@ -99,14 +119,16 @@ impl LabServer {
             addr,
             state,
             accept_handle,
-            worker_handle,
+            worker_handles,
         })
     }
 
     /// Block until shutdown (SIGTERM or `POST /shutdown`) completes.
     pub fn join(self) {
         let _ = self.accept_handle.join();
-        let _ = self.worker_handle.join();
+        for handle in self.worker_handles {
+            let _ = handle.join();
+        }
     }
 
     /// Ask the daemon to stop and wait for both threads.
@@ -147,11 +169,15 @@ fn accept_loop(listener: TcpListener, state: &Arc<LabState>) {
     }
 }
 
-/// Jobs run here, one at a time, off the queue; each completion
-/// advances the virtual clock one tick, fires any due cron entries,
-/// and feeds the detector.
+/// Jobs run here, off the shared condvar queue. Every worker in the
+/// pool runs this loop; each holds a `threads / workers` (min 1) slice
+/// of the simulation-thread budget, so concurrent jobs never
+/// oversubscribe the configured total. Each job completion advances the
+/// virtual clock one tick, fires any due cron entries, and feeds the
+/// detector.
 fn worker_loop(state: &Arc<LabState>) {
-    let runner = FleetRunner::new(state.threads);
+    let budget = (state.threads / state.workers).max(1);
+    let runner = FleetRunner::new(budget);
     loop {
         let id = {
             let mut queue = state.queue.lock().expect("queue lock");

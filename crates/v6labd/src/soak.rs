@@ -89,7 +89,7 @@ fn smoke_schedule(base_seed: u64) -> Scheduler {
 /// Run the soak and summarise it. Also returns the detector so callers
 /// (tests, the CLI log) can inspect full incident records.
 pub fn run_soak(config: SoakConfig) -> (SoakSummary, Detector) {
-    let state = LabState::new(config.threads);
+    let state = LabState::new(config.threads, 1);
     let runner = FleetRunner::new(config.threads);
     let observer = LiveObserver::new(&state, 0);
 

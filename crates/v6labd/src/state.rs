@@ -129,8 +129,10 @@ impl LiveMetrics {
 
 /// Everything shared between the HTTP handlers and the worker.
 pub struct LabState {
-    /// Worker-pool width for job execution.
+    /// Total simulation-thread budget shared by concurrent jobs.
     pub threads: usize,
+    /// Job-execution worker threads draining the queue.
+    pub workers: usize,
     /// Every job ever submitted, indexed by `id - 1`.
     pub jobs: Mutex<Vec<JobRecord>>,
     /// Ids waiting for the worker.
@@ -149,9 +151,10 @@ pub struct LabState {
 
 impl LabState {
     /// Fresh state with an empty scheduler.
-    pub fn new(threads: usize) -> Arc<LabState> {
+    pub fn new(threads: usize, workers: usize) -> Arc<LabState> {
         Arc::new(LabState {
             threads,
+            workers,
             jobs: Mutex::new(Vec::new()),
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
@@ -213,6 +216,7 @@ impl LabState {
 
         let mut obj = self.live.lock().expect("live lock").to_json();
         obj.set("jobs", jobs_row);
+        obj.set("workers", Json::U64(self.workers as u64));
         obj.set(
             "tick",
             Json::U64(self.scheduler.lock().expect("scheduler lock").tick()),

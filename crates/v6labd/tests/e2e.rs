@@ -63,6 +63,7 @@ fn population_job_streams_metrics_and_matches_the_batch_path() {
     let server = LabServer::start(ServerConfig {
         port: 0,
         threads: 2,
+        ..ServerConfig::default()
     })
     .expect("daemon starts");
     let addr = server.addr;
@@ -144,6 +145,7 @@ fn matrix_jobs_reproduce_the_committed_golden_over_http() {
     let server = LabServer::start(ServerConfig {
         port: 0,
         threads: 2,
+        ..ServerConfig::default()
     })
     .expect("daemon starts");
     let addr = server.addr;
@@ -172,6 +174,100 @@ fn matrix_jobs_reproduce_the_committed_golden_over_http() {
         panic!("incidents array missing");
     };
     assert!(rows.is_empty(), "clean baseline must raise nothing");
+
+    server.stop();
+}
+
+#[test]
+fn config_cron_entries_fire_after_job_completion() {
+    // A recurring schedule wired in at startup (the serve `--cron`
+    // flag's landing spot): the @1 entry must enqueue its job the
+    // moment the first completion advances the virtual clock.
+    const JOB: &str = r#"{"kind":"population","size":40,"shards":2,"pace_ms":0}"#;
+    let server = LabServer::start(ServerConfig {
+        cron: vec![v6labd::CronEntry {
+            name: "startup-census".into(),
+            spec: v6labd::CronSpec::parse("@1").expect("literal spec"),
+            job: v6labd::JobSpec::parse(JOB).expect("literal job"),
+        }],
+        ..ServerConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = server.addr;
+
+    let accepted = post(addr, "/jobs", JOB);
+    assert_eq!(accepted.status, 202);
+    let id = u64_at(&Json::parse(&accepted.body).unwrap(), &["id"]);
+    wait_done(addr, id);
+
+    // Completion ticked the clock to 1; the cron entry fired and its
+    // job shows up in the table without any further HTTP submission.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let cron_id = id + 1;
+    while get(addr, &format!("/jobs/{cron_id}")).status != 200 {
+        assert!(Instant::now() < deadline, "cron job never enqueued");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    wait_done(addr, cron_id);
+
+    let metrics = Json::parse(&get(addr, "/metrics").body).unwrap();
+    assert_eq!(u64_at(&metrics, &["jobs", "done"]), 2);
+    assert_eq!(u64_at(&metrics, &["tick"]), 2, "both completions ticked");
+
+    // Both jobs ran the same spec: identical canonical manifests.
+    let submitted = get(addr, &format!("/jobs/{id}/manifest"));
+    let fired = get(addr, &format!("/jobs/{cron_id}/manifest"));
+    assert_eq!(submitted.body, fired.body);
+
+    server.stop();
+}
+
+#[test]
+fn multi_worker_pool_runs_jobs_concurrently_with_identical_manifests() {
+    let server = LabServer::start(ServerConfig {
+        threads: 2,
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = server.addr;
+    let metrics = Json::parse(&get(addr, "/metrics").body).unwrap();
+    assert_eq!(u64_at(&metrics, &["workers"]), 2);
+
+    // Two paced censuses: with two workers both must be mid-flight at
+    // once (a single-worker daemon would serialize them).
+    const BODY: &str = r#"{"kind":"population","size":200,"shards":8,"pace_ms":25}"#;
+    let a = u64_at(
+        &Json::parse(&post(addr, "/jobs", BODY).body).unwrap(),
+        &["id"],
+    );
+    let b = u64_at(
+        &Json::parse(&post(addr, "/jobs", BODY).body).unwrap(),
+        &["id"],
+    );
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let v = Json::parse(&get(addr, "/metrics").body).unwrap();
+        if u64_at(&v, &["jobs", "running"]) == 2 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "never saw two jobs running concurrently"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    wait_done(addr, a);
+    wait_done(addr, b);
+
+    // Same spec on different worker threads (each with its own warm
+    // cell arena): byte-identical manifests.
+    let ma = get(addr, &format!("/jobs/{a}/manifest"));
+    let mb = get(addr, &format!("/jobs/{b}/manifest"));
+    assert_eq!(ma.status, 200);
+    assert_eq!(ma.body, mb.body);
 
     server.stop();
 }

@@ -8,20 +8,21 @@
 
 use crate::http::{format_response, HttpRequest};
 use std::any::Any;
-use std::collections::HashMap;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 use v6sim::engine::{Ctx, Node};
 use v6sim::tcp::TcpEndpoint;
 use v6wire::arp::{ArpOp, ArpPacket};
 use v6wire::ethernet::{EtherType, EthernetFrame};
+use v6wire::fasthash::FastMap;
 use v6wire::icmpv4::Icmpv4Message;
 use v6wire::icmpv6::Icmpv6Message;
 use v6wire::ipv4::{proto, Ipv4Packet};
 use v6wire::ipv6::Ipv6Packet;
 use v6wire::mac::MacAddr;
 use v6wire::ndp::{NdpOption, NeighborAdvertisement};
-use v6wire::packet::{build_arp, build_icmpv6, ParsedFrame, L3, L4};
+use v6wire::packet::{build_arp, build_icmpv6};
 use v6wire::tcp::TcpSegment;
+use v6wire::view::{FrameView, Icmp4View, Icmp6View, L3View, L4View};
 
 /// What a vhost serves.
 #[derive(Debug, Clone)]
@@ -72,13 +73,13 @@ pub struct PortalServer {
     /// IPv6 addresses served.
     pub v6_addrs: Vec<Ipv6Addr>,
     /// Virtual hosts (lowercased host → content).
-    pub vhosts: HashMap<String, VhostContent>,
+    pub vhosts: FastMap<String, VhostContent>,
     /// Content served for unknown Host headers (the intervention page).
     pub fallback: Option<VhostContent>,
     /// TCP ports accepted (80 by default; add 443 for the VPN concentrator
     /// and VTC stand-ins).
     pub tcp_ports: Vec<u16>,
-    flows: HashMap<FlowId, ServerFlow>,
+    flows: FastMap<FlowId, ServerFlow>,
     /// Every completed request.
     pub fetch_log: Vec<FetchRecord>,
 }
@@ -97,10 +98,10 @@ impl PortalServer {
             mac,
             v4_addrs,
             v6_addrs,
-            vhosts: HashMap::new(),
+            vhosts: FastMap::default(),
             fallback: None,
             tcp_ports: vec![80],
-            flows: HashMap::new(),
+            flows: FastMap::default(),
             fetch_log: Vec::new(),
         }
     }
@@ -142,6 +143,14 @@ impl PortalServer {
     pub fn with_vhost(mut self, host: &str, content: VhostContent) -> PortalServer {
         self.vhosts.insert(host.to_ascii_lowercase(), content);
         self
+    }
+
+    /// Restore the post-construction state: live TCP flows dropped and
+    /// the fetch log cleared. Addresses, vhosts, and port configuration
+    /// survive (warm-cell arena reuse).
+    pub fn reset(&mut self) {
+        self.flows.clear();
+        self.fetch_log.clear();
     }
 
     /// Requests recorded for `host`.
@@ -232,34 +241,37 @@ impl Node for PortalServer {
     }
 
     fn on_frame(&mut self, _port: u32, raw: &[u8], ctx: &mut Ctx) {
-        let Ok(parsed) = ParsedFrame::parse(raw) else {
+        // Zero-copy view (same accept/reject behaviour as the owned
+        // parser): only the one TCP segment actually handed to a flow is
+        // materialized, instead of owning every layer's payload per frame.
+        let Ok(parsed) = FrameView::parse(raw) else {
             return;
         };
         match (&parsed.l3, &parsed.l4) {
-            (L3::Arp(arp), _)
+            (L3View::Arp(arp), _)
                 if arp.op == ArpOp::Request && self.v4_addrs.contains(&arp.target_ip) =>
             {
                 let reply = ArpPacket::reply_to(arp, self.mac);
                 ctx.send(0, build_arp(self.mac, arp.sender_mac, &reply));
             }
-            (L3::V6(ip), L4::Icmp6(Icmpv6Message::NeighborSolicitation(ns)))
-                if self.v6_addrs.contains(&ns.target) =>
+            (L3View::V6(ip), L4View::Icmp6(Icmp6View::NeighborSolicitation { target, .. }))
+                if self.v6_addrs.contains(target) =>
             {
                 let na = Icmpv6Message::NeighborAdvertisement(NeighborAdvertisement {
                     router: false,
                     solicited: true,
                     override_flag: true,
-                    target: ns.target,
+                    target: *target,
                     options: vec![NdpOption::TargetLinkLayer(self.mac)],
                 });
                 ctx.send(
                     0,
-                    build_icmpv6(self.mac, parsed.eth.src, ns.target, ip.src, &na),
+                    build_icmpv6(self.mac, parsed.eth.src, *target, ip.src, &na),
                 );
             }
             (
-                L3::V6(ip),
-                L4::Icmp6(Icmpv6Message::EchoRequest {
+                L3View::V6(ip),
+                L4View::Icmp6(Icmp6View::EchoRequest {
                     ident,
                     seq,
                     payload,
@@ -268,7 +280,7 @@ impl Node for PortalServer {
                 let reply = Icmpv6Message::EchoReply {
                     ident: *ident,
                     seq: *seq,
-                    payload: payload.clone(),
+                    payload: payload.to_vec(),
                 };
                 ctx.send(
                     0,
@@ -276,8 +288,8 @@ impl Node for PortalServer {
                 );
             }
             (
-                L3::V4(ip),
-                L4::Icmp4(Icmpv4Message::EchoRequest {
+                L3View::V4(ip),
+                L4View::Icmp4(Icmp4View::EchoRequest {
                     ident,
                     seq,
                     payload,
@@ -286,14 +298,14 @@ impl Node for PortalServer {
                 let reply = Icmpv4Message::EchoReply {
                     ident: *ident,
                     seq: *seq,
-                    payload: payload.clone(),
+                    payload: payload.to_vec(),
                 };
                 ctx.send(
                     0,
                     v6wire::packet::build_icmpv4(self.mac, parsed.eth.src, ip.dst, ip.src, &reply),
                 );
             }
-            (L3::V6(ip), L4::Tcp(seg))
+            (L3View::V6(ip), L4View::Tcp(seg))
                 if self.v6_addrs.contains(&ip.dst) && self.tcp_ports.contains(&seg.dst_port) =>
             {
                 let id = FlowId {
@@ -302,9 +314,9 @@ impl Node for PortalServer {
                     rport: seg.src_port,
                     lport: seg.dst_port,
                 };
-                self.on_tcp(id, seg.clone(), parsed.eth.src, ctx);
+                self.on_tcp(id, seg.to_segment(), parsed.eth.src, ctx);
             }
-            (L3::V4(ip), L4::Tcp(seg))
+            (L3View::V4(ip), L4View::Tcp(seg))
                 if self.v4_addrs.contains(&ip.dst) && self.tcp_ports.contains(&seg.dst_port) =>
             {
                 let id = FlowId {
@@ -313,7 +325,7 @@ impl Node for PortalServer {
                     rport: seg.src_port,
                     lport: seg.dst_port,
                 };
-                self.on_tcp(id, seg.clone(), parsed.eth.src, ctx);
+                self.on_tcp(id, seg.to_segment(), parsed.eth.src, ctx);
             }
             _ => {}
         }
@@ -347,6 +359,7 @@ mod tests {
     use super::*;
     use v6sim::engine::Network;
     use v6sim::time::SimTime;
+    use v6wire::packet::{ParsedFrame, L4};
 
     /// Drive a raw HTTP exchange against the portal from a scripted client.
     struct ScriptClient {

@@ -309,6 +309,20 @@ impl RunManifest {
         // (examples/load_gen.rs) once the daemon has been hammered.
         if v.get("service_soak").is_some() {
             structure.set("service_soak_requests", num(&["service_soak", "requests"])?);
+            // Worker count appears once the soak ran against a daemon
+            // new enough to report it; older bench files stay valid.
+            if let Some(w) = v.get_path(&["service_soak", "workers"]) {
+                structure.set("service_soak_workers", w.clone());
+            }
+        }
+
+        // The warm-cell row, written by `just warm-bench`
+        // (examples/population_census.rs --warm-bench) once the arena
+        // path has been benched against the cold baseline.
+        if v.get("warm_cell").is_some() {
+            structure.set("warm_cell_samples", num(&["warm_cell", "samples"])?);
+            structure.set("warm_cell_shards", num(&["warm_cell", "shards"])?);
+            structure.set("warm_cell_threads", num(&["warm_cell", "threads"])?);
         }
 
         let mut timings = Json::obj();
@@ -333,6 +347,19 @@ impl RunManifest {
                 soak.set(field, num(&["service_soak", field])?);
             }
             timings.set("service_soak", soak);
+        }
+        if v.get("warm_cell").is_some() {
+            let mut warm = Json::obj();
+            for field in [
+                "cold_scenarios_per_sec",
+                "warm_scenarios_per_sec",
+                "speedup",
+                "warm_mt_scenarios_per_sec",
+                "thread_scaling",
+            ] {
+                warm.set(field, num(&["warm_cell", field])?);
+            }
+            timings.set("warm_cell", warm);
         }
 
         // And the zero-copy codec rows (owned-vs-view parse, checksum

@@ -56,8 +56,17 @@ pub enum TraceMode {
 #[derive(Debug, Default)]
 struct FramePool {
     free: Vec<Vec<u8>>,
+    /// Warm buffers parked by [`FramePool::recycle`]: their capacity
+    /// survives into the next cell, but each one re-entering service is
+    /// counted as `allocated` — so the per-cell counter stream is
+    /// byte-identical to a cold pool (which starts with `free` empty).
+    reserve: Vec<Vec<u8>>,
     allocated: u64,
     reused: u64,
+    /// True `Vec` constructions over the pool's whole lifetime — never
+    /// reset, so arena steady-state gates can prove warm cells malloc
+    /// no new frame buffers at all.
+    fresh: u64,
 }
 
 /// Cap on pooled buffers so pathological floods cannot pin memory.
@@ -65,13 +74,18 @@ const FRAME_POOL_CAP: usize = 4096;
 
 impl FramePool {
     fn get(&mut self) -> Vec<u8> {
-        match self.free.pop() {
-            Some(buf) => {
-                self.reused += 1;
-                buf
-            }
+        if let Some(buf) = self.free.pop() {
+            self.reused += 1;
+            return buf;
+        }
+        // `free` is empty: a cold pool would malloc here, so the warm
+        // pool must report `allocated` too — whether the bytes come from
+        // the reserve or a real allocation is invisible to the counters.
+        self.allocated += 1;
+        match self.reserve.pop() {
+            Some(buf) => buf,
             None => {
-                self.allocated += 1;
+                self.fresh += 1;
                 Vec::with_capacity(128)
             }
         }
@@ -82,6 +96,19 @@ impl FramePool {
             buf.clear();
             self.free.push(buf);
         }
+    }
+
+    /// Park every free buffer and zero the per-cell counters. The next
+    /// cell sees exactly what a cold pool reports (`free` empty, both
+    /// counters zero) while reusing the parked capacity.
+    fn recycle(&mut self) {
+        while let Some(buf) = self.free.pop() {
+            if self.reserve.len() < FRAME_POOL_CAP {
+                self.reserve.push(buf);
+            }
+        }
+        self.allocated = 0;
+        self.reused = 0;
     }
 }
 
@@ -414,6 +441,59 @@ impl Network {
         );
         self.attach(a, a_port, b, b_port, latency);
         self.attach(b, b_port, a, a_port, latency);
+    }
+
+    /// Replace node `id` wholesale, re-interning its name. Links,
+    /// ports, and counters are untouched — the new node inherits the
+    /// old one's cables, which is what the warm-cell arena wants when
+    /// only the host behind a switch port changes between cells.
+    pub fn replace_node(&mut self, id: NodeId, node: Box<dyn Node>) {
+        self.names[id] = node.name().into();
+        self.nodes[id] = node;
+        // Compiled fault links are keyed by node name; drop the cache.
+        self.fault_links.clear();
+    }
+
+    /// Reset the engine to its post-construction state while keeping
+    /// the node graph: nodes, interned names, and the link table
+    /// survive, and everything else — event queue, clock, sequence
+    /// counter, every metrics counter, traces, captures, and the fault
+    /// machinery — returns to exactly what `Network::new` plus the same
+    /// `add_node`/`link` calls would produce. Frame buffers are parked
+    /// rather than freed (see [`FramePool::recycle`]), so warm cells
+    /// inherit capacity without perturbing the pool counters.
+    ///
+    /// Node-*internal* state is deliberately not touched: callers reset
+    /// each device in place (or swap it via [`Network::replace_node`])
+    /// before reuse.
+    pub fn recycle(&mut self) {
+        self.queue.clear();
+        self.now = SimTime::ZERO;
+        self.seq = 0;
+        self.started = false;
+        self.frame_pool.recycle();
+        for counters in &mut self.node_counters {
+            *counters = LinkCounters::default();
+        }
+        self.engine_counters = EngineMetrics::default();
+        self.trace.clear();
+        self.trace_suppressed = 0;
+        self.captured.clear();
+        self.capture_suppressed = 0;
+        self.frames_delivered = 0;
+        self.fault_plan = FaultPlan::default();
+        self.fault_active = false;
+        self.fault_links.clear();
+        self.fault_decisions = 0;
+        self.fault_counters = FaultCounters::default();
+    }
+
+    /// True frame-buffer constructions over this network's whole
+    /// lifetime. Unlike [`MetricsSnapshot::pool`], this is *never*
+    /// reset by [`Network::recycle`] — a steady-state arena gate reads
+    /// it across cells to prove warm runs malloc no new frame buffers.
+    pub fn pool_fresh_allocations(&self) -> u64 {
+        self.frame_pool.fresh
     }
 
     /// Mutable access to a concrete node type.

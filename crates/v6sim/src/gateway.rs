@@ -16,7 +16,6 @@ use crate::engine::{Ctx, Node};
 use crate::nat44::Napt44;
 use crate::time::SimTime;
 use std::any::Any;
-use std::collections::HashMap;
 use std::net::{Ipv4Addr, Ipv6Addr};
 use v6addr::class::{v6_class, V6Class};
 use v6addr::prefix::Ipv6Prefix;
@@ -24,14 +23,16 @@ use v6addr::rfc6052::Nat64Prefix;
 use v6dhcp::server::{DhcpServer, ServerConfig};
 use v6wire::arp::{ArpOp, ArpPacket};
 use v6wire::ethernet::{EtherType, EthernetFrame};
+use v6wire::fasthash::FastMap;
 use v6wire::icmpv4::Icmpv4Message;
 use v6wire::icmpv6::{all_nodes, Icmpv6Message};
 use v6wire::ipv4::{proto, Ipv4Packet};
 use v6wire::ipv6::Ipv6Packet;
 use v6wire::mac::MacAddr;
 use v6wire::ndp::{NdpOption, NeighborAdvertisement, RouterAdvertisement, RouterPreference};
-use v6wire::packet::{build_arp, build_icmpv6, ParsedFrame, L3, L4};
+use v6wire::packet::{build_arp, build_icmpv6};
 use v6wire::udp::{port, UdpDatagram};
+use v6wire::view::{FrameView, Icmp4View, Icmp6View, Ipv4View, Ipv6View, L3View, L4View};
 use v6xlat::nat64::{Nat64, Nat64Config};
 
 /// LAN port index.
@@ -67,11 +68,11 @@ pub struct FiveGGateway {
     pub ra_interval: SimTime,
     /// The dead resolvers advertised in the RA.
     pub advertised_rdnss: Vec<Ipv6Addr>,
-    neigh6: HashMap<Ipv6Addr, MacAddr>,
-    arp4: HashMap<Ipv4Addr, MacAddr>,
+    neigh6: FastMap<Ipv6Addr, MacAddr>,
+    arp4: FastMap<Ipv4Addr, MacAddr>,
     /// External NAT44 ports whose flow is a proxied DNS exchange; replies
     /// get their source rewritten back to `lan_v4`.
-    dns_proxy_ports: HashMap<u16, ()>,
+    dns_proxy_ports: FastMap<u16, ()>,
     /// Dropped-for-no-route counter (where ULA DNS queries die, Fig. 3).
     pub no_route_drops: u64,
     /// Experiment knob (Fig. 8): when set, legacy IPv4 internet access is
@@ -122,9 +123,9 @@ impl FiveGGateway {
                 "fd00:976a::9".parse().expect("static ip"),
                 "fd00:976a::10".parse().expect("static ip"),
             ],
-            neigh6: HashMap::new(),
-            arp4: HashMap::new(),
-            dns_proxy_ports: HashMap::new(),
+            neigh6: FastMap::default(),
+            arp4: FastMap::default(),
+            dns_proxy_ports: FastMap::default(),
             no_route_drops: 0,
             block_v4_internet: false,
         }
@@ -155,6 +156,26 @@ impl FiveGGateway {
                 ..Default::default()
             },
         );
+    }
+
+    /// Restore the post-construction state — unlike [`reboot`], which
+    /// deliberately rotates the GUA prefix, this rewinds the gateway to
+    /// exactly what [`FiveGGateway::new`] built: initial prefix, empty
+    /// neighbour/ARP tables, fresh DHCP/NAT44/NAT64 state, counters
+    /// zeroed. `block_v4_internet` is an experiment knob and is *not*
+    /// reset; callers set it per cell.
+    ///
+    /// [`reboot`]: FiveGGateway::reboot
+    pub fn reset(&mut self) {
+        self.gua_prefix = "2607:fb90:9bda:a425::/64".parse().expect("static prefix");
+        self.reboot_count = 0;
+        self.dhcp.reset();
+        self.nat64.reset();
+        self.nat44.reset();
+        self.neigh6.clear();
+        self.arp4.clear();
+        self.dns_proxy_ports.clear();
+        self.no_route_drops = 0;
     }
 
     fn build_ra(&self) -> RouterAdvertisement {
@@ -227,26 +248,26 @@ impl FiveGGateway {
         ctx.send(WAN, frame.encode());
     }
 
-    fn handle_lan_v6(&mut self, parsed: &ParsedFrame, ip: &Ipv6Packet, ctx: &mut Ctx) {
+    fn handle_lan_v6(&mut self, parsed: &FrameView<'_>, ip: &Ipv6View<'_>, ctx: &mut Ctx) {
         self.neigh6.insert(ip.src, parsed.eth.src);
         // Addressed to us?
         if ip.dst == self.link_local || ip.dst == self.gua() || ip.dst == all_nodes() {
             match &parsed.l4 {
-                L4::Icmp6(Icmpv6Message::RouterSolicitation(_)) => self.send_ra(ctx),
-                L4::Icmp6(Icmpv6Message::NeighborSolicitation(ns))
-                    if (ns.target == self.link_local || ns.target == self.gua()) =>
+                L4View::Icmp6(Icmp6View::RouterSolicitation { .. }) => self.send_ra(ctx),
+                L4View::Icmp6(Icmp6View::NeighborSolicitation { target, .. })
+                    if (*target == self.link_local || *target == self.gua()) =>
                 {
                     let na = Icmpv6Message::NeighborAdvertisement(NeighborAdvertisement {
                         router: true,
                         solicited: true,
                         override_flag: true,
-                        target: ns.target,
+                        target: *target,
                         options: vec![NdpOption::TargetLinkLayer(self.lan_mac)],
                     });
-                    let frame = build_icmpv6(self.lan_mac, parsed.eth.src, ns.target, ip.src, &na);
+                    let frame = build_icmpv6(self.lan_mac, parsed.eth.src, *target, ip.src, &na);
                     ctx.send(LAN, frame);
                 }
-                L4::Icmp6(Icmpv6Message::EchoRequest {
+                L4View::Icmp6(Icmp6View::EchoRequest {
                     ident,
                     seq,
                     payload,
@@ -254,7 +275,7 @@ impl FiveGGateway {
                     let reply = Icmpv6Message::EchoReply {
                         ident: *ident,
                         seq: *seq,
-                        payload: payload.clone(),
+                        payload: payload.to_vec(),
                     };
                     let frame = build_icmpv6(self.lan_mac, parsed.eth.src, ip.dst, ip.src, &reply);
                     ctx.send(LAN, frame);
@@ -265,19 +286,23 @@ impl FiveGGateway {
         }
         // NS for addresses that are not ours (e.g. solicited-node multicast
         // for another host) — not our business; hosts answer each other.
-        if let L4::Icmp6(Icmpv6Message::NeighborSolicitation(_)) = &parsed.l4 {
+        if let L4View::Icmp6(Icmp6View::NeighborSolicitation { .. }) = &parsed.l4 {
             return;
         }
         // Routing decision.
         if self.nat64.prefix().matches(ip.dst) {
-            if let Ok(v4) = self.nat64.v6_to_v4(ip, ctx.now.as_secs()) {
+            if let Ok(v4) = self.nat64.v6_to_v4(&ip.to_packet(), ctx.now.as_secs()) {
                 self.wan_send_v4(v4, ctx)
             }
             return;
         }
         match v6_class(ip.dst) {
             V6Class::GlobalUnicast | V6Class::SixToFour | V6Class::Teredo => {
-                if let Some(fwd) = ip.forwarded() {
+                // Same hop-limit rule as `Ipv6Packet::forwarded`, without
+                // materializing the packet when the TTL is spent.
+                if ip.hop_limit > 1 {
+                    let mut fwd = ip.to_packet();
+                    fwd.hop_limit -= 1;
                     self.wan_send_v6(fwd, ctx);
                 }
             }
@@ -288,15 +313,15 @@ impl FiveGGateway {
         }
     }
 
-    fn handle_lan_v4(&mut self, parsed: &ParsedFrame, ip: &Ipv4Packet, ctx: &mut Ctx) {
+    fn handle_lan_v4(&mut self, parsed: &FrameView<'_>, ip: &Ipv4View<'_>, ctx: &mut Ctx) {
         if !ip.src.is_unspecified() {
             self.arp4.insert(ip.src, parsed.eth.src);
         }
         let broadcast = ip.dst == Ipv4Addr::BROADCAST;
         // DHCP to us (or broadcast).
-        if let L4::Udp(udp) = &parsed.l4 {
+        if let L4View::Udp(udp) = &parsed.l4 {
             if udp.dst_port == port::DHCP_SERVER && (broadcast || ip.dst == self.lan_v4) {
-                if let Ok(msg) = v6dhcp::codec::DhcpMessage::decode(&udp.payload) {
+                if let Ok(msg) = v6dhcp::codec::DhcpMessage::decode(udp.payload) {
                     self.arp4
                         .entry(Ipv4Addr::UNSPECIFIED)
                         .or_insert(parsed.eth.src);
@@ -325,7 +350,7 @@ impl FiveGGateway {
                     ip.src,
                     upstream,
                     proto::UDP,
-                    UdpDatagram::new(udp.src_port, port::DNS, udp.payload.clone())
+                    UdpDatagram::new(udp.src_port, port::DNS, udp.payload.to_vec())
                         .encode_v4(ip.src, upstream),
                 );
                 if let Ok(out) = self.nat44.outbound(&rewritten, ctx.now.as_secs()) {
@@ -340,7 +365,7 @@ impl FiveGGateway {
         }
         // ICMP echo to us.
         if ip.dst == self.lan_v4 {
-            if let L4::Icmp4(Icmpv4Message::EchoRequest {
+            if let L4View::Icmp4(Icmp4View::EchoRequest {
                 ident,
                 seq,
                 payload,
@@ -349,7 +374,7 @@ impl FiveGGateway {
                 let reply = Icmpv4Message::EchoReply {
                     ident: *ident,
                     seq: *seq,
-                    payload: payload.clone(),
+                    payload: payload.to_vec(),
                 };
                 let frame = v6wire::packet::build_icmpv4(
                     self.lan_mac,
@@ -371,24 +396,25 @@ impl FiveGGateway {
             self.no_route_drops += 1;
             return;
         }
-        if let Ok(out) = self.nat44.outbound(ip, ctx.now.as_secs()) {
+        if let Ok(out) = self.nat44.outbound(&ip.to_packet(), ctx.now.as_secs()) {
             self.wan_send_v4(out, ctx);
         }
     }
 
-    fn handle_wan(&mut self, parsed: &ParsedFrame, ctx: &mut Ctx) {
+    fn handle_wan(&mut self, parsed: &FrameView<'_>, ctx: &mut Ctx) {
         match &parsed.l3 {
-            L3::V4(ip) if ip.dst == self.wan_v4 => {
+            L3View::V4(ip) if ip.dst == self.wan_v4 => {
                 let now = ctx.now.as_secs();
+                let pkt = ip.to_packet();
                 // NAT64 reverse first (its port floor keeps ranges disjoint).
-                if let Ok(v6) = self.nat64.v4_to_v6(ip, now) {
+                if let Ok(v6) = self.nat64.v4_to_v6(&pkt, now) {
                     self.lan_send_v6(v6, ctx);
                     return;
                 }
-                if let Ok(mut v4) = self.nat44.inbound(ip, now) {
+                if let Ok(mut v4) = self.nat44.inbound(&pkt, now) {
                     // Proxied DNS replies masquerade as the gateway resolver.
                     if ip.src == self.upstream_dns {
-                        if let Ok(d) = UdpDatagram::decode_v4(&ip.payload, ip.src, ip.dst) {
+                        if let Ok(d) = UdpDatagram::decode_v4(ip.payload, ip.src, ip.dst) {
                             if self.dns_proxy_ports.contains_key(&d.dst_port) {
                                 let inner = UdpDatagram::decode_v4(&v4.payload, v4.src, v4.dst)
                                     .expect("nat44 output is valid");
@@ -406,11 +432,13 @@ impl FiveGGateway {
                     self.lan_send_v4(v4, ctx);
                 }
             }
-            L3::V6(ip) if self.gua_prefix.contains(ip.dst) => {
+            L3View::V6(ip) if self.gua_prefix.contains(ip.dst) => {
                 if ip.dst == self.gua() {
                     return; // traffic to the gateway itself: nothing to serve
                 }
-                if let Some(fwd) = ip.forwarded() {
+                if ip.hop_limit > 1 {
+                    let mut fwd = ip.to_packet();
+                    fwd.hop_limit -= 1;
                     self.lan_send_v6(fwd, ctx);
                 }
             }
@@ -446,7 +474,7 @@ impl Node for FiveGGateway {
     }
 
     fn on_frame(&mut self, port_idx: u32, raw: &[u8], ctx: &mut Ctx) {
-        let Ok(parsed) = ParsedFrame::parse(raw) else {
+        let Ok(parsed) = FrameView::parse(raw) else {
             return;
         };
         if port_idx == WAN {
@@ -454,22 +482,22 @@ impl Node for FiveGGateway {
             return;
         }
         match &parsed.l3 {
-            L3::Arp(arp) => {
+            L3View::Arp(arp) => {
                 self.arp4.insert(arp.sender_ip, arp.sender_mac);
                 if arp.op == ArpOp::Request && arp.target_ip == self.lan_v4 {
                     let reply = ArpPacket::reply_to(arp, self.lan_mac);
                     ctx.send(LAN, build_arp(self.lan_mac, arp.sender_mac, &reply));
                 }
             }
-            L3::V6(ip) => {
-                let ip = ip.clone();
+            L3View::V6(ip) => {
+                let ip = *ip;
                 self.handle_lan_v6(&parsed, &ip, ctx);
             }
-            L3::V4(ip) => {
-                let ip = ip.clone();
+            L3View::V4(ip) => {
+                let ip = *ip;
                 self.handle_lan_v4(&parsed, &ip, ctx);
             }
-            L3::Other(..) => {}
+            L3View::Other(..) => {}
         }
     }
 
@@ -482,6 +510,7 @@ impl Node for FiveGGateway {
 mod tests {
     use super::*;
     use crate::engine::Network;
+    use v6wire::packet::{ParsedFrame, L3, L4};
 
     struct Sink {
         name: String,

@@ -6,16 +6,17 @@
 use crate::engine::{Ctx, Node};
 use crate::time::SimTime;
 use std::any::Any;
-use std::collections::HashMap;
 use std::net::Ipv6Addr;
 use v6addr::prefix::Ipv6Prefix;
 use v6dhcp::codec::DhcpMessage;
 use v6dhcp::snoop::{DhcpSnoop, SnoopVerdict};
+use v6wire::fasthash::FastMap;
 use v6wire::icmpv6::{all_nodes, Icmpv6Message};
 use v6wire::mac::MacAddr;
 use v6wire::ndp::{NdpOption, RouterAdvertisement, RouterPreference};
-use v6wire::packet::{build_icmpv6, ParsedFrame, L3, L4};
+use v6wire::packet::build_icmpv6;
 use v6wire::udp::port;
+use v6wire::view::{FrameView, Icmp6View, L3View, L4View};
 
 /// Configuration for the managed switch's own RA.
 #[derive(Debug, Clone)]
@@ -96,11 +97,15 @@ const RA_TIMER: u64 = 1;
 pub struct Switch {
     name: String,
     ports: u32,
-    mac_table: HashMap<MacAddr, u32>,
+    mac_table: FastMap<MacAddr, u32>,
     /// DHCP snooping state, if enabled.
     pub snoop: Option<DhcpSnoop>,
     /// RA injection, if enabled (the "managed switch" role).
     pub ra: Option<RaInjection>,
+    /// Encoded RA frame, built from `ra` at first emission. The RA is a
+    /// pure function of configuration, so the (checksummed) bytes are
+    /// computed once and replayed on every beacon and solicitation.
+    ra_frame: Option<Vec<u8>>,
     /// Frames forwarded.
     pub forwarded: u64,
     /// Frames dropped by snooping.
@@ -113,9 +118,10 @@ impl Switch {
         Switch {
             name: name.into(),
             ports,
-            mac_table: HashMap::new(),
+            mac_table: FastMap::default(),
             snoop: None,
             ra: None,
+            ra_frame: None,
             forwarded: 0,
             snoop_dropped: 0,
         }
@@ -134,12 +140,24 @@ impl Switch {
         sw
     }
 
-    fn is_dhcp(frame: &ParsedFrame) -> Option<DhcpMessage> {
-        if let (L3::V4(_), L4::Udp(udp)) = (&frame.l3, &frame.l4) {
+    /// Restore the post-construction state: learned MACs forgotten,
+    /// snoop and forwarding counters zeroed. Configuration (port count,
+    /// trusted ports, RA injection) is left exactly as built.
+    pub fn reset(&mut self) {
+        self.mac_table.clear();
+        if let Some(snoop) = &mut self.snoop {
+            snoop.reset();
+        }
+        self.forwarded = 0;
+        self.snoop_dropped = 0;
+    }
+
+    fn is_dhcp(frame: &FrameView) -> Option<DhcpMessage> {
+        if let (L3View::V4(_), L4View::Udp(udp)) = (&frame.l3, &frame.l4) {
             if (udp.dst_port == port::DHCP_SERVER || udp.dst_port == port::DHCP_CLIENT)
                 && (udp.src_port == port::DHCP_SERVER || udp.src_port == port::DHCP_CLIENT)
             {
-                return DhcpMessage::decode(&udp.payload).ok();
+                return DhcpMessage::decode(udp.payload).ok();
             }
         }
         None
@@ -153,18 +171,20 @@ impl Switch {
         }
     }
 
-    fn emit_ra(&self, ctx: &mut Ctx) {
+    fn emit_ra(&mut self, ctx: &mut Ctx) {
         if let Some(ra) = &self.ra {
-            let msg = Icmpv6Message::RouterAdvertisement(ra.build());
-            let frame = build_icmpv6(
-                ra.mac,
-                MacAddr::for_ipv6_multicast(all_nodes()),
-                ra.link_local,
-                all_nodes(),
-                &msg,
-            );
+            let frame = self.ra_frame.get_or_insert_with(|| {
+                let msg = Icmpv6Message::RouterAdvertisement(ra.build());
+                build_icmpv6(
+                    ra.mac,
+                    MacAddr::for_ipv6_multicast(all_nodes()),
+                    ra.link_local,
+                    all_nodes(),
+                    &msg,
+                )
+            });
             for p in 0..self.ports {
-                ctx.send_copy(p, &frame);
+                ctx.send_copy(p, frame);
             }
         }
     }
@@ -201,7 +221,10 @@ impl Node for Switch {
     }
 
     fn on_frame(&mut self, ingress: u32, raw: &[u8], ctx: &mut Ctx) {
-        let Ok(parsed) = ParsedFrame::parse(raw) else {
+        // A switch only inspects headers; the zero-copy view keeps the
+        // per-hop cost allocation-free (it has the exact accept/reject
+        // behaviour of the owned parser, so drop accounting is unchanged).
+        let Ok(parsed) = FrameView::parse(raw) else {
             return; // corrupt frame: drop
         };
         // Learn the source.
@@ -219,7 +242,10 @@ impl Node for Switch {
         }
         // An RS arriving triggers an immediate RA (RFC 4861 §6.2.6) in
         // addition to normal forwarding.
-        if matches!(parsed.l4, L4::Icmp6(Icmpv6Message::RouterSolicitation(_))) {
+        if matches!(
+            parsed.l4,
+            L4View::Icmp6(Icmp6View::RouterSolicitation { .. })
+        ) {
             self.emit_ra(ctx);
         }
         // Forward.
@@ -245,7 +271,7 @@ mod tests {
     use super::*;
     use crate::engine::Network;
     use v6dhcp::codec::DhcpMessageType;
-    use v6wire::packet::build_udp_v4;
+    use v6wire::packet::{build_udp_v4, ParsedFrame, L4};
 
     /// Capture-everything endpoint.
     struct Sink {

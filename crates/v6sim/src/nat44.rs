@@ -6,8 +6,8 @@
 //! overrides its DNS resolver "would be granted access to the IPv4 internet"
 //! (paper §V, Nintendo Switch escape hatch).
 
-use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use v6wire::fasthash::FastMap;
 use v6wire::icmpv4::Icmpv4Message;
 use v6wire::ipv4::{proto, Ipv4Packet};
 use v6wire::tcp::TcpSegment;
@@ -33,8 +33,8 @@ struct Binding {
 pub struct Napt44 {
     /// The public (WAN) address all flows share.
     pub public_ip: Ipv4Addr,
-    forward: HashMap<(Proto, Ipv4Addr, u16), (u16, u64)>,
-    reverse: HashMap<(Proto, u16), Binding>,
+    forward: FastMap<(Proto, Ipv4Addr, u16), (u16, u64)>,
+    reverse: FastMap<(Proto, u16), Binding>,
     next_port: u16,
     /// Session lifetime in seconds.
     pub lifetime: u64,
@@ -51,14 +51,28 @@ impl Napt44 {
     pub fn new(public_ip: Ipv4Addr) -> Napt44 {
         Napt44 {
             public_ip,
-            forward: HashMap::new(),
-            reverse: HashMap::new(),
+            forward: FastMap::default(),
+            reverse: FastMap::default(),
             next_port: 1024,
             lifetime: 300,
             outbound: 0,
             inbound: 0,
             dropped: 0,
         }
+    }
+
+    /// Restore the post-construction state: bindings flushed, the port
+    /// allocator rewound, counters zeroed. The warm-cell arena calls
+    /// this between cells so a reused NAT is indistinguishable from a
+    /// freshly built one.
+    pub fn reset(&mut self) {
+        self.forward.clear();
+        self.reverse.clear();
+        self.next_port = 1024;
+        self.lifetime = 300;
+        self.outbound = 0;
+        self.inbound = 0;
+        self.dropped = 0;
     }
 
     /// Counter snapshot (`outbound`, `inbound`, `dropped`) in the shared

@@ -16,9 +16,12 @@
 //!   experiment index)
 //! * [`scenario`] — the Fig. 4 matrix as enumerable, seedable
 //!   [`scenario::Scenario`] cells for the `v6fleet` runner
+//! * [`arena`] — warm-cell execution: per-worker reusable testbeds,
+//!   recycled between cells instead of rebuilt, byte-identical to cold
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod census;
 pub mod experiments;
 pub mod nodes;
@@ -26,6 +29,7 @@ pub mod scenario;
 pub mod topology;
 pub mod zones;
 
+pub use arena::CellArena;
 pub use census::{census, CensusEntry, CensusSummary};
 pub use scenario::{
     os_profiles, CellObservation, CellSpec, OsProfileId, PathFamily, PoisonVariant, Scenario,

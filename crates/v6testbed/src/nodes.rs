@@ -15,8 +15,9 @@ use v6wire::arp::{ArpOp, ArpPacket};
 use v6wire::icmpv6::Icmpv6Message;
 use v6wire::mac::MacAddr;
 use v6wire::ndp::{NdpOption, NeighborAdvertisement};
-use v6wire::packet::{build_arp, build_icmpv6, ParsedFrame, L3, L4};
+use v6wire::packet::{build_arp, build_icmpv6};
 use v6wire::udp::{port, UdpDatagram};
+use v6wire::view::{FrameView, Icmp6View, L3View, L4View};
 
 /// The healthy DNS64 resolver stack the Pi serves over IPv6.
 pub type HealthyResolver = CachingResolver<Dns64<GlobalDns>>;
@@ -72,6 +73,29 @@ impl PiServer {
         }
     }
 
+    /// Restore the post-construction state: both resolver stacks reset
+    /// layer by layer (cache, DNS64 counter, poison counters, zone query
+    /// counter), the DHCP lease table flushed, query counters zeroed,
+    /// and the failure-injection switch re-armed. Addressing and the
+    /// poison policy are configuration and survive — the warm-cell
+    /// arena keys its slots on them.
+    pub fn reset(&mut self) {
+        self.healthy.reset();
+        self.healthy.upstream_mut().reset();
+        self.healthy.upstream_mut().upstream_mut().reset();
+        self.poisoned.reset();
+        let cache = self.poisoned.upstream_mut();
+        cache.reset();
+        cache.upstream_mut().reset();
+        cache.upstream_mut().upstream_mut().reset();
+        if let Some(dhcp) = &mut self.dhcp {
+            dhcp.reset();
+        }
+        self.v6_queries = 0;
+        self.v4_queries = 0;
+        self.enabled = true;
+    }
+
     fn answer(resolver: &mut dyn Resolver, msg: &DnsMessage, now: u64) -> DnsMessage {
         let q = msg.questions[0].clone();
         let ans = resolver.resolve(&q, now);
@@ -106,28 +130,33 @@ impl Node for PiServer {
         if !self.enabled {
             return; // crashed (failure-injection experiments)
         }
-        let Ok(parsed) = ParsedFrame::parse(raw) else {
+        // Zero-copy view: the server only reads headers and borrows the
+        // UDP payload for DNS/DHCP decoding (same accept/reject behaviour
+        // as the owned parser).
+        let Ok(parsed) = FrameView::parse(raw) else {
             return;
         };
         let now = ctx.now.as_secs();
         match (&parsed.l3, &parsed.l4) {
-            (L3::V6(ip), L4::Icmp6(Icmpv6Message::NeighborSolicitation(ns)))
-                if ns.target == self.v6 =>
+            (L3View::V6(ip), L4View::Icmp6(Icmp6View::NeighborSolicitation { target, .. }))
+                if *target == self.v6 =>
             {
                 let na = Icmpv6Message::NeighborAdvertisement(NeighborAdvertisement {
                     router: false,
                     solicited: true,
                     override_flag: true,
-                    target: ns.target,
+                    target: *target,
                     options: vec![NdpOption::TargetLinkLayer(self.mac)],
                 });
                 ctx.send(
                     0,
-                    build_icmpv6(self.mac, parsed.eth.src, ns.target, ip.src, &na),
+                    build_icmpv6(self.mac, parsed.eth.src, *target, ip.src, &na),
                 );
             }
-            (L3::V6(ip), L4::Udp(udp)) if ip.dst == self.v6 && udp.dst_port == port::DNS => {
-                if let Ok(msg) = DnsMessage::decode(&udp.payload) {
+            (L3View::V6(ip), L4View::Udp(udp))
+                if ip.dst == self.v6 && udp.dst_port == port::DNS =>
+            {
+                if let Ok(msg) = DnsMessage::decode(udp.payload) {
                     self.v6_queries += 1;
                     let resp = Self::answer(&mut self.healthy, &msg, now);
                     let d = UdpDatagram::new(port::DNS, udp.src_port, resp.encode());
@@ -137,8 +166,10 @@ impl Node for PiServer {
                     );
                 }
             }
-            (L3::V4(ip), L4::Udp(udp)) if ip.dst == self.v4 && udp.dst_port == port::DNS => {
-                if let Ok(msg) = DnsMessage::decode(&udp.payload) {
+            (L3View::V4(ip), L4View::Udp(udp))
+                if ip.dst == self.v4 && udp.dst_port == port::DNS =>
+            {
+                if let Ok(msg) = DnsMessage::decode(udp.payload) {
                     self.v4_queries += 1;
                     let resp = Self::answer(&mut self.poisoned, &msg, now);
                     let d = UdpDatagram::new(port::DNS, udp.src_port, resp.encode());
@@ -148,9 +179,9 @@ impl Node for PiServer {
                     );
                 }
             }
-            (L3::V4(_), L4::Udp(udp)) if udp.dst_port == port::DHCP_SERVER => {
+            (L3View::V4(_), L4View::Udp(udp)) if udp.dst_port == port::DHCP_SERVER => {
                 if let Some(dhcp) = &mut self.dhcp {
-                    if let Ok(msg) = v6dhcp::codec::DhcpMessage::decode(&udp.payload) {
+                    if let Ok(msg) = v6dhcp::codec::DhcpMessage::decode(udp.payload) {
                         if let Some(reply) = dhcp.handle(&msg, now) {
                             let d = UdpDatagram::new(
                                 port::DHCP_SERVER,
@@ -169,7 +200,7 @@ impl Node for PiServer {
                     }
                 }
             }
-            (L3::Arp(arp), _) if arp.op == ArpOp::Request && arp.target_ip == self.v4 => {
+            (L3View::Arp(arp), _) if arp.op == ArpOp::Request && arp.target_ip == self.v4 => {
                 let reply = ArpPacket::reply_to(arp, self.mac);
                 ctx.send(0, build_arp(self.mac, arp.sender_mac, &reply));
             }
@@ -208,6 +239,14 @@ impl PublicDns {
             queries: 0,
         }
     }
+
+    /// Restore the post-construction state: cache flushed, counters
+    /// zeroed (warm-cell arena reuse).
+    pub fn reset(&mut self) {
+        self.resolver.reset();
+        self.resolver.upstream_mut().reset();
+        self.queries = 0;
+    }
 }
 
 impl Default for PublicDns {
@@ -229,12 +268,12 @@ impl Node for PublicDns {
     }
 
     fn on_frame(&mut self, _port: u32, raw: &[u8], ctx: &mut Ctx) {
-        let Ok(parsed) = ParsedFrame::parse(raw) else {
+        let Ok(parsed) = FrameView::parse(raw) else {
             return;
         };
-        if let (L3::V4(ip), L4::Udp(udp)) = (&parsed.l3, &parsed.l4) {
+        if let (L3View::V4(ip), L4View::Udp(udp)) = (&parsed.l3, &parsed.l4) {
             if ip.dst == self.v4 && udp.dst_port == port::DNS {
-                if let Ok(msg) = DnsMessage::decode(&udp.payload) {
+                if let Ok(msg) = DnsMessage::decode(udp.payload) {
                     self.queries += 1;
                     let resp = PiServer::answer(&mut self.resolver, &msg, ctx.now.as_secs());
                     let d = UdpDatagram::new(port::DNS, udp.src_port, resp.encode());
@@ -290,6 +329,13 @@ impl InternetRouter {
             .push((prefix.parse().expect("static prefix"), out));
         self
     }
+
+    /// Zero the forwarding counters; the route tables are configuration
+    /// and survive (warm-cell arena reuse).
+    pub fn reset(&mut self) {
+        self.forwarded = 0;
+        self.dropped = 0;
+    }
 }
 
 impl Node for InternetRouter {
@@ -305,17 +351,17 @@ impl Node for InternetRouter {
     }
 
     fn on_frame(&mut self, ingress: u32, raw: &[u8], ctx: &mut Ctx) {
-        let Ok(parsed) = ParsedFrame::parse(raw) else {
+        let Ok(parsed) = FrameView::parse(raw) else {
             return;
         };
         let out = match &parsed.l3 {
-            L3::V4(ip) => self
+            L3View::V4(ip) => self
                 .v4_routes
                 .iter()
                 .filter(|(p, _)| p.contains(ip.dst))
                 .max_by_key(|(p, _)| p.len())
                 .map(|(_, o)| *o),
-            L3::V6(ip) => self
+            L3View::V6(ip) => self
                 .v6_routes
                 .iter()
                 .filter(|(p, _)| p.contains(ip.dst))

@@ -459,76 +459,125 @@ impl Scenario {
     /// [`CellObservation::from_result`] and the equivalence test.
     pub fn run_observation(&self) -> CellObservation {
         let (mut tb, id, verdict) = self.execute(TraceMode::Off);
-        let h = tb.host(id);
-        let has_v6 = h.v6_global_active();
-        let has_v4 = h.v4_active();
-        let fault_dropped = tb.net.fault_frames_dropped();
-        let nat64_refusals = tb.gateway().nat64.dropped_table_full;
-        CellObservation {
-            rfc8925_engaged: verdict.rfc8925_engaged,
-            has_v4: verdict.has_v4,
-            sc24: verdict.sc24,
-            ip6me: verdict.ip6me,
-            intervened: verdict.intervened,
-            naive_counted: true,
-            accurate_counted: has_v6 && !has_v4,
-            degraded: fault_dropped > 0 || nat64_refusals > 0,
-            completed_us: tb.net.now().as_micros(),
-            events: tb.net.events_processed(),
-        }
+        observe_cell(&mut tb, id, &verdict)
     }
 
     /// Build the testbed, boot the client, run the browse workload, and
     /// classify the outcome — the body shared by the full-result and
-    /// observation-only paths.
+    /// observation-only paths. Warm execution (`crate::arena`) shares
+    /// [`run_cell_body`] and differs only in how the testbed arrives.
     fn execute(&self, trace: TraceMode) -> (Testbed, v6sim::engine::NodeId, Verdict) {
-        let managed = self.topology == TopologyVariant::PaperDefault;
-        let mut tb = Testbed::build(TestbedConfig {
-            managed_switch: managed,
-            pi_dhcp: managed,
-            poison: self.poison.policy(),
-            block_v4_internet: false,
-            trace,
-        });
-        let plan = self.fault.plan(self.seed);
-        if !plan.is_noop() {
-            tb.net.set_fault_plan(plan);
-        }
-        if let Some(cap) = self.fault.nat64_binding_cap() {
-            tb.gateway().nat64.set_max_bindings(Some(cap));
-        }
-        let id = tb.add_host_seeded(self.os.clone(), self.seed);
-        tb.boot();
-        let sc24 = tb.run_task(
-            id,
-            AppTask::Browse {
-                name: "sc24.supercomputing.org".parse().expect("static name"),
-                path: "/".into(),
-            },
-            25,
-        );
-        let ip6me = tb.run_task(
-            id,
-            AppTask::Browse {
-                name: "ip6.me".parse().expect("static name"),
-                path: "/".into(),
-            },
-            25,
-        );
-        let intervened = matches!(
-            (&sc24, &ip6me),
-            (TaskOutcome::HttpOk { body, .. }, _) | (_, TaskOutcome::HttpOk { body, .. })
-                if body.contains("helpdesk")
-        );
-        let h = tb.host(id);
-        let verdict = Verdict {
-            rfc8925_engaged: h.v6only_mode,
-            has_v4: h.v4_active(),
-            sc24: PathFamily::of(&sc24),
-            ip6me: PathFamily::of(&ip6me),
-            intervened,
-        };
+        let mut tb = Testbed::build(cell_config(self.topology, self.poison, trace));
+        let (id, verdict) = run_cell_body(&mut tb, self.fault, self.os.clone(), self.seed);
         (tb, id, verdict)
+    }
+}
+
+/// The [`TestbedConfig`] a cell's (topology, poison, trace) dimensions
+/// resolve to. These are exactly the build-time knobs — everything else
+/// a cell varies (fault plan, NAT64 cap, host profile, seed) is applied
+/// per run by [`run_cell_body`], which is what makes testbeds reusable
+/// across cells that share this config.
+pub(crate) fn cell_config(
+    topology: TopologyVariant,
+    poison: PoisonVariant,
+    trace: TraceMode,
+) -> TestbedConfig {
+    let managed = topology == TopologyVariant::PaperDefault;
+    TestbedConfig {
+        managed_switch: managed,
+        pi_dhcp: managed,
+        poison: poison.policy(),
+        block_v4_internet: false,
+        trace,
+    }
+}
+
+/// Install the per-cell state on a post-build (or recycled) testbed,
+/// boot the client, run the browse workload, and classify the outcome.
+/// Cold ([`Scenario::execute`]) and warm ([`crate::arena::CellArena`])
+/// paths both run exactly this body, in exactly this order — the
+/// conditional fault install mirrors the fact that a fresh build never
+/// sees `set_fault_plan` for a no-op plan, so `fault_active` agrees.
+pub(crate) fn run_cell_body(
+    tb: &mut Testbed,
+    fault: FaultVariant,
+    os: OsProfile,
+    seed: u64,
+) -> (v6sim::engine::NodeId, Verdict) {
+    let plan = fault.plan(seed);
+    if !plan.is_noop() {
+        tb.net.set_fault_plan(plan);
+    }
+    if let Some(cap) = fault.nat64_binding_cap() {
+        tb.gateway().nat64.set_max_bindings(Some(cap));
+    }
+    let id = tb.set_host_seeded(os, seed);
+    tb.boot();
+    // The workload names are constants; parse them once per process and
+    // hand out clones (a DnsName clone is a reference-count bump).
+    static SC24_NAME: std::sync::OnceLock<v6dns::name::DnsName> = std::sync::OnceLock::new();
+    static IP6ME_NAME: std::sync::OnceLock<v6dns::name::DnsName> = std::sync::OnceLock::new();
+    let sc24 = tb.run_task(
+        id,
+        AppTask::Browse {
+            name: SC24_NAME
+                .get_or_init(|| "sc24.supercomputing.org".parse().expect("static name"))
+                .clone(),
+            path: "/".into(),
+        },
+        25,
+    );
+    let ip6me = tb.run_task(
+        id,
+        AppTask::Browse {
+            name: IP6ME_NAME
+                .get_or_init(|| "ip6.me".parse().expect("static name"))
+                .clone(),
+            path: "/".into(),
+        },
+        25,
+    );
+    let intervened = matches!(
+        (&sc24, &ip6me),
+        (TaskOutcome::HttpOk { body, .. }, _) | (_, TaskOutcome::HttpOk { body, .. })
+            if body.contains("helpdesk")
+    );
+    let h = tb.host(id);
+    let verdict = Verdict {
+        rfc8925_engaged: h.v6only_mode,
+        has_v4: h.v4_active(),
+        sc24: PathFamily::of(&sc24),
+        ip6me: PathFamily::of(&ip6me),
+        intervened,
+    };
+    (id, verdict)
+}
+
+/// Project a finished cell down to the compact observation — the
+/// shared tail of [`Scenario::run_observation`] and the arena's warm
+/// observation path.
+pub(crate) fn observe_cell(
+    tb: &mut Testbed,
+    id: v6sim::engine::NodeId,
+    verdict: &Verdict,
+) -> CellObservation {
+    let h = tb.host(id);
+    let has_v6 = h.v6_global_active();
+    let has_v4 = h.v4_active();
+    let fault_dropped = tb.net.fault_frames_dropped();
+    let nat64_refusals = tb.gateway().nat64.dropped_table_full;
+    CellObservation {
+        rfc8925_engaged: verdict.rfc8925_engaged,
+        has_v4: verdict.has_v4,
+        sc24: verdict.sc24,
+        ip6me: verdict.ip6me,
+        intervened: verdict.intervened,
+        naive_counted: true,
+        accurate_counted: has_v6 && !has_v4,
+        degraded: fault_dropped > 0 || nat64_refusals > 0,
+        completed_us: tb.net.now().as_micros(),
+        events: tb.net.events_processed(),
     }
 }
 

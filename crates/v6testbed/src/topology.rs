@@ -211,6 +211,46 @@ impl Testbed {
         Testbed::build(TestbedConfig::default())
     }
 
+    /// Restore the testbed to its post-[`Testbed::build`] state without
+    /// reallocating nodes, links, or zones — the warm-cell path.
+    ///
+    /// The engine recycles its queue, clock, frame pool, trace buffers,
+    /// fault state, and every counter; each infrastructure node resets
+    /// its dynamic state (NAT bindings, DNS caches, DHCP leases, MAC
+    /// tables, flow logs). Per-cell knobs (`block_v4_internet`, trace
+    /// mode) are re-applied from `config`. The topology-shaping knobs
+    /// (`managed_switch`, `pi_dhcp`, `poison`) must match what the
+    /// testbed was built with: they choose *which nodes exist*, which a
+    /// recycle cannot change — the cell arena keys arenas by exactly
+    /// those knobs so the invariant holds by construction.
+    ///
+    /// Attached hosts are *not* reset here (a recycled host would keep
+    /// a stale OS profile); the warm path swaps them wholesale via
+    /// [`Testbed::set_host_seeded`].
+    pub fn recycle(&mut self, config: &TestbedConfig) {
+        self.net.recycle();
+        self.net.trace_mode = config.trace;
+        {
+            let gw = self.net.node_mut::<FiveGGateway>(self.gw);
+            gw.reset();
+            gw.block_v4_internet = config.block_v4_internet;
+        }
+        self.net.node_mut::<Switch>(self.sw).reset();
+        self.net.node_mut::<PiServer>(self.pi).reset();
+        self.net.node_mut::<InternetRouter>(self.internet).reset();
+        for portal in [
+            self.ip6me,
+            self.mirror,
+            self.sc24,
+            self.vpnsrv,
+            self.vtc,
+            self.echolink,
+        ] {
+            self.net.node_mut::<PortalServer>(portal).reset();
+        }
+        self.net.node_mut::<PublicDns>(self.public_dns).reset();
+    }
+
     /// Attach a client with the given OS profile. Must be called before the
     /// first `run_*`.
     pub fn add_host(&mut self, profile: OsProfile) -> NodeId {
@@ -237,6 +277,24 @@ impl Testbed {
         self.next_host_port += 1;
         self.hosts.push(id);
         id
+    }
+
+    /// Attach the single-client cell's host, warm-path aware: the first
+    /// call links a fresh host exactly like [`Testbed::add_host_seeded`];
+    /// on a recycled testbed the existing host node is replaced in place
+    /// (the switch port stays linked), so the node id — and therefore
+    /// event ordering — is identical to a cold build.
+    pub fn set_host_seeded(&mut self, profile: OsProfile, seed: u64) -> NodeId {
+        match self.hosts.first().copied() {
+            Some(id) => {
+                debug_assert_eq!(self.hosts.len(), 1, "warm path supports one host");
+                let name = format!("host0-{}", profile.name);
+                self.net
+                    .replace_node(id, Box::new(Host::new(name, profile, seed)));
+                id
+            }
+            None => self.add_host_seeded(profile, seed),
+        }
     }
 
     /// Run the simulation for `secs` simulated seconds.

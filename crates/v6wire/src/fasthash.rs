@@ -1,0 +1,127 @@
+//! A fast, deterministic hasher for simulator-internal maps.
+//!
+//! The hot path hashes tiny fixed keys — MAC addresses, socket ports,
+//! `(proto, addr, port)` NAT tuples — thousands of times per simulated
+//! cell, and std's default SipHash-1-3 shows up in profiles as pure
+//! overhead. This is the classic Fx multiply-rotate hash (as used by
+//! rustc for its interner tables): one rotate, one xor, one multiply
+//! per word. It is *not* DoS-resistant, which is fine here: every key
+//! comes from the simulation itself, never from untrusted input.
+//!
+//! Unlike `RandomState`, the hash is identical in every process. Note
+//! that map *iteration order* must already be unobservable in any map
+//! that swaps to this hasher — under `RandomState` the order differs
+//! per process, so an order-dependent map would have broken run-to-run
+//! determinism long before this hasher existed.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `BuildHasher` for [`FxHasher`]; zero-sized, `Default`-constructed.
+pub type FastBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` on the Fx hash — drop-in for simulator-internal tables
+/// whose keys are simulation-generated (never attacker-controlled).
+pub type FastMap<K, V> = std::collections::HashMap<K, V, FastBuildHasher>;
+
+/// A `HashSet` on the Fx hash; same caveats as [`FastMap`].
+pub type FastSet<T> = std::collections::HashSet<T, FastBuildHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Fx multiply-rotate hasher state. One `u64` of state; each written
+/// word folds in as `rotl(h, 5) ^ w` then a wrapping multiply by a
+/// fixed odd constant.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Fold the length into the tail word so prefixes of each
+            // other ("ab" vs "ab\0") still hash apart.
+            tail[7] = rest.len() as u8;
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(bytes: &[u8]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_of(b"2001:db8::1"), hash_of(b"2001:db8::1"));
+    }
+
+    #[test]
+    fn distinguishes_zero_padded_prefixes() {
+        assert_ne!(hash_of(b"ab"), hash_of(b"ab\0"));
+        assert_ne!(hash_of(b""), hash_of(b"\0"));
+    }
+
+    #[test]
+    fn map_is_usable_with_small_keys() {
+        let mut m: FastMap<(u8, u16), u32> = FastMap::default();
+        for proto in 0..4u8 {
+            for port in 1000..1100u16 {
+                m.insert((proto, port), u32::from(port) + u32::from(proto));
+            }
+        }
+        assert_eq!(m.len(), 400);
+        assert_eq!(m.get(&(2, 1050)), Some(&1052));
+    }
+}

@@ -28,6 +28,7 @@
 pub mod arp;
 pub mod checksum;
 pub mod ethernet;
+pub mod fasthash;
 pub mod icmpv4;
 pub mod icmpv6;
 pub mod ipv4;
@@ -42,6 +43,7 @@ pub mod view;
 
 pub use arp::{ArpOp, ArpPacket};
 pub use ethernet::{EtherType, EthernetFrame};
+pub use fasthash::{FastMap, FastSet};
 pub use icmpv4::Icmpv4Message;
 pub use icmpv6::Icmpv6Message;
 pub use ipv4::Ipv4Packet;

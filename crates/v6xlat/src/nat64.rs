@@ -11,9 +11,9 @@
 //! (paper §IV.A): `Nat64::well_known_on(pool)` builds exactly that.
 
 use crate::siit::{self, PortRewrite, XlatError};
-use std::collections::HashMap;
 use std::net::{Ipv4Addr, Ipv6Addr};
 use v6addr::rfc6052::Nat64Prefix;
+use v6wire::fasthash::FastMap;
 use v6wire::icmpv6::Icmpv6Message;
 use v6wire::ipv4::{proto, Ipv4Packet};
 use v6wire::ipv6::Ipv6Packet;
@@ -68,8 +68,8 @@ struct Binding {
 /// One protocol's BIB + reverse index.
 #[derive(Debug, Default)]
 struct Bib {
-    forward: HashMap<(Ipv6Addr, u16), Binding>,
-    reverse: HashMap<(Ipv4Addr, u16), (Ipv6Addr, u16)>,
+    forward: FastMap<(Ipv6Addr, u16), Binding>,
+    reverse: FastMap<(Ipv4Addr, u16), (Ipv6Addr, u16)>,
     next_port: u16,
 }
 
@@ -128,6 +128,23 @@ impl Nat64 {
     /// (Re)configure the live-binding cap; `None` lifts it.
     pub fn set_max_bindings(&mut self, cap: Option<usize>) {
         self.config.max_bindings = cap;
+    }
+
+    /// Restore the post-construction state: every protocol's BIB
+    /// flushed, port allocators rewound to the configured floor, the
+    /// binding cap lifted (callers re-apply a per-cell cap exactly as a
+    /// cold build would), and all counters zeroed.
+    pub fn reset(&mut self) {
+        for bib in [&mut self.udp, &mut self.tcp, &mut self.icmp] {
+            bib.forward.clear();
+            bib.reverse.clear();
+            bib.next_port = self.config.port_floor;
+        }
+        self.config.max_bindings = None;
+        self.outbound = 0;
+        self.inbound = 0;
+        self.dropped_no_binding = 0;
+        self.dropped_table_full = 0;
     }
 
     /// Number of live bindings across protocols.

@@ -301,13 +301,13 @@ fn main() {
     json.push_str("}\n");
 
     // Re-emit through the canonical JSON layer, preserving every section
-    // owned by another writer (`population_census --bench` and the
-    // `just soak` load generator) — the examples own disjoint sections of
-    // the same file, and a rerun here must not drop theirs.
+    // owned by another writer (`population_census --bench`/`--warm-bench`
+    // and the `just soak` load generator) — the examples own disjoint
+    // sections of the same file, and a rerun here must not drop theirs.
     let mut doc = v6report::Json::parse(&json).expect("bench json parses");
     if let Ok(prev) = std::fs::read_to_string("BENCH_engine.json") {
         if let Ok(prev) = v6report::Json::parse(&prev) {
-            for section in ["population_census", "service_soak"] {
+            for section in ["population_census", "service_soak", "warm_cell"] {
                 if let Some(row) = prev.get(section) {
                     doc.set(section, row.clone());
                 }

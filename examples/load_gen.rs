@@ -94,9 +94,32 @@ fn probe(addr: SocketAddr, client: u64) -> Result<(u64, bool), String> {
     Ok((micros, fig5))
 }
 
+/// Ask the daemon how many job workers it runs (`GET /metrics`), so the
+/// soak row records the service shape it measured against.
+fn fetch_workers(addr: SocketAddr) -> Option<u64> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    let raw = HttpRequest::format_get("localhost", "/metrics");
+    stream.write_all(raw.as_bytes()).ok()?;
+    let mut bytes = Vec::new();
+    stream.read_to_end(&mut bytes).ok()?;
+    let response = HttpResponse::parse(&bytes)?;
+    let body = Json::parse(&response.body).ok()?;
+    match body.get("workers") {
+        Some(Json::U64(w)) => Some(*w),
+        _ => None,
+    }
+}
+
 /// Merge the soak percentiles into `BENCH_engine.json` as the
 /// `service_soak` row, preserving everything other tools wrote.
-fn update_bench(path: &str, requests: u64, clients: usize, sketch: &LatencySketch, per_sec: f64) {
+fn update_bench(
+    path: &str,
+    requests: u64,
+    clients: usize,
+    workers: Option<u64>,
+    sketch: &LatencySketch,
+    per_sec: f64,
+) {
     let mut doc = match std::fs::read_to_string(path) {
         Ok(text) => Json::parse(&text).expect("existing bench file parses"),
         Err(_) => {
@@ -109,6 +132,9 @@ fn update_bench(path: &str, requests: u64, clients: usize, sketch: &LatencySketc
     let mut row = Json::obj();
     row.set("requests", Json::U64(requests));
     row.set("clients", Json::U64(clients as u64));
+    if let Some(workers) = workers {
+        row.set("workers", Json::U64(workers));
+    }
     row.set("p50_us", Json::U64(pct.p50));
     row.set("p90_us", Json::U64(pct.p90));
     row.set("p99_us", Json::U64(pct.p99));
@@ -187,6 +213,9 @@ fn main() {
     let elapsed = start.elapsed().as_secs_f64();
     let per_sec = sketch.count as f64 / elapsed.max(f64::EPSILON);
 
+    // Snapshot the worker count while the daemon is still up.
+    let job_workers = fetch_workers(addr);
+
     if let Some(server) = local {
         server.stop();
     }
@@ -206,6 +235,13 @@ fn main() {
         std::process::exit(1);
     }
     if let Some(path) = &args.bench {
-        update_bench(path, sketch.count, args.clients, &sketch, per_sec);
+        update_bench(
+            path,
+            sketch.count,
+            args.clients,
+            job_workers,
+            &sketch,
+            per_sec,
+        );
     }
 }

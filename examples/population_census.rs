@@ -9,6 +9,9 @@
 //!
 //! # A quick look at the default mix:
 //! cargo run --release --example population_census -- --size 20000
+//!
+//! # Warm-vs-cold arena differential bench (also `just warm-bench`):
+//! cargo run --release --example population_census -- --size 50000 --warm-bench BENCH_engine.json
 //! ```
 //!
 //! Memory stays O(shards × sketch) no matter the size — no per-cell
@@ -18,7 +21,9 @@
 //! throughput is merged into `BENCH_engine.json` as the
 //! `population_census` row the bench manifest normalizes.
 
-use v6fleet::{FleetRunner, PopulationSpec};
+use std::time::Instant;
+
+use v6fleet::{CensusSketch, FleetRunner, PopulationSpec};
 use v6report::Json;
 
 struct Args {
@@ -27,6 +32,7 @@ struct Args {
     threads: usize,
     shards: usize,
     bench: Option<String>,
+    warm_bench: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -39,6 +45,7 @@ fn parse_args() -> Result<Args, String> {
             .clamp(1, 16),
         shards: 0,
         bench: None,
+        warm_bench: None,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -61,9 +68,10 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--shards: {e}"))?
             }
             "--bench" => args.bench = Some(value(&flag)?),
+            "--warm-bench" => args.warm_bench = Some(value(&flag)?),
             other => {
                 return Err(format!(
-                    "unknown flag {other}\nusage: population_census [--size N] [--seed HEX] [--threads N] [--shards N] [--bench FILE]"
+                    "unknown flag {other}\nusage: population_census [--size N] [--seed HEX] [--threads N] [--shards N] [--bench FILE] [--warm-bench FILE]"
                 ))
             }
         }
@@ -76,10 +84,10 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// Merge this run's throughput into `BENCH_engine.json` as the
-/// `population_census` row, preserving everything `bench_report` wrote.
-fn update_bench(path: &str, samples: u64, shards: usize, threads: usize, per_sec: f64) {
-    let mut doc = match std::fs::read_to_string(path) {
+/// Parse (or seed) the raw bench doc so a section rewrite preserves
+/// every other writer's rows.
+fn load_bench(path: &str) -> Json {
+    match std::fs::read_to_string(path) {
         Ok(text) => Json::parse(&text).expect("existing bench file parses"),
         Err(_) => {
             let mut fresh = Json::obj();
@@ -89,17 +97,90 @@ fn update_bench(path: &str, samples: u64, shards: usize, threads: usize, per_sec
             );
             fresh
         }
-    };
+    }
+}
+
+fn write_bench(path: &str, doc: &Json, section: &str) {
+    let mut text = doc.canonical();
+    text.push('\n');
+    std::fs::write(path, text).expect("write bench file");
+    eprintln!("updated {path} ({section} row)");
+}
+
+/// Merge this run's throughput into `BENCH_engine.json` as the
+/// `population_census` row, preserving everything `bench_report` wrote.
+fn update_bench(path: &str, samples: u64, shards: usize, threads: usize, per_sec: f64) {
+    let mut doc = load_bench(path);
     let mut row = Json::obj();
     row.set("samples", Json::U64(samples));
     row.set("shards", Json::U64(shards as u64));
     row.set("threads", Json::U64(threads as u64));
     row.set("scenarios_per_sec", Json::F64(per_sec));
     doc.set("population_census", row);
-    let mut text = doc.canonical();
-    text.push('\n');
-    std::fs::write(path, text).expect("write bench file");
-    eprintln!("updated {path} (population_census row)");
+    write_bench(path, &doc, "population_census");
+}
+
+/// The warm-vs-cold differential benchmark behind `just warm-bench`:
+/// the same sampled population run three ways — cold (fresh testbed
+/// per cell, the pre-PR-9 hot loop), warm single-core (one arena), and
+/// warm on the full thread pool — with the aggregates asserted equal
+/// before any number is recorded. Writes the `warm_cell` section.
+fn run_warm_bench(args: &Args, path: &str) {
+    let spec = PopulationSpec::paper_default(args.seed, args.size);
+    eprintln!(
+        "warm-bench: {} cells (seed {:#x}), cold vs warm x1 vs warm x{}...",
+        args.size, args.seed, args.threads
+    );
+
+    // Cold baseline: build-and-throw-away, exactly what the census hot
+    // loop did before the arena existed.
+    let started = Instant::now();
+    let mut cold_sketch = CensusSketch::new();
+    for i in 0..args.size {
+        let cell = spec.cell(i);
+        cold_sketch.fold(cell, cell.run_observation());
+    }
+    let cold_per_sec = args.size as f64 / started.elapsed().as_secs_f64().max(f64::EPSILON);
+
+    // Warm single-core: the production census path on one thread.
+    let warm1 = FleetRunner::new(1).run_population(&spec, args.shards);
+    let warm1_per_sec = warm1.wall.scenarios_per_sec();
+    assert_eq!(
+        warm1.report.sketch, cold_sketch,
+        "warm census diverged from the cold baseline"
+    );
+
+    // Warm multi-thread: same spec, full pool — must merge to the same
+    // report byte for byte.
+    let warm_mt = FleetRunner::new(args.threads).run_population(&spec, args.shards);
+    let warm_mt_per_sec = warm_mt.wall.scenarios_per_sec();
+    assert_eq!(
+        warm_mt.report, warm1.report,
+        "thread count changed the census aggregate"
+    );
+
+    let speedup = warm1_per_sec / cold_per_sec.max(f64::EPSILON);
+    let scaling = warm_mt_per_sec / warm1_per_sec.max(f64::EPSILON);
+    println!("cold  x1:  {cold_per_sec:>9.0} scenarios/sec");
+    println!("warm  x1:  {warm1_per_sec:>9.0} scenarios/sec  ({speedup:.2}x over cold)");
+    println!(
+        "warm x{:<2}: {warm_mt_per_sec:>9.0} scenarios/sec  ({scaling:.2}x over warm x1)",
+        args.threads
+    );
+    println!("aggregates: identical across all three runs");
+
+    let mut doc = load_bench(path);
+    let mut row = Json::obj();
+    row.set("samples", Json::U64(args.size));
+    row.set("shards", Json::U64(args.shards as u64));
+    row.set("threads", Json::U64(args.threads as u64));
+    row.set("cold_scenarios_per_sec", Json::F64(cold_per_sec));
+    row.set("warm_scenarios_per_sec", Json::F64(warm1_per_sec));
+    row.set("speedup", Json::F64(speedup));
+    row.set("warm_mt_scenarios_per_sec", Json::F64(warm_mt_per_sec));
+    row.set("thread_scaling", Json::F64(scaling));
+    doc.set("warm_cell", row);
+    write_bench(path, &doc, "warm_cell");
 }
 
 fn main() {
@@ -110,6 +191,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if let Some(path) = args.warm_bench.clone() {
+        run_warm_bench(&args, &path);
+        return;
+    }
     let spec = PopulationSpec::paper_default(args.seed, args.size);
     eprintln!(
         "sampling {} cells (seed {:#x}) on {} thread(s), {} shard(s)...",

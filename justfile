@@ -68,6 +68,13 @@ census-faults:
 population:
     cargo run --release --example population_census -- --size 1000000 --bench BENCH_engine.json
 
+# Cold-vs-warm arena bench: run the census three ways (cold
+# build-and-throw-away, warm single-core arena, warm full pool), assert
+# the aggregates byte-identical, and record the warm_cell row in
+# BENCH_engine.json.
+warm-bench:
+    cargo run --release --example population_census -- --size 50000 --shards 8 --warm-bench BENCH_engine.json
+
 # 1-vs-N worker-thread throughput on the 66-cell matrix.
 bench-fleet:
     cargo bench -p v6bench --bench fleet_throughput
