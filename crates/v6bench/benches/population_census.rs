@@ -14,7 +14,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use v6fleet::{CensusSketch, FleetRunner, PopulationSpec};
-use v6testbed::scenario::{CellObservation, PathFamily};
+use v6testbed::scenario::{CellObservation, PathFamily, ResolutionFailure};
 
 fn synth_obs(bits: u64) -> CellObservation {
     CellObservation {
@@ -28,6 +28,10 @@ fn synth_obs(bits: u64) -> CellObservation {
         degraded: bits & 16 != 0,
         completed_us: (bits >> 5) % 30_000_000,
         events: (bits >> 9) % 1_000,
+        dns_failure: match (bits >> 45) % 5 {
+            0 => None,
+            k => Some(ResolutionFailure::ALL[(k - 1) as usize]),
+        },
     }
 }
 

@@ -175,6 +175,16 @@ pub enum RData {
         /// Negative-caching TTL (RFC 2308 uses min(this, SOA TTL)).
         minimum: u32,
     },
+    /// EDNS0 OPT pseudo-record (RFC 6891). The CLASS field carries the
+    /// requestor's UDP payload size instead of IN, so it is kept
+    /// structurally; the option list stays verbatim bytes and is
+    /// interpreted by [`crate::edns`].
+    Opt {
+        /// Requestor's maximum UDP payload size (the wire CLASS field).
+        payload_size: u16,
+        /// The raw {code, length, data} option list.
+        data: Vec<u8>,
+    },
     /// Opaque data for unknown types.
     Raw(u16, Vec<u8>),
 }
@@ -191,6 +201,7 @@ impl RData {
             RData::Mx { .. } => RType::Mx,
             RData::Txt(_) => RType::Txt,
             RData::Soa { .. } => RType::Soa,
+            RData::Opt { .. } => RType::Opt,
             RData::Raw(t, _) => RType::Other(*t),
         }
     }
@@ -523,7 +534,13 @@ fn decode_name(buf: &[u8], pos: &mut usize) -> Result<DnsName, DnsError> {
 fn encode_record<'n>(out: &mut Vec<u8>, r: &'n Record, offsets: &mut FastMap<&'n [String], u16>) {
     encode_name(out, &r.name, offsets);
     out.extend_from_slice(&r.data.rtype().to_u16().to_be_bytes());
-    out.extend_from_slice(&1u16.to_be_bytes()); // class IN
+    // The class field is IN, except for OPT where RFC 6891 repurposes it
+    // as the requestor's UDP payload size.
+    let class = match &r.data {
+        RData::Opt { payload_size, .. } => *payload_size,
+        _ => 1,
+    };
+    out.extend_from_slice(&class.to_be_bytes());
     out.extend_from_slice(&r.ttl.to_be_bytes());
     let len_pos = out.len();
     out.extend_from_slice(&[0, 0]);
@@ -563,6 +580,7 @@ fn encode_record<'n>(out: &mut Vec<u8>, r: &'n Record, offsets: &mut FastMap<&'n
             out.extend_from_slice(&expire.to_be_bytes());
             out.extend_from_slice(&minimum.to_be_bytes());
         }
+        RData::Opt { data, .. } => out.extend_from_slice(data),
         RData::Raw(_, data) => out.extend_from_slice(data),
     }
     let rdlen = (out.len() - data_start) as u16;
@@ -572,7 +590,7 @@ fn encode_record<'n>(out: &mut Vec<u8>, r: &'n Record, offsets: &mut FastMap<&'n
 fn decode_record(buf: &[u8], pos: &mut usize) -> Result<Record, DnsError> {
     let name = decode_name(buf, pos)?;
     let rtype = RType::from_u16(read_u16(buf, pos)?);
-    let _class = read_u16(buf, pos)?;
+    let class = read_u16(buf, pos)?;
     let ttl = read_u32(buf, pos)?;
     let rdlen = read_u16(buf, pos)? as usize;
     if *pos + rdlen > buf.len() {
@@ -656,6 +674,14 @@ fn decode_record(buf: &[u8], pos: &mut usize) -> Result<Record, DnsError> {
                 expire,
                 minimum,
             }
+        }
+        RType::Opt => {
+            let d = RData::Opt {
+                payload_size: class,
+                data: buf[*pos..rdata_end].to_vec(),
+            };
+            *pos = rdata_end;
+            d
         }
         other => {
             let d = RData::Raw(other.to_u16(), buf[*pos..rdata_end].to_vec());
@@ -824,6 +850,32 @@ mod tests {
         let bytes = Message::query(3, Question::new(n("ip6.me"), RType::A)).encode();
         for cut in [0, 5, 11, bytes.len() - 1] {
             assert!(Message::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn opt_pseudo_record_roundtrips_payload_size() {
+        // RFC 6891: CLASS carries the payload size, not IN; it must
+        // survive a decode/encode cycle byte-identically.
+        let mut m = Message::query(5, Question::new(n("ip6.me"), RType::A));
+        m.additionals.push(Record::new(
+            DnsName::root(),
+            0,
+            RData::Opt {
+                payload_size: 1232,
+                data: vec![0, 15, 0, 2, 0, 1], // EDE option, info-code 1
+            },
+        ));
+        let bytes = m.encode();
+        let decoded = Message::decode(&bytes).unwrap();
+        assert_eq!(decoded, m);
+        assert_eq!(decoded.encode(), bytes);
+        match &decoded.additionals[0].data {
+            RData::Opt { payload_size, data } => {
+                assert_eq!(*payload_size, 1232);
+                assert_eq!(data, &[0, 15, 0, 2, 0, 1]);
+            }
+            other => panic!("expected OPT, got {other:?}"),
         }
     }
 

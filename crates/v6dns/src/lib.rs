@@ -14,11 +14,20 @@
 //!   ([`poison`])
 //! * stub-resolver helpers: the DNS suffix search list behaviour that
 //!   produces the paper's Figure 9 artefact ([`stub`])
+//! * full delegation chains: NS cuts with (or deliberately without)
+//!   A/AAAA glue, and an iterative referral walk with a classified
+//!   failure taxonomy ([`zone`], [`server`])
+//! * EDNS0/OPT with RFC 8914 Extended DNS Errors carrying that taxonomy
+//!   stub-ward ([`edns`])
+//! * an RFC 1035 §5 master-file dialect so delegation trees are authored
+//!   as committed `.zone` fixtures ([`master`])
 
 #![warn(missing_docs)]
 
 pub mod codec;
 pub mod dns64;
+pub mod edns;
+pub mod master;
 pub mod name;
 pub mod poison;
 pub mod reverse;
@@ -31,6 +40,6 @@ pub use codec::{Message, Question, RData, RType, Rcode, Record};
 pub use dns64::Dns64;
 pub use name::DnsName;
 pub use poison::{PoisonPolicy, PoisonedResolver};
-pub use server::{CachingResolver, GlobalDns, Resolver};
+pub use server::{CachingResolver, GlobalDns, ResolutionFailure, Resolver, ResolverTransport};
 pub use view::{MessageView, NameRef, RDataRef, RecordRef};
 pub use zone::{Zone, ZoneLookup};

@@ -1,0 +1,530 @@
+//! RFC 1035 §5 zone master files: a tokenizer, parser and canonical
+//! emitter for the dialect subset the testbed uses, so delegation trees
+//! are authored as committed `.zone` fixtures instead of Rust
+//! constructors.
+//!
+//! ## Dialect
+//!
+//! * `;` starts a comment (outside quoted strings) running to end of line.
+//! * Parentheses group a logical line across physical lines (the usual
+//!   multi-line SOA idiom).
+//! * Directives: `$ORIGIN <absolute-name.>` (required before the first
+//!   record, may change mid-file) and `$TTL <seconds>` (default TTL for
+//!   records that omit theirs).
+//! * Records: `<owner> [<ttl>] [IN] <TYPE> <rdata…>`. Owners and rdata
+//!   names ending in `.` are absolute; `@` means the current origin;
+//!   anything else is relative to it. The only class is `IN`.
+//! * Types: `SOA`, `NS`, `A`, `AAAA`, `CNAME`, `PTR`, `MX`, `TXT`
+//!   (quoted strings, no escapes).
+//! * The first record must be the zone's SOA, owned by the origin.
+//!
+//! The parser accepts that superset; [`emit`] writes one *canonical* form
+//! (tab-separated fields, explicit TTLs, single-line SOA, owners relative
+//! to the origin, rdata names absolute, records in owner order). Fixtures
+//! committed in canonical form round-trip byte-identically:
+//! `emit(parse(f)) == f`, which is what the `dns-realism` CI lane gates.
+
+use crate::codec::{RData, RType, Record};
+use crate::name::DnsName;
+use crate::zone::Zone;
+use std::fmt::Write as _;
+
+/// Errors from the master-file parser and emitter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MasterError {
+    /// A parse error, pointing at the physical line where the logical
+    /// line started.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// A record's RData has no master-file presentation (OPT, raw rdata).
+    Unrepresentable {
+        /// The record type that cannot be written.
+        rtype: RType,
+    },
+}
+
+impl core::fmt::Display for MasterError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MasterError::Syntax { line, msg } => write!(f, "zone file line {line}: {msg}"),
+            MasterError::Unrepresentable { rtype } => {
+                write!(f, "{rtype:?} records have no master-file form")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MasterError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Word(String),
+    Quoted(String),
+}
+
+impl Token {
+    fn word(&self, line: usize) -> Result<&str, MasterError> {
+        match self {
+            Token::Word(w) => Ok(w),
+            Token::Quoted(_) => Err(syntax(line, "quoted string where a name/number belongs")),
+        }
+    }
+}
+
+fn syntax(line: usize, msg: impl Into<String>) -> MasterError {
+    MasterError::Syntax {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Split `text` into logical lines of tokens: comments stripped, quoted
+/// strings kept whole, parenthesized groups joined across physical lines.
+fn tokenize(text: &str) -> Result<Vec<(usize, Vec<Token>)>, MasterError> {
+    let mut logical: Vec<(usize, Vec<Token>)> = Vec::new();
+    let mut cur: Vec<Token> = Vec::new();
+    let mut cur_start = 0usize;
+    let mut depth = 0usize;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        if cur.is_empty() {
+            cur_start = line_no;
+        }
+        let mut chars = raw.chars().peekable();
+        while let Some(c) = chars.next() {
+            match c {
+                ';' => break, // comment to end of physical line
+                '(' => depth += 1,
+                ')' => {
+                    depth = depth
+                        .checked_sub(1)
+                        .ok_or_else(|| syntax(line_no, "unbalanced ')'"))?;
+                }
+                '"' => {
+                    let mut s = String::new();
+                    loop {
+                        match chars.next() {
+                            Some('"') => break,
+                            Some(q) => s.push(q),
+                            None => return Err(syntax(line_no, "unterminated quoted string")),
+                        }
+                    }
+                    cur.push(Token::Quoted(s));
+                }
+                c if c.is_whitespace() => {}
+                c => {
+                    let mut w = String::new();
+                    w.push(c);
+                    while let Some(&nc) = chars.peek() {
+                        if nc.is_whitespace() || matches!(nc, ';' | '(' | ')' | '"') {
+                            break;
+                        }
+                        w.push(nc);
+                        chars.next();
+                    }
+                    cur.push(Token::Word(w));
+                }
+            }
+        }
+        if depth == 0 && !cur.is_empty() {
+            logical.push((cur_start, std::mem::take(&mut cur)));
+        }
+    }
+    if depth != 0 {
+        return Err(syntax(cur_start, "unclosed '(' at end of file"));
+    }
+    Ok(logical)
+}
+
+/// Resolve a name token: `@` = origin, trailing dot = absolute, otherwise
+/// relative to the origin.
+fn name_token(tok: &str, origin: &DnsName, line: usize) -> Result<DnsName, MasterError> {
+    if tok == "@" {
+        return Ok(origin.clone());
+    }
+    if tok == "." {
+        return Ok(DnsName::root());
+    }
+    let parsed: DnsName = tok
+        .parse()
+        .map_err(|_| syntax(line, format!("bad name {tok:?}")))?;
+    if tok.ends_with('.') {
+        Ok(parsed)
+    } else {
+        parsed
+            .with_suffix(origin)
+            .map_err(|_| syntax(line, format!("name {tok:?} too long under origin")))
+    }
+}
+
+fn num_token<T: std::str::FromStr>(tok: &str, what: &str, line: usize) -> Result<T, MasterError> {
+    tok.parse()
+        .map_err(|_| syntax(line, format!("bad {what} {tok:?}")))
+}
+
+/// Parse master-file `text` into a [`Zone`]. The `$ORIGIN` directive must
+/// appear before the first record, and the first record must be the
+/// zone's SOA.
+pub fn parse(text: &str) -> Result<Zone, MasterError> {
+    let mut origin: Option<DnsName> = None;
+    let mut default_ttl: Option<u32> = None;
+    let mut zone: Option<Zone> = None;
+    for (line, tokens) in tokenize(text)? {
+        let first = tokens[0].word(line)?;
+        if first.eq_ignore_ascii_case("$ORIGIN") {
+            let tok = tokens
+                .get(1)
+                .ok_or_else(|| syntax(line, "$ORIGIN needs a name"))?
+                .word(line)?;
+            if !tok.ends_with('.') {
+                return Err(syntax(line, "$ORIGIN must be absolute (trailing dot)"));
+            }
+            origin = Some(name_token(tok, &DnsName::root(), line)?);
+            continue;
+        }
+        if first.eq_ignore_ascii_case("$TTL") {
+            let tok = tokens
+                .get(1)
+                .ok_or_else(|| syntax(line, "$TTL needs a value"))?
+                .word(line)?;
+            default_ttl = Some(num_token(tok, "TTL", line)?);
+            continue;
+        }
+        if first.starts_with('$') {
+            return Err(syntax(line, format!("unknown directive {first:?}")));
+        }
+        let origin = origin
+            .as_ref()
+            .ok_or_else(|| syntax(line, "record before $ORIGIN"))?;
+        let owner = name_token(first, origin, line)?;
+        let mut idx = 1;
+        let mut ttl: Option<u32> = None;
+        // Optional TTL, optional IN, in either traditional order.
+        while let Some(tok) = tokens.get(idx) {
+            let w = tok.word(line)?;
+            if ttl.is_none() && w.chars().all(|c| c.is_ascii_digit()) {
+                ttl = Some(num_token(w, "TTL", line)?);
+                idx += 1;
+            } else if w.eq_ignore_ascii_case("IN") {
+                idx += 1;
+            } else {
+                break;
+            }
+        }
+        let rtype = tokens
+            .get(idx)
+            .ok_or_else(|| syntax(line, "missing record type"))?
+            .word(line)?
+            .to_ascii_uppercase();
+        let rdata = &tokens[idx + 1..];
+        let ttl = ttl
+            .or(default_ttl)
+            .ok_or_else(|| syntax(line, "no TTL and no $TTL default"))?;
+        let one = |what: &str| -> Result<&str, MasterError> {
+            if rdata.len() != 1 {
+                return Err(syntax(line, format!("{what} rdata wants 1 field")));
+            }
+            rdata[0].word(line)
+        };
+        let data = match rtype.as_str() {
+            "A" => RData::A(num_token(one("A")?, "IPv4 address", line)?),
+            "AAAA" => RData::Aaaa(num_token(one("AAAA")?, "IPv6 address", line)?),
+            "NS" => RData::Ns(name_token(one("NS")?, origin, line)?),
+            "CNAME" => RData::Cname(name_token(one("CNAME")?, origin, line)?),
+            "PTR" => RData::Ptr(name_token(one("PTR")?, origin, line)?),
+            "MX" => {
+                if rdata.len() != 2 {
+                    return Err(syntax(line, "MX rdata wants preference + exchange"));
+                }
+                RData::Mx {
+                    preference: num_token(rdata[0].word(line)?, "MX preference", line)?,
+                    exchange: name_token(rdata[1].word(line)?, origin, line)?,
+                }
+            }
+            "TXT" => {
+                if rdata.is_empty() {
+                    return Err(syntax(line, "TXT rdata wants at least one string"));
+                }
+                let strings = rdata
+                    .iter()
+                    .map(|t| match t {
+                        Token::Quoted(s) => Ok(s.clone()),
+                        Token::Word(w) => Ok(w.clone()),
+                    })
+                    .collect::<Result<Vec<String>, MasterError>>()?;
+                RData::Txt(strings)
+            }
+            "SOA" => {
+                if rdata.len() != 7 {
+                    return Err(syntax(line, "SOA rdata wants 7 fields"));
+                }
+                RData::Soa {
+                    mname: name_token(rdata[0].word(line)?, origin, line)?,
+                    rname: name_token(rdata[1].word(line)?, origin, line)?,
+                    serial: num_token(rdata[2].word(line)?, "serial", line)?,
+                    refresh: num_token(rdata[3].word(line)?, "refresh", line)?,
+                    retry: num_token(rdata[4].word(line)?, "retry", line)?,
+                    expire: num_token(rdata[5].word(line)?, "expire", line)?,
+                    minimum: num_token(rdata[6].word(line)?, "minimum", line)?,
+                }
+            }
+            other => return Err(syntax(line, format!("unsupported record type {other:?}"))),
+        };
+        if matches!(data, RData::Soa { .. }) {
+            if zone.is_some() {
+                return Err(syntax(line, "second SOA record"));
+            }
+            if owner != *origin {
+                return Err(syntax(line, "SOA owner must be the origin"));
+            }
+            zone = Some(Zone::with_soa(
+                origin.clone(),
+                Record::new(owner, ttl, data),
+            ));
+        } else {
+            let zone = zone
+                .as_mut()
+                .ok_or_else(|| syntax(line, "record before the SOA"))?;
+            if !owner.is_subdomain_of(zone.origin()) {
+                return Err(syntax(
+                    line,
+                    format!("owner {owner} outside zone {}", zone.origin()),
+                ));
+            }
+            zone.add(&owner, ttl, data);
+        }
+    }
+    zone.ok_or_else(|| syntax(1, "zone file has no SOA record"))
+}
+
+/// A name in absolute master-file form (trailing dot; root is `.`).
+fn abs(name: &DnsName) -> String {
+    if name.is_root() {
+        ".".to_string()
+    } else {
+        format!("{name}.")
+    }
+}
+
+/// An owner relative to `origin`: `@` at the apex, the leading labels
+/// (no trailing dot) inside the zone, absolute form outside it.
+fn rel(name: &DnsName, origin: &DnsName) -> String {
+    if name == origin {
+        return "@".to_string();
+    }
+    if name.is_subdomain_of(origin) {
+        let keep = name.label_count() - origin.label_count();
+        return name.labels()[..keep].join(".");
+    }
+    abs(name)
+}
+
+fn rdata_text(data: &RData) -> Result<(&'static str, String), MasterError> {
+    Ok(match data {
+        RData::A(a) => ("A", a.to_string()),
+        RData::Aaaa(a) => ("AAAA", a.to_string()),
+        RData::Ns(n) => ("NS", abs(n)),
+        RData::Cname(n) => ("CNAME", abs(n)),
+        RData::Ptr(n) => ("PTR", abs(n)),
+        RData::Mx {
+            preference,
+            exchange,
+        } => ("MX", format!("{preference} {}", abs(exchange))),
+        RData::Txt(strings) => {
+            let quoted: Vec<String> = strings.iter().map(|s| format!("\"{s}\"")).collect();
+            ("TXT", quoted.join(" "))
+        }
+        RData::Soa {
+            mname,
+            rname,
+            serial,
+            refresh,
+            retry,
+            expire,
+            minimum,
+        } => (
+            "SOA",
+            format!(
+                "{} {} {serial} {refresh} {retry} {expire} {minimum}",
+                abs(mname),
+                abs(rname)
+            ),
+        ),
+        other => {
+            return Err(MasterError::Unrepresentable {
+                rtype: other.rtype(),
+            })
+        }
+    })
+}
+
+/// Write `zone` in canonical master-file form: `$ORIGIN` first, then the
+/// SOA, then every other record in owner order, tab-separated with
+/// explicit TTLs. Canonical output re-parses to an equal zone, and a
+/// fixture authored in this form survives `parse` → `emit` byte-identically.
+pub fn emit(zone: &Zone) -> Result<String, MasterError> {
+    let origin = zone.origin();
+    let mut out = String::new();
+    writeln!(out, "$ORIGIN {}", abs(origin)).expect("string write");
+    let mut write_record = |r: &Record| -> Result<(), MasterError> {
+        let (rtype, rdata) = rdata_text(&r.data)?;
+        writeln!(
+            out,
+            "{}\t{}\tIN\t{}\t{}",
+            rel(&r.name, origin),
+            r.ttl,
+            rtype,
+            rdata
+        )
+        .expect("string write");
+        Ok(())
+    };
+    write_record(zone.soa())?;
+    for r in zone.iter_records() {
+        if r == zone.soa() {
+            continue; // already written first
+        }
+        write_record(r)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zone::ZoneLookup;
+
+    fn n(s: &str) -> DnsName {
+        s.parse().unwrap()
+    }
+
+    const CANONICAL: &str = "\
+$ORIGIN test.
+@\t3600\tIN\tSOA\tns1.test. hostmaster.test. 1 7200 900 1209600 300
+dual\t3600\tIN\tNS\tns1.dual.test.
+ns1.dual\t3600\tIN\tA\t203.0.113.1
+ns1.dual\t3600\tIN\tAAAA\t2001:db8::1
+ns1.v4only\t3600\tIN\tA\t203.0.113.53
+v4only\t3600\tIN\tNS\tns1.v4only.test.
+www\t120\tIN\tCNAME\twww.dual.test.
+";
+
+    #[test]
+    fn canonical_fixture_roundtrips_byte_identically() {
+        let zone = parse(CANONICAL).unwrap();
+        let emitted = emit(&zone).unwrap();
+        assert_eq!(emitted, CANONICAL);
+        // And a second pass is a fixed point.
+        assert_eq!(emit(&parse(&emitted).unwrap()).unwrap(), emitted);
+    }
+
+    #[test]
+    fn parsed_zone_answers_and_refers() {
+        let zone = parse(CANONICAL).unwrap();
+        assert_eq!(zone.origin(), &n("test"));
+        match zone.lookup(&n("www.dual.test"), RType::A) {
+            ZoneLookup::Referral { cut, glue, .. } => {
+                assert_eq!(cut, n("dual.test"));
+                assert_eq!(glue.len(), 2);
+            }
+            other => panic!("expected referral, got {other:?}"),
+        }
+        match zone.lookup(&n("www.test"), RType::Cname) {
+            ZoneLookup::Answer(rs) => {
+                assert_eq!(rs[0].data, RData::Cname(n("www.dual.test")));
+            }
+            other => panic!("expected CNAME, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parens_comments_and_defaults_are_accepted() {
+        let sloppy = "\
+; delegation fixture, sloppy dialect
+$ORIGIN test. ; absolute
+$TTL 3600
+@ IN SOA ns1 hostmaster ( ; relative mname/rname
+        1          ; serial
+        7200 900 1209600
+        300 )
+mail IN MX 10 mx1.test.
+mx1 300 IN A 198.51.100.25
+note IN TXT \"hello; not a comment\" \"world\"
+";
+        let zone = parse(sloppy).unwrap();
+        assert_eq!(zone.soa().ttl, 3600);
+        match &zone.soa().data {
+            RData::Soa { mname, minimum, .. } => {
+                assert_eq!(mname, &n("ns1.test"));
+                assert_eq!(*minimum, 300);
+            }
+            other => panic!("expected SOA, got {other:?}"),
+        }
+        match zone.lookup(&n("note.test"), RType::Txt) {
+            ZoneLookup::Answer(rs) => {
+                assert_eq!(
+                    rs[0].data,
+                    RData::Txt(vec!["hello; not a comment".into(), "world".into()])
+                );
+            }
+            other => panic!("expected TXT, got {other:?}"),
+        }
+        // Sloppy input normalizes to canonical and then stays fixed.
+        let canonical = emit(&zone).unwrap();
+        assert_eq!(emit(&parse(&canonical).unwrap()).unwrap(), canonical);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let before_soa = "$ORIGIN test.\nwww 60 IN A 192.0.2.1\n";
+        match parse(before_soa) {
+            Err(MasterError::Syntax { line: 2, msg }) => assert!(msg.contains("before the SOA")),
+            other => panic!("expected line-2 syntax error, got {other:?}"),
+        }
+        assert!(matches!(
+            parse("www 60 IN A 192.0.2.1\n"),
+            Err(MasterError::Syntax { line: 1, .. })
+        ));
+        let bad_type = format!("{CANONICAL}oops\t60\tIN\tHINFO\tx\n");
+        assert!(matches!(
+            parse(&bad_type),
+            Err(MasterError::Syntax { line: 9, .. })
+        ));
+        let unclosed = "$ORIGIN test.\n@ 60 IN SOA ns1 hm ( 1 2 3 4\n";
+        assert!(parse(unclosed).is_err());
+    }
+
+    #[test]
+    fn second_soa_and_out_of_zone_owner_rejected() {
+        let twice = format!(
+            "{CANONICAL}@\t3600\tIN\tSOA\tns1.test. hostmaster.test. 2 7200 900 1209600 300\n"
+        );
+        assert!(matches!(parse(&twice), Err(MasterError::Syntax { .. })));
+        let outside = format!("{CANONICAL}www.other.example.\t60\tIN\tA\t192.0.2.1\n");
+        match parse(&outside) {
+            Err(MasterError::Syntax { msg, .. }) => assert!(msg.contains("outside zone")),
+            other => panic!("expected out-of-zone error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn opt_records_have_no_master_form() {
+        let mut zone = Zone::new(n("x.test"), 300);
+        zone.add_str(
+            "@",
+            0,
+            RData::Opt {
+                payload_size: 1232,
+                data: Vec::new(),
+            },
+        );
+        assert_eq!(
+            emit(&zone),
+            Err(MasterError::Unrepresentable { rtype: RType::Opt })
+        );
+    }
+}

@@ -219,6 +219,14 @@ pub enum RDataRef<'a> {
         /// Negative-caching TTL.
         minimum: u32,
     },
+    /// EDNS0 OPT pseudo-record (RFC 6891): payload size from the CLASS
+    /// field, option list as verbatim bytes.
+    Opt {
+        /// Requestor's maximum UDP payload size.
+        payload_size: u16,
+        /// The raw {code, length, data} option list.
+        data: &'a [u8],
+    },
     /// Opaque rdata for unknown types.
     Raw(u16, &'a [u8]),
 }
@@ -267,6 +275,10 @@ impl RDataRef<'_> {
                 expire,
                 minimum,
             },
+            RDataRef::Opt { payload_size, data } => RData::Opt {
+                payload_size,
+                data: data.to_vec(),
+            },
             RDataRef::Raw(t, raw) => RData::Raw(t, raw.to_vec()),
         }
     }
@@ -299,7 +311,7 @@ impl RecordRef<'_> {
 fn parse_record<'a>(buf: &'a [u8], pos: &mut usize) -> Result<RecordRef<'a>, DnsError> {
     let name = NameRef::parse(buf, pos)?;
     let rtype = RType::from_u16(read_u16(buf, pos)?);
-    let _class = read_u16(buf, pos)?;
+    let class = read_u16(buf, pos)?;
     let ttl = read_u32(buf, pos)?;
     let rdlen = read_u16(buf, pos)? as usize;
     if *pos + rdlen > buf.len() {
@@ -382,6 +394,14 @@ fn parse_record<'a>(buf: &'a [u8], pos: &mut usize) -> Result<RecordRef<'a>, Dns
                 expire,
                 minimum,
             }
+        }
+        RType::Opt => {
+            let d = RDataRef::Opt {
+                payload_size: class,
+                data: &buf[*pos..rdata_end],
+            };
+            *pos = rdata_end;
+            d
         }
         other => {
             let d = RDataRef::Raw(other.to_u16(), &buf[*pos..rdata_end]);
@@ -593,6 +613,31 @@ mod tests {
             MessageView::parse(&bytes),
             Err(DnsError::BadPointer(12))
         ));
+    }
+
+    #[test]
+    fn opt_record_view_matches_owned() {
+        let mut m = Message::query(11, Question::new(n("ip6.me"), RType::Aaaa));
+        m.additionals.push(Record::new(
+            DnsName::root(),
+            0,
+            RData::Opt {
+                payload_size: 4096,
+                data: vec![0, 15, 0, 2, 0xc0, 0],
+            },
+        ));
+        let bytes = m.encode();
+        let owned = Message::decode(&bytes).unwrap();
+        let view = MessageView::parse(&bytes).unwrap();
+        assert_eq!(view.to_message(), owned);
+        let first = view.additionals().next().unwrap();
+        match first.data {
+            RDataRef::Opt { payload_size, data } => {
+                assert_eq!(payload_size, 4096);
+                assert_eq!(data, &[0, 15, 0, 2, 0xc0, 0]);
+            }
+            other => panic!("expected OPT, got {other:?}"),
+        }
     }
 
     #[test]

@@ -21,6 +21,17 @@ pub enum ZoneLookup {
         /// The zone SOA for negative caching.
         soa: Record,
     },
+    /// The name sits at or below a delegation cut: this zone is not
+    /// authoritative for it and answers with the child NS set plus
+    /// whatever A/AAAA glue it carries for those servers.
+    Referral {
+        /// The delegated child origin.
+        cut: DnsName,
+        /// NS records at the cut.
+        ns: Vec<Record>,
+        /// A/AAAA glue for the NS targets, as stored in this zone.
+        glue: Vec<Record>,
+    },
     /// The name is not within this zone's cut.
     NotInZone,
 }
@@ -73,6 +84,24 @@ impl Zone {
         }
     }
 
+    /// Create a zone adopting an explicit SOA record (the master-file
+    /// parser's entry point, where the SOA is authored in the zone file
+    /// rather than generated). Panics if `soa` is not an SOA record owned
+    /// by `origin`.
+    pub fn with_soa(origin: DnsName, soa: Record) -> Zone {
+        assert!(
+            matches!(soa.data, RData::Soa { .. }) && soa.name == origin,
+            "SOA record must be an SOA owned by the origin"
+        );
+        let mut records = BTreeMap::new();
+        records.insert(origin.clone(), vec![soa.clone()]);
+        Zone {
+            origin,
+            soa,
+            records,
+        }
+    }
+
     /// The zone origin.
     pub fn origin(&self) -> &DnsName {
         &self.origin
@@ -112,6 +141,32 @@ impl Zone {
         self.add(&name, ttl, data)
     }
 
+    /// Iterate every record in owner order (SOA first at the apex).
+    pub fn iter_records(&self) -> impl Iterator<Item = &Record> {
+        self.records.values().flatten()
+    }
+
+    /// The delegation cut covering `name`, if one exists: the shallowest
+    /// strict subdomain of the origin, at or above `name`, holding NS
+    /// records. Apex NS records are the zone's own server set, not a cut.
+    fn cut_for(&self, name: &DnsName) -> Option<&DnsName> {
+        let origin_labs = self.origin.label_count();
+        // Ancestors of `name` strictly below the origin, shallowest first.
+        for depth in (origin_labs + 1)..=name.label_count() {
+            let mut candidate = name.clone();
+            while candidate.label_count() > depth {
+                candidate = candidate.parent().expect("label_count > 0");
+            }
+            if let Some(rs) = self.records.get(&candidate) {
+                if rs.iter().any(|r| matches!(r.data, RData::Ns(_))) {
+                    // Return the stored key so the borrow outlives `candidate`.
+                    return self.records.get_key_value(&candidate).map(|(k, _)| k);
+                }
+            }
+        }
+        None
+    }
+
     /// Does any record exist at `name` (or under it, making it an empty
     /// non-terminal)?
     fn name_exists(&self, name: &DnsName) -> bool {
@@ -145,9 +200,35 @@ impl Zone {
     }
 
     /// Authoritative lookup with CNAME chasing (bounded to 8 hops).
+    ///
+    /// Names at or below a delegation cut produce a [`ZoneLookup::Referral`]
+    /// (RFC 1034 §4.3.2 step 3b) — including lookups of the glue names
+    /// themselves, which this zone carries but is not authoritative for.
     pub fn lookup(&self, name: &DnsName, rtype: RType) -> ZoneLookup {
         if !name.is_subdomain_of(&self.origin) {
             return ZoneLookup::NotInZone;
+        }
+        if let Some(cut) = self.cut_for(name) {
+            let ns: Vec<Record> = self.records[cut]
+                .iter()
+                .filter(|r| matches!(r.data, RData::Ns(_)))
+                .cloned()
+                .collect();
+            let glue = ns
+                .iter()
+                .filter_map(|r| match &r.data {
+                    RData::Ns(target) => self.records.get(target),
+                    _ => None,
+                })
+                .flatten()
+                .filter(|r| matches!(r.data, RData::A(_) | RData::Aaaa(_)))
+                .cloned()
+                .collect();
+            return ZoneLookup::Referral {
+                cut: cut.clone(),
+                ns,
+                glue,
+            };
         }
         let mut chain: Vec<Record> = Vec::new();
         let mut current = name.clone();
@@ -355,6 +436,84 @@ mod tests {
         match z.lookup(&n("a.loop.test"), RType::A) {
             ZoneLookup::Answer(rs) => assert!(rs.len() <= 16),
             other => panic!("expected bounded answer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delegation_cut_refers_instead_of_answering() {
+        let mut z = Zone::new(n("test"), 300);
+        z.add_str(
+            "ns1.v4only",
+            3600,
+            RData::A("203.0.113.53".parse().unwrap()),
+        );
+        z.add_str("v4only", 3600, RData::Ns(n("ns1.v4only.test")));
+        // At the cut, below the cut, and the glue name itself all refer.
+        for q in ["v4only.test", "www.v4only.test", "ns1.v4only.test"] {
+            match z.lookup(&n(q), RType::A) {
+                ZoneLookup::Referral { cut, ns, glue } => {
+                    assert_eq!(cut, n("v4only.test"), "query {q}");
+                    assert_eq!(ns.len(), 1);
+                    assert_eq!(glue.len(), 1);
+                    assert_eq!(glue[0].data, RData::A("203.0.113.53".parse().unwrap()));
+                }
+                other => panic!("expected referral for {q}, got {other:?}"),
+            }
+        }
+        // Siblings outside the cut still answer normally.
+        assert!(matches!(
+            z.lookup(&n("missing.test"), RType::A),
+            ZoneLookup::NxDomain { .. }
+        ));
+    }
+
+    #[test]
+    fn apex_ns_is_not_a_cut() {
+        let mut z = test_zone();
+        z.add_str("@", 3600, RData::Ns(n("ns1.supercomputing.org")));
+        assert!(matches!(
+            z.lookup(&n("sc24.supercomputing.org"), RType::A),
+            ZoneLookup::Answer(_)
+        ));
+        match z.lookup(&n("supercomputing.org"), RType::Ns) {
+            ZoneLookup::Answer(rs) => assert!(matches!(rs[0].data, RData::Ns(_))),
+            other => panic!("expected apex NS answer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn glueless_cut_refers_with_empty_glue() {
+        let mut z = Zone::new(n("test"), 300);
+        z.add_str("lame", 3600, RData::Ns(n("ns.elsewhere.example")));
+        match z.lookup(&n("www.lame.test"), RType::Aaaa) {
+            ZoneLookup::Referral { ns, glue, .. } => {
+                assert_eq!(ns.len(), 1);
+                assert!(glue.is_empty(), "out-of-zone NS target has no glue");
+            }
+            other => panic!("expected referral, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn with_soa_adopts_the_given_record() {
+        let soa = Record::new(
+            n("fixture.test"),
+            172_800,
+            RData::Soa {
+                mname: n("ns1.fixture.test"),
+                rname: n("hostmaster.fixture.test"),
+                serial: 2_024_081_500,
+                refresh: 7200,
+                retry: 900,
+                expire: 1_209_600,
+                minimum: 300,
+            },
+        );
+        let z = Zone::with_soa(n("fixture.test"), soa.clone());
+        assert_eq!(z.soa(), &soa);
+        match z.lookup(&n("fixture.test"), RType::Soa) {
+            ZoneLookup::Answer(rs) => assert_eq!(rs[0], soa),
+            other => panic!("expected SOA answer, got {other:?}"),
         }
     }
 

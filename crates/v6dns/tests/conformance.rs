@@ -344,6 +344,11 @@ fn arb_rdata() -> impl Strategy<Value = RData> {
             expire: 86400,
             minimum: 300,
         }),
+        (
+            512u16..4097u16,
+            proptest::collection::vec(any::<u8>(), 0..12)
+        )
+            .prop_map(|(payload_size, data)| RData::Opt { payload_size, data }),
         (256u16.., proptest::collection::vec(any::<u8>(), 0..16))
             .prop_map(|(t, d)| RData::Raw(t, d)),
     ]

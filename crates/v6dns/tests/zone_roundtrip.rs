@@ -1,0 +1,100 @@
+//! Master-file round-trip gate over the committed `.zone` fixtures in
+//! `tests/corpus/zones/` (the delegation tree the testbed's
+//! broken-delegation scenario resolves through).
+//!
+//! Every fixture is committed in canonical form, so `emit(parse(f))`
+//! must reproduce the file byte-identically — any drift in the
+//! tokenizer, parser, or emitter (or a hand edit that breaks canonical
+//! form) fails here. This is what the `dns-realism` CI lane runs.
+
+use v6dns::master::{emit, parse};
+use v6dns::zone::ZoneLookup;
+use v6dns::{DnsName, RType};
+
+const FIXTURES: &[(&str, &str)] = &[
+    (
+        "org.zone",
+        include_str!("../../../tests/corpus/zones/org.zone"),
+    ),
+    (
+        "supercomputing-org.zone",
+        include_str!("../../../tests/corpus/zones/supercomputing-org.zone"),
+    ),
+    (
+        "me.zone",
+        include_str!("../../../tests/corpus/zones/me.zone"),
+    ),
+    (
+        "ip6-me.zone",
+        include_str!("../../../tests/corpus/zones/ip6-me.zone"),
+    ),
+    (
+        "mirror-sc24.zone",
+        include_str!("../../../tests/corpus/zones/mirror-sc24.zone"),
+    ),
+    (
+        "anl-gov.zone",
+        include_str!("../../../tests/corpus/zones/anl-gov.zone"),
+    ),
+    (
+        "vtc-example.zone",
+        include_str!("../../../tests/corpus/zones/vtc-example.zone"),
+    ),
+];
+
+fn n(s: &str) -> DnsName {
+    s.parse().unwrap()
+}
+
+#[test]
+fn every_fixture_roundtrips_byte_identically() {
+    for (name, text) in FIXTURES {
+        let zone = parse(text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let emitted = emit(&zone).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(&emitted, text, "{name} is not in canonical form");
+        // And emit∘parse is a fixed point, not just an involution on
+        // this particular input.
+        let again = emit(&parse(&emitted).unwrap()).unwrap();
+        assert_eq!(again, emitted, "{name} canonical form is unstable");
+    }
+}
+
+#[test]
+fn fixtures_carry_at_least_the_soa() {
+    for (name, text) in FIXTURES {
+        let zone = parse(text).unwrap();
+        assert!(
+            zone.iter_records().count() >= 1,
+            "{name} parsed to an empty zone"
+        );
+    }
+}
+
+#[test]
+fn org_fixture_delegates_with_v4_only_glue() {
+    // The broken-delegation scenario's load-bearing property: the org
+    // zone refers sc24.supercomputing.org to an authoritative whose
+    // glue has an A record but no AAAA.
+    let org = parse(FIXTURES[0].1).unwrap();
+    match org.lookup(&n("sc24.supercomputing.org"), RType::Aaaa) {
+        ZoneLookup::Referral { cut, glue, .. } => {
+            assert_eq!(cut, n("supercomputing.org"));
+            assert!(glue.iter().any(|r| matches!(r.data, v6dns::RData::A(_))));
+            assert!(!glue.iter().any(|r| matches!(r.data, v6dns::RData::Aaaa(_))));
+        }
+        other => panic!("expected referral, got {other:?}"),
+    }
+}
+
+#[test]
+fn me_fixture_delegates_with_dual_glue() {
+    let me = parse(FIXTURES[2].1).unwrap();
+    match me.lookup(&n("ip6.me"), RType::Aaaa) {
+        ZoneLookup::Referral { cut, glue, .. } => {
+            assert_eq!(cut, n("ip6.me"));
+            assert!(glue.iter().any(|r| matches!(r.data, v6dns::RData::A(_))));
+            assert!(glue.iter().any(|r| matches!(r.data, v6dns::RData::Aaaa(_))));
+        }
+        other => panic!("expected referral, got {other:?}"),
+    }
+}

@@ -36,6 +36,7 @@ pub use sketch::{nearest_rank, CensusSketch, LatencySketch, SketchPercentiles};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+use v6testbed::scenario::ResolutionFailure;
 use v6testbed::{CellArena, Scenario, ScenarioResult, TraceMode};
 
 /// Streaming hooks into a running fleet: an observer shared across the
@@ -235,6 +236,13 @@ pub struct FleetCensus {
     /// fault plan, or NAT64 bindings refused by a saturated table. Zero
     /// on every clean fleet, so pre-fault reports are unchanged.
     pub degraded: usize,
+    /// Clients per classified DNS resolution failure, indexed by
+    /// [`ResolutionFailure::index`]. Each client is counted at most
+    /// once, under its most severe reason (lowest index wins) — the
+    /// same projection `CellObservation::dns_failure` carries. All
+    /// zero on fleets whose resolution never failed, so pre-existing
+    /// reports only gain zero-valued columns.
+    pub dns_failures: [usize; ResolutionFailure::ALL.len()],
 }
 
 /// `p50` / `p90` / `max` over a per-scenario quantity.
@@ -309,6 +317,9 @@ impl FleetReport {
                 .unwrap_or(0);
             census.degraded +=
                 usize::from(r.metrics.faults.total_dropped() > 0 || nat64_refusals > 0);
+            if let Some(f) = r.dns_failure() {
+                census.dns_failures[f.index()] += 1;
+            }
         }
         let timing = FleetTiming {
             completed_us: Percentiles::of(
@@ -346,6 +357,9 @@ impl FleetReport {
             row.rfc8925_engaged += sub.rfc8925_engaged;
             row.intervened += sub.intervened;
             row.degraded += sub.degraded;
+            for (a, b) in row.dns_failures.iter_mut().zip(sub.dns_failures) {
+                *a += b;
+            }
         }
         rows.into_iter().collect()
     }
@@ -440,6 +454,13 @@ impl FleetReport {
             out.push_str(&format!(" degraded={}", c.degraded));
         }
         out.push('\n');
+        if c.dns_failures.iter().any(|&n| n > 0) {
+            out.push_str("dns-fail:");
+            for f in ResolutionFailure::ALL {
+                out.push_str(&format!(" {}={}", f.label(), c.dns_failures[f.index()]));
+            }
+            out.push('\n');
+        }
         let t = &self.timing;
         out.push_str(&format!(
             "sim-timing: completed_us p50={} p90={} max={}; events p50={} p90={} max={}\n",

@@ -144,6 +144,12 @@ impl PopulationSpec {
                 (FaultVariant::LossyUplink, 80),
                 (FaultVariant::Dns64Outage, 40),
                 (FaultVariant::Nat64Exhaustion, 30),
+                // Present in the table (so the manifest documents the
+                // regime and its weight) but never sampled: a broken
+                // delegation tree is an internet-side condition, not a
+                // per-client mix. The total weight is unchanged, so
+                // every previously sampled cell stays the same cell.
+                (FaultVariant::BrokenDelegation, 0),
             ],
         }
     }
@@ -280,6 +286,9 @@ impl PopulationReport {
             h.eat(c.rfc8925_engaged as u64);
             h.eat(c.intervened as u64);
             h.eat(c.degraded as u64);
+            for &n in &c.dns_failures {
+                h.eat(n as u64);
+            }
         };
         census(&self.sketch.census);
         for row in &self.sketch.by_os {
@@ -309,11 +318,18 @@ impl PopulationReport {
                 row.associated, row.accurate_v6only, row.with_v4_path, row.intervened, row.degraded,
             ));
         }
-        let mix = &self.sketch.fault_mix;
-        out.push_str(&format!(
-            "fault-mix: clean={} lossy-uplink={} dns64-outage={} nat64-exhaustion={}\n",
-            mix[0], mix[1], mix[2], mix[3],
-        ));
+        out.push_str("fault-mix:");
+        for (f, &n) in FaultVariant::ALL.iter().zip(&self.sketch.fault_mix) {
+            out.push_str(&format!(" {}={}", f.label(), n));
+        }
+        out.push('\n');
+        if c.dns_failures.iter().any(|&n| n > 0) {
+            out.push_str("dns-fail:");
+            for f in v6testbed::scenario::ResolutionFailure::ALL {
+                out.push_str(&format!(" {}={}", f.label(), c.dns_failures[f.index()]));
+            }
+            out.push('\n');
+        }
         let t = self.completed_us();
         let e = self.events();
         out.push_str(&format!(

@@ -18,6 +18,7 @@
 use crate::FleetCensus;
 use v6testbed::os_profiles;
 use v6testbed::scenario::{CellObservation, CellSpec, FaultVariant};
+use v6wire::clamp;
 
 /// Nearest-rank quantile over an already-sorted slice.
 ///
@@ -25,12 +26,13 @@ use v6testbed::scenario::{CellObservation, CellSpec, FaultVariant};
 /// percentile fold): an empty slice reports `0`, a single element is
 /// every quantile of itself, and the computed rank is clamped into
 /// `[1, len]` so no float rounding of `len * q` can index out of range.
+/// The rank arithmetic is [`clamp::nearest_rank_index`] — the single
+/// copy this path, the bucketed sketch, and the DNS TTL caches share.
 pub fn nearest_rank(sorted: &[u64], q: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
+    match clamp::nearest_rank_index(sorted.len(), q) {
+        Some(i) => sorted[i],
+        None => 0,
     }
-    let rank = (sorted.len() as f64 * q).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Fixed-bucket logarithmic histogram of `u64` samples with exact
@@ -161,10 +163,10 @@ impl LatencySketch {
     /// sketch). Never below the exact nearest-rank value and at most
     /// 1/16 above it — the exact-vs-sketch test pins both bounds.
     pub fn quantile(&self, q: f64) -> u64 {
-        if self.count == 0 {
+        let Some(idx) = clamp::nearest_rank_index(self.count as usize, q) else {
             return 0;
-        }
-        let rank = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
+        };
+        let rank = idx as u64 + 1;
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
@@ -283,6 +285,9 @@ impl CensusSketch {
         c.rfc8925_engaged += usize::from(obs.rfc8925_engaged);
         c.intervened += usize::from(obs.intervened);
         c.degraded += usize::from(obs.degraded);
+        if let Some(f) = obs.dns_failure {
+            c.dns_failures[f.index()] += 1;
+        }
     }
 
     fn add_census(a: &mut FleetCensus, b: &FleetCensus) {
@@ -293,6 +298,9 @@ impl CensusSketch {
         a.rfc8925_engaged += b.rfc8925_engaged;
         a.intervened += b.intervened;
         a.degraded += b.degraded;
+        for (x, y) in a.dns_failures.iter_mut().zip(b.dns_failures) {
+            *x += y;
+        }
     }
 
     /// A point-in-time copy of the live census. Plain element-wise

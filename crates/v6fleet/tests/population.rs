@@ -9,7 +9,7 @@
 
 use proptest::prelude::*;
 use v6fleet::{nearest_rank, CensusSketch, FleetRunner, LatencySketch, PopulationSpec};
-use v6testbed::scenario::{CellObservation, FaultVariant, PathFamily};
+use v6testbed::scenario::{CellObservation, FaultVariant, PathFamily, ResolutionFailure};
 use v6testbed::{CellSpec, OsProfileId};
 
 /// A synthetic observation derived from 64 bits — exercises every
@@ -29,6 +29,10 @@ fn synth_obs(bits: u64) -> CellObservation {
         naive_counted: true,
         accurate_counted: bits & 0x80 != 0,
         degraded: bits & 0x100 != 0,
+        dns_failure: match (bits >> 45) % 5 {
+            0 => None,
+            k => Some(ResolutionFailure::ALL[(k - 1) as usize]),
+        },
         completed_us: (bits >> 9) % 30_000_000,
         events: (bits >> 13) % 100_000,
     }

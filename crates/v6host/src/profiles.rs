@@ -52,6 +52,10 @@ pub struct OsProfile {
     /// RFC 8305 Happy Eyeballs: stagger-launch the next address family
     /// 250 ms after the first attempt instead of waiting for its timeout.
     pub happy_eyeballs: bool,
+    /// Retries a truncated (TC-bit) UDP answer over TCP (RFC 1035 §4.2.2).
+    /// Modern stub resolvers do; legacy and embedded stacks give up on the
+    /// truncated answer instead.
+    pub tcp_dns_fallback: bool,
 }
 
 impl OsProfile {
@@ -67,6 +71,7 @@ impl OsProfile {
             iid_scheme: IidScheme::StablePrivate,
             search_order: SearchOrder::AsIsFirst,
             happy_eyeballs: false,
+            tcp_dns_fallback: true,
         }
     }
 
@@ -77,6 +82,7 @@ impl OsProfile {
             honors_rdnss: false,
             iid_scheme: IidScheme::Eui64,
             search_order: SearchOrder::SuffixFirst,
+            tcp_dns_fallback: false,
             ..Self::base("Windows XP")
         }
     }
@@ -160,6 +166,7 @@ impl OsProfile {
             ipv6_enabled: false,
             resolver_preference: ResolverPreference::V4Only,
             honors_rdnss: false,
+            tcp_dns_fallback: false,
             ..Self::base("Nintendo Switch")
         }
     }
@@ -171,6 +178,7 @@ impl OsProfile {
             resolver_preference: ResolverPreference::V4Only,
             honors_rdnss: false,
             iid_scheme: IidScheme::Eui64,
+            tcp_dns_fallback: false,
             ..Self::base("Legacy printer")
         }
     }
@@ -233,5 +241,7 @@ mod tests {
         assert_eq!(v4_only, 3, "v6-disabled Win10, Switch, printer");
         let rfc8925 = all.iter().filter(|p| p.supports_rfc8925).count();
         assert_eq!(rfc8925, 4, "macOS, iOS, Android, future Win11");
+        let no_tcp = all.iter().filter(|p| !p.tcp_dns_fallback).count();
+        assert_eq!(no_tcp, 3, "XP, Switch, printer lack TCP retry");
     }
 }

@@ -21,12 +21,15 @@ use v6addr::rfc6724::{
 use v6addr::slaac;
 use v6dhcp::client::{ClientEvent, DhcpClient};
 use v6dns::codec::{Message as DnsMessage, Question, RData, RType, Rcode, Record};
+use v6dns::edns;
 use v6dns::name::DnsName;
+use v6dns::server::ResolutionFailure;
 use v6dns::stub::SearchList;
 use v6sim::engine::{Ctx, Node};
 use v6sim::tcp::TcpEndpoint;
 use v6sim::time::SimTime;
 use v6wire::arp::{ArpOp, ArpPacket};
+use v6wire::clamp;
 use v6wire::ethernet::{EtherType, EthernetFrame};
 use v6wire::fasthash::FastMap;
 use v6wire::icmpv4::Icmpv4Message;
@@ -152,6 +155,19 @@ struct TaskState {
 struct DnsWait {
     task: u64,
     rtype: RType,
+    /// The queried name (needed to re-ask over TCP after truncation).
+    name: DnsName,
+    /// The resolver the query went to (the TCP retry targets the same one).
+    resolver: IpAddr,
+}
+
+/// An in-flight DNS-over-TCP retry (RFC 1035 §4.2.2) after a TC-bit
+/// truncated UDP answer.
+struct DnsTcpFlow {
+    ep: TcpEndpoint,
+    /// The 2-octet-length-prefixed query, sent once the handshake lands.
+    query: Vec<u8>,
+    sent: bool,
 }
 
 /// A client device.
@@ -193,6 +209,11 @@ pub struct Host {
     pend6: FastMap<Ipv6Addr, Vec<Ipv6Packet>>,
     pend4: FastMap<Ipv4Addr, Vec<Ipv4Packet>>,
     dns_wait: FastMap<u16, DnsWait>,
+    /// RFC 2308 stub negative cache: (name, rtype) → absolute expiry
+    /// (sim-seconds), TTL = min(SOA TTL, SOA.minimum) via [`clamp`].
+    neg_cache: FastMap<(DnsName, RType), u64>,
+    /// DNS-over-TCP retries in flight, keyed like application flows.
+    dns_tcp: FastMap<FlowKey, DnsTcpFlow>,
     next_dns_id: u16,
     next_port: u16,
     flows: FastMap<FlowKey, Flow>,
@@ -213,6 +234,10 @@ pub struct Host {
     pub dns_failovers: u64,
     /// DHCP DISCOVER/REQUEST retransmissions (RFC 2131 backoff).
     pub dhcp_retries: u64,
+    /// Classified resolution failures, indexed by
+    /// [`ResolutionFailure::index`] — EDE codes parsed from responses plus
+    /// the stub's own negative-cache hits and no-TCP truncation give-ups.
+    pub dns_fail: [u64; 4],
 }
 
 impl Host {
@@ -255,6 +280,8 @@ impl Host {
             pend6: FastMap::default(),
             pend4: FastMap::default(),
             dns_wait: FastMap::default(),
+            neg_cache: FastMap::default(),
+            dns_tcp: FastMap::default(),
             next_dns_id: (seed as u16) | 1,
             next_port: PORT_FLOOR,
             flows: FastMap::default(),
@@ -268,6 +295,7 @@ impl Host {
             dns_retransmits: 0,
             dns_failovers: 0,
             dhcp_retries: 0,
+            dns_fail: [0; 4],
             name,
         }
     }
@@ -681,6 +709,10 @@ impl Host {
         }
     }
 
+    /// Send one UDP query, unless the stub's RFC 2308 negative cache
+    /// already holds a live "no such data" entry for this (name, rtype) —
+    /// then nothing is sent and `false` comes back: the caller completes
+    /// that side locally with an empty answer.
     fn send_dns_query(
         &mut self,
         task: u64,
@@ -688,10 +720,27 @@ impl Host {
         rtype: RType,
         resolver: IpAddr,
         ctx: &mut Ctx,
-    ) {
+    ) -> bool {
+        let now = ctx.now.as_secs();
+        let cache_key = (name.clone(), rtype);
+        if let Some(&expiry) = self.neg_cache.get(&cache_key) {
+            if expiry > now {
+                self.dns_fail[ResolutionFailure::NegativeCached.index()] += 1;
+                return false;
+            }
+            self.neg_cache.remove(&cache_key);
+        }
         let id = self.alloc_dns_id();
         let sport = self.alloc_port();
-        self.dns_wait.insert(id, DnsWait { task, rtype });
+        self.dns_wait.insert(
+            id,
+            DnsWait {
+                task,
+                rtype,
+                name: name.clone(),
+                resolver,
+            },
+        );
         let query = DnsMessage::query(id, Question::new(name.clone(), rtype));
         let dgram = UdpDatagram::new(sport, port::DNS, query.encode());
         match resolver {
@@ -703,12 +752,13 @@ impl Host {
             }
             IpAddr::V4(dst) => {
                 self.dns_via_v4 += 1;
-                let Some(v4) = &self.v4 else { return };
+                let Some(v4) = &self.v4 else { return true };
                 let src = v4.addr;
                 let pkt = Ipv4Packet::new(src, dst, proto::UDP, dgram.encode_v4(src, dst));
                 self.send_v4(pkt, ctx);
             }
         }
+        true
     }
 
     // ------------------------------------------------------------------
@@ -809,15 +859,37 @@ impl Host {
         let want_aaaa = self.profile.ipv6_enabled;
         let want_a = true; // A answers are consumed even by v6-only hosts? No —
                            // but querying A is what real stacks do; sorting drops it.
-        if want_aaaa {
-            self.send_dns_query(id, &name, RType::Aaaa, resolver, ctx);
-        } else if let Some(state) = self.tasks.get_mut(&id) {
-            if let Phase::Resolving { aaaa, .. } = &mut state.phase {
-                *aaaa = Some(Vec::new());
+        if !want_aaaa || !self.send_dns_query(id, &name, RType::Aaaa, resolver, ctx) {
+            // Not wanted, or answered from the negative cache: that side
+            // is complete with an empty answer, no packet on the wire.
+            if let Some(state) = self.tasks.get_mut(&id) {
+                if let Phase::Resolving { aaaa, .. } = &mut state.phase {
+                    *aaaa = Some(Vec::new());
+                }
             }
         }
-        if want_a {
-            self.send_dns_query(id, &name, RType::A, resolver, ctx);
+        if want_a && !self.send_dns_query(id, &name, RType::A, resolver, ctx) {
+            if let Some(state) = self.tasks.get_mut(&id) {
+                if let Phase::Resolving { a, .. } = &mut state.phase {
+                    *a = Some(Vec::new());
+                }
+            }
+        }
+        // Both sides may have completed locally (negative cache): nothing
+        // is in flight, so proceed now instead of arming a timer.
+        if matches!(
+            self.tasks.get(&id),
+            Some(TaskState {
+                phase: Phase::Resolving {
+                    a: Some(_),
+                    aaaa: Some(_),
+                    ..
+                },
+                ..
+            })
+        ) {
+            self.proceed_after_resolution(id, ctx);
+            return;
         }
         let timeout = self.dns_attempt_timeout(id, attempt, chain.len());
         ctx.timer_in(timeout, token(TK_DNS, id, u64::from(attempt)));
@@ -848,7 +920,19 @@ impl Host {
             return;
         }
         let resolver = chain[attempt as usize % chain.len()];
-        self.send_dns_query(id, &name, rtype, resolver, ctx);
+        if !self.send_dns_query(id, &name, rtype, resolver, ctx) {
+            // Negative-cached: this candidate is a known miss; devolve to
+            // the next search-list name without touching the wire.
+            if let Some(TaskState {
+                phase: Phase::NslookupTrying { name_idx, .. },
+                ..
+            }) = self.tasks.get_mut(&id)
+            {
+                *name_idx += 1;
+            }
+            self.try_nslookup(id, rtype, ctx);
+            return;
+        }
         let timeout = self.dns_attempt_timeout(id, attempt, chain.len());
         ctx.timer_in(timeout, token(TK_DNS, id, u64::from(attempt)));
     }
@@ -857,6 +941,40 @@ impl Host {
         let Some(wait) = self.dns_wait.remove(&msg.id) else {
             return;
         };
+        // Count any classified failure reason the resolver attached as an
+        // RFC 8914 Extended DNS Error (the census reads these back out).
+        if let Some(reason) = edns::failure_of(msg) {
+            self.dns_fail[reason.index()] += 1;
+        }
+        // TC bit: RFC 1035 §4.2.2 says re-ask over TCP. OSes without that
+        // fallback give up on the (empty) truncated answer, which the
+        // census classifies as `truncated-no-tcp`.
+        if msg.truncated {
+            if self.profile.tcp_dns_fallback {
+                self.start_dns_tcp(wait.task, wait.name, wait.rtype, wait.resolver, ctx);
+                return;
+            }
+            self.dns_fail[ResolutionFailure::TruncatedNoTcp.index()] += 1;
+        }
+        // RFC 2308: a name error / no-data answer carrying an SOA is
+        // cacheable for min(SOA TTL, SOA.minimum).
+        if msg.rcode == Rcode::NxDomain
+            || (msg.rcode == Rcode::NoError && msg.answers.is_empty() && !msg.truncated)
+        {
+            let soa = msg.authorities.iter().find_map(|r| match r.data {
+                RData::Soa { minimum, .. } => Some((r.ttl, minimum)),
+                _ => None,
+            });
+            if let (Some(q), Some((soa_ttl, minimum))) = (msg.questions.first(), soa) {
+                let ttl = clamp::negative_ttl(soa_ttl, minimum);
+                if ttl > 0 {
+                    self.neg_cache.insert(
+                        (q.name.clone(), q.rtype),
+                        clamp::expiry(ctx.now.as_secs(), ttl),
+                    );
+                }
+            }
+        }
         let id = wait.task;
         let Some(state) = self.tasks.get_mut(&id) else {
             return;
@@ -900,6 +1018,127 @@ impl Host {
             }
             _ => {}
         }
+    }
+
+    /// Re-ask a truncated query over TCP (RFC 1035 §4.2.2): connect to the
+    /// same resolver on port 53 and send the query with a 2-octet length
+    /// prefix. The pending attempt timer keeps covering failure — if the
+    /// TCP path stalls, the normal UDP retransmission ladder resumes.
+    fn start_dns_tcp(
+        &mut self,
+        task: u64,
+        name: DnsName,
+        rtype: RType,
+        resolver: IpAddr,
+        ctx: &mut Ctx,
+    ) {
+        let id = self.alloc_dns_id();
+        let lport = self.alloc_port();
+        let key = match resolver {
+            IpAddr::V6(remote) => {
+                let Some(local) = self.pick_v6_source(remote) else {
+                    return;
+                };
+                FlowKey::V6 {
+                    local: (local, lport),
+                    remote: (remote, port::DNS),
+                }
+            }
+            IpAddr::V4(remote) => {
+                if self.v4_active() {
+                    let local = self.v4.as_ref().expect("active").addr;
+                    FlowKey::V4 {
+                        local: (local, lport),
+                        remote: (remote, port::DNS),
+                    }
+                } else if let Some(clat) = &self.clat {
+                    FlowKey::ClatV4 {
+                        local: (clat.host_v4, lport),
+                        remote: (remote, port::DNS),
+                    }
+                } else {
+                    return;
+                }
+            }
+        };
+        self.dns_wait.insert(
+            id,
+            DnsWait {
+                task,
+                rtype,
+                name: name.clone(),
+                resolver,
+            },
+        );
+        let query = DnsMessage::query(id, Question::new(name, rtype));
+        let wire = query.encode();
+        let mut framed = Vec::with_capacity(wire.len() + 2);
+        framed.extend_from_slice(&(wire.len() as u16).to_be_bytes());
+        framed.extend_from_slice(&wire);
+        let iss = (task as u32) << 8 | u32::from(id) & 0xff;
+        let (ep, syn) = TcpEndpoint::connect(lport, port::DNS, iss);
+        self.dns_tcp.insert(
+            key,
+            DnsTcpFlow {
+                ep,
+                query: framed,
+                sent: false,
+            },
+        );
+        self.send_segment(key, syn, ctx);
+    }
+
+    fn on_dns_tcp(&mut self, key: FlowKey, seg: TcpSegment, ctx: &mut Ctx) {
+        let Some(flow) = self.dns_tcp.get_mut(&key) else {
+            return;
+        };
+        let replies = flow.ep.on_segment(&seg);
+        for r in replies {
+            self.send_segment(key, r, ctx);
+        }
+        self.drive_dns_tcp(key, ctx);
+    }
+
+    fn drive_dns_tcp(&mut self, key: FlowKey, ctx: &mut Ctx) {
+        let Some(flow) = self.dns_tcp.get_mut(&key) else {
+            return;
+        };
+        let mut out: Vec<TcpSegment> = Vec::new();
+        if flow.ep.is_established() && !flow.sent {
+            flow.sent = true;
+            let q = std::mem::take(&mut flow.query);
+            out.extend(flow.ep.send(&q));
+        }
+        // A complete length-prefixed response?
+        let mut answer = None;
+        if flow.ep.received.len() >= 2 {
+            let need = u16::from_be_bytes([flow.ep.received[0], flow.ep.received[1]]) as usize;
+            if flow.ep.received.len() >= 2 + need {
+                answer = DnsMessage::decode(&flow.ep.received[2..2 + need]).ok();
+                out.extend(flow.ep.close());
+            }
+        }
+        let closed = flow.ep.is_closed();
+        for s in out {
+            self.send_segment(key, s, ctx);
+        }
+        if let Some(msg) = answer {
+            self.dns_tcp.remove(&key);
+            // Re-enter the one response path; a TCP answer is never
+            // truncated, so this cannot recurse back here.
+            self.on_dns_response(&msg, ctx);
+        } else if closed {
+            self.dns_tcp.remove(&key);
+        }
+    }
+
+    /// The most severe classified resolution failure this host saw, if any
+    /// (lowest [`ResolutionFailure::index`] wins — the census projection
+    /// rule).
+    pub fn dns_failure(&self) -> Option<ResolutionFailure> {
+        ResolutionFailure::ALL
+            .into_iter()
+            .find(|f| self.dns_fail[f.index()] > 0)
     }
 
     fn proceed_after_resolution(&mut self, id: u64, ctx: &mut Ctx) {
@@ -1317,6 +1556,10 @@ impl Host {
     }
 
     fn on_tcp(&mut self, key: FlowKey, seg: TcpSegment, ctx: &mut Ctx) {
+        if self.dns_tcp.contains_key(&key) {
+            self.on_dns_tcp(key, seg, ctx);
+            return;
+        }
         let Some(flow) = self.flows.get_mut(&key) else {
             return;
         };
@@ -1445,7 +1688,7 @@ impl Node for Host {
     }
 
     fn device_metrics(&self) -> v6wire::metrics::Metrics {
-        [
+        let mut m: v6wire::metrics::Metrics = [
             ("dns.via_v6", self.dns_via_v6),
             ("dns.via_v4", self.dns_via_v4),
             ("dns.timeouts", self.dns_timeouts),
@@ -1454,7 +1697,11 @@ impl Node for Host {
             ("dhcp.retries", self.dhcp_retries),
         ]
         .into_iter()
-        .collect()
+        .collect();
+        for f in ResolutionFailure::ALL {
+            m.add(&format!("dns.fail.{}", f.label()), self.dns_fail[f.index()]);
+        }
+        m
     }
 
     fn start(&mut self, ctx: &mut Ctx) {
@@ -1697,8 +1944,9 @@ mod tests {
     use v6wire::packet::{ParsedFrame, L3, L4};
 
     /// A Raspberry-Pi-like test node: answers NDP, serves DNS (over v6 and
-    /// v4) from an embedded resolver, and runs a DHCPv4 server with option
-    /// 108. This is a local double; the production node lives in v6testbed.
+    /// v4, UDP and TCP with 512-byte UDP truncation) from an embedded
+    /// resolver, and runs a DHCPv4 server with option 108. This is a local
+    /// double; the production node lives in v6testbed.
     struct PiNode {
         name: String,
         mac: MacAddr,
@@ -1706,15 +1954,88 @@ mod tests {
         v4: Ipv4Addr,
         resolver: Box<dyn Resolver>,
         dhcp: Option<DhcpServer>,
+        tcp_flows: FastMap<(IpAddr, IpAddr, u16), TestTcpFlow>,
+    }
+
+    struct TestTcpFlow {
+        ep: TcpEndpoint,
+        responded: bool,
     }
 
     impl PiNode {
-        fn answer(&mut self, q: &Question, now: u64) -> DnsMessage {
+        fn answer(&mut self, q: &Question, now: u64, udp: bool) -> DnsMessage {
             let ans = self.resolver.resolve(q, now);
             let query = DnsMessage::query(0, q.clone());
             let mut resp = DnsMessage::response_to(&query, ans.rcode);
             resp.answers = ans.records;
+            resp.authorities.extend(ans.soa.clone());
+            // Classic 512-byte UDP limit (the host stub sends no OPT).
+            if udp && resp.encode().len() > 512 {
+                resp.truncated = true;
+                resp.answers.clear();
+                resp.authorities.clear();
+            }
             resp
+        }
+
+        fn on_tcp_dns(
+            &mut self,
+            local: IpAddr,
+            remote: IpAddr,
+            seg: &TcpSegment,
+            reply_mac: MacAddr,
+            ctx: &mut Ctx,
+        ) {
+            let key = (local, remote, seg.src_port);
+            let (mut out, query) = {
+                let flow = self.tcp_flows.entry(key).or_insert_with(|| TestTcpFlow {
+                    ep: TcpEndpoint::listen(port::DNS),
+                    responded: false,
+                });
+                let out = flow.ep.on_segment(seg);
+                let mut query = None;
+                if flow.ep.is_established() && !flow.responded && flow.ep.received.len() >= 2 {
+                    let need =
+                        u16::from_be_bytes([flow.ep.received[0], flow.ep.received[1]]) as usize;
+                    if flow.ep.received.len() >= 2 + need {
+                        query = DnsMessage::decode(&flow.ep.received[2..2 + need]).ok();
+                        flow.responded = true;
+                    }
+                }
+                (out, query)
+            };
+            if let Some(msg) = query {
+                let q = msg.questions[0].clone();
+                let mut resp = self.answer(&q, ctx.now.as_secs(), false);
+                resp.id = msg.id;
+                let wire = resp.encode();
+                let mut framed = Vec::with_capacity(wire.len() + 2);
+                framed.extend_from_slice(&(wire.len() as u16).to_be_bytes());
+                framed.extend_from_slice(&wire);
+                let flow = self.tcp_flows.get_mut(&key).expect("present");
+                out.extend(flow.ep.send(&framed));
+                out.extend(flow.ep.close());
+            }
+            for s in out {
+                let frame = match (local, remote) {
+                    (IpAddr::V6(l), IpAddr::V6(r)) => {
+                        v6wire::packet::build_tcp_v6(self.mac, reply_mac, l, r, &s)
+                    }
+                    (IpAddr::V4(l), IpAddr::V4(r)) => {
+                        v6wire::packet::build_tcp_v4(self.mac, reply_mac, l, r, &s)
+                    }
+                    _ => continue,
+                };
+                ctx.send(0, frame);
+            }
+            if self
+                .tcp_flows
+                .get(&key)
+                .map(|f| f.ep.is_closed())
+                .unwrap_or(false)
+            {
+                self.tcp_flows.remove(&key);
+            }
         }
     }
 
@@ -1746,7 +2067,7 @@ mod tests {
                 (L3::V6(ip), L4::Udp(udp)) if ip.dst == self.v6 && udp.dst_port == port::DNS => {
                     if let Ok(mut msg) = DnsMessage::decode(&udp.payload) {
                         let q = msg.questions[0].clone();
-                        let mut resp = self.answer(&q, ctx.now.as_secs());
+                        let mut resp = self.answer(&q, ctx.now.as_secs(), true);
                         resp.id = msg.id;
                         msg.is_response = true;
                         let d = UdpDatagram::new(port::DNS, udp.src_port, resp.encode());
@@ -1763,7 +2084,7 @@ mod tests {
                 (L3::V4(ip), L4::Udp(udp)) if ip.dst == self.v4 && udp.dst_port == port::DNS => {
                     if let Ok(msg) = DnsMessage::decode(&udp.payload) {
                         let q = msg.questions[0].clone();
-                        let mut resp = self.answer(&q, ctx.now.as_secs());
+                        let mut resp = self.answer(&q, ctx.now.as_secs(), true);
                         resp.id = msg.id;
                         let d = UdpDatagram::new(port::DNS, udp.src_port, resp.encode());
                         let frame = v6wire::packet::build_udp_v4(
@@ -1797,6 +2118,14 @@ mod tests {
                         }
                     }
                 }
+                (L3::V6(ip), L4::Tcp(seg)) if ip.dst == self.v6 && seg.dst_port == port::DNS => {
+                    let (src, dst, seg) = (ip.src, ip.dst, seg.clone());
+                    self.on_tcp_dns(IpAddr::V6(dst), IpAddr::V6(src), &seg, parsed.eth.src, ctx);
+                }
+                (L3::V4(ip), L4::Tcp(seg)) if ip.dst == self.v4 && seg.dst_port == port::DNS => {
+                    let (src, dst, seg) = (ip.src, ip.dst, seg.clone());
+                    self.on_tcp_dns(IpAddr::V4(dst), IpAddr::V4(src), &seg, parsed.eth.src, ctx);
+                }
                 (L3::Arp(arp), _) if arp.op == ArpOp::Request && arp.target_ip == self.v4 => {
                     let reply = ArpPacket::reply_to(arp, self.mac);
                     ctx.send(0, build_arp(self.mac, arp.sender_mac, &reply));
@@ -1819,6 +2148,11 @@ mod tests {
         let mut anl = Zone::new("anl.gov".parse().unwrap(), 300);
         anl.add_str("vpn", 120, RData::A("130.202.228.253".parse().unwrap()));
         g.add_zone(anl);
+        // An answer too big for classic 512-byte UDP: exercises the TC bit
+        // and the stub's RFC 1035 §4.2.2 TCP retry.
+        let mut big = Zone::new("big.test".parse().unwrap(), 60);
+        big.add_str("@", 60, RData::Txt(vec!["x".repeat(200); 4]));
+        g.add_zone(big);
         g
     }
 
@@ -1837,6 +2171,7 @@ mod tests {
             resolver,
             dhcp: with_dhcp
                 .then(|| DhcpServer::new(ServerConfig::testbed("192.168.12.250".parse().unwrap()))),
+            tcp_flows: FastMap::default(),
         })
     }
 
@@ -2047,6 +2382,105 @@ mod tests {
         let chain = h.resolver_chain();
         assert_eq!(chain.len(), 3);
         assert!(matches!(chain[2], IpAddr::V4(_)));
+    }
+
+    #[test]
+    fn truncated_answer_retried_over_tcp() {
+        // The big.test TXT answer exceeds 512 bytes: UDP comes back with
+        // the TC bit, and a modern stub re-asks over TCP and gets the full
+        // record set (RFC 1035 §4.2.2).
+        let (mut net, host) = testbed(OsProfile::linux(), false);
+        net.run_until(SimTime::from_secs(12));
+        let id = net.with_node::<Host, _>(host, |h, ctx| {
+            h.run_task(
+                AppTask::Nslookup {
+                    name: "big.test".parse().unwrap(),
+                    rtype: RType::Txt,
+                },
+                ctx,
+            )
+        });
+        net.run_for(SimTime::from_secs(5));
+        let h = net.node_mut::<Host>(host);
+        match h.outcome(id) {
+            Some(TaskOutcome::DnsAnswer { records, .. }) => {
+                assert_eq!(records.len(), 1);
+                assert!(matches!(&records[0].data, RData::Txt(v) if v.len() == 4));
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert!(h.dns_tcp.is_empty(), "TCP retry flow cleaned up");
+        assert_eq!(h.dns_fail, [0; 4], "the TCP fallback is not a failure");
+    }
+
+    #[test]
+    fn truncation_without_tcp_fallback_is_classified() {
+        // A legacy stub (no TCP retry) gives up on the truncated answer,
+        // and the failure is classified, not a timeout.
+        let (mut net, host) = testbed(OsProfile::nintendo_switch(), false);
+        net.run_until(SimTime::from_secs(12));
+        let id = net.with_node::<Host, _>(host, |h, ctx| {
+            h.run_task(
+                AppTask::Nslookup {
+                    name: "big.test".parse().unwrap(),
+                    rtype: RType::Txt,
+                },
+                ctx,
+            )
+        });
+        net.run_for(SimTime::from_secs(9));
+        let h = net.node_mut::<Host>(host);
+        assert_eq!(h.outcome(id), Some(&TaskOutcome::DnsFailed));
+        assert!(
+            h.dns_fail[ResolutionFailure::TruncatedNoTcp.index()] >= 1,
+            "dns_fail: {:?}",
+            h.dns_fail
+        );
+        assert_eq!(
+            h.dns_failure(),
+            Some(ResolutionFailure::TruncatedNoTcp),
+            "projection picks the classified reason"
+        );
+    }
+
+    #[test]
+    fn negative_answers_are_cached_rfc2308() {
+        // The second lookup of a known-missing name is answered from the
+        // stub's negative cache: no new packets, classified as such.
+        let (mut net, host) = testbed(OsProfile::windows_10(), false);
+        net.run_until(SimTime::from_secs(12));
+        let first = net.with_node::<Host, _>(host, |h, ctx| {
+            h.run_task(
+                AppTask::Ping {
+                    name: "nope.anl.gov".parse().unwrap(),
+                },
+                ctx,
+            )
+        });
+        net.run_for(SimTime::from_secs(5));
+        let queries_after_first = {
+            let h = net.node_mut::<Host>(host);
+            assert_eq!(h.outcome(first), Some(&TaskOutcome::DnsFailed));
+            assert!(!h.neg_cache.is_empty(), "negative answers cached");
+            h.dns_via_v6 + h.dns_via_v4
+        };
+        let second = net.with_node::<Host, _>(host, |h, ctx| {
+            h.run_task(
+                AppTask::Ping {
+                    name: "nope.anl.gov".parse().unwrap(),
+                },
+                ctx,
+            )
+        });
+        net.run_for(SimTime::from_secs(1));
+        let h = net.node_mut::<Host>(host);
+        assert_eq!(h.outcome(second), Some(&TaskOutcome::DnsFailed));
+        assert_eq!(
+            h.dns_via_v6 + h.dns_via_v4,
+            queries_after_first,
+            "no wire queries for the cached miss"
+        );
+        assert!(h.dns_fail[ResolutionFailure::NegativeCached.index()] >= 2);
     }
 
     #[test]

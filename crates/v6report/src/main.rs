@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! v6report emit  [--out DIR] [--bench FILE]
-//! v6report check [--reports DIR] [--fresh-out DIR] [--bench FILE]
+//! v6report check [STEM...] [--reports DIR] [--fresh-out DIR] [--bench FILE]
 //!                [--tolerance F] [--bench-tolerance F] [--threads N]
 //! v6report diff <before.json> <after.json> [--tolerance F] [--bench-tolerance F]
 //! ```
@@ -13,8 +13,12 @@
 //! `bench.json` normalized from `BENCH_engine.json`. `check` re-runs the same sweeps fresh, writes
 //! the fresh manifests under `--fresh-out` (default `target/reports`,
 //! uploaded as a CI artifact on failure) and exits nonzero on gated
-//! drift, naming every drifted field. `diff` classifies the drift
-//! between two manifest files without running anything.
+//! drift, naming every drifted field. With positional STEM arguments
+//! (`v6report check matrix_broken-delegation`) only the named goldens
+//! are re-run — the per-sweep CI lanes use this to gate just their own
+//! manifest without paying for the full canonical set. `diff`
+//! classifies the drift between two manifest files without running
+//! anything.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -84,7 +88,7 @@ fn parse_args() -> Result<Args, String> {
 fn usage() -> String {
     "usage: v6report <emit|check|diff> [flags]\n\
      \x20 emit  [--out DIR] [--bench FILE]\n\
-     \x20 check [--reports DIR] [--fresh-out DIR] [--bench FILE] [--tolerance F] [--bench-tolerance F] [--threads N]\n\
+     \x20 check [STEM...] [--reports DIR] [--fresh-out DIR] [--bench FILE] [--tolerance F] [--bench-tolerance F] [--threads N]\n\
      \x20 diff  <before.json> <after.json> [--tolerance F] [--bench-tolerance F]"
         .to_string()
 }
@@ -181,8 +185,16 @@ fn check_one(path: &Path, fresh: &RunManifest, cfg: &DiffConfig) -> Result<bool,
 }
 
 fn check(args: &Args) -> Result<bool, String> {
+    // No positionals → the full canonical set; otherwise only the named
+    // stems run (a per-sweep CI lane gates just its own manifest).
+    let want = |stem: &str| args.positional.is_empty() || args.positional.iter().any(|s| s == stem);
+    let mut matched = 0usize;
     let mut all_ok = true;
     for spec in canonical_specs() {
+        if !want(&spec.file_stem()) {
+            continue;
+        }
+        matched += 1;
         let fresh = RunManifest::run_matrix(&spec, args.threads);
         // Always persist the fresh manifest: on drift, CI uploads these
         // for post-mortem diffing against the committed goldens.
@@ -190,19 +202,43 @@ fn check(args: &Args) -> Result<bool, String> {
         let committed = args.reports.join(format!("{}.json", spec.file_stem()));
         all_ok &= check_one(&committed, &fresh, &args.cfg)?;
     }
-    {
+    if want(&population_stem()) {
+        matched += 1;
         let fresh = RunManifest::run_population(&v6report::canonical_population(), args.threads);
         write_manifest(&args.fresh_out, &population_stem(), &fresh)?;
         let committed = args.reports.join(format!("{}.json", population_stem()));
         all_ok &= check_one(&committed, &fresh, &args.cfg)?;
     }
-    match bench_manifest(&args.bench)? {
-        Some(fresh) => {
-            write_manifest(&args.fresh_out, "bench", &fresh)?;
-            let committed = args.reports.join("bench.json");
-            all_ok &= check_one(&committed, &fresh, &args.cfg)?;
+    if want("bench") {
+        matched += 1;
+        match bench_manifest(&args.bench)? {
+            Some(fresh) => {
+                write_manifest(&args.fresh_out, "bench", &fresh)?;
+                let committed = args.reports.join("bench.json");
+                all_ok &= check_one(&committed, &fresh, &args.cfg)?;
+            }
+            None => println!("skip  bench manifest ({} not found)", args.bench.display()),
         }
-        None => println!("skip  bench manifest ({} not found)", args.bench.display()),
+    }
+    // A misspelled stem silently gating nothing would read as a pass;
+    // make it an explicit error instead.
+    if !args.positional.is_empty() && matched < args.positional.len() {
+        let known: Vec<String> = canonical_specs()
+            .iter()
+            .map(MatrixSpec::file_stem)
+            .chain([population_stem(), "bench".to_string()])
+            .collect();
+        let unknown: Vec<&String> = args
+            .positional
+            .iter()
+            .filter(|s| !known.contains(s))
+            .collect();
+        if !unknown.is_empty() {
+            return Err(format!(
+                "unknown manifest stem(s) {unknown:?}; known: {}",
+                known.join(", ")
+            ));
+        }
     }
     Ok(all_ok)
 }

@@ -18,7 +18,7 @@ use v6fleet::{
     FleetCensus, FleetReport, FleetRunner, LatencySketch, PopulationReport, PopulationSpec,
     SketchPercentiles,
 };
-use v6testbed::scenario::{FaultVariant, PoisonVariant, TopologyVariant};
+use v6testbed::scenario::{FaultVariant, PoisonVariant, ResolutionFailure, TopologyVariant};
 use v6testbed::Scenario;
 
 /// The base seed every committed matrix manifest is generated from —
@@ -27,8 +27,10 @@ use v6testbed::Scenario;
 pub const CANONICAL_BASE_SEED: u64 = 0x5c24;
 
 /// Manifest schema version, bumped on any field addition/rename so a
-/// differ never silently compares across schemas.
-pub const SCHEMA_VERSION: u64 = 1;
+/// differ never silently compares across schemas. Version 2 added the
+/// classified DNS resolution-failure breakdown (`dns_failures`) to
+/// every census row.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Cells in the committed sampled-population golden
 /// (`reports/population_100k.json`). Big enough that the census mix is
@@ -362,6 +364,28 @@ impl RunManifest {
             timings.set("warm_cell", warm);
         }
 
+        // The DNS-resolution row, written once a bench of the iterative
+        // resolver (delegation walk + EDNS0/TCP fallback) joins
+        // bench_report; bench files from before it stay valid, and a
+        // rewrite of an older file preserves the section when present.
+        if v.get("dns_resolution").is_some() {
+            structure.set(
+                "dns_resolution_queries",
+                num(&["dns_resolution", "queries"])?,
+            );
+            let mut dns = Json::obj();
+            for field in [
+                "iterative_us_per_query",
+                "flat_us_per_query",
+                "queries_per_sec",
+            ] {
+                if let Some(val) = v.get_path(&["dns_resolution", field]) {
+                    dns.set(field, val.clone());
+                }
+            }
+            timings.set("dns_resolution", dns);
+        }
+
         // And the zero-copy codec rows (owned-vs-view parse, checksum
         // kernels, Full-trace ring vs its recorded baseline), written once
         // the conformance-corpus benchmarks are part of bench_report.
@@ -476,6 +500,11 @@ fn census_row(c: &FleetCensus) -> Json {
     row.set("rfc8925_engaged", Json::U64(c.rfc8925_engaged as u64));
     row.set("intervened", Json::U64(c.intervened as u64));
     row.set("degraded", Json::U64(c.degraded as u64));
+    let mut failures = Json::obj();
+    for f in ResolutionFailure::ALL {
+        failures.set(f.label(), Json::U64(c.dns_failures[f.index()] as u64));
+    }
+    row.set("dns_failures", failures);
     row
 }
 

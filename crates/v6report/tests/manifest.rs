@@ -304,3 +304,47 @@ fn committed_bench_manifest_matches_raw_bench_json() {
     );
     assert_eq!(fresh.kind(), "bench");
 }
+
+#[test]
+fn bench_normalization_preserves_a_dns_resolution_section() {
+    // A future `dns_resolution` row in BENCH_engine.json (iterative
+    // resolver bench) must survive normalization, not be silently
+    // dropped by a rewrite that only knows the older sections.
+    let raw = r#"{
+        "engine_hot_path": {"workload": 1, "frames_per_iter": 2, "events_per_iter": 3,
+                            "off": 1.0, "hops": 2.0, "full": 3.0},
+        "fleet_sweep": {"cells": 66, "off": 1.0, "hops": 2.0, "full": 3.0},
+        "baseline_pre_optimization": {"fleet_ms_per_sweep": 100.0, "fleet_scenarios_per_sec": 10.0},
+        "speedup_vs_baseline": 2.5,
+        "dns_resolution": {"queries": 4096, "iterative_us_per_query": 1.7,
+                           "flat_us_per_query": 0.4, "queries_per_sec": 588000.0}
+    }"#;
+    let manifest = RunManifest::bench_from_raw(raw).expect("normalizes");
+    let canonical = manifest.canonical();
+    let parsed = Json::parse(&canonical).expect("canonical output parses");
+    assert_eq!(
+        parsed
+            .get_path(&["structure", "dns_resolution_queries"])
+            .and_then(Json::as_number),
+        Some(4096.0),
+        "query count is deterministic structure, gated like any other"
+    );
+    for field in [
+        "iterative_us_per_query",
+        "flat_us_per_query",
+        "queries_per_sec",
+    ] {
+        assert!(
+            parsed
+                .get_path(&["timings", "dns_resolution", field])
+                .is_some(),
+            "timings.dns_resolution.{field} must survive normalization"
+        );
+    }
+    // And a bench file from before the row exists stays valid, without
+    // growing an empty section.
+    let older = raw.replace("\"dns_resolution\"", "\"dns_resolution_unused\"");
+    let manifest = RunManifest::bench_from_raw(&older).expect("older files stay valid");
+    let parsed = Json::parse(&manifest.canonical()).expect("parses");
+    assert!(parsed.get_path(&["timings", "dns_resolution"]).is_none());
+}

@@ -3,19 +3,26 @@
 
 use crate::zones::internet_dns;
 use std::any::Any;
-use std::net::{Ipv4Addr, Ipv6Addr};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 use v6addr::prefix::{Ipv4Prefix, Ipv6Prefix};
 use v6dhcp::server::{DhcpServer, ServerConfig};
 use v6dns::codec::Message as DnsMessage;
 use v6dns::dns64::Dns64;
+use v6dns::edns;
 use v6dns::poison::{PoisonPolicy, PoisonedResolver};
 use v6dns::server::{CachingResolver, GlobalDns, Resolver};
 use v6sim::engine::{Ctx, Node};
+use v6sim::tcp::TcpEndpoint;
 use v6wire::arp::{ArpOp, ArpPacket};
+use v6wire::ethernet::{EtherType, EthernetFrame};
+use v6wire::fasthash::FastMap;
 use v6wire::icmpv6::Icmpv6Message;
+use v6wire::ipv4::{proto, Ipv4Packet};
+use v6wire::ipv6::Ipv6Packet;
 use v6wire::mac::MacAddr;
 use v6wire::ndp::{NdpOption, NeighborAdvertisement};
 use v6wire::packet::{build_arp, build_icmpv6};
+use v6wire::tcp::TcpSegment;
 use v6wire::udp::{port, UdpDatagram};
 use v6wire::view::{FrameView, Icmp6View, L3View, L4View};
 
@@ -23,6 +30,20 @@ use v6wire::view::{FrameView, Icmp6View, L3View, L4View};
 pub type HealthyResolver = CachingResolver<Dns64<GlobalDns>>;
 /// The poisoned resolver stack the Pi serves over IPv4 (dnsmasq-style).
 pub type PoisonResolver = PoisonedResolver<CachingResolver<Dns64<GlobalDns>>>;
+
+/// One DNS-over-TCP connection being served (RFC 1035 §4.2.2: the
+/// fallback transport stubs retry over after a TC-bit truncation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct DnsFlowId {
+    local: IpAddr,
+    remote: IpAddr,
+    rport: u16,
+}
+
+struct DnsServerFlow {
+    ep: TcpEndpoint,
+    responded: bool,
+}
 
 /// The Raspberry Pi server from Fig. 4: healthy DNS64 on `fd00:976a::9`,
 /// poisoned dnsmasq on its IPv4 address, and a DHCPv4 server with option
@@ -50,6 +71,9 @@ pub struct PiServer {
     /// of any kind). The testbed keeps running; clients discover the loss
     /// through timeouts.
     pub enabled: bool,
+    /// Queries served over TCP (truncation fallback).
+    pub tcp_queries: u64,
+    tcp_flows: FastMap<DnsFlowId, DnsServerFlow>,
 }
 
 impl PiServer {
@@ -70,7 +94,18 @@ impl PiServer {
             v6_queries: 0,
             v4_queries: 0,
             enabled: true,
+            tcp_queries: 0,
+            tcp_flows: FastMap::default(),
         }
+    }
+
+    /// Point both resolver stacks at a different global DNS database —
+    /// the broken-delegation fault swaps in the delegated tree resolved
+    /// iteratively over IPv6 only. [`PiServer::reset`] restores the flat
+    /// database, so warm-cell recycling stays equivalent to a cold build.
+    pub fn install_global_dns(&mut self, g: GlobalDns) {
+        *self.healthy.upstream_mut().upstream_mut() = g.clone();
+        *self.poisoned.upstream_mut().upstream_mut().upstream_mut() = g;
     }
 
     /// Restore the post-construction state: both resolver stacks reset
@@ -82,21 +117,36 @@ impl PiServer {
     pub fn reset(&mut self) {
         self.healthy.reset();
         self.healthy.upstream_mut().reset();
-        self.healthy.upstream_mut().upstream_mut().reset();
         self.poisoned.reset();
         let cache = self.poisoned.upstream_mut();
         cache.reset();
         cache.upstream_mut().reset();
-        cache.upstream_mut().upstream_mut().reset();
+        // A fault run may have swapped in the delegated tree via
+        // [`PiServer::install_global_dns`]; reinstall the flat database
+        // (fresh counters included) so the recycled Pi matches a cold
+        // build byte-for-byte.
+        self.install_global_dns(internet_dns());
         if let Some(dhcp) = &mut self.dhcp {
             dhcp.reset();
         }
         self.v6_queries = 0;
         self.v4_queries = 0;
         self.enabled = true;
+        self.tcp_queries = 0;
+        self.tcp_flows.clear();
     }
 
-    fn answer(resolver: &mut dyn Resolver, msg: &DnsMessage, now: u64) -> DnsMessage {
+    /// Resolve `msg` and shape the response. `udp_limit` is the transport
+    /// ceiling for a UDP reply (`None` over TCP): a response that would
+    /// not fit is emptied and flagged TC (RFC 6891 §7) so the stub can
+    /// retry over TCP. A classified resolution failure travels back as an
+    /// RFC 8914 Extended DNS Error in the additional section.
+    fn answer(
+        resolver: &mut dyn Resolver,
+        msg: &DnsMessage,
+        now: u64,
+        udp_limit: Option<usize>,
+    ) -> DnsMessage {
         let q = msg.questions[0].clone();
         let ans = resolver.resolve(&q, now);
         let mut resp = DnsMessage::response_to(msg, ans.rcode);
@@ -104,7 +154,111 @@ impl PiServer {
         if let Some(soa) = ans.soa {
             resp.authorities.push(soa);
         }
+        if let Some(reason) = ans.reason {
+            resp.additionals.push(edns::opt_record(
+                edns::DEFAULT_PAYLOAD_SIZE,
+                &[edns::ede_option(reason.ede_code(), reason.label())],
+            ));
+        }
+        if let Some(limit) = udp_limit {
+            if resp.encode().len() > limit {
+                resp.truncated = true;
+                resp.answers.clear();
+                resp.authorities.clear();
+            }
+        }
         resp
+    }
+
+    /// The UDP size ceiling a query grants its response: the EDNS0
+    /// advertised payload size, or the classic 512-octet limit when the
+    /// query carries no OPT.
+    fn udp_limit(msg: &DnsMessage) -> usize {
+        edns::advertised_payload_size(msg).unwrap_or(edns::CLASSIC_UDP_LIMIT)
+    }
+
+    fn on_tcp_dns(
+        &mut self,
+        local: IpAddr,
+        remote: IpAddr,
+        seg: TcpSegment,
+        reply_mac: MacAddr,
+        now: u64,
+        ctx: &mut Ctx,
+    ) {
+        let id = DnsFlowId {
+            local,
+            remote,
+            rport: seg.src_port,
+        };
+        let flow = self.tcp_flows.entry(id).or_insert_with(|| DnsServerFlow {
+            ep: TcpEndpoint::listen(port::DNS),
+            responded: false,
+        });
+        let replies = flow.ep.on_segment(&seg);
+        let closed = flow.ep.is_closed();
+        for r in replies {
+            self.send_tcp_segment(id, r, reply_mac, ctx);
+        }
+        self.serve_tcp_dns(id, reply_mac, now, ctx);
+        if closed {
+            self.tcp_flows.remove(&id);
+        }
+    }
+
+    /// Answer the two-octet-length-prefixed query on an established TCP
+    /// connection (RFC 1035 §4.2.2), then close: one query per connection,
+    /// like the stub's fallback uses it.
+    fn serve_tcp_dns(&mut self, id: DnsFlowId, reply_mac: MacAddr, now: u64, ctx: &mut Ctx) {
+        let Some(flow) = self.tcp_flows.get(&id) else {
+            return;
+        };
+        if flow.responded || !flow.ep.is_established() {
+            return;
+        }
+        let buf = flow.ep.received.clone();
+        if buf.len() < 2 {
+            return;
+        }
+        let want = u16::from_be_bytes([buf[0], buf[1]]) as usize;
+        if buf.len() < 2 + want {
+            return; // still streaming in
+        }
+        let Ok(msg) = DnsMessage::decode(&buf[2..2 + want]) else {
+            self.tcp_flows.remove(&id);
+            return;
+        };
+        self.tcp_queries += 1;
+        let resp = match id.local {
+            IpAddr::V6(_) => Self::answer(&mut self.healthy, &msg, now, None),
+            IpAddr::V4(_) => Self::answer(&mut self.poisoned, &msg, now, None),
+        };
+        let payload = resp.encode();
+        let mut framed = (payload.len() as u16).to_be_bytes().to_vec();
+        framed.extend_from_slice(&payload);
+        let flow = self.tcp_flows.get_mut(&id).expect("present");
+        flow.responded = true;
+        let mut segs = flow.ep.send(&framed);
+        segs.extend(flow.ep.close());
+        for s in segs {
+            self.send_tcp_segment(id, s, reply_mac, ctx);
+        }
+    }
+
+    fn send_tcp_segment(&self, id: DnsFlowId, seg: TcpSegment, dst_mac: MacAddr, ctx: &mut Ctx) {
+        match (id.local, id.remote) {
+            (IpAddr::V6(l), IpAddr::V6(r)) => {
+                let pkt = Ipv6Packet::new(l, r, proto::TCP, seg.encode_v6(l, r));
+                let frame = EthernetFrame::new(dst_mac, self.mac, EtherType::Ipv6, pkt.encode());
+                ctx.send(0, frame.encode());
+            }
+            (IpAddr::V4(l), IpAddr::V4(r)) => {
+                let pkt = Ipv4Packet::new(l, r, proto::TCP, seg.encode_v4(l, r));
+                let frame = EthernetFrame::new(dst_mac, self.mac, EtherType::Ipv4, pkt.encode());
+                ctx.send(0, frame.encode());
+            }
+            _ => {}
+        }
     }
 }
 
@@ -117,6 +271,7 @@ impl Node for PiServer {
         let mut m = v6wire::metrics::Metrics::new();
         m.add("v6_queries", self.v6_queries);
         m.add("v4_queries", self.v4_queries);
+        m.add("tcp_queries", self.tcp_queries);
         m.merge_namespaced("dns64", &self.healthy.metrics());
         m.merge_namespaced("dnsmasq", &self.poisoned.metrics());
         if let Some(dhcp) = &self.dhcp {
@@ -158,7 +313,8 @@ impl Node for PiServer {
             {
                 if let Ok(msg) = DnsMessage::decode(udp.payload) {
                     self.v6_queries += 1;
-                    let resp = Self::answer(&mut self.healthy, &msg, now);
+                    let limit = Self::udp_limit(&msg);
+                    let resp = Self::answer(&mut self.healthy, &msg, now, Some(limit));
                     let d = UdpDatagram::new(port::DNS, udp.src_port, resp.encode());
                     ctx.send(
                         0,
@@ -171,7 +327,8 @@ impl Node for PiServer {
             {
                 if let Ok(msg) = DnsMessage::decode(udp.payload) {
                     self.v4_queries += 1;
-                    let resp = Self::answer(&mut self.poisoned, &msg, now);
+                    let limit = Self::udp_limit(&msg);
+                    let resp = Self::answer(&mut self.poisoned, &msg, now, Some(limit));
                     let d = UdpDatagram::new(port::DNS, udp.src_port, resp.encode());
                     ctx.send(
                         0,
@@ -199,6 +356,30 @@ impl Node for PiServer {
                         }
                     }
                 }
+            }
+            (L3View::V6(ip), L4View::Tcp(seg))
+                if ip.dst == self.v6 && seg.dst_port == port::DNS =>
+            {
+                self.on_tcp_dns(
+                    IpAddr::V6(ip.dst),
+                    IpAddr::V6(ip.src),
+                    seg.to_segment(),
+                    parsed.eth.src,
+                    now,
+                    ctx,
+                );
+            }
+            (L3View::V4(ip), L4View::Tcp(seg))
+                if ip.dst == self.v4 && seg.dst_port == port::DNS =>
+            {
+                self.on_tcp_dns(
+                    IpAddr::V4(ip.dst),
+                    IpAddr::V4(ip.src),
+                    seg.to_segment(),
+                    parsed.eth.src,
+                    now,
+                    ctx,
+                );
             }
             (L3View::Arp(arp), _) if arp.op == ArpOp::Request && arp.target_ip == self.v4 => {
                 let reply = ArpPacket::reply_to(arp, self.mac);
@@ -275,7 +456,9 @@ impl Node for PublicDns {
             if ip.dst == self.v4 && udp.dst_port == port::DNS {
                 if let Ok(msg) = DnsMessage::decode(udp.payload) {
                     self.queries += 1;
-                    let resp = PiServer::answer(&mut self.resolver, &msg, ctx.now.as_secs());
+                    let limit = PiServer::udp_limit(&msg);
+                    let resp =
+                        PiServer::answer(&mut self.resolver, &msg, ctx.now.as_secs(), Some(limit));
                     let d = UdpDatagram::new(port::DNS, udp.src_port, resp.encode());
                     ctx.send(
                         0,
@@ -380,5 +563,90 @@ impl Node for InternetRouter {
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zones::delegated_internet_dns;
+    use v6dns::codec::{Question, RData, RType, Rcode};
+    use v6dns::server::ResolutionFailure;
+    use v6dns::DnsName;
+
+    fn n(s: &str) -> DnsName {
+        s.parse().unwrap()
+    }
+
+    fn query(name: &str, rtype: RType) -> DnsMessage {
+        DnsMessage::query(7, Question::new(n(name), rtype))
+    }
+
+    #[test]
+    fn classified_failure_travels_as_ede() {
+        let mut pi = PiServer::new(PoisonPolicy::Off, true);
+        pi.install_global_dns(delegated_internet_dns());
+        let q = query("sc24.supercomputing.org", RType::Aaaa);
+        let resp = PiServer::answer(&mut pi.healthy, &q, 0, Some(PiServer::udp_limit(&q)));
+        assert_eq!(resp.rcode, Rcode::ServFail);
+        assert_eq!(
+            edns::failure_of(&resp),
+            Some(ResolutionFailure::NoAaaaGlue),
+            "the stub learns *why*, not just SERVFAIL"
+        );
+    }
+
+    #[test]
+    fn reset_reinstalls_the_flat_database() {
+        let mut pi = PiServer::new(PoisonPolicy::Off, true);
+        pi.install_global_dns(delegated_internet_dns());
+        pi.reset();
+        let q = query("sc24.supercomputing.org", RType::Aaaa);
+        let resp = PiServer::answer(&mut pi.healthy, &q, 0, Some(PiServer::udp_limit(&q)));
+        // DNS64 synthesis works again: flat zones restored, warm cell
+        // equivalent to a cold build.
+        assert_eq!(resp.rcode, Rcode::NoError);
+        assert!(resp
+            .answers
+            .iter()
+            .any(|r| matches!(r.data, RData::Aaaa(_))));
+    }
+
+    #[test]
+    fn oversize_udp_response_truncates_to_tc() {
+        // A TXT record big enough to blow the classic 512-octet ceiling.
+        let mut zone = v6dns::Zone::new(n("big.test"), 60);
+        zone.add_str("@", 60, RData::Txt(vec!["x".repeat(200); 4]));
+        let mut g = GlobalDns::new();
+        g.add_zone(zone);
+        let mut pi = PiServer::new(PoisonPolicy::Off, true);
+        pi.install_global_dns(g);
+        let q = query("big.test", RType::Txt);
+        let resp = PiServer::answer(&mut pi.healthy, &q, 0, Some(PiServer::udp_limit(&q)));
+        assert!(resp.truncated, "TC set");
+        assert!(
+            resp.answers.is_empty(),
+            "truncated responses carry no answers"
+        );
+        assert!(resp.encode().len() <= edns::CLASSIC_UDP_LIMIT);
+
+        // The same query with an EDNS0 advertisement fits untruncated.
+        let mut q_edns = query("big.test", RType::Txt);
+        q_edns
+            .additionals
+            .push(edns::opt_record(edns::DEFAULT_PAYLOAD_SIZE, &[]));
+        let resp = PiServer::answer(
+            &mut pi.healthy,
+            &q_edns,
+            0,
+            Some(PiServer::udp_limit(&q_edns)),
+        );
+        assert!(!resp.truncated);
+        assert!(!resp.answers.is_empty());
+
+        // And over TCP there is no ceiling at all.
+        let resp = PiServer::answer(&mut pi.healthy, &q, 0, None);
+        assert!(!resp.truncated);
+        assert!(!resp.answers.is_empty());
     }
 }

@@ -14,10 +14,11 @@
 
 use crate::census::{census, CensusEntry};
 use crate::topology::{Testbed, TestbedConfig};
-use crate::zones::addrs;
+use crate::zones::{addrs, delegated_internet_dns};
 use std::net::IpAddr;
 use std::sync::OnceLock;
 use v6dns::poison::PoisonPolicy;
+pub use v6dns::server::ResolutionFailure;
 use v6host::profiles::OsProfile;
 use v6host::tasks::{AppTask, TaskOutcome};
 use v6sim::engine::TraceMode;
@@ -107,15 +108,22 @@ pub enum FaultVariant {
     /// The carrier NAT64's translation table is already saturated by other
     /// subscribers: no new bindings, existing ones keep refreshing.
     Nat64Exhaustion,
+    /// The global DNS is published as a *delegation tree* and the Pi's
+    /// resolver walks it iteratively over IPv6 only — but the `org`
+    /// parent's glue for `supercomputing.org` is A-only, so the poisoned
+    /// and DNS64 paths both fail sc24 resolution with the classified
+    /// reason `no-aaaa-glue` instead of a timeout.
+    BrokenDelegation,
 }
 
 impl FaultVariant {
     /// All variants, in matrix order.
-    pub const ALL: [FaultVariant; 4] = [
+    pub const ALL: [FaultVariant; 5] = [
         FaultVariant::Clean,
         FaultVariant::LossyUplink,
         FaultVariant::Dns64Outage,
         FaultVariant::Nat64Exhaustion,
+        FaultVariant::BrokenDelegation,
     ];
 
     /// Short stable label for reports.
@@ -125,6 +133,7 @@ impl FaultVariant {
             FaultVariant::LossyUplink => "lossy-uplink",
             FaultVariant::Dns64Outage => "dns64-outage",
             FaultVariant::Nat64Exhaustion => "nat64-exhaustion",
+            FaultVariant::BrokenDelegation => "broken-delegation",
         }
     }
 
@@ -136,16 +145,19 @@ impl FaultVariant {
             FaultVariant::LossyUplink => 1,
             FaultVariant::Dns64Outage => 2,
             FaultVariant::Nat64Exhaustion => 3,
+            FaultVariant::BrokenDelegation => 4,
         }
     }
 
     /// The seeded [`FaultPlan`] this variant installs (keyed to the
-    /// testbed's node names). `Clean` and `Nat64Exhaustion` return the
-    /// no-op plan — exhaustion is a device-table condition, not a link
-    /// impairment.
+    /// testbed's node names). `Clean`, `Nat64Exhaustion` and
+    /// `BrokenDelegation` return the no-op plan — those are device-state
+    /// conditions, not link impairments.
     pub fn plan(self, seed: u64) -> FaultPlan {
         match self {
-            FaultVariant::Clean | FaultVariant::Nat64Exhaustion => FaultPlan::default(),
+            FaultVariant::Clean
+            | FaultVariant::Nat64Exhaustion
+            | FaultVariant::BrokenDelegation => FaultPlan::default(),
             FaultVariant::LossyUplink => FaultPlan {
                 seed,
                 links: vec![LinkFault {
@@ -512,6 +524,13 @@ pub(crate) fn run_cell_body(
     if let Some(cap) = fault.nat64_binding_cap() {
         tb.gateway().nat64.set_max_bindings(Some(cap));
     }
+    if fault == FaultVariant::BrokenDelegation {
+        // Swap the Pi's flat DNS database for the delegation tree walked
+        // iteratively over IPv6 only. `PiServer::reset` reinstalls the
+        // flat database, so a recycled testbed starts from the same state
+        // as a cold build.
+        tb.pi_server().install_global_dns(delegated_internet_dns());
+    }
     let id = tb.set_host_seeded(os, seed);
     tb.boot();
     // The workload names are constants; parse them once per process and
@@ -565,6 +584,7 @@ pub(crate) fn observe_cell(
     let h = tb.host(id);
     let has_v6 = h.v6_global_active();
     let has_v4 = h.v4_active();
+    let dns_failure = h.dns_failure();
     let fault_dropped = tb.net.fault_frames_dropped();
     let nat64_refusals = tb.gateway().nat64.dropped_table_full;
     CellObservation {
@@ -576,6 +596,7 @@ pub(crate) fn observe_cell(
         naive_counted: true,
         accurate_counted: has_v6 && !has_v4,
         degraded: fault_dropped > 0 || nat64_refusals > 0,
+        dns_failure,
         completed_us: tb.net.now().as_micros(),
         events: tb.net.events_processed(),
     }
@@ -604,6 +625,9 @@ pub struct CellObservation {
     pub accurate_counted: bool,
     /// Injected faults visibly bit (fault drops or NAT64 refusals).
     pub degraded: bool,
+    /// Most severe classified resolution failure the client saw
+    /// (lowest [`ResolutionFailure::index`] wins), if any.
+    pub dns_failure: Option<ResolutionFailure>,
     /// Virtual microseconds at which the cell finished.
     pub completed_us: u64,
     /// Engine events the cell processed.
@@ -629,6 +653,7 @@ impl CellObservation {
             naive_counted: r.census.naive_counted,
             accurate_counted: r.census.accurate_counted,
             degraded: r.metrics.faults.total_dropped() > 0 || nat64_refusals > 0,
+            dns_failure: r.dns_failure(),
             completed_us: r.completed_at.as_micros(),
             events: r.metrics.engine.events_processed,
         }
@@ -668,6 +693,22 @@ pub struct ScenarioResult {
 }
 
 impl ScenarioResult {
+    /// Most severe classified resolution failure the client recorded —
+    /// the same lowest-index-wins projection `Host::dns_failure`
+    /// applies, read back out of the host's device metrics (the first
+    /// host is always the `host0-`-prefixed node).
+    pub fn dns_failure(&self) -> Option<ResolutionFailure> {
+        self.metrics
+            .nodes
+            .iter()
+            .find(|n| n.name.starts_with("host0-"))
+            .and_then(|n| {
+                ResolutionFailure::ALL
+                    .into_iter()
+                    .find(|f| n.device.get(&format!("dns.fail.{}", f.label())) > 0)
+            })
+    }
+
     /// Paper-style one-line rendering.
     pub fn render(&self) -> String {
         format!(
@@ -770,6 +811,13 @@ mod tests {
                 fault: FaultVariant::Nat64Exhaustion,
                 seed: 14,
             },
+            Scenario {
+                os: OsProfile::macos(),
+                topology: TopologyVariant::PaperDefault,
+                poison: PoisonVariant::WildcardA,
+                fault: FaultVariant::BrokenDelegation,
+                seed: 15,
+            },
         ];
         for s in cells {
             let full = CellObservation::from_result(&s.run());
@@ -797,6 +845,34 @@ mod tests {
         assert_eq!(s.os.name, "macOS");
         assert_eq!(s.seed, 42);
         assert_eq!(spec.run_observation(), s.run_observation());
+    }
+
+    #[test]
+    fn broken_delegation_fails_sc24_with_classified_reason() {
+        // A v6-only (RFC 8925) client resolving through the v4-only-glue
+        // authoritative fails sc24 with `no-aaaa-glue` — a classified
+        // failure, not a timeout — while dual-glue ip6.me keeps working.
+        let s = Scenario {
+            os: OsProfile::macos(),
+            topology: TopologyVariant::PaperDefault,
+            poison: PoisonVariant::WildcardA,
+            fault: FaultVariant::BrokenDelegation,
+            seed: 21,
+        };
+        let o = s.run_observation();
+        assert_eq!(o.dns_failure, Some(ResolutionFailure::NoAaaaGlue));
+        assert_eq!(o.sc24, PathFamily::Fail, "sc24 unreachable, classified");
+        assert_eq!(o.ip6me, PathFamily::V6, "dual glue keeps resolving");
+        // A v4-only console still gets the wildcard-A intervention: the
+        // poisoned resolver answers A locally, never touching the tree.
+        let s4 = Scenario {
+            os: OsProfile::nintendo_switch(),
+            seed: 22,
+            ..s
+        };
+        let o4 = s4.run_observation();
+        assert!(o4.intervened, "the intervention survives the fault");
+        assert_eq!(o4.dns_failure, None);
     }
 
     #[test]

@@ -45,6 +45,42 @@ pub fn internet_dns() -> GlobalDns {
     DB.get_or_init(build_internet_dns).clone()
 }
 
+/// The same internet as [`internet_dns`], but published as a *delegation
+/// tree* and resolved iteratively over IPv6 only — the broken-delegation
+/// fault condition.
+///
+/// The tree is authored as committed master-file fixtures under
+/// `tests/corpus/zones/` (the `dns-realism` CI lane gates their canonical
+/// form). Its load-bearing property: the `org` parent delegates
+/// `supercomputing.org` to an authoritative whose glue is **A-only**, so a
+/// resolver walking the tree over IPv6 cannot reach it and fails with the
+/// classified reason `no-aaaa-glue` — while `ip6.me` sits behind
+/// dual-stack glue and keeps resolving. Zones without a parent in the
+/// tree (`mirror.sc24`, `anl.gov`, `vtc.example`) answer directly, so the
+/// rest of the testbed's name mix is unchanged.
+pub fn delegated_internet_dns() -> GlobalDns {
+    static DB: std::sync::OnceLock<GlobalDns> = std::sync::OnceLock::new();
+    DB.get_or_init(build_delegated_internet_dns).clone()
+}
+
+fn build_delegated_internet_dns() -> GlobalDns {
+    const FIXTURES: &[&str] = &[
+        include_str!("../../../tests/corpus/zones/org.zone"),
+        include_str!("../../../tests/corpus/zones/supercomputing-org.zone"),
+        include_str!("../../../tests/corpus/zones/me.zone"),
+        include_str!("../../../tests/corpus/zones/ip6-me.zone"),
+        include_str!("../../../tests/corpus/zones/mirror-sc24.zone"),
+        include_str!("../../../tests/corpus/zones/anl-gov.zone"),
+        include_str!("../../../tests/corpus/zones/vtc-example.zone"),
+    ];
+    let mut g = GlobalDns::new();
+    for text in FIXTURES {
+        g.add_zone(v6dns::master::parse(text).expect("committed fixture parses"));
+    }
+    g.set_iterative(v6dns::server::ResolverTransport::V6_ONLY);
+    g
+}
+
 fn build_internet_dns() -> GlobalDns {
     let mut g = GlobalDns::new();
 
@@ -111,6 +147,30 @@ mod tests {
     use super::*;
     use v6dns::codec::{Question, RType};
     use v6dns::server::Resolver;
+
+    #[test]
+    fn delegated_tree_breaks_sc24_over_v6_but_not_ip6me() {
+        use v6dns::server::ResolutionFailure;
+        let mut g = delegated_internet_dns();
+        // The v4-only-glue authoritative is unreachable over IPv6: the
+        // classified failure, not a timeout.
+        for rtype in [RType::A, RType::Aaaa] {
+            let a = g.resolve(&Question::new(n("sc24.supercomputing.org"), rtype), 0);
+            assert_eq!(a.reason, Some(ResolutionFailure::NoAaaaGlue), "{rtype:?}");
+        }
+        // Dual glue keeps ip6.me resolving through its referral.
+        assert!(g
+            .resolve(&Question::new(n("ip6.me"), RType::Aaaa), 0)
+            .is_positive());
+        assert!(g.referrals >= 1);
+        // Parentless zones answer directly, exactly like the flat DNS.
+        assert!(g
+            .resolve(&Question::new(n("vpn.anl.gov"), RType::A), 0)
+            .is_positive());
+        assert!(g
+            .resolve(&Question::new(n("ipv6.mirror.sc24"), RType::Aaaa), 0)
+            .is_positive());
+    }
 
     #[test]
     fn family_mix_matches_experiment_needs() {

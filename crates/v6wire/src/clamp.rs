@@ -1,0 +1,87 @@
+//! Shared clamped/saturating arithmetic used by the latency sketches and
+//! the DNS TTL caches.
+//!
+//! Two independent copies of the nearest-rank percentile clamp grew in
+//! `v6fleet` (the sorted-sample path and the bucketed-sketch path), and the
+//! DNS negative caches each re-derived their own TTL expiry math. All of
+//! them funnel through here so the clamping rules stay identical.
+
+/// Nearest-rank index (0-based) into a collection of `count` sorted samples
+/// for quantile `q` in `[0, 1]`.
+///
+/// The 1-based rank `ceil(count * q)` is clamped to `[1, count]`, so `q = 0`
+/// selects the minimum and any `q >= 1` (or a NaN-free overshoot) selects
+/// the maximum. Returns `None` for an empty collection.
+pub fn nearest_rank_index(count: usize, q: f64) -> Option<usize> {
+    if count == 0 {
+        return None;
+    }
+    let rank = ((count as f64 * q).ceil() as u64).clamp(1, count as u64);
+    Some((rank - 1) as usize)
+}
+
+/// RFC 2181 §8: a TTL with the high bit set is "treated as if it were zero".
+///
+/// SOA `minimum` fields come straight off the wire (or a zone master file)
+/// as a full `u32`; clamping here keeps downstream expiry math from
+/// treating a bogus 4-billion-second TTL as a cache-forever entry.
+pub fn clamp_ttl(ttl: u32) -> u32 {
+    if ttl & 0x8000_0000 != 0 {
+        0
+    } else {
+        ttl
+    }
+}
+
+/// RFC 2308 §5 negative-caching TTL: `min(SOA TTL, SOA.minimum)`, with both
+/// inputs first passed through the RFC 2181 clamp.
+pub fn negative_ttl(soa_ttl: u32, soa_minimum: u32) -> u32 {
+    clamp_ttl(soa_ttl).min(clamp_ttl(soa_minimum))
+}
+
+/// Absolute expiry time for a TTL starting at `now` (seconds), saturating
+/// instead of wrapping near `u64::MAX`.
+pub fn expiry(now: u64, ttl: u32) -> u64 {
+    now.saturating_add(u64::from(clamp_ttl(ttl)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_clamps_both_ends() {
+        assert_eq!(nearest_rank_index(0, 0.5), None);
+        assert_eq!(nearest_rank_index(10, 0.0), Some(0));
+        assert_eq!(nearest_rank_index(10, 1.0), Some(9));
+        assert_eq!(nearest_rank_index(10, 2.5), Some(9), "overshoot clamps");
+        assert_eq!(nearest_rank_index(10, 0.5), Some(4));
+        assert_eq!(nearest_rank_index(10, 0.95), Some(9));
+        assert_eq!(nearest_rank_index(1, 0.99), Some(0));
+    }
+
+    #[test]
+    fn rfc2181_high_bit_means_zero() {
+        assert_eq!(clamp_ttl(0), 0);
+        assert_eq!(clamp_ttl(300), 300);
+        assert_eq!(clamp_ttl(0x7fff_ffff), 0x7fff_ffff);
+        assert_eq!(clamp_ttl(0x8000_0000), 0);
+        assert_eq!(clamp_ttl(u32::MAX), 0);
+    }
+
+    #[test]
+    fn negative_ttl_clamps_each_side_first() {
+        assert_eq!(negative_ttl(900, 300), 300);
+        assert_eq!(negative_ttl(60, 300), 60);
+        // A bogus SOA minimum with the high bit set no longer wins the min.
+        assert_eq!(negative_ttl(900, u32::MAX), 0);
+        assert_eq!(negative_ttl(u32::MAX, 300), 0);
+    }
+
+    #[test]
+    fn expiry_saturates() {
+        assert_eq!(expiry(100, 60), 160);
+        assert_eq!(expiry(u64::MAX - 10, 300), u64::MAX);
+        assert_eq!(expiry(5, u32::MAX), 5, "clamped TTL first");
+    }
+}

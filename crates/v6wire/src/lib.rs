@@ -27,6 +27,7 @@
 
 pub mod arp;
 pub mod checksum;
+pub mod clamp;
 pub mod ethernet;
 pub mod fasthash;
 pub mod icmpv4;

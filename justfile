@@ -108,6 +108,19 @@ conformance:
     SC24_CHECKSUM_KERNEL=scalar cargo test -p v6wire -q
     cargo test -q --test pool_steady_state
 
+# The DNS realism lane at CI depth: master-file fixtures round-trip
+# byte-identically, the iterative resolver matches the flat view (or
+# classifies its failure) over 256 random delegation trees, the
+# EDNS0/TCP-fallback and negative-cache suites, and the
+# broken-delegation census gate against its committed golden.
+dns-realism:
+    PROPTEST_CASES=256 cargo test -p v6dns --test zone_roundtrip -q
+    PROPTEST_CASES=256 cargo test -p v6dns --test delegation -q
+    cargo test -p v6dns -q
+    cargo test -p v6host -q
+    cargo test -p v6testbed -q
+    cargo run --release -p v6report -- check matrix_broken-delegation
+
 # Regenerate the committed golden trace after a deliberate protocol
 # change (review the fixture diff!).
 bless-traces:
